@@ -1,0 +1,100 @@
+//! Ablation benchmarks for the framework's design choices (DESIGN.md §5).
+//!
+//! These measure the *cost* side of each mechanism; the *quality* side
+//! (does interpolation pick better configurations, does hysteresis damp
+//! thrash) is asserted by the integration tests in `tests/ablations.rs`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use adapt_core::{
+    Configuration, MonitoringAgent, PerfDb, PerfRecord, PredictMode, QosReport, ResourceKey,
+    ResourceVector, Sense, ValidityRegion,
+};
+use simnet::SimTime;
+
+fn crossover_db(points_per_axis: usize) -> PerfDb {
+    let cpu = ResourceKey::cpu("client");
+    let net = ResourceKey::net("client");
+    let mut db = PerfDb::new();
+    for c in 1..=2i64 {
+        for i in 1..=points_per_axis {
+            for j in 1..=points_per_axis {
+                let share = i as f64 / points_per_axis as f64;
+                let bw = 1e6 * j as f64 / points_per_axis as f64;
+                let t = if c == 1 { 2e6 / bw + 5.0 / share } else { 4e5 / bw + 20.0 / share };
+                db.add(PerfRecord {
+                    config: Configuration::new(&[("c", c)]),
+                    resources: ResourceVector::new(&[(cpu.clone(), share), (net.clone(), bw)]),
+                    input: "img".into(),
+                    metrics: QosReport::new(&[("transmit_time", t)]),
+                });
+            }
+        }
+    }
+    db
+}
+
+/// Interpolation vs nearest-record prediction cost as the database grows.
+fn ablation_prediction_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_predict");
+    for n in [5usize, 10, 20] {
+        let db = crossover_db(n);
+        let q = ResourceVector::new(&[
+            (ResourceKey::cpu("client"), 0.47),
+            (ResourceKey::net("client"), 333_333.0),
+        ]);
+        let cfg = Configuration::new(&[("c", 1)]);
+        g.bench_function(format!("interpolate_grid{n}"), |b| {
+            b.iter(|| db.predict(&cfg, "img", &q, PredictMode::Interpolate).unwrap())
+        });
+        g.bench_function(format!("nearest_grid{n}"), |b| {
+            b.iter(|| db.predict(&cfg, "img", &q, PredictMode::Nearest).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Cost of dominance pruning and similarity merging on a populated db.
+fn ablation_prune_cost(c: &mut Criterion) {
+    c.bench_function("ablation_prune_dominated", |b| {
+        b.iter_batched(
+            || crossover_db(12),
+            |mut db| db.prune_dominated("transmit_time", Sense::LowerIsBetter, 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ablation_merge_similar", |b| {
+        b.iter_batched(
+            || crossover_db(12),
+            |mut db| db.merge_similar(0.02),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Monitoring-agent observation throughput for different window lengths.
+fn ablation_monitor_cost(c: &mut Criterion) {
+    let cpu = ResourceKey::cpu("client");
+    let mut g = c.benchmark_group("ablation_monitor");
+    for window_ms in [100u64, 1000, 10_000] {
+        g.bench_function(format!("observe_check_window{window_ms}ms"), |b| {
+            let mut m = MonitoringAgent::new(vec![cpu.clone()], window_ms * 1000);
+            m.set_validity(ValidityRegion::new().with_range(cpu.clone(), 0.5, 1.0));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 10_000;
+                m.observe(SimTime::from_us(t), &cpu, 0.7);
+                m.check(SimTime::from_us(t))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_prediction_cost,
+    ablation_prune_cost,
+    ablation_monitor_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Figure 4: does the testbed emulate *other physical machines* well?
+//!
+//! (a) The simple CPU-bound application runs natively on slower machines
+//!     (Pentium II 333, Pentium Pro 200) and under the testbed on the
+//!     fast machine with a CPU share equal to the speed ratio.
+//! (b) The same comparison for the full active-visualization application
+//!     (server bandwidth-limited to 1 MBps, as in the paper); the
+//!     "stretched" column is the naive prediction (fast-machine time /
+//!     share), which overestimates because network waits do not scale
+//!     with CPU — the effect the paper highlights.
+
+use std::sync::Arc;
+
+use compress::Method;
+use sandbox::{Limits, LimitsHandle, SandboxStats, Sandboxed};
+use simnet::Sim;
+use visapp::{run_static, Scenario, VizConfig};
+
+use crate::toy::FixedWork;
+
+/// Relative speeds vs the PII-450 reference (SpecInt95-style ratios).
+pub const MACHINES: [(&str, f64); 2] = [("PII-333", 0.74), ("PPro-200", 0.44)];
+
+/// One row of Figure 4(a) or 4(b).
+#[derive(Debug, Clone)]
+pub struct EmulationRow {
+    pub machine: &'static str,
+    pub speed_ratio: f64,
+    /// Time on the (simulated) physical slower machine.
+    pub physical_secs: f64,
+    /// Time on the testbed: fast machine + CPU share = ratio.
+    pub testbed_secs: f64,
+    /// Naive prediction: fast-machine time / share.
+    pub stretched_secs: f64,
+}
+
+impl EmulationRow {
+    pub fn emulation_error(&self) -> f64 {
+        (self.testbed_secs - self.physical_secs).abs() / self.physical_secs
+    }
+}
+
+/// Figure 4(a): the simple application.
+pub fn fig4a(work_secs: f64) -> Vec<EmulationRow> {
+    let run_native = |speed: f64| -> f64 {
+        let mut sim = Sim::new();
+        let h = sim.add_host("m", speed, 1 << 30);
+        let (task, done) = FixedWork::new(work_secs * 1e6);
+        sim.spawn(h, Box::new(task));
+        sim.run_until_idle();
+        let t = *done.borrow();
+        t.unwrap().as_secs_f64()
+    };
+    let run_testbed = |share: f64| -> f64 {
+        let mut sim = Sim::new();
+        let h = sim.add_host("pii450", 1.0, 1 << 30);
+        let (task, done) = FixedWork::new(work_secs * 1e6);
+        let limits = LimitsHandle::new(Limits::cpu(share));
+        sim.spawn(h, Box::new(Sandboxed::new(task, limits, SandboxStats::default())));
+        sim.run_until_idle();
+        let t = *done.borrow();
+        t.unwrap().as_secs_f64()
+    };
+    let base = run_native(1.0);
+    MACHINES
+        .iter()
+        .map(|&(machine, ratio)| EmulationRow {
+            machine,
+            speed_ratio: ratio,
+            physical_secs: run_native(ratio),
+            testbed_secs: run_testbed(ratio),
+            stretched_secs: base / ratio,
+        })
+        .collect()
+}
+
+/// Figure 4(b): the active visualization application. Returns per-machine
+/// rows of mean per-image transmission time. The server runs at reference
+/// speed with its outbound bandwidth limited to 1 MB/s.
+pub fn fig4b(sc: &Scenario) -> Vec<EmulationRow> {
+    let cfg = VizConfig {
+        dr: (sc.img_size / 4),
+        level: sc.levels,
+        method: Method::Lzw,
+    };
+    let base_sc = Scenario {
+        server_net_cap: Some(1_000_000.0),
+        ..sc.clone()
+    };
+    let store: Arc<_> = base_sc.build_store();
+    let run_physical = |speed: f64| {
+        let s = Scenario { client_speed: speed, ..base_sc.clone() };
+        run_static(&s, &store, cfg, Limits::unconstrained(), None)
+            .stats
+            .avg_transmit_secs()
+    };
+    let run_testbed = |share: f64| {
+        run_static(&base_sc, &store, cfg, Limits::cpu(share), None)
+            .stats
+            .avg_transmit_secs()
+    };
+    let base = run_physical(1.0);
+    MACHINES
+        .iter()
+        .map(|&(machine, ratio)| EmulationRow {
+            machine,
+            speed_ratio: ratio,
+            physical_secs: run_physical(ratio),
+            testbed_secs: run_testbed(ratio),
+            stretched_secs: base / ratio,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figs::test_scenario;
+
+    #[test]
+    fn fig4a_testbed_matches_physical() {
+        for row in fig4a(3.0) {
+            // For a pure CPU loop, testbed == physical == stretched.
+            assert!(row.emulation_error() < 0.02, "{row:?}");
+            assert!(
+                (row.stretched_secs - row.physical_secs).abs() / row.physical_secs < 0.02,
+                "{row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4b_testbed_close_but_stretching_overestimates() {
+        for row in fig4b(&test_scenario()) {
+            // The paper saw <= 8% emulation error; allow 12% here.
+            assert!(row.emulation_error() < 0.12, "{row:?}");
+            // Stretching must overestimate (waits don't scale with CPU).
+            assert!(
+                row.stretched_secs > row.physical_secs * 1.05,
+                "stretched {} should exceed physical {}",
+                row.stretched_secs,
+                row.physical_secs
+            );
+        }
+    }
+}

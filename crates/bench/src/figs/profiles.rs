@@ -1,0 +1,190 @@
+//! Figures 5 and 6: the performance database curves.
+//!
+//! These are profile sweeps of single static configurations across
+//! resource settings — exactly what the profiling driver stores in the
+//! performance database.
+
+use std::sync::Arc;
+
+use compress::Method;
+use sandbox::Limits;
+use visapp::{run_static, ImageStore, Scenario, VizConfig};
+
+/// A labeled series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// y value at the x closest to `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
+            .map(|&(_, y)| y)
+            .expect("empty series")
+    }
+}
+
+/// Profile scenario: fewer images than the experiments (profiling runs
+/// per-image metrics, not endurance).
+fn prof_scenario(sc: &Scenario) -> Scenario {
+    Scenario { n_images: 2, verify: false, ..sc.clone() }
+}
+
+/// Figure 5: transmit time (a) and response time (b) vs CPU share, one
+/// series per fovea size `dR`. Bandwidth fixed at `fixed_bps`.
+pub fn fig5(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    shares: &[f64],
+    fixed_bps: f64,
+) -> (Vec<Series>, Vec<Series>) {
+    let psc = prof_scenario(sc);
+    let mut transmit = Vec::new();
+    let mut response = Vec::new();
+    for &dr in &sc.dr_values() {
+        let mut tp = Vec::new();
+        let mut rp = Vec::new();
+        for &share in shares {
+            let cfg = VizConfig { dr: dr as usize, level: sc.levels, method: Method::Lzw };
+            let limits = Limits::cpu(share).with_net(fixed_bps);
+            let out = run_static(&psc, store, cfg, limits, None);
+            tp.push((share, out.stats.avg_transmit_secs()));
+            rp.push((share, out.stats.avg_response_secs()));
+        }
+        transmit.push(Series { label: format!("dR={dr}"), points: tp });
+        response.push(Series { label: format!("dR={dr}"), points: rp });
+    }
+    (transmit, response)
+}
+
+/// Figure 6(a): transmit time vs network bandwidth, one series per
+/// compression method. CPU fixed at `fixed_share`.
+pub fn fig6a(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    bandwidths: &[f64],
+    fixed_share: f64,
+) -> Vec<Series> {
+    let psc = prof_scenario(sc);
+    let dr = sc.img_size / 4;
+    [Method::Lzw, Method::Bzip]
+        .iter()
+        .map(|&method| {
+            let points = bandwidths
+                .iter()
+                .map(|&bps| {
+                    let cfg = VizConfig { dr, level: sc.levels, method };
+                    let limits = Limits::cpu(fixed_share).with_net(bps);
+                    let out = run_static(&psc, store, cfg, limits, None);
+                    (bps, out.stats.avg_transmit_secs())
+                })
+                .collect();
+            Series { label: method.name().to_string(), points }
+        })
+        .collect()
+}
+
+/// Figure 6(b): transmit time vs CPU share, one series per resolution
+/// level. Bandwidth fixed at `fixed_bps`.
+pub fn fig6b(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    shares: &[f64],
+    fixed_bps: f64,
+) -> Vec<Series> {
+    let psc = prof_scenario(sc);
+    let dr = sc.img_size / 4;
+    let (l_lo, l_hi) = sc.level_values();
+    [l_lo, l_hi]
+        .iter()
+        .map(|&level| {
+            let points = shares
+                .iter()
+                .map(|&share| {
+                    let cfg = VizConfig { dr, level: level as usize, method: Method::Lzw };
+                    let limits = Limits::cpu(share).with_net(fixed_bps);
+                    let out = run_static(&psc, store, cfg, limits, None);
+                    (share, out.stats.avg_transmit_secs())
+                })
+                .collect();
+            Series { label: format!("level {level}"), points }
+        })
+        .collect()
+}
+
+/// Locate the crossover x between two series (first x where the sign of
+/// `a - b` flips), if any.
+pub fn crossover(a: &Series, b: &Series) -> Option<f64> {
+    let mut prev: Option<(f64, f64)> = None;
+    for (&(x, ya), &(_, yb)) in a.points.iter().zip(&b.points) {
+        let d = ya - yb;
+        if let Some((px, pd)) = prev {
+            if pd.signum() != d.signum() && pd != 0.0 {
+                return Some((px + x) / 2.0);
+            }
+        }
+        prev = Some((x, d));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figs::test_scenario;
+
+    #[test]
+    fn fig5_shapes() {
+        let sc = test_scenario();
+        let store = sc.build_store();
+        let shares = [0.2, 0.6, 1.0];
+        let (transmit, response) = fig5(&sc, &store, &shares, 200_000.0);
+        assert_eq!(transmit.len(), 3);
+        for s in &transmit {
+            // More CPU -> faster.
+            assert!(s.at(0.2) > s.at(1.0), "{}: {:?}", s.label, s.points);
+        }
+        // Larger fovea -> shorter total transmit, longer response.
+        let small = &transmit[0];
+        let large = &transmit[2];
+        assert!(large.at(1.0) <= small.at(1.0));
+        let small_r = &response[0];
+        let large_r = &response[2];
+        assert!(large_r.at(1.0) > small_r.at(1.0));
+    }
+
+    #[test]
+    fn fig6a_crossover_exists() {
+        let sc = test_scenario();
+        let store = sc.build_store();
+        let bws = [5_000.0, 20_000.0, 80_000.0, 320_000.0, 1_280_000.0];
+        let series = fig6a(&sc, &store, &bws, 1.0);
+        let (lzw, bzip) = (&series[0], &series[1]);
+        // High bandwidth: lzw wins; low bandwidth: bzip wins.
+        assert!(lzw.at(1_280_000.0) < bzip.at(1_280_000.0), "{lzw:?} {bzip:?}");
+        assert!(bzip.at(5_000.0) < lzw.at(5_000.0), "{lzw:?} {bzip:?}");
+        assert!(crossover(lzw, bzip).is_some());
+    }
+
+    #[test]
+    fn fig6b_resolution_ordering() {
+        let sc = test_scenario();
+        let store = sc.build_store();
+        let series = fig6b(&sc, &store, &[0.2, 1.0], 100_000.0);
+        let (lo, hi) = (&series[0], &series[1]);
+        for &(x, _) in &lo.points {
+            assert!(lo.at(x) < hi.at(x), "lower level must be faster at share {x}");
+        }
+        // Both levels slow down as CPU share shrinks (the figure's x-trend).
+        assert!(hi.at(0.2) > hi.at(1.0));
+        assert!(lo.at(0.2) > lo.at(1.0));
+        // The coarse level at low CPU still beats the fine level at high
+        // CPU here — degrading resolution recovers the deadline, which is
+        // exactly the Experiment 2 lever.
+        assert!(lo.at(0.2) < hi.at(1.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! The "simple toy application" of §5.1: a CPU-bound tight loop, used to
+//! evaluate the testbed's CPU control (Figures 3 and 4a).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{Actor, Ctx, SimTime};
+
+/// Computes a fixed amount of work, recording when it finishes.
+pub struct FixedWork {
+    work: f64,
+    done_at: Rc<RefCell<Option<SimTime>>>,
+}
+
+impl FixedWork {
+    /// `work` in reference-machine microseconds.
+    pub fn new(work: f64) -> (FixedWork, Rc<RefCell<Option<SimTime>>>) {
+        let done = Rc::new(RefCell::new(None));
+        (FixedWork { work, done_at: done.clone() }, done)
+    }
+}
+
+impl Actor for FixedWork {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(self.work);
+        ctx.continue_with(0);
+    }
+
+    fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        *self.done_at.borrow_mut() = Some(ctx.now());
+    }
+}
+
+/// Computes forever (for usage-trace figures).
+pub struct Grinder;
+
+impl Actor for Grinder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(f64::MAX / 1e6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Sim;
+
+    #[test]
+    fn fixed_work_completes() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let (w, done) = FixedWork::new(500_000.0);
+        sim.spawn(h, Box::new(w));
+        sim.run_until_idle();
+        assert_eq!(*done.borrow(), Some(SimTime::from_ms(500)));
+    }
+}

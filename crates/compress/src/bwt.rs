@@ -1,0 +1,191 @@
+//! Burrows–Wheeler transform, forward and inverse.
+//!
+//! Forward: rotations are sorted via a prefix-doubling suffix array of the
+//! doubled input (`O(n log^2 n)`, no sentinel needed); the output is the
+//! last column plus the primary index (the row holding the original
+//! string). Inverse: the standard LF-mapping reconstruction.
+
+use crate::CodecError;
+
+/// Prefix-doubling suffix array over `s`.
+pub fn suffix_array(s: &[u8]) -> Vec<u32> {
+    let n = s.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<i64> = s.iter().map(|&b| b as i64).collect();
+    let mut tmp = vec![0i64; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| -> (i64, i64) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + i64::from(key(prev) != key(cur));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+        if k >= n {
+            // All ranks distinct at the next doubling by construction.
+            sa.sort_unstable_by_key(|&i| rank[i as usize]);
+            break;
+        }
+    }
+    sa
+}
+
+/// Forward BWT: returns `(last_column, primary_index)`.
+pub fn forward(data: &[u8]) -> (Vec<u8>, usize) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    if n == 1 {
+        return (data.to_vec(), 0);
+    }
+    // Rotation order = order of suffixes of data+data that start in [0, n).
+    let mut doubled = Vec::with_capacity(2 * n);
+    doubled.extend_from_slice(data);
+    doubled.extend_from_slice(data);
+    let sa = suffix_array(&doubled);
+    let mut last = Vec::with_capacity(n);
+    let mut primary = 0usize;
+    for &start in sa.iter().filter(|&&i| (i as usize) < n) {
+        let start = start as usize;
+        if start == 0 {
+            primary = last.len();
+        }
+        last.push(data[(start + n - 1) % n]);
+    }
+    debug_assert_eq!(last.len(), n);
+    (last, primary)
+}
+
+/// Inverse BWT.
+pub fn inverse(last: &[u8], primary: usize) -> Result<Vec<u8>, CodecError> {
+    let n = last.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if primary >= n {
+        return Err(CodecError::corrupt("BWT primary index out of range"));
+    }
+    // starts[c] = first row whose first column is byte c.
+    let mut count = [0usize; 256];
+    for &b in last {
+        count[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0usize;
+    for c in 0..256 {
+        starts[c] = acc;
+        acc += count[c];
+    }
+    // LF mapping: row i -> row of the rotation one step earlier.
+    let mut lf = vec![0u32; n];
+    let mut seen = [0usize; 256];
+    for (i, &b) in last.iter().enumerate() {
+        let c = b as usize;
+        lf[i] = (starts[c] + seen[c]) as u32;
+        seen[c] += 1;
+    }
+    let mut out = vec![0u8; n];
+    let mut row = primary;
+    for k in (0..n).rev() {
+        out[k] = last[row];
+        row = lf[row] as usize;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) {
+        let (last, primary) = forward(data);
+        assert_eq!(last.len(), data.len());
+        let back = inverse(&last, primary).unwrap();
+        assert_eq!(back, data, "roundtrip failed for {:?}", data);
+    }
+
+    #[test]
+    fn known_example() {
+        // The canonical "banana" example: rotations sorted, last column.
+        let (last, primary) = forward(b"banana");
+        let back = inverse(&last, primary).unwrap();
+        assert_eq!(back, b"banana");
+        // BWT of banana groups like characters.
+        assert_eq!(last.iter().filter(|&&b| b == b'n').count(), 2);
+    }
+
+    #[test]
+    fn edge_cases() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"xy");
+        roundtrip(b"yx");
+    }
+
+    #[test]
+    fn periodic_inputs() {
+        // Equal rotations exercise tie-breaking.
+        roundtrip(b"aaaaaaaa");
+        roundtrip(b"abababab");
+        roundtrip(b"abcabcabcabc");
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for len in [3usize, 17, 256, 4096, 40_000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn low_entropy_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u8> = (0..20_000).map(|_| rng.gen_range(b'a'..b'e')).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bwt_groups_similar_context() {
+        // On English-like text, the BWT output has longer same-byte runs
+        // than the input — the property MTF+RLE exploits.
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(50);
+        let (last, _) = forward(&data);
+        let runs = |s: &[u8]| s.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs(&last) > runs(&data) * 2, "{} vs {}", runs(&last), runs(&data));
+    }
+
+    #[test]
+    fn suffix_array_is_sorted() {
+        let data = b"mississippi";
+        let sa = suffix_array(data);
+        for w in sa.windows(2) {
+            assert!(data[w[0] as usize..] < data[w[1] as usize..]);
+        }
+        assert_eq!(sa.len(), data.len());
+    }
+
+    #[test]
+    fn bad_primary_rejected() {
+        assert!(inverse(b"abc", 5).is_err());
+    }
+}

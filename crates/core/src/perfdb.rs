@@ -1,0 +1,649 @@
+//! The performance database: profile-based models of configuration
+//! behavior.
+//!
+//! §5: "for each application configuration, we measure the achieved
+//! quality metrics for a sampling of different resource conditions, and
+//! interpolate these measurements to get performance curves". Records map
+//! `(configuration, input, resource vector) -> quality metrics`;
+//! [`PerfDb::predict`] answers point queries by exact lookup, multilinear
+//! interpolation over the sampled grid (with clamping extrapolation), or
+//! nearest-record matching (the mode the paper's early prototype used,
+//! §7.1 — kept for the ablation benchmarks).
+//!
+//! The §5 footnote's "maximal subset" is implemented by
+//! [`PerfDb::prune_dominated`] (keep configurations that outperform all
+//! others under at least one sampled resource situation) and
+//! [`PerfDb::merge_similar`] (merge configurations with everywhere-similar
+//! behavior).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::env::{ResourceKey, ResourceVector};
+use crate::param::Configuration;
+use crate::qos::{QosReport, Sense};
+
+/// One profiled measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    pub config: Configuration,
+    /// Resource conditions the testbed enforced for this run.
+    pub resources: ResourceVector,
+    /// Workload identifier (the paper treats input as one more control
+    /// parameter; a string key keeps it open-ended).
+    pub input: String,
+    pub metrics: QosReport,
+}
+
+/// Prediction strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictMode {
+    /// Best-matching discrete record (the paper's implemented prototype).
+    Nearest,
+    /// Multilinear interpolation over the sampled grid, clamping outside
+    /// the sampled range; falls back to inverse-distance weighting where
+    /// the grid is incomplete.
+    Interpolate,
+}
+
+/// Tolerance when matching axis coordinates.
+const AXIS_TOL: f64 = 1e-9;
+
+/// The profile database.
+///
+/// ```
+/// use adapt_core::{Configuration, PerfDb, PerfRecord, PredictMode,
+///                  QosReport, ResourceKey, ResourceVector};
+///
+/// let mut db = PerfDb::new();
+/// let cpu = ResourceKey::cpu("client");
+/// for share in [0.25, 0.5, 1.0] {
+///     db.add(PerfRecord {
+///         config: Configuration::new(&[("l", 4)]),
+///         resources: ResourceVector::new(&[(cpu.clone(), share)]),
+///         input: "img".into(),
+///         metrics: QosReport::new(&[("transmit_time", 2.0 / share)]),
+///     });
+/// }
+/// // Interpolated prediction between the sampled shares:
+/// let q = ResourceVector::new(&[(cpu, 0.75)]);
+/// let p = db
+///     .predict(&Configuration::new(&[("l", 4)]), "img", &q, PredictMode::Interpolate)
+///     .unwrap();
+/// let t = p.get("transmit_time").unwrap();
+/// assert!(t > 2.0 && t < 4.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfDb {
+    records: Vec<PerfRecord>,
+}
+
+impl PerfDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, rec: PerfRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[PerfRecord] {
+        &self.records
+    }
+
+    /// Distinct configurations profiled for `input`.
+    pub fn configs(&self, input: &str) -> Vec<Configuration> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if r.input == input && seen.insert(r.config.key()) {
+                out.push(r.config.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct workload inputs present.
+    pub fn inputs(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        for r in &self.records {
+            seen.insert(r.input.clone());
+        }
+        seen.into_iter().collect()
+    }
+
+    fn matching(&self, config: &Configuration, input: &str) -> Vec<&PerfRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.input == input && &r.config == config)
+            .collect()
+    }
+
+    /// Sorted distinct values sampled along `axis` for `(config, input)`.
+    pub fn axis_values(&self, config: &Configuration, input: &str, axis: &ResourceKey) -> Vec<f64> {
+        let mut vals: Vec<f64> = self
+            .matching(config, input)
+            .iter()
+            .filter_map(|r| r.resources.get(axis))
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup_by(|a, b| (*a - *b).abs() < AXIS_TOL);
+        vals
+    }
+
+    /// The union of resource axes sampled for `(config, input)`.
+    pub fn axes(&self, config: &Configuration, input: &str) -> Vec<ResourceKey> {
+        let mut set = BTreeSet::new();
+        for r in self.matching(config, input) {
+            for (k, _) in r.resources.iter() {
+                set.insert(k.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Per-axis value ranges (used to normalize distances).
+    fn axis_scales(&self, config: &Configuration, input: &str) -> BTreeMap<ResourceKey, f64> {
+        let mut scales = BTreeMap::new();
+        for axis in self.axes(config, input) {
+            let vals = self.axis_values(config, input, &axis);
+            let scale = match (vals.first(), vals.last()) {
+                (Some(&lo), Some(&hi)) if hi > lo => hi - lo,
+                (Some(&lo), _) => lo.abs().max(1.0),
+                _ => 1.0,
+            };
+            scales.insert(axis, scale);
+        }
+        scales
+    }
+
+    /// Predict quality metrics for `config` on `input` under `resources`.
+    /// Returns `None` when the database has no records for the pair.
+    pub fn predict(
+        &self,
+        config: &Configuration,
+        input: &str,
+        resources: &ResourceVector,
+        mode: PredictMode,
+    ) -> Option<QosReport> {
+        let recs = self.matching(config, input);
+        if recs.is_empty() {
+            return None;
+        }
+        // Exact-match fast path.
+        for r in &recs {
+            if same_point(&r.resources, resources) {
+                return Some(r.metrics.clone());
+            }
+        }
+        match mode {
+            PredictMode::Nearest => {
+                let scales = self.axis_scales(config, input);
+                recs.iter()
+                    .min_by(|a, b| {
+                        let da = a.resources.distance(resources, &scales);
+                        let db = b.resources.distance(resources, &scales);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|r| r.metrics.clone())
+            }
+            PredictMode::Interpolate => self
+                .multilinear(&recs, config, input, resources)
+                .or_else(|| self.idw(&recs, config, input, resources)),
+        }
+    }
+
+    /// Multilinear interpolation over the per-axis sampled values; clamps
+    /// query coordinates to the sampled range (edge extrapolation).
+    fn multilinear(
+        &self,
+        recs: &[&PerfRecord],
+        config: &Configuration,
+        input: &str,
+        resources: &ResourceVector,
+    ) -> Option<QosReport> {
+        let axes = self.axes(config, input);
+        if axes.is_empty() || axes.len() > 8 {
+            return None;
+        }
+        // Per axis: bracketing sampled values (lo, hi) and fraction t.
+        let mut brackets: Vec<(f64, f64, f64)> = Vec::with_capacity(axes.len());
+        for axis in &axes {
+            let vals = self.axis_values(config, input, axis);
+            if vals.is_empty() {
+                return None;
+            }
+            let q = resources.get(axis)?.clamp(vals[0], *vals.last().unwrap());
+            let hi_idx = vals.partition_point(|&v| v < q - AXIS_TOL);
+            if hi_idx == 0 {
+                brackets.push((vals[0], vals[0], 0.0));
+            } else if (vals[hi_idx.min(vals.len() - 1)] - q).abs() < AXIS_TOL {
+                let v = vals[hi_idx.min(vals.len() - 1)];
+                brackets.push((v, v, 0.0));
+            } else {
+                let lo = vals[hi_idx - 1];
+                let hi = vals[hi_idx];
+                brackets.push((lo, hi, (q - lo) / (hi - lo)));
+            }
+        }
+        // Gather the 2^d corners.
+        let d = axes.len();
+        let mut metric_names = BTreeSet::new();
+        for r in recs {
+            for (m, _) in r.metrics.iter() {
+                metric_names.insert(m.to_string());
+            }
+        }
+        let mut sums: BTreeMap<String, f64> = metric_names.iter().map(|m| (m.clone(), 0.0)).collect();
+        let mut total_w = 0.0;
+        for corner in 0..(1usize << d) {
+            let mut weight = 1.0;
+            let mut point = ResourceVector::default();
+            for (i, axis) in axes.iter().enumerate() {
+                let (lo, hi, t) = brackets[i];
+                let use_hi = corner & (1 << i) != 0;
+                weight *= if use_hi { t } else { 1.0 - t };
+                point.set(axis.clone(), if use_hi { hi } else { lo });
+            }
+            if weight <= 0.0 {
+                continue;
+            }
+            let rec = recs.iter().find(|r| same_point(&r.resources, &point))?;
+            for (m, v) in rec.metrics.iter() {
+                *sums.get_mut(m).unwrap() += weight * v;
+            }
+            total_w += weight;
+        }
+        if total_w <= 0.0 {
+            return None;
+        }
+        let mut out = QosReport::default();
+        for (m, s) in sums {
+            out.set(&m, s / total_w);
+        }
+        Some(out)
+    }
+
+    /// Inverse-distance weighting over the nearest records (fallback for
+    /// incomplete grids).
+    fn idw(
+        &self,
+        recs: &[&PerfRecord],
+        config: &Configuration,
+        input: &str,
+        resources: &ResourceVector,
+    ) -> Option<QosReport> {
+        let scales = self.axis_scales(config, input);
+        let mut weighted: Vec<(f64, &PerfRecord)> = recs
+            .iter()
+            .map(|r| (r.resources.distance(resources, &scales), *r))
+            .collect();
+        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let k = weighted.len().min(4);
+        let mut metric_names = BTreeSet::new();
+        for (_, r) in &weighted[..k] {
+            for (m, _) in r.metrics.iter() {
+                metric_names.insert(m.to_string());
+            }
+        }
+        let mut sums: BTreeMap<String, f64> = metric_names.iter().map(|m| (m.clone(), 0.0)).collect();
+        let mut total_w = 0.0;
+        for (d, r) in &weighted[..k] {
+            let w = 1.0 / (d + 1e-9);
+            for (m, v) in r.metrics.iter() {
+                *sums.get_mut(m).unwrap() += w * v;
+            }
+            total_w += w;
+        }
+        let mut out = QosReport::default();
+        for (m, s) in sums {
+            out.set(&m, s / total_w);
+        }
+        Some(out)
+    }
+
+    /// Keep only the "maximal subset": configurations that are the best
+    /// (within `tol` relative) on `metric` at *at least one* sampled
+    /// resource point of some input. Returns the removed configurations.
+    pub fn prune_dominated(&mut self, metric: &str, sense: Sense, tol: f64) -> Vec<Configuration> {
+        // Group records by (input, resource point).
+        let mut groups: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            groups
+                .entry((r.input.clone(), r.resources.key()))
+                .or_default()
+                .push(i);
+        }
+        let mut keep: BTreeSet<String> = BTreeSet::new();
+        for idxs in groups.values() {
+            let best = idxs
+                .iter()
+                .filter_map(|&i| self.records[i].metrics.get(metric).map(|v| (i, v)))
+                .min_by(|a, b| match sense {
+                    Sense::LowerIsBetter => a.1.partial_cmp(&b.1).unwrap(),
+                    Sense::HigherIsBetter => b.1.partial_cmp(&a.1).unwrap(),
+                });
+            let Some((_, best_v)) = best else { continue };
+            for &i in idxs {
+                if let Some(v) = self.records[i].metrics.get(metric) {
+                    let denom = best_v.abs().max(1e-12);
+                    let rel = match sense {
+                        Sense::LowerIsBetter => (v - best_v) / denom,
+                        Sense::HigherIsBetter => (best_v - v) / denom,
+                    };
+                    if rel <= tol {
+                        keep.insert(self.records[i].config.key());
+                    }
+                }
+            }
+        }
+        // Configurations never measured on `metric` are conservatively kept.
+        for r in &self.records {
+            if r.metrics.get(metric).is_none() {
+                keep.insert(r.config.key());
+            }
+        }
+        let mut removed_keys = BTreeSet::new();
+        let mut removed = Vec::new();
+        self.records.retain(|r| {
+            if keep.contains(&r.config.key()) {
+                true
+            } else {
+                if removed_keys.insert(r.config.key()) {
+                    removed.push(r.config.clone());
+                }
+                false
+            }
+        });
+        removed
+    }
+
+    /// Merge configurations whose metrics differ by at most `eps`
+    /// (relative) at every shared resource point of every input; the
+    /// lexicographically smaller configuration key survives. Returns
+    /// `(kept, merged_away)` pairs.
+    pub fn merge_similar(&mut self, eps: f64) -> Vec<(Configuration, Configuration)> {
+        let mut merged = Vec::new();
+        let inputs = self.inputs();
+        // Candidate pairs per input, but a merge must hold for all inputs
+        // where both appear.
+        let mut all_configs: Vec<Configuration> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for r in &self.records {
+            if seen.insert(r.config.key()) {
+                all_configs.push(r.config.clone());
+            }
+        }
+        all_configs.sort_by_key(|c| c.key());
+        let mut dropped: BTreeSet<String> = BTreeSet::new();
+        for i in 0..all_configs.len() {
+            if dropped.contains(&all_configs[i].key()) {
+                continue;
+            }
+            for j in (i + 1)..all_configs.len() {
+                if dropped.contains(&all_configs[j].key()) {
+                    continue;
+                }
+                let mut similar = true;
+                let mut compared = 0usize;
+                for input in &inputs {
+                    let a: BTreeMap<String, &QosReport> = self
+                        .matching(&all_configs[i], input)
+                        .into_iter()
+                        .map(|r| (r.resources.key(), &r.metrics))
+                        .collect();
+                    for r in self.matching(&all_configs[j], input) {
+                        if let Some(m) = a.get(&r.resources.key()) {
+                            compared += 1;
+                            if m.max_rel_diff(&r.metrics) > eps {
+                                similar = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !similar {
+                        break;
+                    }
+                }
+                if similar && compared > 0 {
+                    dropped.insert(all_configs[j].key());
+                    merged.push((all_configs[i].clone(), all_configs[j].clone()));
+                }
+            }
+        }
+        self.records.retain(|r| !dropped.contains(&r.config.key()));
+        merged
+    }
+
+    /// Serialize to pretty JSON (the on-disk database artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PerfDb serialization cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<PerfDb, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+fn same_point(a: &ResourceVector, b: &ResourceVector) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|(k, v)| match b.get(k) {
+        Some(o) => {
+            let denom = v.abs().max(o.abs()).max(1.0);
+            (v - o).abs() / denom < AXIS_TOL
+        }
+        None => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_key() -> ResourceKey {
+        ResourceKey::cpu("client")
+    }
+
+    fn net_key() -> ResourceKey {
+        ResourceKey::net("client")
+    }
+
+    fn rec(config: &[(&str, i64)], cpu: f64, net: f64, t: f64) -> PerfRecord {
+        PerfRecord {
+            config: Configuration::new(config),
+            resources: ResourceVector::new(&[(cpu_key(), cpu), (net_key(), net)]),
+            input: "img".into(),
+            metrics: QosReport::new(&[("transmit_time", t)]),
+        }
+    }
+
+    /// A db where transmit_time = 10/cpu + 1e6/net for config 1 and
+    /// 15/cpu + 1e5/net for config 2, sampled on a 3x3 grid. Config 2
+    /// wins at (cpu=1, net=1e5); config 1 wins at high bandwidth — a real
+    /// crossover, so dominance pruning must keep both.
+    fn grid_db() -> PerfDb {
+        let mut db = PerfDb::new();
+        for &cpu in &[0.2, 0.5, 1.0] {
+            for &net in &[100_000.0, 500_000.0, 1_000_000.0] {
+                db.add(rec(&[("c", 1)], cpu, net, 10.0 / cpu + 1e6 / net));
+                db.add(rec(&[("c", 2)], cpu, net, 15.0 / cpu + 1e5 / net));
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn exact_match_returns_record() {
+        let db = grid_db();
+        let q = ResourceVector::new(&[(cpu_key(), 0.5), (net_key(), 500_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+            .unwrap();
+        assert!((p.get("transmit_time").unwrap() - (20.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_between_grid_points() {
+        let db = grid_db();
+        // cpu=0.35 halfway-ish between 0.2 and 0.5; exact function value
+        // differs from linear, but interpolation must land between the
+        // endpoint values.
+        let q = ResourceVector::new(&[(cpu_key(), 0.35), (net_key(), 500_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+            .unwrap()
+            .get("transmit_time")
+            .unwrap();
+        let at_02 = 10.0 / 0.2 + 2.0;
+        let at_05 = 10.0 / 0.5 + 2.0;
+        assert!(p < at_02 && p > at_05, "{p} not in ({at_05}, {at_02})");
+        // Exactly linear in the bracketing values.
+        let expect = 0.5 * at_02 + 0.5 * at_05;
+        assert!((p - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_axis_bilinear() {
+        let db = grid_db();
+        let q = ResourceVector::new(&[(cpu_key(), 0.35), (net_key(), 750_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+            .unwrap()
+            .get("transmit_time")
+            .unwrap();
+        let f = |cpu: f64, net: f64| 10.0 / cpu + 1e6 / net;
+        let expect = 0.25 * (f(0.2, 500_000.0) + f(0.5, 500_000.0) + f(0.2, 1_000_000.0) + f(0.5, 1_000_000.0));
+        assert!((p - expect).abs() < 1e-9, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let db = grid_db();
+        let q = ResourceVector::new(&[(cpu_key(), 2.0), (net_key(), 500_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+            .unwrap()
+            .get("transmit_time")
+            .unwrap();
+        assert!((p - (10.0 / 1.0 + 2.0)).abs() < 1e-9, "clamped to cpu=1.0");
+    }
+
+    #[test]
+    fn nearest_mode_snaps_to_grid() {
+        let db = grid_db();
+        let q = ResourceVector::new(&[(cpu_key(), 0.45), (net_key(), 480_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Nearest)
+            .unwrap()
+            .get("transmit_time")
+            .unwrap();
+        assert!((p - (10.0 / 0.5 + 2.0)).abs() < 1e-9, "nearest is (0.5, 5e5)");
+    }
+
+    #[test]
+    fn unknown_config_returns_none() {
+        let db = grid_db();
+        let q = ResourceVector::new(&[(cpu_key(), 0.5), (net_key(), 500_000.0)]);
+        assert!(db
+            .predict(&Configuration::new(&[("c", 9)]), "img", &q, PredictMode::Interpolate)
+            .is_none());
+        assert!(db
+            .predict(&Configuration::new(&[("c", 1)]), "other", &q, PredictMode::Interpolate)
+            .is_none());
+    }
+
+    #[test]
+    fn idw_fallback_on_incomplete_grid() {
+        let mut db = PerfDb::new();
+        // Scattered, non-grid samples.
+        db.add(rec(&[("c", 1)], 0.2, 100_000.0, 60.0));
+        db.add(rec(&[("c", 1)], 0.9, 900_000.0, 12.0));
+        db.add(rec(&[("c", 1)], 0.5, 400_000.0, 22.0));
+        let q = ResourceVector::new(&[(cpu_key(), 0.6), (net_key(), 500_000.0)]);
+        let p = db
+            .predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+            .unwrap()
+            .get("transmit_time")
+            .unwrap();
+        assert!(p > 12.0 && p < 60.0, "IDW stays within sample range, got {p}");
+    }
+
+    #[test]
+    fn prune_keeps_configs_best_somewhere() {
+        let mut db = grid_db();
+        // Config 1 wins at high net, config 2 wins at low net (crossover):
+        // both must survive.
+        let removed = db.prune_dominated("transmit_time", Sense::LowerIsBetter, 0.0);
+        assert!(removed.is_empty());
+        // Add a dominated config: always 2x config 1.
+        for &cpu in &[0.2, 0.5, 1.0] {
+            for &net in &[100_000.0, 500_000.0, 1_000_000.0] {
+                db.add(rec(&[("c", 3)], cpu, net, 2.0 * (10.0 / cpu + 1e6 / net) + 100.0));
+            }
+        }
+        let removed = db.prune_dominated("transmit_time", Sense::LowerIsBetter, 0.0);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].get("c"), Some(3));
+        assert!(db.configs("img").len() == 2);
+    }
+
+    #[test]
+    fn merge_similar_configs() {
+        let mut db = grid_db();
+        // Config 4 behaves within 1% of config 1 everywhere.
+        for &cpu in &[0.2, 0.5, 1.0] {
+            for &net in &[100_000.0, 500_000.0, 1_000_000.0] {
+                db.add(rec(&[("c", 0)], cpu, net, (10.0 / cpu + 1e6 / net) * 1.005));
+            }
+        }
+        let merged = db.merge_similar(0.02);
+        assert_eq!(merged.len(), 1);
+        // c=0 sorts before c=1, so c=0 survives and c=1 merges away.
+        let keys: Vec<String> = db.configs("img").iter().map(|c| c.key()).collect();
+        assert!(keys.contains(&"c=0".to_string()));
+        assert!(!keys.contains(&"c=1".to_string()));
+        assert!(keys.contains(&"c=2".to_string()));
+    }
+
+    #[test]
+    fn merge_requires_shared_points() {
+        let mut db = PerfDb::new();
+        db.add(rec(&[("c", 1)], 0.2, 1e5, 10.0));
+        db.add(rec(&[("c", 2)], 0.9, 9e5, 10.0)); // different point, same value
+        assert!(db.merge_similar(0.5).is_empty(), "no shared points, no merge");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = grid_db();
+        let json = db.to_json();
+        let back = PerfDb::from_json(&json).unwrap();
+        assert_eq!(back.len(), db.len());
+        let q = ResourceVector::new(&[(cpu_key(), 0.5), (net_key(), 500_000.0)]);
+        assert_eq!(
+            back.predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate),
+            db.predict(&Configuration::new(&[("c", 1)]), "img", &q, PredictMode::Interpolate)
+        );
+    }
+
+    #[test]
+    fn axis_introspection() {
+        let db = grid_db();
+        let c = Configuration::new(&[("c", 1)]);
+        assert_eq!(db.axes(&c, "img").len(), 2);
+        assert_eq!(db.axis_values(&c, "img", &cpu_key()), vec![0.2, 0.5, 1.0]);
+        assert_eq!(db.configs("img").len(), 2);
+        assert_eq!(db.inputs(), vec!["img".to_string()]);
+    }
+}

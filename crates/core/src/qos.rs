@@ -1,0 +1,289 @@
+//! Quality-of-service metrics, user preference constraints, and objectives.
+//!
+//! §4 (the `QoS_metric` construct) and §6: "each user preference constraint
+//! is expressed as value ranges on a subset of output quality metrics and
+//! is accompanied with an objective function to be optimized ... multiple
+//! user preference constraints can be specified. The system examines them
+//! in decreasing order of preference."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether smaller or larger metric values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+impl Sense {
+    /// True when `a` is strictly better than `b` under this sense.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Sense::LowerIsBetter => a < b,
+            Sense::HigherIsBetter => a > b,
+        }
+    }
+}
+
+/// Declaration of one application quality metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosMetricDef {
+    pub name: String,
+    pub sense: Sense,
+    pub unit: String,
+}
+
+impl QosMetricDef {
+    pub fn lower(name: &str, unit: &str) -> Self {
+        QosMetricDef { name: name.into(), sense: Sense::LowerIsBetter, unit: unit.into() }
+    }
+
+    pub fn higher(name: &str, unit: &str) -> Self {
+        QosMetricDef { name: name.into(), sense: Sense::HigherIsBetter, unit: unit.into() }
+    }
+}
+
+/// Measured metric values from one run or one prediction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosReport {
+    values: BTreeMap<String, f64>,
+}
+
+impl QosReport {
+    pub fn new(pairs: &[(&str, f64)]) -> Self {
+        let mut r = QosReport::default();
+        for (k, v) in pairs {
+            r.set(k, *v);
+        }
+        r
+    }
+
+    pub fn set(&mut self, name: &str, v: f64) {
+        assert!(v.is_finite(), "non-finite metric {name} = {v}");
+        self.values.insert(name.to_string(), v);
+    }
+
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Componentwise maximum relative difference against `other`, over the
+    /// union of metrics (missing metric = infinite difference). Used for
+    /// merging similar configurations in the performance database.
+    pub fn max_rel_diff(&self, other: &QosReport) -> f64 {
+        let mut worst = 0.0f64;
+        for (k, _) in self.values.iter().chain(other.values.iter()) {
+            let a = self.get(k);
+            let b = other.get(k);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    let denom = a.abs().max(b.abs()).max(1e-12);
+                    worst = worst.max((a - b).abs() / denom);
+                }
+                _ => return f64::INFINITY,
+            }
+        }
+        worst
+    }
+}
+
+impl fmt::Display for QosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.values.iter().map(|(k, v)| format!("{k}={v:.3}")).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// An allowed value range on one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    pub metric: String,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+}
+
+impl Constraint {
+    pub fn at_most(metric: &str, max: f64) -> Self {
+        Constraint { metric: metric.into(), min: None, max: Some(max) }
+    }
+
+    pub fn at_least(metric: &str, min: f64) -> Self {
+        Constraint { metric: metric.into(), min: Some(min), max: None }
+    }
+
+    pub fn between(metric: &str, min: f64, max: f64) -> Self {
+        Constraint { metric: metric.into(), min: Some(min), max: Some(max) }
+    }
+
+    /// Does `report` satisfy this constraint? A missing metric fails.
+    pub fn satisfied_by(&self, report: &QosReport) -> bool {
+        match report.get(&self.metric) {
+            None => false,
+            Some(v) => {
+                self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m)
+            }
+        }
+    }
+}
+
+/// The optimization objective: maximize or minimize a single metric
+/// (the paper's "relatively restricted form" of objective function).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    pub metric: String,
+    pub sense: Sense,
+}
+
+impl Objective {
+    pub fn minimize(metric: &str) -> Self {
+        Objective { metric: metric.into(), sense: Sense::LowerIsBetter }
+    }
+
+    pub fn maximize(metric: &str) -> Self {
+        Objective { metric: metric.into(), sense: Sense::HigherIsBetter }
+    }
+
+    /// True when `a` is strictly better than `b`. Reports missing the
+    /// objective metric are never better.
+    pub fn better(&self, a: &QosReport, b: &QosReport) -> bool {
+        match (a.get(&self.metric), b.get(&self.metric)) {
+            (Some(x), Some(y)) => self.sense.better(x, y),
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One user preference: constraints plus an objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preference {
+    pub constraints: Vec<Constraint>,
+    pub objective: Objective,
+}
+
+impl Preference {
+    pub fn new(constraints: Vec<Constraint>, objective: Objective) -> Self {
+        Preference { constraints, objective }
+    }
+
+    pub fn satisfied_by(&self, report: &QosReport) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(report))
+    }
+}
+
+/// Preferences in decreasing order of desirability; the scheduler tries
+/// each in turn until one is satisfiable (§6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceList {
+    pub prefs: Vec<Preference>,
+}
+
+impl PreferenceList {
+    pub fn single(pref: Preference) -> Self {
+        PreferenceList { prefs: vec![pref] }
+    }
+
+    pub fn then(mut self, pref: Preference) -> Self {
+        self.prefs.push(pref);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_comparisons() {
+        assert!(Sense::LowerIsBetter.better(1.0, 2.0));
+        assert!(!Sense::LowerIsBetter.better(2.0, 1.0));
+        assert!(Sense::HigherIsBetter.better(2.0, 1.0));
+        assert!(!Sense::HigherIsBetter.better(2.0, 2.0), "ties are not better");
+    }
+
+    #[test]
+    fn report_basics() {
+        let r = QosReport::new(&[("transmit_time", 5.2), ("resolution", 4.0)]);
+        assert_eq!(r.get("resolution"), Some(4.0));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_metric_rejected() {
+        let mut r = QosReport::default();
+        r.set("x", f64::NAN);
+    }
+
+    #[test]
+    fn constraints() {
+        let r = QosReport::new(&[("t", 8.0)]);
+        assert!(Constraint::at_most("t", 10.0).satisfied_by(&r));
+        assert!(!Constraint::at_most("t", 5.0).satisfied_by(&r));
+        assert!(Constraint::at_least("t", 8.0).satisfied_by(&r));
+        assert!(Constraint::between("t", 5.0, 10.0).satisfied_by(&r));
+        assert!(!Constraint::at_most("u", 10.0).satisfied_by(&r), "missing metric fails");
+    }
+
+    #[test]
+    fn objective_comparison() {
+        let a = QosReport::new(&[("t", 3.0)]);
+        let b = QosReport::new(&[("t", 5.0)]);
+        let min_t = Objective::minimize("t");
+        assert!(min_t.better(&a, &b));
+        assert!(!min_t.better(&b, &a));
+        let empty = QosReport::default();
+        assert!(min_t.better(&a, &empty));
+        assert!(!min_t.better(&empty, &a));
+    }
+
+    #[test]
+    fn preference_all_constraints_must_hold() {
+        let p = Preference::new(
+            vec![Constraint::at_most("t", 10.0), Constraint::at_least("q", 3.0)],
+            Objective::maximize("q"),
+        );
+        assert!(p.satisfied_by(&QosReport::new(&[("t", 9.0), ("q", 4.0)])));
+        assert!(!p.satisfied_by(&QosReport::new(&[("t", 11.0), ("q", 4.0)])));
+        assert!(!p.satisfied_by(&QosReport::new(&[("t", 9.0), ("q", 2.0)])));
+    }
+
+    #[test]
+    fn max_rel_diff() {
+        let a = QosReport::new(&[("t", 10.0), ("q", 4.0)]);
+        let b = QosReport::new(&[("t", 11.0), ("q", 4.0)]);
+        assert!((a.max_rel_diff(&b) - 1.0 / 11.0).abs() < 1e-9);
+        let c = QosReport::new(&[("t", 10.0)]);
+        assert_eq!(a.max_rel_diff(&c), f64::INFINITY);
+        assert_eq!(a.max_rel_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 10.0)],
+            Objective::maximize("resolution"),
+        ))
+        .then(Preference::new(vec![], Objective::minimize("transmit_time")));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PreferenceList = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

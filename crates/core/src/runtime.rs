@@ -1,0 +1,463 @@
+//! The integrated run-time adaptation subsystem: monitoring agent +
+//! resource scheduler + steering agent (§6, Figure 1).
+//!
+//! An application embeds an [`AdaptiveRuntime`]:
+//!
+//! 1. feed resource observations with [`AdaptiveRuntime::observe`] (from
+//!    sandbox progress estimates or its own measurements);
+//! 2. call [`AdaptiveRuntime::tick`] periodically (the monitoring agent's
+//!    10 ms cadence) — when the active configuration's validity region is
+//!    violated, the scheduler picks a new configuration and hands it to
+//!    the steering agent;
+//! 3. call [`AdaptiveRuntime::at_boundary`] at task boundaries — the only
+//!    points where the switch takes effect; returned transition actions
+//!    (e.g. "notify the server") are the application's to execute.
+
+use simnet::SimTime;
+
+use crate::env::{ResourceKey, ResourceVector};
+use crate::monitor::{MonitoringAgent, Trigger};
+use crate::param::Configuration;
+use crate::qos::QosReport;
+use crate::scheduler::{Decision, ResourceScheduler};
+use crate::spec::TunableSpec;
+use crate::steering::{BoundaryOutcome, ReconfigureRequest, SteeringAgent, SwitchEvent};
+
+/// Record of one adaptation-relevant event, for experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptationEvent {
+    /// The monitor detected the validity region was violated.
+    Triggered { at: SimTime, estimate: ResourceVector },
+    /// The scheduler proposed a new configuration.
+    Decided { at: SimTime, config: Configuration, predicted: QosReport, rank: usize },
+    /// The scheduler found no satisfying configuration.
+    NoCandidate { at: SimTime },
+    /// The steering agent completed a switch.
+    Switched { at: SimTime, old: Configuration, new: Configuration },
+    /// A proposed configuration was rejected by a guard (negotiation).
+    Nak { at: SimTime, config: Configuration, reason: String },
+}
+
+/// The integrated adaptation runtime for one application instance.
+pub struct AdaptiveRuntime {
+    pub spec: TunableSpec,
+    pub monitor: MonitoringAgent,
+    pub scheduler: ResourceScheduler,
+    steering: SteeringAgent,
+    events: Vec<AdaptationEvent>,
+    /// Upper bound on guard-negotiation retries per boundary.
+    pub max_negotiations: usize,
+}
+
+impl AdaptiveRuntime {
+    /// Build the runtime and choose the *initial* configuration for the
+    /// given starting resources (the paper's "automatic configuration in
+    /// diverse distributed environments"). Returns `None` when no
+    /// preference is satisfiable at startup.
+    pub fn configure(
+        spec: TunableSpec,
+        scheduler: ResourceScheduler,
+        window_us: u64,
+        initial_resources: &ResourceVector,
+    ) -> Option<AdaptiveRuntime> {
+        let decision = scheduler.choose(initial_resources)?;
+        let watched = spec.tasks.monitored_resources(&decision.config);
+        let watched = if watched.is_empty() {
+            initial_resources.keys().cloned().collect()
+        } else {
+            watched
+        };
+        let mut monitor = MonitoringAgent::new(watched, window_us);
+        monitor.set_validity(decision.validity.clone());
+        let mut rt = AdaptiveRuntime {
+            spec,
+            monitor,
+            scheduler,
+            steering: SteeringAgent::new(decision.config.clone()),
+            events: Vec::new(),
+            max_negotiations: 4,
+        };
+        rt.events.push(AdaptationEvent::Decided {
+            at: SimTime::ZERO,
+            config: decision.config,
+            predicted: decision.predicted,
+            rank: decision.preference_rank,
+        });
+        Some(rt)
+    }
+
+    pub fn current(&self) -> &Configuration {
+        self.steering.current()
+    }
+
+    pub fn events(&self) -> &[AdaptationEvent] {
+        &self.events
+    }
+
+    pub fn history(&self) -> &[(SimTime, Configuration)] {
+        self.steering.history()
+    }
+
+    /// Feed one resource observation into the monitoring agent.
+    pub fn observe(&mut self, t: SimTime, key: &ResourceKey, value: f64) {
+        self.monitor.observe(t, key, value);
+    }
+
+    /// Periodic monitor check. When triggered, consults the scheduler and
+    /// queues a reconfiguration with the steering agent. Returns the
+    /// trigger if one fired.
+    pub fn tick(&mut self, t: SimTime) -> Option<Trigger> {
+        let trigger = self.monitor.check(t)?;
+        self.events.push(AdaptationEvent::Triggered { at: t, estimate: trigger.estimate.clone() });
+        match self.scheduler.choose(&trigger.estimate) {
+            Some(d) => self.queue_decision(t, d),
+            None => {
+                self.events.push(AdaptationEvent::NoCandidate { at: t });
+                // Keep running the current configuration; widen nothing —
+                // the monitor stays armed and will re-trigger after its
+                // rate-limit gap.
+            }
+        }
+        Some(trigger)
+    }
+
+    fn queue_decision(&mut self, t: SimTime, d: Decision) {
+        self.events.push(AdaptationEvent::Decided {
+            at: t,
+            config: d.config.clone(),
+            predicted: d.predicted.clone(),
+            rank: d.preference_rank,
+        });
+        if &d.config == self.steering.current() {
+            // Same choice under the new conditions: refresh the validity
+            // region so the monitor stops re-triggering on it.
+            self.monitor.set_validity(d.validity);
+            return;
+        }
+        self.steering.request(ReconfigureRequest { config: d.config, validity: d.validity });
+    }
+
+    /// Task-boundary hook. Applies a pending switch (with guard
+    /// negotiation, up to `max_negotiations` alternatives) and returns the
+    /// switch event whose `actions` the application must execute.
+    pub fn at_boundary(&mut self, t: SimTime) -> Option<SwitchEvent> {
+        let mut excluded: Vec<Configuration> = Vec::new();
+        for _ in 0..=self.max_negotiations {
+            match self.steering.at_boundary(t, &self.spec) {
+                BoundaryOutcome::NoChange => return None,
+                BoundaryOutcome::Switched(ev) => {
+                    self.monitor.set_validity(ev.validity.clone());
+                    let watched = self.spec.tasks.monitored_resources(&ev.new);
+                    if !watched.is_empty() {
+                        self.monitor.set_watched(watched);
+                    }
+                    self.events.push(AdaptationEvent::Switched {
+                        at: t,
+                        old: ev.old.clone(),
+                        new: ev.new.clone(),
+                    });
+                    return Some(ev);
+                }
+                BoundaryOutcome::Rejected { config, reason } => {
+                    self.events.push(AdaptationEvent::Nak {
+                        at: t,
+                        config: config.clone(),
+                        reason,
+                    });
+                    excluded.push(config);
+                    // Negotiate: ask the scheduler for the next best
+                    // candidate under the latest estimate.
+                    let estimate = self.monitor.estimate();
+                    match self.scheduler.choose_excluding(&estimate, &excluded) {
+                        Some(d) if &d.config != self.steering.current() => {
+                            self.steering.request(ReconfigureRequest {
+                                config: d.config.clone(),
+                                validity: d.validity.clone(),
+                            });
+                            self.events.push(AdaptationEvent::Decided {
+                                at: t,
+                                config: d.config,
+                                predicted: d.predicted,
+                                rank: d.preference_rank,
+                            });
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of completed switches (excluding the initial configuration).
+    pub fn switch_count(&self) -> usize {
+        self.steering.history().len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+    use crate::env::ResourceKey;
+    use crate::perfdb::{PerfDb, PerfRecord};
+    use crate::qos::{Objective, Preference, PreferenceList};
+
+    fn cpu() -> ResourceKey {
+        ResourceKey::cpu("client")
+    }
+
+    fn net() -> ResourceKey {
+        ResourceKey::net("client")
+    }
+
+    /// Figure-6(a)-shaped database over the real active-viz control space:
+    /// transmit time depends on c and net/cpu; dR and l held at defaults
+    /// contribute mildly so the space stays 12 configurations.
+    fn db() -> PerfDb {
+        let mut db = PerfDb::new();
+        let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+        for config in spec.configurations() {
+            let c = config.expect("c");
+            let l = config.expect("l") as f64;
+            let dr = config.expect("dR") as f64;
+            for &cpu_v in &[0.25, 0.5, 1.0] {
+                for &net_v in &[50_000.0, 500_000.0, 1_000_000.0] {
+                    let data = 1e6 * (l - 2.0); // more resolution, more bytes
+                    let t = if c == 1 {
+                        data / net_v + 5.0 * (l - 2.0) / cpu_v
+                    } else {
+                        0.2 * data / net_v + 15.0 * (l - 2.0) / cpu_v
+                    } + 100.0 / dr;
+                    db.add(PerfRecord {
+                        config: config.clone(),
+                        resources: ResourceVector::new(&[(cpu(), cpu_v), (net(), net_v)]),
+                        input: "img".into(),
+                        metrics: QosReport::new(&[
+                            ("transmit_time", t),
+                            ("response_time", dr / 320.0 / cpu_v),
+                            ("resolution", l),
+                        ]),
+                    });
+                }
+            }
+        }
+        db
+    }
+
+    fn runtime() -> AdaptiveRuntime {
+        let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+        let prefs = PreferenceList::single(Preference::new(
+            vec![],
+            Objective::minimize("transmit_time"),
+        ));
+        let sched = ResourceScheduler::new(db(), prefs, "img");
+        let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap()
+    }
+
+    #[test]
+    fn initial_configuration_is_lzw_low_resolution() {
+        let rt = runtime();
+        // Minimizing transmit time with no constraints: l=3 (less data),
+        // lzw (fast at 1 MB/s), dR=320 (fewer rounds).
+        assert_eq!(rt.current().get("c"), Some(1));
+        assert_eq!(rt.current().get("l"), Some(3));
+        assert_eq!(rt.current().get("dR"), Some(320));
+        assert!(rt.monitor.watched().contains(&cpu()));
+        assert!(rt.monitor.watched().contains(&net()));
+    }
+
+    #[test]
+    fn bandwidth_drop_triggers_switch_to_bzip() {
+        let mut rt = runtime();
+        let t0 = SimTime::from_secs(1);
+        // Steady state: observations match the initial conditions.
+        for i in 0..50 {
+            rt.observe(t0 + i * 10_000, &cpu(), 1.0);
+            rt.observe(t0 + i * 10_000, &net(), 1_000_000.0);
+        }
+        assert!(rt.tick(SimTime::from_secs(2)).is_none(), "no trigger in range");
+        assert!(rt.at_boundary(SimTime::from_secs(2)).is_none());
+        // Bandwidth collapses to 50 KB/s.
+        let t1 = SimTime::from_secs(25);
+        for i in 0..200 {
+            rt.observe(t1 + i * 10_000, &cpu(), 1.0);
+            rt.observe(t1 + i * 10_000, &net(), 50_000.0);
+        }
+        let trig = rt.tick(SimTime::from_secs(28));
+        assert!(trig.is_some(), "violation must trigger");
+        let ev = rt.at_boundary(SimTime::from_secs(28)).expect("switch at boundary");
+        assert_eq!(ev.new.get("c"), Some(2), "switches to bzip at low bandwidth");
+        // The transition body says to notify the server.
+        assert_eq!(ev.actions.len(), 1);
+        assert_eq!(rt.switch_count(), 1);
+    }
+
+    #[test]
+    fn stable_resources_cause_no_switches() {
+        let mut rt = runtime();
+        for s in 1..30 {
+            let t = SimTime::from_secs(s);
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), 1_000_000.0);
+            rt.tick(t);
+            rt.at_boundary(t);
+        }
+        assert_eq!(rt.switch_count(), 0);
+    }
+
+    #[test]
+    fn same_choice_refreshes_validity_without_switch() {
+        let mut rt = runtime();
+        // Small bandwidth wiggle that still keeps lzw optimal but crosses
+        // the sampled validity boundary estimate: 400 KB/s.
+        for i in 0..200 {
+            rt.observe(SimTime::from_secs(10) + i * 10_000, &cpu(), 1.0);
+            rt.observe(SimTime::from_secs(10) + i * 10_000, &net(), 400_000.0);
+        }
+        rt.tick(SimTime::from_secs(13));
+        let before = rt.switch_count();
+        rt.at_boundary(SimTime::from_secs(13));
+        assert_eq!(rt.switch_count(), before, "lzw remains optimal at 400 KB/s");
+        assert_eq!(rt.current().get("c"), Some(1));
+    }
+
+    #[test]
+    fn event_log_records_the_story() {
+        let mut rt = runtime();
+        for i in 0..200 {
+            rt.observe(SimTime::from_secs(25) + i * 10_000, &cpu(), 1.0);
+            rt.observe(SimTime::from_secs(25) + i * 10_000, &net(), 50_000.0);
+        }
+        rt.tick(SimTime::from_secs(28));
+        rt.at_boundary(SimTime::from_secs(28));
+        let kinds: Vec<&str> = rt
+            .events()
+            .iter()
+            .map(|e| match e {
+                AdaptationEvent::Triggered { .. } => "trigger",
+                AdaptationEvent::Decided { .. } => "decide",
+                AdaptationEvent::Switched { .. } => "switch",
+                AdaptationEvent::NoCandidate { .. } => "none",
+                AdaptationEvent::Nak { .. } => "nak",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["decide", "trigger", "decide", "switch"]);
+    }
+}
+
+#[cfg(test)]
+mod negotiation_tests {
+    use super::*;
+    use crate::dsl;
+    use crate::env::ResourceKey;
+    use crate::perfdb::{PerfDb, PerfRecord};
+    use crate::qos::{Objective, Preference, PreferenceList, QosReport};
+    use crate::task::Guard;
+
+    fn cpu() -> ResourceKey {
+        ResourceKey::cpu("client")
+    }
+
+    fn net() -> ResourceKey {
+        ResourceKey::net("client")
+    }
+
+    /// Database where, at low bandwidth, bzip-with-big-fovea is best,
+    /// bzip-with-medium-fovea second, and lzw configurations trail.
+    fn db() -> PerfDb {
+        let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+        let mut db = PerfDb::new();
+        for config in spec.configurations() {
+            let c = config.expect("c");
+            let dr = config.expect("dR") as f64;
+            let l = config.expect("l") as f64;
+            for &net_v in &[50_000.0, 1_000_000.0] {
+                let bytes = 1e6 * (l - 2.0) * if c == 2 { 0.4 } else { 1.0 };
+                let t = bytes / net_v + if c == 2 { 8.0 } else { 1.0 } + 100.0 / dr;
+                db.add(PerfRecord {
+                    config: config.clone(),
+                    resources: ResourceVector::new(&[(cpu(), 1.0), (net(), net_v)]),
+                    input: "img".into(),
+                    metrics: QosReport::new(&[("transmit_time", t), ("resolution", l)]),
+                });
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn guard_nak_negotiates_to_the_next_best_configuration() {
+        // A transition guard forbids switching into bzip (c == 2): the
+        // steering agent NAKs the scheduler's first choice and the runtime
+        // must fall back to the best *reachable* configuration.
+        let mut spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+        spec.transitions[0].guard = Guard::Eq("c".into(), 1);
+        let prefs = PreferenceList::single(Preference::new(
+            vec![],
+            Objective::minimize("transmit_time"),
+        ));
+        let sched = ResourceScheduler::new(db(), prefs, "img");
+        let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
+        assert_eq!(rt.current().get("c"), Some(1), "starts with lzw at high bandwidth");
+
+        // Bandwidth collapses: the raw optimum is a bzip configuration,
+        // but the guard blocks it.
+        for i in 0..300 {
+            let t = SimTime::from_ms(10 * i);
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), 50_000.0);
+        }
+        rt.tick(SimTime::from_secs(3)).expect("trigger");
+        let switched = rt.at_boundary(SimTime::from_secs(3));
+        let naks = rt
+            .events()
+            .iter()
+            .filter(|e| matches!(e, AdaptationEvent::Nak { .. }))
+            .count();
+        assert!(naks >= 1, "the guard must have rejected at least one proposal");
+        match switched {
+            Some(ev) => {
+                assert_eq!(ev.new.get("c"), Some(1), "negotiated config respects the guard");
+                assert_ne!(&ev.new, &ev.old, "still switched to a better lzw variant");
+            }
+            None => {
+                // Acceptable alternative: every better candidate was a
+                // guarded bzip config, so the current one is kept.
+                assert_eq!(rt.current().get("c"), Some(1));
+            }
+        }
+        // Either way: the active configuration never violates the guard.
+        assert_eq!(rt.current().get("c"), Some(1));
+    }
+
+    #[test]
+    fn no_candidate_keeps_current_configuration_and_logs() {
+        let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+        // Impossible constraint at low bandwidth; satisfiable at high.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![crate::qos::Constraint::at_most("transmit_time", 3.0)],
+            Objective::maximize("resolution"),
+        ));
+        let sched = ResourceScheduler::new(db(), prefs, "img");
+        let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
+        let before = rt.current().clone();
+        for i in 0..300 {
+            let t = SimTime::from_ms(10 * i);
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), 50_000.0);
+        }
+        rt.tick(SimTime::from_secs(3));
+        rt.at_boundary(SimTime::from_secs(3));
+        let no_candidate = rt
+            .events()
+            .iter()
+            .any(|e| matches!(e, AdaptationEvent::NoCandidate { .. }));
+        if no_candidate {
+            assert_eq!(rt.current(), &before, "keeps running the old configuration");
+        }
+    }
+}

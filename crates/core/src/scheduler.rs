@@ -1,0 +1,339 @@
+//! The resource scheduler: selects the configuration best satisfying user
+//! preferences under measured resource conditions.
+//!
+//! §6.2: "the measured resource characteristics and required user
+//! preferences (expressed as allowable value ranges on application quality
+//! metrics) are used to prune candidate configurations. Of the
+//! configurations that remain, a simple multidimensional optimization
+//! approach is used to pick the one that best satisfies the user-specified
+//! objective criterion. When resource conditions do not fit the records in
+//! the performance database, interpolation (or even extrapolation) of the
+//! representative data is used ... If no candidate configurations exist,
+//! the next preferred user constraint is examined."
+
+use crate::env::ResourceVector;
+use crate::monitor::ValidityRegion;
+use crate::param::Configuration;
+use crate::perfdb::{PerfDb, PredictMode};
+use crate::qos::{Preference, PreferenceList, QosReport};
+
+/// The scheduler's choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    pub config: Configuration,
+    /// Metrics the database predicts for this choice.
+    pub predicted: QosReport,
+    /// Index into the preference list that was satisfiable (0 = most
+    /// preferred).
+    pub preference_rank: usize,
+    /// Resource region within which the choice remains valid; handed to
+    /// the monitoring agent.
+    pub validity: ValidityRegion,
+}
+
+/// The resource scheduler.
+#[derive(Debug)]
+pub struct ResourceScheduler {
+    pub db: PerfDb,
+    pub prefs: PreferenceList,
+    pub mode: PredictMode,
+    /// Workload key to consult in the database.
+    pub input: String,
+}
+
+impl ResourceScheduler {
+    pub fn new(db: PerfDb, prefs: PreferenceList, input: &str) -> Self {
+        ResourceScheduler { db, prefs, mode: PredictMode::Interpolate, input: input.into() }
+    }
+
+    pub fn with_mode(mut self, mode: PredictMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Choose a configuration for the given measured resources.
+    pub fn choose(&self, resources: &ResourceVector) -> Option<Decision> {
+        self.choose_excluding(resources, &[])
+    }
+
+    /// Choose, excluding configurations that e.g. failed steering-guard
+    /// negotiation (§6.3).
+    pub fn choose_excluding(
+        &self,
+        resources: &ResourceVector,
+        excluded: &[Configuration],
+    ) -> Option<Decision> {
+        let candidates: Vec<Configuration> = self
+            .db
+            .configs(&self.input)
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        for (rank, pref) in self.prefs.prefs.iter().enumerate() {
+            let mut best: Option<(Configuration, QosReport)> = None;
+            for c in &candidates {
+                let Some(pred) = self.db.predict(c, &self.input, resources, self.mode) else {
+                    continue;
+                };
+                if !pref.satisfied_by(&pred) {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => pref.objective.better(&pred, b),
+                };
+                if better {
+                    best = Some((c.clone(), pred));
+                }
+            }
+            if let Some((config, predicted)) = best {
+                let validity = self.validity_region(&config, pref, resources);
+                return Some(Decision { config, predicted, preference_rank: rank, validity });
+            }
+        }
+        None
+    }
+
+    /// True when `config` both satisfies `pref` and remains the best
+    /// (objective-optimal) satisfying candidate at `probe`.
+    fn is_choice_at(
+        &self,
+        config: &Configuration,
+        pref: &Preference,
+        probe: &ResourceVector,
+    ) -> bool {
+        let Some(mine) = self.db.predict(config, &self.input, probe, self.mode) else {
+            return false;
+        };
+        if !pref.satisfied_by(&mine) {
+            return false;
+        }
+        for other in self.db.configs(&self.input) {
+            if &other == config {
+                continue;
+            }
+            if let Some(pred) = self.db.predict(&other, &self.input, probe, self.mode) {
+                if pref.satisfied_by(&pred) && pref.objective.better(&pred, &mine) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Compute the resource region around `around` within which `config`
+    /// remains the scheduler's choice (satisfies `pref` *and* stays
+    /// objective-optimal), by walking the database's sampled axis values
+    /// outward along each axis (other axes held at `around`). Leaving this
+    /// region is exactly the monitoring agent's trigger condition.
+    pub fn validity_region(
+        &self,
+        config: &Configuration,
+        pref: &Preference,
+        around: &ResourceVector,
+    ) -> ValidityRegion {
+        let mut region = ValidityRegion::new();
+        for axis in self.db.axes(config, &self.input) {
+            let Some(center) = around.get(&axis) else { continue };
+            let samples = self.db.axis_values(config, &self.input, &axis);
+            if samples.is_empty() {
+                continue;
+            }
+            let satisfies = |v: f64| -> bool {
+                let mut probe = around.clone();
+                probe.set(axis.clone(), v);
+                self.is_choice_at(config, pref, &probe)
+            };
+            // Walk down from the center.
+            let mut lo = center;
+            for &v in samples.iter().rev().filter(|&&v| v <= center) {
+                if satisfies(v) {
+                    lo = v;
+                } else {
+                    break;
+                }
+            }
+            // Walk up from the center.
+            let mut hi = center;
+            for &v in samples.iter().filter(|&&v| v >= center) {
+                if satisfies(v) {
+                    hi = v;
+                } else {
+                    break;
+                }
+            }
+            // Extend to the sampled extremes when they satisfy: beyond the
+            // sampled range, prediction clamps, so validity extends to
+            // infinity on a satisfied edge.
+            let (min_s, max_s) = (*samples.first().unwrap(), *samples.last().unwrap());
+            let lo_bound = if (lo - min_s).abs() < 1e-12 { 0.0 } else { lo };
+            let hi_bound = if (hi - max_s).abs() < 1e-12 { f64::INFINITY } else { hi };
+            region = region.with_range(axis, lo_bound.min(center), hi_bound.max(center));
+        }
+        region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ResourceKey;
+    use crate::perfdb::PerfRecord;
+    use crate::qos::{Constraint, Objective};
+
+    fn cpu() -> ResourceKey {
+        ResourceKey::cpu("client")
+    }
+
+    fn net() -> ResourceKey {
+        ResourceKey::net("client")
+    }
+
+    /// Two configurations with a bandwidth crossover, like Figure 6(a):
+    /// lzw sends 2 MB and costs 5 cpu-s; bzip sends 0.4 MB and costs 20
+    /// cpu-s. Crossover at net ~ 107 KB/s (cpu = 1).
+    fn crossover_db() -> PerfDb {
+        let mut db = PerfDb::new();
+        for &c in &[1i64, 2] {
+            for &cpu_v in &[0.25, 0.5, 1.0] {
+                for &net_v in &[50_000.0, 200_000.0, 500_000.0, 1_000_000.0] {
+                    let t = if c == 1 {
+                        2e6 / net_v + 5.0 / cpu_v
+                    } else {
+                        0.4e6 / net_v + 20.0 / cpu_v
+                    };
+                    db.add(PerfRecord {
+                        config: Configuration::new(&[("c", c)]),
+                        resources: ResourceVector::new(&[(cpu(), cpu_v), (net(), net_v)]),
+                        input: "img".into(),
+                        metrics: QosReport::new(&[("transmit_time", t), ("resolution", 4.0)]),
+                    });
+                }
+            }
+        }
+        db
+    }
+
+    fn min_time_prefs() -> PreferenceList {
+        PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")))
+    }
+
+    #[test]
+    fn chooses_lzw_at_high_bandwidth() {
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let d = s.choose(&r).unwrap();
+        assert_eq!(d.config.get("c"), Some(1), "lzw wins at 1 MB/s");
+        assert_eq!(d.preference_rank, 0);
+        // The validity region ends where bzip starts winning (between the
+        // 50 KB/s and 200 KB/s samples) — exactly the Experiment 1 trigger.
+        let (lo, _) = d.validity.ranges[&net()];
+        assert!((lo - 200_000.0).abs() < 1.0, "validity low bound {lo}");
+        assert!(!d
+            .validity
+            .contains(&ResourceVector::new(&[(cpu(), 1.0), (net(), 50_000.0)])));
+    }
+
+    #[test]
+    fn chooses_bzip_at_low_bandwidth() {
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 50_000.0)]);
+        let d = s.choose(&r).unwrap();
+        assert_eq!(d.config.get("c"), Some(2), "bzip wins at 50 KB/s");
+    }
+
+    #[test]
+    fn constraint_pruning() {
+        // Require transmit_time <= 12: at net=500K, cpu=1.0, lzw gives 9,
+        // bzip gives 42 -> only lzw qualifies even though we maximize
+        // nothing else.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 12.0)],
+            Objective::maximize("resolution"),
+        ));
+        let s = ResourceScheduler::new(crossover_db(), prefs, "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 500_000.0)]);
+        let d = s.choose(&r).unwrap();
+        assert_eq!(d.config.get("c"), Some(1));
+    }
+
+    #[test]
+    fn falls_back_to_next_preference() {
+        // First preference unsatisfiable (transmit_time <= 1), second has
+        // no constraints.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 1.0)],
+            Objective::minimize("transmit_time"),
+        ))
+        .then(Preference::new(vec![], Objective::minimize("transmit_time")));
+        let s = ResourceScheduler::new(crossover_db(), prefs, "img");
+        let r = ResourceVector::new(&[(cpu(), 0.25), (net(), 50_000.0)]);
+        let d = s.choose(&r).unwrap();
+        assert_eq!(d.preference_rank, 1);
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 0.001)],
+            Objective::minimize("transmit_time"),
+        ));
+        let s = ResourceScheduler::new(crossover_db(), prefs, "img");
+        let r = ResourceVector::new(&[(cpu(), 0.25), (net(), 50_000.0)]);
+        assert!(s.choose(&r).is_none());
+    }
+
+    #[test]
+    fn exclusion_forces_alternative() {
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let lzw = Configuration::new(&[("c", 1)]);
+        let d = s.choose_excluding(&r, &[lzw]).unwrap();
+        assert_eq!(d.config.get("c"), Some(2));
+    }
+
+    #[test]
+    fn interpolated_point_between_grid() {
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        // net = 300 KB/s is between samples; lzw ~11.7s, bzip ~43.3s at cpu 1.
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 300_000.0)]);
+        let d = s.choose(&r).unwrap();
+        assert_eq!(d.config.get("c"), Some(1));
+        let t = d.predicted.get("transmit_time").unwrap();
+        assert!(t > 9.0 && t < 16.0, "interpolated {t}");
+    }
+
+    #[test]
+    fn validity_region_shrinks_with_constraints() {
+        // transmit_time <= 15 with lzw at cpu=1: t = 2e6/net + 5, needs
+        // net >= 200K. The region's net range must exclude 50K.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 15.0)],
+            Objective::minimize("transmit_time"),
+        ));
+        let s = ResourceScheduler::new(crossover_db(), prefs, "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 500_000.0)]);
+        let d = s.choose(&r).unwrap();
+        let (lo, hi) = d.validity.ranges[&net()];
+        assert!(lo >= 200_000.0 - 1.0, "low bound {lo}");
+        assert!(hi.is_infinite(), "satisfied at the top sample -> unbounded");
+        // The monitor would trigger at 50 KB/s.
+        let low_bw = ResourceVector::new(&[(net(), 50_000.0), (cpu(), 1.0)]);
+        assert!(!d.validity.contains(&low_bw));
+    }
+
+    #[test]
+    fn unconstrained_objective_has_wide_validity() {
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let r = ResourceVector::new(&[(cpu(), 0.5), (net(), 500_000.0)]);
+        let d = s.choose(&r).unwrap();
+        // No constraints: every sampled point satisfies, so ranges span
+        // everything.
+        let (lo, hi) = d.validity.ranges[&cpu()];
+        assert_eq!(lo, 0.0);
+        assert!(hi.is_infinite());
+    }
+}

@@ -1,0 +1,52 @@
+//! Integration test for the preprocessor binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tunable-preprocessor")
+}
+
+#[test]
+fn preprocesses_the_paper_spec() {
+    let dir = std::env::temp_dir().join("tunpre_test_ok");
+    let _ = std::fs::remove_dir_all(&dir);
+    let input = dir.join("viz.tun");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(&input, adapt_core::dsl::ACTIVE_VIZ_SPEC).unwrap();
+    let out = Command::new(bin())
+        .arg(&input)
+        .arg(dir.join("out"))
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // All four artifacts exist and are consistent.
+    let spec_json = std::fs::read_to_string(dir.join("out/spec.json")).unwrap();
+    let spec: adapt_core::TunableSpec = serde_json::from_str(&spec_json).unwrap();
+    assert_eq!(spec.control.cardinality(), 12);
+    let normal = std::fs::read_to_string(dir.join("out/spec.normal.tun")).unwrap();
+    assert_eq!(adapt_core::dsl::parse(&normal).unwrap(), spec);
+    let configs = std::fs::read_to_string(dir.join("out/configurations.txt")).unwrap();
+    assert_eq!(configs.lines().count(), 12);
+    let template = std::fs::read_to_string(dir.join("out/db_template.json")).unwrap();
+    let t: adapt_core::PerfDbTemplate = serde_json::from_str(&template).unwrap();
+    assert_eq!(t.axes.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reports_parse_errors_with_location() {
+    let dir = std::env::temp_dir().join("tunpre_test_err");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("bad.tun");
+    std::fs::write(&input, "control_parameters {\n  int x in ??; }\n").unwrap();
+    let out = Command::new(bin())
+        .arg(&input)
+        .arg(dir.join("out"))
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,325 @@
+//! Property-based tests of the adaptation framework's invariants.
+
+use proptest::prelude::*;
+
+use adapt_core::{
+    Configuration, Constraint, ControlParam, ControlSpace, Guard, Objective, ParamDomain, PerfDb,
+    PerfRecord, Preference, PreferenceList, PredictMode, QosReport, ResourceKey, ResourceScheduler,
+    ResourceVector, Sense,
+};
+
+fn cpu() -> ResourceKey {
+    ResourceKey::cpu("client")
+}
+
+fn net() -> ResourceKey {
+    ResourceKey::net("client")
+}
+
+/// A database of one configuration sampled on an arbitrary grid of a
+/// monotone function t = a/cpu + b/net + c.
+fn monotone_db(a: f64, b: f64, c: f64, cpus: &[f64], nets: &[f64]) -> PerfDb {
+    let mut db = PerfDb::new();
+    for &cv in cpus {
+        for &nv in nets {
+            db.add(PerfRecord {
+                config: Configuration::new(&[("x", 1)]),
+                resources: ResourceVector::new(&[(cpu(), cv), (net(), nv)]),
+                input: "w".into(),
+                metrics: QosReport::new(&[("t", a / cv + b / nv + c)]),
+            });
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_stays_within_sampled_extremes(
+        a in 1.0f64..100.0,
+        b in 1e4f64..1e6,
+        c in 0.0f64..10.0,
+        q_cpu in 0.05f64..1.5,
+        q_net in 1e4f64..2e6,
+    ) {
+        let cpus = [0.1, 0.3, 0.6, 1.0];
+        let nets = [50_000.0, 200_000.0, 1_000_000.0];
+        let db = monotone_db(a, b, c, &cpus, &nets);
+        let cfg = Configuration::new(&[("x", 1)]);
+        let q = ResourceVector::new(&[(cpu(), q_cpu), (net(), q_net)]);
+        let p = db
+            .predict(&cfg, "w", &q, PredictMode::Interpolate)
+            .expect("prediction exists")
+            .get("t")
+            .unwrap();
+        // All sampled values bound the interpolant (multilinear + clamping).
+        let lo = a / 1.0 + b / 1_000_000.0 + c;
+        let hi = a / 0.1 + b / 50_000.0 + c;
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{} not in [{}, {}]", p, lo, hi);
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_grid_points(
+        a in 1.0f64..100.0,
+        b in 1e4f64..1e6,
+        ci in 0usize..4,
+        ni in 0usize..3,
+    ) {
+        let cpus = [0.1, 0.3, 0.6, 1.0];
+        let nets = [50_000.0, 200_000.0, 1_000_000.0];
+        let db = monotone_db(a, b, 0.0, &cpus, &nets);
+        let cfg = Configuration::new(&[("x", 1)]);
+        let q = ResourceVector::new(&[(cpu(), cpus[ci]), (net(), nets[ni])]);
+        let p = db.predict(&cfg, "w", &q, PredictMode::Interpolate).unwrap().get("t").unwrap();
+        let expect = a / cpus[ci] + b / nets[ni];
+        prop_assert!((p - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_preserves_monotonicity_along_axes(
+        a in 1.0f64..100.0,
+        b in 1e4f64..1e6,
+        q1 in 0.1f64..1.0,
+        q2 in 0.1f64..1.0,
+    ) {
+        let cpus = [0.1, 0.3, 0.6, 1.0];
+        let nets = [50_000.0, 200_000.0, 1_000_000.0];
+        let db = monotone_db(a, b, 0.0, &cpus, &nets);
+        let cfg = Configuration::new(&[("x", 1)]);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_at = |cv: f64| {
+            db.predict(
+                &cfg,
+                "w",
+                &ResourceVector::new(&[(cpu(), cv), (net(), 200_000.0)]),
+                PredictMode::Interpolate,
+            )
+            .unwrap()
+            .get("t")
+            .unwrap()
+        };
+        // t = a/cpu is decreasing in cpu; piecewise-linear interpolation of
+        // a monotone function on a grid is monotone.
+        prop_assert!(p_at(lo) >= p_at(hi) - 1e-9);
+    }
+
+    #[test]
+    fn scheduler_choice_satisfies_constraints_and_is_optimal(
+        costs in proptest::collection::vec((1.0f64..50.0, 0.0f64..20.0), 2..6),
+        q_cpu in 0.1f64..1.0,
+        deadline in 5.0f64..500.0,
+    ) {
+        // Each candidate i: t_i = a_i/cpu + c_i at a fixed bandwidth.
+        let mut db = PerfDb::new();
+        for (i, &(ai, ci)) in costs.iter().enumerate() {
+            for &cv in &[0.1, 0.5, 1.0] {
+                db.add(PerfRecord {
+                    config: Configuration::new(&[("x", i as i64)]),
+                    resources: ResourceVector::new(&[(cpu(), cv)]),
+                    input: "w".into(),
+                    metrics: QosReport::new(&[("t", ai / cv + ci)]),
+                });
+            }
+        }
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("t", deadline)],
+            Objective::minimize("t"),
+        ));
+        let sched = ResourceScheduler::new(db.clone(), prefs, "w");
+        let q = ResourceVector::new(&[(cpu(), q_cpu)]);
+        match sched.choose(&q) {
+            Some(d) => {
+                let t = d.predicted.get("t").unwrap();
+                prop_assert!(t <= deadline, "choice violates the deadline");
+                // No other candidate predicts strictly better.
+                for i in 0..costs.len() {
+                    let other = Configuration::new(&[("x", i as i64)]);
+                    let p = db.predict(&other, "w", &q, PredictMode::Interpolate).unwrap();
+                    let ot = p.get("t").unwrap();
+                    if ot <= deadline {
+                        prop_assert!(t <= ot + 1e-9, "candidate {} is better: {} < {}", i, ot, t);
+                    }
+                }
+            }
+            None => {
+                // Then no candidate satisfies the deadline.
+                for i in 0..costs.len() {
+                    let other = Configuration::new(&[("x", i as i64)]);
+                    let p = db.predict(&other, "w", &q, PredictMode::Interpolate).unwrap();
+                    prop_assert!(p.get("t").unwrap() > deadline);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_removes_the_best_choice(
+        costs in proptest::collection::vec((1.0f64..50.0, 1e4f64..1e6), 2..6),
+    ) {
+        let mut db = PerfDb::new();
+        for (i, &(ai, bi)) in costs.iter().enumerate() {
+            for &cv in &[0.2, 1.0] {
+                for &nv in &[50_000.0, 500_000.0] {
+                    db.add(PerfRecord {
+                        config: Configuration::new(&[("x", i as i64)]),
+                        resources: ResourceVector::new(&[(cpu(), cv), (net(), nv)]),
+                        input: "w".into(),
+                        metrics: QosReport::new(&[("t", ai / cv + bi / nv)]),
+                    });
+                }
+            }
+        }
+        // The best configuration at each sampled point before pruning...
+        let mut best_at_points = Vec::new();
+        for &cv in &[0.2, 1.0] {
+            for &nv in &[50_000.0, 500_000.0] {
+                let best = (0..costs.len())
+                    .min_by(|&i, &j| {
+                        let ti = costs[i].0 / cv + costs[i].1 / nv;
+                        let tj = costs[j].0 / cv + costs[j].1 / nv;
+                        ti.partial_cmp(&tj).unwrap()
+                    })
+                    .unwrap();
+                best_at_points.push(best as i64);
+            }
+        }
+        db.prune_dominated("t", Sense::LowerIsBetter, 0.0);
+        let kept: Vec<i64> = db.configs("w").iter().map(|c| c.expect("x")).collect();
+        for b in best_at_points {
+            prop_assert!(kept.contains(&b), "pruning removed point-best config {}", b);
+        }
+    }
+
+    #[test]
+    fn guards_respect_boolean_algebra(p in any::<i64>(), v in any::<i64>()) {
+        let c = Configuration::new(&[("k", p)]);
+        let eq = Guard::Eq("k".into(), v);
+        let not_eq = Guard::Not(Box::new(eq.clone()));
+        prop_assert_eq!(eq.eval(&c), p == v);
+        prop_assert_ne!(eq.eval(&c), not_eq.eval(&c));
+        prop_assert!(eq.clone().or(not_eq.clone()).eval(&c), "excluded middle");
+        prop_assert!(!eq.and(not_eq).eval(&c), "non-contradiction");
+    }
+
+    #[test]
+    fn control_space_enumeration_is_complete_and_valid(
+        sizes in proptest::collection::vec(1usize..4, 1..4),
+    ) {
+        let params: Vec<ControlParam> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ControlParam {
+                name: format!("p{i}"),
+                domain: ParamDomain::Set((0..n as i64).collect()),
+            })
+            .collect();
+        let space = ControlSpace::new(params);
+        let all = space.enumerate();
+        prop_assert_eq!(all.len(), space.cardinality());
+        let keys: std::collections::BTreeSet<String> = all.iter().map(|c| c.key()).collect();
+        prop_assert_eq!(keys.len(), all.len(), "all configurations distinct");
+        for c in &all {
+            prop_assert!(space.validate(c).is_ok());
+        }
+    }
+
+    #[test]
+    fn perfdb_serde_roundtrip(
+        points in proptest::collection::vec((0.05f64..1.0, 1e4f64..1e6, 0.0f64..100.0), 1..10),
+    ) {
+        let mut db = PerfDb::new();
+        for &(cv, nv, t) in &points {
+            db.add(PerfRecord {
+                config: Configuration::new(&[("x", 1)]),
+                resources: ResourceVector::new(&[(cpu(), cv), (net(), nv)]),
+                input: "w".into(),
+                metrics: QosReport::new(&[("t", t)]),
+            });
+        }
+        let back = PerfDb::from_json(&db.to_json()).unwrap();
+        prop_assert_eq!(back.records(), db.records());
+    }
+}
+
+mod steering_props {
+    use super::*;
+    use adapt_core::{dsl, BoundaryOutcome, ReconfigureRequest, SteeringAgent, ValidityRegion};
+    
+    use simnet::SimTime;
+
+    /// Arbitrary (possibly invalid) configurations over the paper's space.
+    fn arb_config() -> impl Strategy<Value = Configuration> {
+        (
+            prop_oneof![Just(80i64), Just(160), Just(320), Just(999)],
+            prop_oneof![Just(1i64), Just(2), Just(7)],
+            prop_oneof![Just(3i64), Just(4), Just(0)],
+        )
+            .prop_map(|(dr, c, l)| Configuration::new(&[("dR", dr), ("c", c), ("l", l)]))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn steering_invariants_hold_for_any_request_sequence(
+            requests in proptest::collection::vec(arb_config(), 0..12),
+        ) {
+            let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
+            let initial = Configuration::new(&[("dR", 80), ("c", 1), ("l", 4)]);
+            let mut agent = SteeringAgent::new(initial.clone());
+            let mut t = 0u64;
+            for req in requests {
+                t += 1;
+                agent.request(ReconfigureRequest {
+                    config: req.clone(),
+                    validity: ValidityRegion::unbounded(),
+                });
+                let before = agent.current().clone();
+                match agent.at_boundary(SimTime::from_secs(t), &spec) {
+                    BoundaryOutcome::Switched(ev) => {
+                        // Only valid configurations ever become current.
+                        prop_assert!(spec.control.validate(&ev.new).is_ok());
+                        prop_assert_eq!(&ev.old, &before);
+                        prop_assert_eq!(agent.current(), &ev.new);
+                    }
+                    BoundaryOutcome::Rejected { config, .. } => {
+                        // Rejected configs are invalid and current is kept.
+                        prop_assert!(spec.control.validate(&config).is_err());
+                        prop_assert_eq!(agent.current(), &before);
+                    }
+                    BoundaryOutcome::NoChange => {
+                        prop_assert_eq!(agent.current(), &before);
+                    }
+                }
+                // The invariant of invariants: whatever happened, the
+                // current configuration is always valid.
+                prop_assert!(spec.control.validate(agent.current()).is_ok());
+            }
+            // History is time-ordered and starts with the initial config.
+            let hist = agent.history();
+            prop_assert_eq!(&hist[0].1, &initial);
+            for w in hist.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+            }
+        }
+
+        #[test]
+        fn monitor_estimate_is_bounded_by_observations(
+            values in proptest::collection::vec(0.0f64..1.0, 1..100),
+        ) {
+            use adapt_core::MonitoringAgent;
+            let key = ResourceKey::cpu("client");
+            let mut m = MonitoringAgent::new(vec![key.clone()], 10_000_000);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for (i, &v) in values.iter().enumerate() {
+                m.observe(simnet::SimTime::from_ms(10 * i as u64), &key, v);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let est = m.estimate().get(&key).unwrap();
+            prop_assert!(est >= lo - 1e-12 && est <= hi + 1e-12, "{} not in [{}, {}]", est, lo, hi);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Periodic resource-usage sampling (the "NT Performance Monitor" analog).
+//!
+//! Figure 3(a) of the paper shows a Performance Monitor trace of an
+//! application's CPU usage while the testbed varies its share.
+//! [`UsageSampler`] reproduces that: an independent actor that samples a
+//! target actor's accounting every interval and records the observed CPU
+//! share (CPU time received / interval) into a shared time series.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{Actor, ActorId, Ctx, SimTime};
+
+/// A shared, append-only `(time, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesHandle(Rc<RefCell<Vec<(SimTime, f64)>>>);
+
+impl SeriesHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&self, t: SimTime, v: f64) {
+        self.0.borrow_mut().push((t, v));
+    }
+
+    /// Copy the collected points out.
+    pub fn points(&self) -> Vec<(SimTime, f64)> {
+        self.0.borrow().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Mean value over points with `t` in `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let pts = self.0.borrow();
+        let vals: Vec<f64> = pts
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Samples the CPU usage of `target` every `interval_us`, recording the
+/// share of one full processor used during each interval.
+pub struct UsageSampler {
+    target: ActorId,
+    interval_us: u64,
+    series: SeriesHandle,
+    stop_at: Option<SimTime>,
+    last_cpu_us: f64,
+}
+
+impl UsageSampler {
+    pub fn new(target: ActorId, interval_us: u64, series: SeriesHandle) -> Self {
+        assert!(interval_us > 0);
+        UsageSampler { target, interval_us, series, stop_at: None, last_cpu_us: 0.0 }
+    }
+
+    /// Stop sampling at `t` (otherwise samples forever, keeping the
+    /// simulation alive).
+    pub fn until(mut self, t: SimTime) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+}
+
+impl Actor for UsageSampler {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.interval_us, 0);
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        let snap = ctx.snapshot_of(self.target);
+        let share = (snap.cpu_time_us - self.last_cpu_us) / self.interval_us as f64;
+        self.last_cpu_us = snap.cpu_time_us;
+        self.series.push(ctx.now(), share);
+        match self.stop_at {
+            Some(t) if ctx.now() + self.interval_us > t => {}
+            _ => ctx.set_timer(self.interval_us, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::{Limits, LimitsHandle};
+    use crate::progress::SandboxStats;
+    use crate::wrap::Sandboxed;
+    use simnet::{dur, Sim};
+
+    struct Grinder;
+    impl Actor for Grinder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.compute(1e12); // effectively forever
+        }
+    }
+
+    #[test]
+    fn sampler_tracks_capped_usage() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let lh = LimitsHandle::new(Limits::cpu(0.8));
+        let sb = Sandboxed::new(Grinder, lh.clone(), SandboxStats::default());
+        let target = sim.spawn(h, Box::new(sb));
+        let series = SeriesHandle::new();
+        sim.spawn(
+            h,
+            Box::new(
+                UsageSampler::new(target, dur::secs(1), series.clone())
+                    .until(SimTime::from_secs(10)),
+            ),
+        );
+        sim.at(SimTime::from_secs(5), move |_| lh.set_cpu_share(Some(0.3)));
+        sim.run_until(SimTime::from_secs(10));
+        // First half ~0.8, second half ~0.3.
+        let early = series.mean_in(SimTime::from_secs(1), SimTime::from_secs(5)).unwrap();
+        let late = series.mean_in(SimTime::from_secs(7), SimTime::from_secs(10)).unwrap();
+        assert!((early - 0.8).abs() < 0.05, "early mean {early}");
+        assert!((late - 0.3).abs() < 0.05, "late mean {late}");
+    }
+
+    #[test]
+    fn sampler_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        struct Idle;
+        impl Actor for Idle {}
+        let target = sim.spawn(h, Box::new(Idle));
+        let series = SeriesHandle::new();
+        sim.spawn(
+            h,
+            Box::new(
+                UsageSampler::new(target, dur::secs(1), series.clone())
+                    .until(SimTime::from_secs(3)),
+            ),
+        );
+        sim.run_until_idle();
+        assert_eq!(series.len(), 3);
+        assert!(series.points().iter().all(|(_, v)| *v == 0.0));
+    }
+}

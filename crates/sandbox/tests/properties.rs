@@ -1,0 +1,133 @@
+//! Property-based tests of the virtual execution environment: enforced
+//! shares hold for arbitrary limits and workloads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use sandbox::{Limits, LimitsHandle, SandboxStats, Sandboxed, TokenBucket};
+use simnet::{Actor, Ctx, Sim, SimTime};
+
+struct Worker {
+    work: f64,
+    done: Rc<RefCell<Option<SimTime>>>,
+}
+impl Actor for Worker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(self.work);
+        ctx.continue_with(0);
+    }
+    fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+        *self.done.borrow_mut() = Some(ctx.now());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cpu_share_enforced_for_any_share(share in 0.05f64..1.0, work_ms in 50.0f64..2000.0) {
+        let work = work_ms * 1000.0;
+        let mut sim = Sim::new();
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let lh = LimitsHandle::new(Limits::cpu(share));
+        sim.spawn(
+            h,
+            Box::new(Sandboxed::new(
+                Worker { work, done: done.clone() },
+                lh,
+                SandboxStats::default(),
+            )),
+        );
+        sim.set_event_limit(Some(10_000_000));
+        sim.run_until_idle();
+        let measured = done.borrow().expect("completes").as_secs_f64();
+        let expected = work / share / 1e6;
+        // Within one quantum of the ideal.
+        prop_assert!(
+            (measured - expected).abs() <= expected * 0.02 + 0.011,
+            "share {} work {} -> {} vs {}",
+            share, work, measured, expected
+        );
+    }
+
+    #[test]
+    fn achieved_share_never_exceeds_cap(share in 0.05f64..0.95) {
+        let mut sim = Sim::new();
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let lh = LimitsHandle::new(Limits::cpu(share));
+        let stats = SandboxStats::new(60_000_000);
+        sim.spawn(
+            h,
+            Box::new(Sandboxed::new(
+                Worker { work: 400_000.0, done: done.clone() },
+                lh,
+                stats.clone(),
+            )),
+        );
+        sim.run_until_idle();
+        let est = stats.cpu_share().expect("samples exist");
+        prop_assert!(est <= share * 1.05 + 0.01, "estimated {} vs cap {}", est, share);
+        prop_assert!(est >= share * 0.85, "sandbox should deliver the full share when alone");
+    }
+
+    #[test]
+    fn token_bucket_long_run_rate_is_bounded(
+        rate in 1_000.0f64..1_000_000.0,
+        msgs in proptest::collection::vec(1u64..100_000, 1..40),
+    ) {
+        let mut b = TokenBucket::with_default_burst(rate);
+        let mut t = SimTime::ZERO;
+        let mut total = 0u64;
+        for &m in &msgs {
+            let d = b.acquire(t, m);
+            t += d;
+            total += m;
+        }
+        let elapsed = t.as_secs_f64();
+        if elapsed > 0.5 {
+            let burst = rate * 0.1 + 2048.0;
+            let effective = (total as f64 - burst) / elapsed;
+            prop_assert!(
+                effective <= rate * 1.05,
+                "effective {} exceeds rate {}",
+                effective, rate
+            );
+        }
+    }
+
+    #[test]
+    fn sandboxed_equals_kernel_cap(share in 0.1f64..1.0) {
+        // The user-level sandbox must track the ideal kernel-enforced cap
+        // (Figure 3b's claim) for arbitrary shares.
+        let work = 300_000.0;
+        let run_sandbox = |share: f64| {
+            let mut sim = Sim::new();
+            let h = sim.add_host("h", 1.0, 1 << 30);
+            let done = Rc::new(RefCell::new(None));
+            let lh = LimitsHandle::new(Limits::cpu(share));
+            sim.spawn(
+                h,
+                Box::new(Sandboxed::new(Worker { work, done: done.clone() }, lh, SandboxStats::default())),
+            );
+            sim.run_until_idle();
+            let t = *done.borrow();
+            t.unwrap().as_secs_f64()
+        };
+        let run_kernel = |share: f64| {
+            let mut sim = Sim::new();
+            let h = sim.add_host("h", 1.0, 1 << 30);
+            let done = Rc::new(RefCell::new(None));
+            let a = sim.spawn(h, Box::new(Worker { work, done: done.clone() }));
+            sim.set_cpu_cap(a, Some(share));
+            sim.run_until_idle();
+            let t = *done.borrow();
+            t.unwrap().as_secs_f64()
+        };
+        let (sb, k) = (run_sandbox(share), run_kernel(share));
+        prop_assert!((sb - k).abs() / k < 0.05, "sandbox {} vs kernel {}", sb, k);
+    }
+}

@@ -1,0 +1,385 @@
+//! Proportional-share CPU scheduling (fluid GPS model with share caps).
+//!
+//! Each host carries one [`CpuSched`]. At most one computation per actor is
+//! active at a time (actors execute their action queues serially), so a run
+//! is identified by its actor. Active runs share the host's capacity in
+//! proportion to their weights, subject to optional per-run *caps* — hard
+//! upper bounds on the fraction of the host an actor may consume. Caps model
+//! an ideal fair-share OS; the user-level sandbox in the `sandbox` crate
+//! achieves the same effect by chopping work into quanta, and the two are
+//! compared in the figure-3 experiments.
+//!
+//! The fluid model is exact: rates change only at *events* (run start, run
+//! completion, weight/cap change), and between events every run progresses
+//! linearly. Rate assignment uses water-filling so capped runs never exceed
+//! their cap while uncapped runs absorb the residual capacity.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// An active computation belonging to one actor.
+#[derive(Debug, Clone)]
+pub struct Run {
+    pub actor: ActorId,
+    /// Remaining work, in reference-machine microseconds (1 unit of work
+    /// takes 1us on a host with speed 1.0 and no contention).
+    pub remaining: f64,
+    /// GPS weight.
+    pub weight: f64,
+    /// Optional hard cap as a fraction of the host (0, 1].
+    pub cap: Option<f64>,
+    /// Current service rate in work-units per microsecond.
+    pub rate: f64,
+}
+
+/// Outcome of advancing the scheduler clock: runs that finished.
+#[derive(Debug, Default)]
+pub struct Completions {
+    pub finished: Vec<ActorId>,
+}
+
+/// Fluid proportional-share scheduler for one host.
+#[derive(Debug)]
+pub struct CpuSched {
+    /// Host speed: work-units per microsecond at full allocation.
+    speed: f64,
+    runs: Vec<Run>,
+    last_update: SimTime,
+    /// Incremented whenever rates change; stale completion events carry an
+    /// old epoch and are ignored by the kernel.
+    pub epoch: u64,
+    /// Accumulated (actor, cpu_microseconds, work) deltas since last drain,
+    /// for accounting. cpu_microseconds are actual CPU time consumed
+    /// (rate/speed * wall), work is work-units completed.
+    pending_usage: Vec<(ActorId, f64, f64)>,
+}
+
+/// Work below this is considered complete (guards float error).
+const WORK_EPS: f64 = 1e-9;
+
+impl CpuSched {
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0, "host speed must be positive");
+        CpuSched {
+            speed,
+            runs: Vec::new(),
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            pending_usage: Vec::new(),
+        }
+    }
+
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    pub fn has_run(&self, actor: ActorId) -> bool {
+        self.runs.iter().any(|r| r.actor == actor)
+    }
+
+    /// Advance the fluid model to `now`, harvesting any completed runs.
+    /// Also recomputes rates if anything completed.
+    pub fn advance(&mut self, now: SimTime) -> Completions {
+        let dt = now.since(self.last_update) as f64;
+        self.last_update = now;
+        let mut done = Completions::default();
+        if dt > 0.0 {
+            for r in &mut self.runs {
+                let served = r.rate * dt;
+                let used = served.min(r.remaining);
+                r.remaining -= used;
+                // CPU time consumed = (rate / speed) * wall time, i.e. the
+                // fraction of the processor held, times elapsed wall time.
+                self.pending_usage.push((r.actor, (r.rate / self.speed) * dt, used));
+            }
+        }
+        let mut i = 0;
+        while i < self.runs.len() {
+            if self.runs[i].remaining <= WORK_EPS {
+                done.finished.push(self.runs[i].actor);
+                self.runs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if !done.finished.is_empty() {
+            self.reassign_rates();
+        }
+        done
+    }
+
+    /// Start a new run for `actor`. Caller must `advance` first.
+    /// Zero-or-negative work is the caller's responsibility (complete inline).
+    pub fn start(&mut self, actor: ActorId, work: f64, weight: f64, cap: Option<f64>) {
+        debug_assert!(work > WORK_EPS, "zero-work runs must be completed inline");
+        debug_assert!(
+            !self.has_run(actor),
+            "actor {actor:?} already has an active run"
+        );
+        self.runs.push(Run {
+            actor,
+            remaining: work,
+            weight: weight.max(1e-6),
+            cap: cap.map(|c| c.clamp(1e-6, 1.0)),
+            rate: 0.0,
+        });
+        self.reassign_rates();
+    }
+
+    /// Change the weight and/or cap of `actor`'s run (if it has one).
+    /// Caller must `advance` first.
+    pub fn retune(&mut self, actor: ActorId, weight: Option<f64>, cap: Option<Option<f64>>) {
+        let mut changed = false;
+        for r in &mut self.runs {
+            if r.actor == actor {
+                if let Some(w) = weight {
+                    r.weight = w.max(1e-6);
+                    changed = true;
+                }
+                if let Some(c) = cap {
+                    r.cap = c.map(|c| c.clamp(1e-6, 1.0));
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.reassign_rates();
+        }
+    }
+
+    /// Abort `actor`'s run, returning its remaining work if it had one.
+    /// Caller must `advance` first.
+    pub fn abort(&mut self, actor: ActorId) -> Option<f64> {
+        let idx = self.runs.iter().position(|r| r.actor == actor)?;
+        let run = self.runs.remove(idx);
+        self.reassign_rates();
+        Some(run.remaining)
+    }
+
+    /// Time at which the earliest active run completes, if any.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.runs
+            .iter()
+            .filter(|r| r.rate > 0.0)
+            .map(|r| {
+                let us = (r.remaining / r.rate).ceil() as u64;
+                self.last_update + us.max(1)
+            })
+            .min()
+    }
+
+    /// Drain accumulated accounting deltas.
+    pub fn drain_usage(&mut self) -> Vec<(ActorId, f64, f64)> {
+        std::mem::take(&mut self.pending_usage)
+    }
+
+    /// Current service rate of `actor` (work-units/us), 0 if not running.
+    pub fn rate_of(&self, actor: ActorId) -> f64 {
+        self.runs
+            .iter()
+            .find(|r| r.actor == actor)
+            .map(|r| r.rate)
+            .unwrap_or(0.0)
+    }
+
+    /// Water-filling rate assignment: capped runs whose proportional share
+    /// exceeds their cap are pinned at the cap; remaining capacity is shared
+    /// among the rest in proportion to weight, iterating until stable.
+    #[allow(clippy::needless_range_loop)] // indices span `runs` and `fixed`
+    fn reassign_rates(&mut self) {
+        self.epoch += 1;
+        if self.runs.is_empty() {
+            return;
+        }
+        let n = self.runs.len();
+        let mut fixed = vec![false; n];
+        let mut capacity = self.speed;
+        loop {
+            let total_w: f64 = self
+                .runs
+                .iter()
+                .zip(&fixed)
+                .filter(|(_, f)| !**f)
+                .map(|(r, _)| r.weight)
+                .sum();
+            if total_w <= 0.0 {
+                break;
+            }
+            let mut newly_fixed = false;
+            for i in 0..n {
+                if fixed[i] {
+                    continue;
+                }
+                let share = capacity * self.runs[i].weight / total_w;
+                if let Some(cap) = self.runs[i].cap {
+                    let cap_rate = cap * self.speed;
+                    if share > cap_rate {
+                        self.runs[i].rate = cap_rate;
+                        capacity -= cap_rate;
+                        fixed[i] = true;
+                        newly_fixed = true;
+                    }
+                }
+            }
+            if !newly_fixed {
+                // Residual proportional assignment for everyone unfixed.
+                for i in 0..n {
+                    if !fixed[i] {
+                        self.runs[i].rate = capacity * self.runs[i].weight / total_w;
+                    }
+                }
+                break;
+            }
+        }
+        // Numerical guard: rates must never be negative.
+        for r in &mut self.runs {
+            if r.rate < 0.0 {
+                r.rate = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(n: u32) -> ActorId {
+        ActorId(n as usize)
+    }
+
+    #[test]
+    fn single_run_gets_full_speed() {
+        let mut s = CpuSched::new(2.0);
+        s.start(aid(0), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 2.0).abs() < 1e-12);
+        // 100 units at 2 units/us -> 50us.
+        assert_eq!(s.next_completion(), Some(SimTime::from_us(50)));
+        let done = s.advance(SimTime::from_us(50));
+        assert_eq!(done.finished, vec![aid(0)]);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, None);
+        s.start(aid(1), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 0.5).abs() < 1e-12);
+        assert!((s.rate_of(aid(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_proportional() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 3.0, None);
+        s.start(aid(1), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 0.75).abs() < 1e-12);
+        assert!((s.rate_of(aid(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_binds_under_low_contention() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, Some(0.4));
+        assert!((s.rate_of(aid(0)) - 0.4).abs() < 1e-12);
+        // A second uncapped run absorbs the residual 0.6.
+        s.start(aid(1), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 0.4).abs() < 1e-12);
+        assert!((s.rate_of(aid(1)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_does_not_bind_under_high_contention() {
+        let mut s = CpuSched::new(1.0);
+        // Proportional share would be 1/3 < cap 0.4, so the cap is inactive.
+        s.start(aid(0), 100.0, 1.0, Some(0.4));
+        s.start(aid(1), 100.0, 1.0, None);
+        s.start(aid(2), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_filling_multiple_caps() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, Some(0.1));
+        s.start(aid(1), 100.0, 1.0, Some(0.2));
+        s.start(aid(2), 100.0, 1.0, None);
+        assert!((s.rate_of(aid(0)) - 0.1).abs() < 1e-12);
+        assert!((s.rate_of(aid(1)) - 0.2).abs() < 1e-12);
+        assert!((s.rate_of(aid(2)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_capped_leaves_idle_capacity() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, Some(0.3));
+        s.start(aid(1), 100.0, 1.0, Some(0.3));
+        assert!((s.rate_of(aid(0)) - 0.3).abs() < 1e-12);
+        assert!((s.rate_of(aid(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_accumulates_usage() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, Some(0.5));
+        s.advance(SimTime::from_us(100));
+        let usage = s.drain_usage();
+        let (a, cpu_us, work): (ActorId, f64, f64) = usage[0];
+        assert_eq!(a, aid(0));
+        assert!((cpu_us - 50.0).abs() < 1e-9, "held 50% for 100us = 50us CPU");
+        assert!((work - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_then_speedup() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, None);
+        s.start(aid(1), 50.0, 1.0, None);
+        // Both at 0.5: aid(1) finishes at t=100.
+        let done = s.advance(SimTime::from_us(100));
+        assert_eq!(done.finished, vec![aid(1)]);
+        // aid(0) has 50 left, now at full rate.
+        assert!((s.rate_of(aid(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(s.next_completion(), Some(SimTime::from_us(150)));
+    }
+
+    #[test]
+    fn retune_cap_changes_rate() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 1000.0, 1.0, Some(0.8));
+        assert!((s.rate_of(aid(0)) - 0.8).abs() < 1e-12);
+        s.advance(SimTime::from_us(10));
+        s.retune(aid(0), None, Some(Some(0.4)));
+        assert!((s.rate_of(aid(0)) - 0.4).abs() < 1e-12);
+        s.advance(SimTime::from_us(20));
+        s.retune(aid(0), None, Some(None));
+        assert!((s.rate_of(aid(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_returns_remaining() {
+        let mut s = CpuSched::new(1.0);
+        s.start(aid(0), 100.0, 1.0, None);
+        s.advance(SimTime::from_us(40));
+        let rem = s.abort(aid(0)).unwrap();
+        assert!((rem - 60.0).abs() < 1e-9);
+        assert!(s.is_idle());
+        assert!(s.abort(aid(0)).is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_on_rate_changes() {
+        let mut s = CpuSched::new(1.0);
+        let e0 = s.epoch;
+        s.start(aid(0), 100.0, 1.0, None);
+        assert!(s.epoch > e0);
+        let e1 = s.epoch;
+        s.start(aid(1), 100.0, 1.0, None);
+        assert!(s.epoch > e1);
+    }
+}

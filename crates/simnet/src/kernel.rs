@@ -1,0 +1,1414 @@
+//! The simulation kernel: event loop, hosts, actors, and the [`Ctx`]
+//! interface actors use to interact with the simulated world.
+//!
+//! # Model
+//!
+//! - **Hosts** have a speed (work-units per microsecond) and carry a fluid
+//!   proportional-share CPU scheduler ([`crate::cpu::CpuSched`]).
+//! - **Actors** live on hosts and execute their enqueued actions serially.
+//!   `Compute` actions contend for the host CPU; `Send` actions go through
+//!   directed FIFO [`crate::link::Link`]s; `Sleep` idles; `Continue`
+//!   re-enters the actor.
+//! - **Events** are totally ordered by `(time, sequence)`; given identical
+//!   inputs a run is bit-for-bit reproducible.
+//!
+//! # Interposition
+//!
+//! [`Ctx::drain_actions`] removes and returns the actions an actor has
+//! enqueued but not yet started. This is the hook the `sandbox` crate uses
+//! to emulate the paper's Win32 API interception: a wrapper actor invokes
+//! the wrapped application actor, captures the actions it produced, and
+//! re-emits them chopped/delayed to enforce resource limits — all without
+//! the kernel knowing.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::accounting::{Accounting, Dir, Snapshot, Transfer};
+use crate::actor::{Action, Actor, ActorId, HostId};
+use crate::cpu::CpuSched;
+use crate::link::{FlowSched, Link, LinkMode};
+use crate::message::Message;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// Default one-way latency for messages between actors on the same host.
+pub const DEFAULT_LOCAL_LATENCY_US: u64 = 5;
+
+/// A host: a named machine with a CPU and memory.
+pub(crate) struct Host {
+    pub name: String,
+    pub sched: CpuSched,
+    pub mem_capacity: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Running {
+    Idle,
+    Compute,
+    Sleep,
+}
+
+pub(crate) struct ActorState {
+    host: HostId,
+    fifo: VecDeque<Action>,
+    inbox: VecDeque<(ActorId, Message)>,
+    running: Running,
+    weight: f64,
+    cpu_cap: Option<f64>,
+    mem_limit: Option<u64>,
+    /// Slowdown per unit of memory overcommit (see [`Sim::set_mem_limit`]).
+    mem_penalty_k: f64,
+    compute_started: SimTime,
+    sleep_started: SimTime,
+    pub acct: Accounting,
+    alive: bool,
+}
+
+enum Ev {
+    Start(ActorId),
+    CpuNext { host: usize, epoch: u64 },
+    FlowNext { src: usize, dst: usize, epoch: u64 },
+    Deliver { src: ActorId, dst: ActorId, msg: Message, queued: SimTime },
+    Timer { actor: ActorId, tag: u64 },
+    Wake { actor: ActorId },
+    Script(Box<dyn FnOnce(&mut Sim)>),
+}
+
+struct HeapEntry {
+    t: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// The simulation: hosts, links, actors, and the event queue.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<HeapEntry>,
+    hosts: Vec<Host>,
+    links: HashMap<(usize, usize), Link>,
+    /// Links operating in fluid fair-share mode.
+    flow_scheds: HashMap<(usize, usize), FlowSched>,
+    /// In-flight fair-share transmissions: flow id -> (src, dst, msg, queued).
+    inflight: HashMap<u64, (ActorId, ActorId, Message, SimTime)>,
+    next_flow_id: u64,
+    /// Per-directed-link message loss: probability and a deterministic RNG.
+    loss: HashMap<(usize, usize), (f64, StdRng)>,
+    default_bw_bps: f64,
+    default_latency_us: u64,
+    local_latency_us: u64,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    states: Vec<ActorState>,
+    pub trace: Trace,
+    events_handled: u64,
+    event_limit: Option<u64>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// An empty simulation. Default inter-host links are 100 Mbps Ethernet
+    /// with 100us latency (the paper's testbed network).
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            hosts: Vec::new(),
+            links: HashMap::new(),
+            flow_scheds: HashMap::new(),
+            inflight: HashMap::new(),
+            next_flow_id: 0,
+            loss: HashMap::new(),
+            default_bw_bps: 12_500_000.0, // 100 Mbit/s in bytes/s
+            default_latency_us: 100,
+            local_latency_us: DEFAULT_LOCAL_LATENCY_US,
+            actors: Vec::new(),
+            states: Vec::new(),
+            trace: Trace::default(),
+            events_handled: 0,
+            event_limit: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Add a host. `speed` is in work-units per microsecond (1.0 is the
+    /// reference machine), `mem_capacity` in bytes.
+    pub fn add_host(&mut self, name: &str, speed: f64, mem_capacity: u64) -> HostId {
+        self.hosts.push(Host {
+            name: name.to_string(),
+            sched: CpuSched::new(speed),
+            mem_capacity,
+        });
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Spawn an actor on `host`. Its `on_start` runs at the current time.
+    pub fn spawn(&mut self, host: HostId, actor: Box<dyn Actor>) -> ActorId {
+        assert!(host.0 < self.hosts.len(), "unknown host {host}");
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(actor));
+        self.states.push(ActorState {
+            host,
+            fifo: VecDeque::new(),
+            inbox: VecDeque::new(),
+            running: Running::Idle,
+            weight: 1.0,
+            cpu_cap: None,
+            mem_limit: None,
+            mem_penalty_k: 4.0,
+            compute_started: SimTime::ZERO,
+            sleep_started: SimTime::ZERO,
+            acct: Accounting::default(),
+            alive: true,
+        });
+        let t = self.now;
+        self.push(t, Ev::Start(id));
+        id
+    }
+
+    /// Configure both directions of the link between `a` and `b`.
+    pub fn set_link(&mut self, a: HostId, b: HostId, bw_bytes_per_sec: f64, latency_us: u64) {
+        self.set_link_directed(a, b, bw_bytes_per_sec, latency_us);
+        self.set_link_directed(b, a, bw_bytes_per_sec, latency_us);
+    }
+
+    /// Configure one direction of a link.
+    pub fn set_link_directed(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bw_bytes_per_sec: f64,
+        latency_us: u64,
+    ) {
+        self.links
+            .insert((src.0, dst.0), Link::new(bw_bytes_per_sec, latency_us));
+    }
+
+    /// Change the bandwidth of an existing (or default) link at run time.
+    /// Affects transmissions that start after this call (FIFO mode) or
+    /// immediately reshapes all in-flight flows (fair-share mode).
+    pub fn set_link_bandwidth(&mut self, src: HostId, dst: HostId, bw_bytes_per_sec: f64) {
+        let (dbw, dlat) = (self.default_bw_bps, self.default_latency_us);
+        self.links
+            .entry((src.0, dst.0))
+            .or_insert_with(|| Link::new(dbw, dlat))
+            .set_bandwidth(bw_bytes_per_sec);
+        if self.flow_scheds.contains_key(&(src.0, dst.0)) {
+            self.sync_flows(src.0, dst.0);
+            let fs = self.flow_scheds.get_mut(&(src.0, dst.0)).unwrap();
+            fs.set_bandwidth(bw_bytes_per_sec);
+            self.schedule_next_flow(src.0, dst.0);
+        }
+    }
+
+    /// Switch the `src -> dst` link to the given sharing mode. In
+    /// [`LinkMode::FairShare`] every in-flight message progresses at
+    /// `bandwidth / n` simultaneously (fluid per-flow fair queuing)
+    /// instead of FIFO serialization.
+    pub fn set_link_mode(&mut self, src: HostId, dst: HostId, mode: LinkMode) {
+        let key = (src.0, dst.0);
+        match mode {
+            LinkMode::Fifo => {
+                assert!(
+                    self.flow_scheds.get(&key).is_none_or(|f| f.in_flight() == 0),
+                    "cannot switch modes with flows in flight"
+                );
+                self.flow_scheds.remove(&key);
+            }
+            LinkMode::FairShare => {
+                let bw = self.link_capacity_bps(src, dst);
+                self.flow_scheds.entry(key).or_insert_with(|| FlowSched::new(bw));
+            }
+        }
+    }
+
+    /// Inject message loss on the `src -> dst` link: each message is
+    /// dropped independently with probability `p`, using a deterministic
+    /// RNG seeded by `seed` (failure injection for robustness tests).
+    /// `p = 0` removes the injection.
+    pub fn set_link_loss(&mut self, src: HostId, dst: HostId, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        if p == 0.0 {
+            self.loss.remove(&(src.0, dst.0));
+        } else {
+            self.loss.insert((src.0, dst.0), (p, StdRng::seed_from_u64(seed)));
+        }
+    }
+
+    /// Full capacity (bytes/second) of the `src -> dst` link, as a
+    /// system-wide monitor would report it.
+    pub fn link_capacity_bps(&self, src: HostId, dst: HostId) -> f64 {
+        self.links
+            .get(&(src.0, dst.0))
+            .map(|l| l.bw_bytes_per_sec())
+            .unwrap_or(self.default_bw_bps)
+    }
+
+    // ------------------------------------------------------------------
+    // Resource controls (an ideal fair-share OS interface)
+    // ------------------------------------------------------------------
+
+    /// Hard-cap the fraction of its host CPU an actor may use.
+    pub fn set_cpu_cap(&mut self, a: ActorId, cap: Option<f64>) {
+        let host = self.states[a.0].host.0;
+        self.states[a.0].cpu_cap = cap;
+        if self.states[a.0].running == Running::Compute {
+            self.sync_host(host);
+            self.hosts[host].sched.retune(a, None, Some(cap));
+            self.schedule_next_cpu(host);
+        }
+        self.trace.emit(self.now, TraceEvent::CapChange { actor: a, cap });
+    }
+
+    /// Set an actor's proportional-share weight.
+    pub fn set_weight(&mut self, a: ActorId, weight: f64) {
+        let host = self.states[a.0].host.0;
+        self.states[a.0].weight = weight;
+        if self.states[a.0].running == Running::Compute {
+            self.sync_host(host);
+            self.hosts[host].sched.retune(a, Some(weight), None);
+            self.schedule_next_cpu(host);
+        }
+    }
+
+    /// Limit an actor's simulated physical memory. When its allocation
+    /// exceeds the limit, compute actions are inflated by
+    /// `1 + k * overcommit_fraction`, modeling paging slowdown.
+    pub fn set_mem_limit(&mut self, a: ActorId, limit: Option<u64>) {
+        self.states[a.0].mem_limit = limit;
+    }
+
+    /// Tune the paging-penalty coefficient `k` (default 4.0).
+    pub fn set_mem_penalty_k(&mut self, a: ActorId, k: f64) {
+        self.states[a.0].mem_penalty_k = k.max(0.0);
+    }
+
+    /// Terminate an actor: any active computation is aborted, queued
+    /// actions and pending messages are dropped, and future deliveries,
+    /// timers, and wakeups addressed to it are ignored. Models a process
+    /// being killed (e.g. a competing tenant evicted by the VMM).
+    pub fn kill(&mut self, a: ActorId) {
+        if !self.states[a.0].alive {
+            return;
+        }
+        let host = self.states[a.0].host.0;
+        self.sync_host(host);
+        if self.states[a.0].running == Running::Compute {
+            self.hosts[host].sched.abort(a);
+            self.schedule_next_cpu(host);
+        }
+        let st = &mut self.states[a.0];
+        st.alive = false;
+        st.running = Running::Idle;
+        st.fifo.clear();
+        st.inbox.clear();
+    }
+
+    /// Is the actor still alive (not killed)?
+    pub fn is_alive(&self, a: ActorId) -> bool {
+        self.states[a.0].alive
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Install a runaway-loop backstop: the simulation panics (with the
+    /// tail of the trace, if tracing is enabled) after handling this many
+    /// events. Useful for debugging livelocked actor protocols.
+    pub fn set_event_limit(&mut self, limit: Option<u64>) {
+        self.event_limit = limit;
+    }
+
+    pub fn host_of(&self, a: ActorId) -> HostId {
+        self.states[a.0].host
+    }
+
+    pub fn host_name(&self, h: HostId) -> &str {
+        &self.hosts[h.0].name
+    }
+
+    pub fn host_speed(&self, h: HostId) -> f64 {
+        self.hosts[h.0].sched.speed()
+    }
+
+    pub fn host_mem_capacity(&self, h: HostId) -> u64 {
+        self.hosts[h.0].mem_capacity
+    }
+
+    /// Accounting snapshot for `a`, first syncing its host's CPU fluid
+    /// model to the current time so counters are exact.
+    pub fn snapshot(&mut self, a: ActorId) -> Snapshot {
+        let host = self.states[a.0].host.0;
+        self.sync_host(host);
+        self.states[a.0].acct.snapshot()
+    }
+
+    /// Run `f` against the full (synced) accounting record of `a`.
+    pub fn with_accounting<R>(&mut self, a: ActorId, f: impl FnOnce(&Accounting) -> R) -> R {
+        let host = self.states[a.0].host.0;
+        self.sync_host(host);
+        f(&self.states[a.0].acct)
+    }
+
+    /// Transfers of `a` delivered at or after `since` (most recent last).
+    pub fn transfers_since(&mut self, a: ActorId, since: SimTime) -> Vec<Transfer> {
+        self.with_accounting(a, |acct| {
+            acct.transfers
+                .iter()
+                .filter(|t| t.delivered >= since)
+                .copied()
+                .collect()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Driving the simulation
+    // ------------------------------------------------------------------
+
+    /// Schedule `f` to run at absolute time `t` with full control of the
+    /// simulation (used by experiment scripts to vary resources).
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        assert!(t >= self.now, "cannot schedule in the past ({t} < {})", self.now);
+        self.push(t, Ev::Script(Box::new(f)));
+    }
+
+    /// Process events until the queue is exhausted.
+    pub fn run_until_idle(&mut self) {
+        while let Some(entry) = self.heap.pop() {
+            debug_assert!(entry.t >= self.now);
+            self.now = entry.t;
+            self.handle(entry.ev);
+        }
+    }
+
+    /// Process events up to and including time `t`; the clock ends at `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(entry) = self.heap.peek() {
+            if entry.t > t {
+                break;
+            }
+            let entry = self.heap.pop().unwrap();
+            self.now = entry.t;
+            self.handle(entry.ev);
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Process events for `dur_us` more microseconds of simulated time.
+    pub fn run_for(&mut self, dur_us: u64) {
+        let t = self.now + dur_us;
+        self.run_until(t);
+    }
+
+    /// True when no further events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, t: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { t, seq, ev });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        self.events_handled += 1;
+        if let Some(limit) = self.event_limit {
+            if self.events_handled > limit {
+                let tail: Vec<String> = self
+                    .trace
+                    .events()
+                    .iter()
+                    .rev()
+                    .filter(|(_, e)| !matches!(e, TraceEvent::TimerFired { .. }))
+                    .take(40)
+                    .map(|(t, e)| format!("{t} {e:?}"))
+                    .collect();
+                panic!(
+                    "event limit {limit} exceeded at {} — runaway loop? trace tail (newest first):\n{}",
+                    self.now,
+                    tail.join("\n")
+                );
+            }
+        }
+        match ev {
+            Ev::Start(a) => {
+                if self.states[a.0].alive {
+                    self.dispatch(a, |actor, ctx| actor.on_start(ctx));
+                    self.pump(a);
+                }
+            }
+            Ev::CpuNext { host, epoch } => {
+                if self.hosts[host].sched.epoch == epoch {
+                    self.sync_host(host);
+                    self.schedule_next_cpu(host);
+                }
+            }
+            Ev::FlowNext { src, dst, epoch } => {
+                if self.flow_scheds.get(&(src, dst)).is_some_and(|f| f.epoch == epoch) {
+                    self.sync_flows(src, dst);
+                    self.schedule_next_flow(src, dst);
+                }
+            }
+            Ev::Deliver { src, dst, msg, queued } => {
+                if !self.states[dst.0].alive {
+                    return;
+                }
+                let bytes = msg.wire_bytes;
+                let now = self.now;
+                let t_recv = Transfer {
+                    peer: src,
+                    dir: Dir::Received,
+                    bytes,
+                    queued,
+                    delivered: now,
+                };
+                self.states[dst.0].acct.record_transfer(t_recv);
+                if src.0 < self.states.len() {
+                    let t_sent = Transfer {
+                        peer: dst,
+                        dir: Dir::Sent,
+                        bytes,
+                        queued,
+                        delivered: now,
+                    };
+                    self.states[src.0].acct.record_transfer(t_sent);
+                }
+                self.trace
+                    .emit(now, TraceEvent::MsgDelivered { src, dst, bytes });
+                let st = &mut self.states[dst.0];
+                if st.running == Running::Idle && st.fifo.is_empty() && st.inbox.is_empty() {
+                    self.dispatch(dst, |actor, ctx| actor.on_message(src, msg, ctx));
+                    self.pump(dst);
+                } else {
+                    st.inbox.push_back((src, msg));
+                }
+            }
+            Ev::Timer { actor, tag } => {
+                if self.states[actor.0].alive {
+                    self.trace.emit(self.now, TraceEvent::TimerFired { actor, tag });
+                    self.dispatch(actor, |a, ctx| a.on_timer(tag, ctx));
+                    self.pump(actor);
+                }
+            }
+            Ev::Wake { actor } => {
+                let st = &mut self.states[actor.0];
+                if st.running == Running::Sleep {
+                    st.acct.sleep_wall_us += self.now.since(st.sleep_started) as f64;
+                    st.running = Running::Idle;
+                    self.pump(actor);
+                }
+            }
+            Ev::Script(f) => f(self),
+        }
+    }
+
+    /// Advance `host`'s fluid CPU model to `self.now`, moving accumulated
+    /// usage into per-actor accounting and finishing completed runs.
+    fn sync_host(&mut self, host: usize) {
+        let now = self.now;
+        let done = self.hosts[host].sched.advance(now);
+        for (a, cpu_us, work) in self.hosts[host].sched.drain_usage() {
+            let acct = &mut self.states[a.0].acct;
+            acct.cpu_time_us += cpu_us;
+            acct.work_done += work;
+        }
+        for a in done.finished {
+            self.finish_compute(a);
+        }
+    }
+
+    fn finish_compute(&mut self, a: ActorId) {
+        let st = &mut self.states[a.0];
+        debug_assert_eq!(st.running, Running::Compute);
+        st.acct.compute_wall_us += self.now.since(st.compute_started) as f64;
+        st.running = Running::Idle;
+        self.trace.emit(self.now, TraceEvent::ComputeEnd { actor: a });
+        self.pump(a);
+    }
+
+    fn schedule_next_cpu(&mut self, host: usize) {
+        if let Some(t) = self.hosts[host].sched.next_completion() {
+            let epoch = self.hosts[host].sched.epoch;
+            self.push(t, Ev::CpuNext { host, epoch });
+        }
+    }
+
+    /// Advance a fair-share link to `now`, scheduling deliveries for every
+    /// flow that completed.
+    fn sync_flows(&mut self, src: usize, dst: usize) {
+        let now = self.now;
+        let latency = self
+            .links
+            .get(&(src, dst))
+            .map(|l| l.latency_us)
+            .unwrap_or(self.default_latency_us);
+        let done = match self.flow_scheds.get_mut(&(src, dst)) {
+            Some(fs) => fs.advance(now),
+            None => return,
+        };
+        for id in done {
+            if let Some((s, d, msg, queued)) = self.inflight.remove(&id) {
+                let t = now + latency;
+                self.push(t, Ev::Deliver { src: s, dst: d, msg, queued });
+            }
+        }
+    }
+
+    fn schedule_next_flow(&mut self, src: usize, dst: usize) {
+        if let Some(fs) = self.flow_scheds.get(&(src, dst)) {
+            if let Some(t) = fs.next_completion() {
+                let epoch = fs.epoch;
+                self.push(t, Ev::FlowNext { src, dst, epoch });
+            }
+        }
+    }
+
+    /// Paging-slowdown multiplier for an actor's compute actions.
+    fn mem_penalty(&self, a: ActorId) -> f64 {
+        let st = &self.states[a.0];
+        match st.mem_limit {
+            Some(limit) if limit > 0 && st.acct.mem_used > limit => {
+                let over = (st.acct.mem_used - limit) as f64 / limit as f64;
+                1.0 + st.mem_penalty_k * over
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Execute `a`'s action queue until it blocks (compute/sleep) or drains.
+    fn pump(&mut self, a: ActorId) {
+        loop {
+            if self.states[a.0].running != Running::Idle || !self.states[a.0].alive {
+                return;
+            }
+            match self.states[a.0].fifo.pop_front() {
+                Some(Action::Compute { work }) => {
+                    let eff = work * self.mem_penalty(a);
+                    if eff <= 1e-9 {
+                        continue;
+                    }
+                    let host = self.states[a.0].host.0;
+                    self.sync_host(host);
+                    // sync_host may have re-entered pump for completed
+                    // actors, but never for `a` (it is Idle with no run).
+                    let (weight, cap) = {
+                        let st = &self.states[a.0];
+                        (st.weight, st.cpu_cap)
+                    };
+                    self.hosts[host].sched.start(a, eff, weight, cap);
+                    let st = &mut self.states[a.0];
+                    st.running = Running::Compute;
+                    st.compute_started = self.now;
+                    self.trace
+                        .emit(self.now, TraceEvent::ComputeStart { actor: a, work: eff });
+                    self.schedule_next_cpu(host);
+                    return;
+                }
+                Some(Action::Send { dst, msg }) => {
+                    self.transmit(a, dst, msg);
+                }
+                Some(Action::Sleep { us }) => {
+                    if us == 0 {
+                        continue;
+                    }
+                    let st = &mut self.states[a.0];
+                    st.running = Running::Sleep;
+                    st.sleep_started = self.now;
+                    let t = self.now + us;
+                    self.push(t, Ev::Wake { actor: a });
+                    return;
+                }
+                Some(Action::Continue { tag }) => {
+                    self.dispatch(a, |actor, ctx| actor.on_continue(tag, ctx));
+                }
+                None => {
+                    // Queue drained: deliver one pending inbound message.
+                    if let Some((from, msg)) = self.states[a.0].inbox.pop_front() {
+                        self.dispatch(a, |actor, ctx| actor.on_message(from, msg, ctx));
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Put a message on the wire from `src` to `dst`.
+    fn transmit(&mut self, src: ActorId, dst: ActorId, msg: Message) {
+        assert!(dst.0 < self.states.len(), "send to unknown actor {dst}");
+        let hs = self.states[src.0].host.0;
+        let hd = self.states[dst.0].host.0;
+        let bytes = msg.wire_bytes;
+        self.trace
+            .emit(self.now, TraceEvent::MsgSent { src, dst, bytes });
+        if let Some((p, rng)) = self.loss.get_mut(&(hs, hd)) {
+            if rng.gen::<f64>() < *p {
+                // The message still occupied the wire (sender-side cost),
+                // but never arrives.
+                if hs != hd {
+                    let (dbw, dlat) = (self.default_bw_bps, self.default_latency_us);
+                    self.links
+                        .entry((hs, hd))
+                        .or_insert_with(|| Link::new(dbw, dlat))
+                        .schedule(self.now, bytes);
+                }
+                return;
+            }
+        }
+        if hs != hd && self.flow_scheds.contains_key(&(hs, hd)) {
+            // Fluid fair-share path: register the flow; delivery happens
+            // when its last byte leaves the wire, plus latency.
+            self.sync_flows(hs, hd);
+            let id = self.next_flow_id;
+            self.next_flow_id += 1;
+            self.inflight.insert(id, (src, dst, msg, self.now));
+            self.flow_scheds.get_mut(&(hs, hd)).unwrap().start(id, bytes);
+            self.schedule_next_flow(hs, hd);
+            return;
+        }
+        let deliver_at = if hs == hd {
+            self.now + self.local_latency_us
+        } else {
+            let (dbw, dlat) = (self.default_bw_bps, self.default_latency_us);
+            let link = self
+                .links
+                .entry((hs, hd))
+                .or_insert_with(|| Link::new(dbw, dlat));
+            link.schedule(self.now, bytes).deliver
+        };
+        let queued = self.now;
+        self.push(deliver_at, Ev::Deliver { src, dst, msg, queued });
+    }
+
+    /// Take the actor out of its slot, run `f` with a [`Ctx`], put it back.
+    fn dispatch(&mut self, a: ActorId, f: impl FnOnce(&mut Box<dyn Actor>, &mut Ctx<'_>)) {
+        let mut actor = self.actors[a.0]
+            .take()
+            .unwrap_or_else(|| panic!("reentrant dispatch on {a}"));
+        {
+            let mut ctx = Ctx { sim: self, id: a };
+            f(&mut actor, &mut ctx);
+        }
+        self.actors[a.0] = Some(actor);
+    }
+}
+
+/// The interface an actor uses to interact with the simulation from inside
+/// an event handler. Enqueue-style methods ([`Ctx::compute`], [`Ctx::send`],
+/// [`Ctx::sleep`], [`Ctx::continue_with`]) append to the actor's serial
+/// action queue; the rest act immediately.
+pub struct Ctx<'a> {
+    sim: &'a mut Sim,
+    pub id: ActorId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// Enqueue a CPU demand of `work` work-units.
+    pub fn compute(&mut self, work: f64) {
+        assert!(work.is_finite() && work >= 0.0, "invalid work {work}");
+        self.sim.states[self.id.0].fifo.push_back(Action::Compute { work });
+    }
+
+    /// Enqueue a message send (ordered after earlier actions).
+    pub fn send(&mut self, dst: ActorId, msg: Message) {
+        self.sim.states[self.id.0].fifo.push_back(Action::Send { dst, msg });
+    }
+
+    /// Enqueue an idle period of `us` microseconds.
+    pub fn sleep(&mut self, us: u64) {
+        self.sim.states[self.id.0].fifo.push_back(Action::Sleep { us });
+    }
+
+    /// Enqueue a continuation: `on_continue(tag)` fires after all earlier
+    /// actions complete.
+    pub fn continue_with(&mut self, tag: u64) {
+        self.sim.states[self.id.0].fifo.push_back(Action::Continue { tag });
+    }
+
+    /// Send immediately, bypassing the action queue (control-plane traffic
+    /// such as monitoring reports).
+    pub fn send_now(&mut self, dst: ActorId, msg: Message) {
+        let id = self.id;
+        self.sim.transmit(id, dst, msg);
+    }
+
+    /// Fire `on_timer(tag)` after `delay_us` (fires even while busy).
+    pub fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        let t = self.sim.now + delay_us;
+        let id = self.id;
+        self.sim.push(t, Ev::Timer { actor: id, tag });
+    }
+
+    /// Allocate simulated memory.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.sim.states[self.id.0].acct.alloc(bytes);
+    }
+
+    /// Release simulated memory.
+    pub fn free(&mut self, bytes: u64) {
+        self.sim.states[self.id.0].acct.free(bytes);
+    }
+
+    /// Snapshot of this actor's own accounting (synced to now).
+    pub fn my_snapshot(&mut self) -> Snapshot {
+        let id = self.id;
+        self.sim.snapshot(id)
+    }
+
+    /// Snapshot of another actor's accounting.
+    pub fn snapshot_of(&mut self, a: ActorId) -> Snapshot {
+        self.sim.snapshot(a)
+    }
+
+    /// This actor's recent transfers delivered at or after `since`.
+    pub fn transfers_since(&mut self, since: SimTime) -> Vec<Transfer> {
+        let id = self.id;
+        self.sim.transfers_since(id, since)
+    }
+
+    /// The most recent inbound transfer recorded for this actor. Inside
+    /// `on_message` this is the transfer that carried the message being
+    /// handled (delivery records it immediately before dispatch).
+    pub fn last_received(&self) -> Option<Transfer> {
+        self.sim.states[self.id.0]
+            .acct
+            .transfers
+            .iter()
+            .rev()
+            .find(|t| t.dir == Dir::Received)
+            .copied()
+    }
+
+    /// Host this actor runs on.
+    pub fn my_host(&self) -> HostId {
+        self.sim.states[self.id.0].host
+    }
+
+    /// Host of another actor.
+    pub fn host_of(&self, a: ActorId) -> HostId {
+        self.sim.host_of(a)
+    }
+
+    /// Full speed of a host (system-wide monitor: maximum CPU capacity).
+    pub fn host_speed(&self, h: HostId) -> f64 {
+        self.sim.host_speed(h)
+    }
+
+    /// Full capacity of the `src -> dst` link in bytes/second (system-wide
+    /// monitor: maximum network capacity).
+    pub fn link_capacity_bps(&self, src: HostId, dst: HostId) -> f64 {
+        self.sim.link_capacity_bps(src, dst)
+    }
+
+    /// Remove and return every not-yet-started action of this actor.
+    /// This is the interposition hook used by the sandbox (see module docs).
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        self.sim.states[self.id.0].fifo.drain(..).collect()
+    }
+
+    /// Re-enqueue a previously drained action (interposition re-emit).
+    pub fn push_action(&mut self, action: Action) {
+        self.sim.states[self.id.0].fifo.push_back(action);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Computes `work` on start, then records its completion time.
+    struct Worker {
+        work: f64,
+        done_at: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl Actor for Worker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.compute(self.work);
+            ctx.continue_with(1);
+        }
+        fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+            *self.done_at.borrow_mut() = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_at_full_speed() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
+        sim.run_until_idle();
+        assert_eq!(*done.borrow(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn two_workers_share_the_cpu() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let d1 = Rc::new(RefCell::new(None));
+        let d2 = Rc::new(RefCell::new(None));
+        sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: d1.clone() }));
+        sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: d2.clone() }));
+        sim.run_until_idle();
+        // Both run at 50% until t=2s.
+        assert_eq!(*d1.borrow(), Some(SimTime::from_secs(2)));
+        assert_eq!(*d2.borrow(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn cpu_cap_slows_a_worker() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
+        sim.set_cpu_cap(a, Some(0.5));
+        sim.run_until_idle();
+        assert_eq!(*done.borrow(), Some(SimTime::from_secs(2)));
+        let snap = sim.snapshot(a);
+        assert!((snap.cpu_time_us - 1_000_000.0).abs() < 1.0);
+        assert!((snap.compute_wall_us - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cap_change_mid_run_takes_effect() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
+        // Full speed for 0.5s (half the work), then capped to 25%:
+        // remaining 0.5s of work takes 2s -> finish at 2.5s.
+        sim.at(SimTime::from_ms(500), move |s| s.set_cpu_cap(a, Some(0.25)));
+        sim.run_until_idle();
+        assert_eq!(*done.borrow(), Some(SimTime::from_ms(2500)));
+    }
+
+    /// Echo server: replies to each message with the same wire size.
+    struct Echo;
+    impl Actor for Echo {
+        fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
+            ctx.send(from, Message::signal(msg.tag + 100, msg.wire_bytes));
+        }
+    }
+
+    struct Pinger {
+        server: ActorId,
+        bytes: u64,
+        rtt: Rc<RefCell<Option<u64>>>,
+        sent_at: SimTime,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.sent_at = ctx.now();
+            ctx.send(self.server, Message::signal(1, self.bytes));
+        }
+        fn on_message(&mut self, _from: ActorId, _msg: Message, ctx: &mut Ctx<'_>) {
+            *self.rtt.borrow_mut() = Some(ctx.now().since(self.sent_at));
+        }
+    }
+
+    #[test]
+    fn request_reply_over_link() {
+        let mut sim = Sim::new();
+        let hc = sim.add_host("client", 1.0, 1 << 30);
+        let hs = sim.add_host("server", 1.0, 1 << 30);
+        // 1 MB/s, 1000us latency each way.
+        sim.set_link(hc, hs, 1_000_000.0, 1000);
+        let server = sim.spawn(hs, Box::new(Echo));
+        let rtt = Rc::new(RefCell::new(None));
+        sim.spawn(
+            hc,
+            Box::new(Pinger { server, bytes: 500_000, rtt: rtt.clone(), sent_at: SimTime::ZERO }),
+        );
+        sim.run_until_idle();
+        // Each direction: 0.5s serialization + 1ms latency.
+        assert_eq!(*rtt.borrow(), Some(2 * (500_000 + 1000)));
+    }
+
+    #[test]
+    fn local_messages_use_local_latency() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("one", 1.0, 1 << 30);
+        let server = sim.spawn(h, Box::new(Echo));
+        let rtt = Rc::new(RefCell::new(None));
+        sim.spawn(
+            h,
+            Box::new(Pinger { server, bytes: 500_000, rtt: rtt.clone(), sent_at: SimTime::ZERO }),
+        );
+        sim.run_until_idle();
+        assert_eq!(*rtt.borrow(), Some(2 * DEFAULT_LOCAL_LATENCY_US));
+    }
+
+    /// Sets a periodic timer and counts firings.
+    struct Ticker {
+        period: u64,
+        limit: u32,
+        count: Rc<RefCell<u32>>,
+    }
+    impl Actor for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+            *self.count.borrow_mut() += 1;
+            if *self.count.borrow() < self.limit {
+                ctx.set_timer(self.period, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_periodically() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let count = Rc::new(RefCell::new(0));
+        sim.spawn(h, Box::new(Ticker { period: dur::ms(10), limit: 5, count: count.clone() }));
+        sim.run_until_idle();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_ms(50));
+    }
+
+    #[test]
+    fn timer_fires_while_computing() {
+        struct Busy {
+            fired_at: Rc<RefCell<Option<SimTime>>>,
+        }
+        impl Actor for Busy {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(dur::ms(100), 7);
+                ctx.compute(1_000_000.0); // 1s of work
+            }
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+                assert_eq!(tag, 7);
+                *self.fired_at.borrow_mut() = Some(ctx.now());
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let fired = Rc::new(RefCell::new(None));
+        sim.spawn(h, Box::new(Busy { fired_at: fired.clone() }));
+        sim.run_until_idle();
+        // The timer fired mid-compute, not after it.
+        assert_eq!(*fired.borrow(), Some(SimTime::from_ms(100)));
+    }
+
+    #[test]
+    fn messages_wait_for_busy_actor() {
+        struct SlowReceiver {
+            got_at: Rc<RefCell<Vec<SimTime>>>,
+        }
+        impl Actor for SlowReceiver {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.compute(1_000_000.0); // busy until t=1s
+            }
+            fn on_message(&mut self, _f: ActorId, _m: Message, ctx: &mut Ctx<'_>) {
+                self.got_at.borrow_mut().push(ctx.now());
+            }
+        }
+        struct Sender {
+            dst: ActorId,
+        }
+        impl Actor for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.dst, Message::signal(1, 0));
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let rcv = sim.spawn(h, Box::new(SlowReceiver { got_at: got.clone() }));
+        sim.spawn(h, Box::new(Sender { dst: rcv }));
+        sim.run_until_idle();
+        assert_eq!(got.borrow().as_slice(), &[SimTime::from_secs(1)]);
+    }
+
+    #[test]
+    fn sleep_accrues_sleep_wall_time() {
+        struct Sleeper;
+        impl Actor for Sleeper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.sleep(dur::ms(250));
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let a = sim.spawn(h, Box::new(Sleeper));
+        sim.run_until_idle();
+        let snap = sim.snapshot(a);
+        assert!((snap.sleep_wall_us - 250_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_overcommit_inflates_compute() {
+        struct Hog {
+            done: Rc<RefCell<Option<SimTime>>>,
+        }
+        impl Actor for Hog {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.alloc(2_000_000); // 2 MB used vs 1 MB limit
+                ctx.compute(1_000_000.0);
+                ctx.continue_with(0);
+            }
+            fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+                *self.done.borrow_mut() = Some(ctx.now());
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let a = sim.spawn(h, Box::new(Hog { done: done.clone() }));
+        sim.set_mem_limit(a, Some(1_000_000));
+        sim.run_until_idle();
+        // Overcommit fraction 1.0, k=4 -> 5x slowdown -> 5s.
+        assert_eq!(*done.borrow(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn scripted_events_run_at_their_time() {
+        let mut sim = Sim::new();
+        let _h = sim.add_host("ref", 1.0, 1 << 30);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        sim.at(SimTime::from_secs(2), move |s| l2.borrow_mut().push(s.now()));
+        sim.at(SimTime::from_secs(1), move |s| l1.borrow_mut().push(s.now()));
+        sim.run_until_idle();
+        assert_eq!(
+            log.borrow().as_slice(),
+            &[SimTime::from_secs(1), SimTime::from_secs(2)]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        sim.spawn(h, Box::new(Worker { work: 10_000_000.0, done_at: done.clone() }));
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert!(done.borrow().is_none());
+        sim.run_until_idle();
+        assert_eq!(*done.borrow(), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn snapshot_is_accurate_mid_run() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let done = Rc::new(RefCell::new(None));
+        let a = sim.spawn(h, Box::new(Worker { work: 10_000_000.0, done_at: done }));
+        sim.set_cpu_cap(a, Some(0.5));
+        sim.run_until(SimTime::from_secs(2));
+        let snap = sim.snapshot(a);
+        // Held 50% of the CPU for 2s -> 1s of CPU time.
+        assert!((snap.cpu_time_us - 1_000_000.0).abs() < 1.0, "{snap:?}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        fn run() -> (SimTime, f64) {
+            let mut sim = Sim::new();
+            let h = sim.add_host("ref", 1.0, 1 << 30);
+            let hs = sim.add_host("srv", 0.7, 1 << 30);
+            sim.set_link(h, hs, 2_000_000.0, 500);
+            let server = sim.spawn(hs, Box::new(Echo));
+            let rtt = Rc::new(RefCell::new(None));
+            let a = sim.spawn(
+                h,
+                Box::new(Pinger { server, bytes: 123_456, rtt, sent_at: SimTime::ZERO }),
+            );
+            sim.run_until_idle();
+            let s = sim.snapshot(a);
+            (sim.now(), s.cpu_time_us + s.bytes_recv as f64)
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drain_and_reemit_actions() {
+        struct Inner;
+        impl Actor for Inner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.compute(100.0);
+                ctx.sleep(50);
+            }
+        }
+        struct Interposer {
+            inner: Inner,
+            seen: Rc<RefCell<usize>>,
+        }
+        impl Actor for Interposer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.inner.on_start(ctx);
+                let actions = ctx.drain_actions();
+                *self.seen.borrow_mut() = actions.len();
+                for a in actions {
+                    ctx.push_action(a);
+                }
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let seen = Rc::new(RefCell::new(0));
+        sim.spawn(h, Box::new(Interposer { inner: Inner, seen: seen.clone() }));
+        sim.run_until_idle();
+        assert_eq!(*seen.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_us(150));
+    }
+}
+
+#[cfg(test)]
+mod kill_tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Worker {
+        work: f64,
+        done: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl Actor for Worker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.compute(self.work);
+            ctx.continue_with(0);
+        }
+        fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+            *self.done.borrow_mut() = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn killed_actor_stops_and_frees_the_cpu() {
+        let mut sim = Sim::new();
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let d1 = Rc::new(RefCell::new(None));
+        let d2 = Rc::new(RefCell::new(None));
+        let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: d1.clone() }));
+        sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: d2.clone() }));
+        // Both at 50% until the kill at 0.5s (0.25s of work each done);
+        // the survivor then runs at 100% and finishes at 0.5 + 0.75 = 1.25s.
+        sim.at(SimTime::from_ms(500), move |s| s.kill(a));
+        sim.run_until_idle();
+        assert!(d1.borrow().is_none(), "killed actor never completes");
+        assert_eq!(*d2.borrow(), Some(SimTime::from_ms(1250)));
+        assert!(!sim.is_alive(a));
+    }
+
+    #[test]
+    fn messages_to_dead_actors_are_dropped() {
+        struct Sender {
+            dst: ActorId,
+        }
+        impl Actor for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.sleep(1000);
+                ctx.send(self.dst, Message::signal(1, 10));
+            }
+        }
+        struct Receiver {
+            got: Rc<RefCell<u32>>,
+        }
+        impl Actor for Receiver {
+            fn on_message(&mut self, _f: ActorId, _m: Message, _ctx: &mut Ctx<'_>) {
+                *self.got.borrow_mut() += 1;
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let got = Rc::new(RefCell::new(0));
+        let r = sim.spawn(h, Box::new(Receiver { got: got.clone() }));
+        sim.spawn(h, Box::new(Sender { dst: r }));
+        sim.at(SimTime::from_us(500), move |s| s.kill(r));
+        sim.run_until_idle();
+        assert_eq!(*got.borrow(), 0);
+    }
+
+    #[test]
+    fn kill_is_idempotent_and_timers_ignored() {
+        struct Timed {
+            fired: Rc<RefCell<u32>>,
+        }
+        impl Actor for Timed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(1_000, 0);
+                ctx.set_timer(10_000, 0);
+            }
+            fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {
+                *self.fired.borrow_mut() += 1;
+            }
+        }
+        let mut sim = Sim::new();
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let fired = Rc::new(RefCell::new(0));
+        let a = sim.spawn(h, Box::new(Timed { fired: fired.clone() }));
+        sim.at(SimTime::from_us(5_000), move |s| {
+            s.kill(a);
+            s.kill(a); // idempotent
+        });
+        sim.run_until_idle();
+        assert_eq!(*fired.borrow(), 1, "only the pre-kill timer fires");
+    }
+}
+
+#[cfg(test)]
+mod fairshare_tests {
+    use super::*;
+    use crate::link::LinkMode;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Blast {
+        dst: ActorId,
+        bytes: u64,
+        at_us: u64,
+    }
+    impl Actor for Blast {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.sleep(self.at_us);
+            ctx.send(self.dst, Message::signal(0, self.bytes));
+        }
+    }
+
+    struct Sink {
+        got: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, _f: ActorId, m: Message, ctx: &mut Ctx<'_>) {
+            self.got.borrow_mut().push((ctx.now(), m.wire_bytes));
+        }
+    }
+
+    fn two_flows(mode: LinkMode) -> Vec<(SimTime, u64)> {
+        let mut sim = Sim::new();
+        let h1 = sim.add_host("a", 1.0, 1 << 30);
+        let h2 = sim.add_host("b", 1.0, 1 << 30);
+        sim.set_link(h1, h2, 1_000_000.0, 0);
+        sim.set_link_mode(h1, h2, mode);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
+        sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
+        sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
+        sim.run_until_idle();
+        let v = got.borrow().clone();
+        v
+    }
+
+    #[test]
+    fn fair_share_finishes_flows_together() {
+        let fifo = two_flows(LinkMode::Fifo);
+        assert_eq!(fifo[0].0, SimTime::from_secs(1));
+        assert_eq!(fifo[1].0, SimTime::from_secs(2));
+        let fair = two_flows(LinkMode::FairShare);
+        assert_eq!(fair[0].0, SimTime::from_secs(2));
+        assert_eq!(fair[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn fair_share_single_flow_matches_fifo() {
+        for mode in [LinkMode::Fifo, LinkMode::FairShare] {
+            let mut sim = Sim::new();
+            let h1 = sim.add_host("a", 1.0, 1 << 30);
+            let h2 = sim.add_host("b", 1.0, 1 << 30);
+            sim.set_link(h1, h2, 2_000_000.0, 500);
+            sim.set_link_mode(h1, h2, mode);
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
+            sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
+            sim.run_until_idle();
+            assert_eq!(got.borrow()[0].0, SimTime::from_us(500_500), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn late_joiner_shares_fairly() {
+        let mut sim = Sim::new();
+        let h1 = sim.add_host("a", 1.0, 1 << 30);
+        let h2 = sim.add_host("b", 1.0, 1 << 30);
+        sim.set_link(h1, h2, 1_000_000.0, 0);
+        sim.set_link_mode(h1, h2, LinkMode::FairShare);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
+        sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
+        sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 250_000, at_us: 500_000 }));
+        sim.run_until_idle();
+        let got = got.borrow();
+        // Joiner (250K at half rate from 0.5s) finishes at 1.0s; the big
+        // flow's remaining 250K then runs alone: 1.25s.
+        assert_eq!(got[0], (SimTime::from_secs(1), 250_000));
+        assert_eq!(got[1], (SimTime::from_us(1_250_000), 1_000_000));
+    }
+
+    #[test]
+    fn bandwidth_change_reshapes_in_flight_flows() {
+        let mut sim = Sim::new();
+        let h1 = sim.add_host("a", 1.0, 1 << 30);
+        let h2 = sim.add_host("b", 1.0, 1 << 30);
+        sim.set_link(h1, h2, 1_000_000.0, 0);
+        sim.set_link_mode(h1, h2, LinkMode::FairShare);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
+        sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
+        // Halve the bandwidth halfway through: 0.5s at 1 MB/s, then
+        // 500K remaining at 0.5 MB/s -> 1s more -> total 1.5s.
+        sim.at(SimTime::from_ms(500), move |s| {
+            s.set_link_bandwidth(HostId(0), HostId(1), 500_000.0)
+        });
+        sim.run_until_idle();
+        assert_eq!(got.borrow()[0].0, SimTime::from_us(1_500_000));
+    }
+}

@@ -1,0 +1,313 @@
+//! Network links: store-and-forward FIFO pipes with bandwidth and latency.
+//!
+//! Each ordered host pair has a directed [`Link`]. A message of `b` bytes
+//! whose transmission starts at `t` occupies the link for `b / bandwidth`
+//! and is delivered `latency` after transmission finishes. Concurrent
+//! messages on the same link serialize in FIFO order, which yields the
+//! usual shared-medium behavior (two simultaneous bulk flows each observe
+//! roughly half the link's bandwidth on average).
+//!
+//! Bandwidth changes take effect for transmissions that *start* after the
+//! change; in-flight bytes finish at the old rate. Per-application bandwidth
+//! *limits* (the paper's sandbox network shaping) are imposed above this
+//! layer by the `sandbox` crate via token-bucket send delays.
+
+use crate::time::SimTime;
+
+/// A directed network link between two hosts.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Bandwidth in bytes per microsecond (1.0 == 1 MB/s? no: 1 byte/us = ~0.95 MiB/s;
+    /// use [`Link::bw_bytes_per_sec`] to construct from bytes/second).
+    pub bandwidth: f64,
+    /// One-way propagation delay in microseconds, applied after serialization.
+    pub latency_us: u64,
+    /// Time at which the link becomes free for the next transmission.
+    pub busy_until: SimTime,
+    /// Total bytes accepted, for utilization statistics.
+    pub bytes_carried: u64,
+}
+
+/// Result of scheduling one transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxSchedule {
+    /// When serialization onto the wire begins (>= enqueue time).
+    pub depart: SimTime,
+    /// When the last byte leaves the sender.
+    pub tx_end: SimTime,
+    /// When the message is delivered to the receiver.
+    pub deliver: SimTime,
+}
+
+impl Link {
+    /// Construct from bandwidth in bytes/second and latency in microseconds.
+    pub fn new(bw_bytes_per_sec: f64, latency_us: u64) -> Self {
+        assert!(
+            bw_bytes_per_sec > 0.0,
+            "link bandwidth must be positive, got {bw_bytes_per_sec}"
+        );
+        Link {
+            bandwidth: bw_bytes_per_sec / 1e6,
+            latency_us,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Change the bandwidth (bytes/second) for future transmissions.
+    pub fn set_bandwidth(&mut self, bw_bytes_per_sec: f64) {
+        assert!(bw_bytes_per_sec > 0.0);
+        self.bandwidth = bw_bytes_per_sec / 1e6;
+    }
+
+    /// Bandwidth in bytes per second.
+    pub fn bw_bytes_per_sec(&self) -> f64 {
+        self.bandwidth * 1e6
+    }
+
+    /// Schedule the transmission of `bytes` enqueued at `now`.
+    pub fn schedule(&mut self, now: SimTime, bytes: u64) -> TxSchedule {
+        let depart = if self.busy_until > now { self.busy_until } else { now };
+        let tx_us = if bytes == 0 {
+            0
+        } else {
+            ((bytes as f64 / self.bandwidth).ceil() as u64).max(1)
+        };
+        let tx_end = depart + tx_us;
+        self.busy_until = tx_end;
+        self.bytes_carried += bytes;
+        TxSchedule { depart, tx_end, deliver: tx_end + self.latency_us }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_determines_tx_time() {
+        // 1 MB/s, 1000us latency: 500_000 bytes -> 0.5s serialization.
+        let mut l = Link::new(1_000_000.0, 1000);
+        let s = l.schedule(SimTime::ZERO, 500_000);
+        assert_eq!(s.depart, SimTime::ZERO);
+        assert_eq!(s.tx_end, SimTime::from_us(500_000));
+        assert_eq!(s.deliver, SimTime::from_us(501_000));
+    }
+
+    #[test]
+    fn fifo_serialization() {
+        let mut l = Link::new(1_000_000.0, 0);
+        let a = l.schedule(SimTime::ZERO, 1_000_000); // 1s
+        let b = l.schedule(SimTime::from_us(10), 1_000_000); // queued behind a
+        assert_eq!(a.deliver, SimTime::from_secs(1));
+        assert_eq!(b.depart, SimTime::from_secs(1));
+        assert_eq!(b.deliver, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut l = Link::new(1_000_000.0, 0);
+        l.schedule(SimTime::ZERO, 1_000_000);
+        // Next message arrives after the link went idle.
+        let s = l.schedule(SimTime::from_secs(5), 1_000_000);
+        assert_eq!(s.depart, SimTime::from_secs(5));
+        assert_eq!(s.deliver, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn zero_byte_message_costs_only_latency() {
+        let mut l = Link::new(1_000_000.0, 250);
+        let s = l.schedule(SimTime::from_us(7), 0);
+        assert_eq!(s.tx_end, SimTime::from_us(7));
+        assert_eq!(s.deliver, SimTime::from_us(257));
+    }
+
+    #[test]
+    fn bandwidth_change_affects_future_sends() {
+        let mut l = Link::new(1_000_000.0, 0);
+        let a = l.schedule(SimTime::ZERO, 500_000);
+        assert_eq!(a.deliver, SimTime::from_us(500_000));
+        l.set_bandwidth(100_000.0); // 10x slower
+        let b = l.schedule(a.deliver, 500_000);
+        assert_eq!(b.deliver, SimTime::from_us(500_000 + 5_000_000));
+    }
+
+    #[test]
+    fn bytes_carried_accumulates() {
+        let mut l = Link::new(1e6, 0);
+        l.schedule(SimTime::ZERO, 100);
+        l.schedule(SimTime::ZERO, 200);
+        assert_eq!(l.bytes_carried, 300);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0.0, 0);
+    }
+}
+
+/// How concurrent messages share a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkMode {
+    /// Store-and-forward FIFO: messages serialize in arrival order (the
+    /// default; models a single shared medium with packet-sized fairness
+    /// averaged out).
+    #[default]
+    Fifo,
+    /// Fluid processor-sharing: all in-flight messages progress
+    /// simultaneously at `bandwidth / n` (models per-flow fair queuing).
+    FairShare,
+}
+
+/// One in-flight transmission under fair sharing.
+#[derive(Debug, Clone)]
+struct Flow {
+    id: u64,
+    remaining: f64,
+}
+
+/// Fluid fair-share scheduler for one directed link: the network twin of
+/// the CPU's GPS model. All flows progress at `bandwidth / flows.len()`;
+/// rates change only at flow start/completion events.
+#[derive(Debug)]
+pub struct FlowSched {
+    /// Bytes per microsecond.
+    bandwidth: f64,
+    flows: Vec<Flow>,
+    last: SimTime,
+    /// Bumped whenever rates change; stale events are ignored by epoch.
+    pub epoch: u64,
+}
+
+impl FlowSched {
+    pub fn new(bw_bytes_per_sec: f64) -> Self {
+        assert!(bw_bytes_per_sec > 0.0);
+        FlowSched { bandwidth: bw_bytes_per_sec / 1e6, flows: Vec::new(), last: SimTime::ZERO, epoch: 0 }
+    }
+
+    pub fn set_bandwidth(&mut self, bw_bytes_per_sec: f64) {
+        assert!(bw_bytes_per_sec > 0.0);
+        self.bandwidth = bw_bytes_per_sec / 1e6;
+        self.epoch += 1;
+    }
+
+    pub fn bw_bytes_per_sec(&self) -> f64 {
+        self.bandwidth * 1e6
+    }
+
+    fn rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            0.0
+        } else {
+            self.bandwidth / self.flows.len() as f64
+        }
+    }
+
+    /// Advance the fluid model to `now`; returns the ids of flows whose
+    /// last byte has left the wire.
+    pub fn advance(&mut self, now: SimTime) -> Vec<u64> {
+        let dt = now.since(self.last) as f64;
+        self.last = now;
+        let rate = self.rate();
+        let mut done = Vec::new();
+        if dt > 0.0 && rate > 0.0 {
+            for f in &mut self.flows {
+                f.remaining -= rate * dt;
+            }
+        }
+        self.flows.retain(|f| {
+            if f.remaining <= 1e-9 {
+                done.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Start a flow of `bytes` (id must be unique). Caller must `advance`
+    /// to `now` first.
+    pub fn start(&mut self, id: u64, bytes: u64) {
+        self.flows.push(Flow { id, remaining: (bytes as f64).max(1.0) });
+        self.epoch += 1;
+    }
+
+    /// When the earliest in-flight flow will finish.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        self.flows
+            .iter()
+            .map(|f| {
+                let us = (f.remaining / rate).ceil() as u64;
+                self.last + us.max(1)
+            })
+            .min()
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_matches_fifo_timing() {
+        let mut fs = FlowSched::new(1_000_000.0);
+        fs.advance(SimTime::ZERO);
+        fs.start(1, 500_000);
+        assert_eq!(fs.next_completion(), Some(SimTime::from_us(500_000)));
+        let done = fs.advance(SimTime::from_us(500_000));
+        assert_eq!(done, vec![1]);
+    }
+
+    #[test]
+    fn concurrent_flows_share_bandwidth() {
+        let mut fs = FlowSched::new(1_000_000.0);
+        fs.advance(SimTime::ZERO);
+        fs.start(1, 1_000_000);
+        fs.start(2, 1_000_000);
+        // Each at 0.5 MB/s: both finish at t=2s (vs FIFO: 1s and 2s).
+        assert_eq!(fs.next_completion(), Some(SimTime::from_secs(2)));
+        let done = fs.advance(SimTime::from_secs(2));
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn late_joiner_slows_the_first_flow() {
+        let mut fs = FlowSched::new(1_000_000.0);
+        fs.advance(SimTime::ZERO);
+        fs.start(1, 1_000_000);
+        // After 0.5s alone, 500K remain; the joiner halves the rate.
+        fs.advance(SimTime::from_ms(500));
+        fs.start(2, 250_000);
+        // Flow 2 (250K at 0.5 MB/s) finishes first at t=1.0s.
+        assert_eq!(fs.next_completion(), Some(SimTime::from_secs(1)));
+        let done = fs.advance(SimTime::from_secs(1));
+        assert_eq!(done, vec![2]);
+        // Flow 1: 250K left, alone again -> t=1.25s.
+        assert_eq!(fs.next_completion(), Some(SimTime::from_us(1_250_000)));
+    }
+
+    #[test]
+    fn work_conservation() {
+        let mut fs = FlowSched::new(2_000_000.0);
+        fs.advance(SimTime::ZERO);
+        fs.start(1, 600_000);
+        fs.start(2, 600_000);
+        fs.start(3, 600_000);
+        // Total 1.8 MB at 2 MB/s aggregate -> all done by 0.9s.
+        let done = fs.advance(SimTime::from_us(900_000));
+        assert_eq!(done.len(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Optional event tracing for debugging and figure generation.
+//!
+//! Disabled by default; enabling it appends lightweight records to an
+//! in-memory log that tests and harnesses can inspect or dump.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// One traced kernel event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    ComputeStart { actor: ActorId, work: f64 },
+    ComputeEnd { actor: ActorId },
+    MsgSent { src: ActorId, dst: ActorId, bytes: u64 },
+    MsgDelivered { src: ActorId, dst: ActorId, bytes: u64 },
+    TimerFired { actor: ActorId, tag: u64 },
+    CapChange { actor: ActorId, cap: Option<f64> },
+}
+
+/// An in-memory trace log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// Turn tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn emit(&mut self, t: SimTime, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push((t, ev));
+        }
+    }
+
+    /// Borrow all recorded events.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Take ownership of the recorded events, clearing the log.
+    pub fn take(&mut self) -> Vec<(SimTime, TraceEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Render the trace as one line per event (for test debugging).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (t, ev) in &self.events {
+            let _ = writeln!(out, "{t} {ev:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::default();
+        tr.emit(SimTime::ZERO, TraceEvent::ComputeEnd { actor: ActorId(0) });
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_takes() {
+        let mut tr = Trace::default();
+        tr.set_enabled(true);
+        tr.emit(SimTime::from_us(1), TraceEvent::ComputeEnd { actor: ActorId(0) });
+        assert_eq!(tr.events().len(), 1);
+        let evs = tr.take();
+        assert_eq!(evs.len(), 1);
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut tr = Trace::default();
+        tr.set_enabled(true);
+        tr.emit(
+            SimTime::from_us(1),
+            TraceEvent::MsgSent { src: ActorId(0), dst: ActorId(1), bytes: 5 },
+        );
+        tr.emit(SimTime::from_us(2), TraceEvent::ComputeEnd { actor: ActorId(0) });
+        assert_eq!(tr.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! The active-visualization client actor — the paper's tunable application
+//! (Figure 2), optionally driven by the adaptation runtime.
+//!
+//! The client implements the annotated loop: request an incrementally
+//! growing foveal square up to resolution level `l`, decompress, update
+//! the display, measure `QoS.response_time` and `QoS.transmit_time`.
+//! Between rounds (the task boundary) the embedded
+//! [`AdaptiveRuntime`] may switch control parameters; a compression
+//! change executes the `transition on c` body by notifying the server.
+//!
+//! When built with a `verify_store`, the client really decompresses and
+//! reconstructs every reply and asserts pixel-exactness at each image
+//! completion — the end-to-end correctness check used by the test suite.
+
+use std::sync::Arc;
+
+use adapt_core::{AdaptiveRuntime, Configuration, ResourceKey};
+use compress::Method;
+use sandbox::SandboxStats;
+use simnet::{Actor, ActorId, Ctx, Message, SimTime};
+use wavelet::{decode_chunks, Reassembler};
+
+use crate::costs;
+use crate::protocol::{self, Reply, Request};
+use crate::stats::{ImageRecord, RoundRecord, StatsHandle};
+use crate::store::ImageStore;
+use crate::user_model::UserModel;
+
+/// Timer tag for the monitoring agent (must stay below the sandbox's
+/// reserved range).
+pub const TAG_MONITOR: u64 = 10;
+const CONT_ROUND_DONE: u64 = 20;
+/// Retransmission timers encode the awaited round as `TAG_RETRY_BASE + round`.
+const TAG_RETRY_BASE: u64 = 1_000;
+
+/// The client's view of its control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VizConfig {
+    /// Incremental fovea size `dR` (radius increment per round, pixels).
+    pub dr: usize,
+    /// Resolution level `l`.
+    pub level: usize,
+    /// Compression type `c`.
+    pub method: Method,
+}
+
+impl VizConfig {
+    /// Into the framework's named-parameter form (`dR`, `l`, `c`).
+    pub fn to_configuration(self) -> Configuration {
+        Configuration::new(&[
+            ("dR", self.dr as i64),
+            ("l", self.level as i64),
+            ("c", self.method.code()),
+        ])
+    }
+
+    /// From the framework's named-parameter form. Panics on malformed
+    /// configurations (the control space validates them upstream).
+    pub fn from_configuration(c: &Configuration) -> VizConfig {
+        VizConfig {
+            dr: c.expect("dR") as usize,
+            level: c.expect("l") as usize,
+            method: Method::from_code(c.expect("c")).expect("invalid compression code"),
+        }
+    }
+}
+
+/// Adaptation wiring: the runtime plus the observation source.
+pub struct AdaptSetup {
+    pub runtime: AdaptiveRuntime,
+    /// Progress estimates from this client's sandbox (the monitoring agent
+    /// reuses the virtual-execution-environment machinery, §6.1).
+    pub sandbox_stats: SandboxStats,
+    pub cpu_key: ResourceKey,
+    pub net_key: ResourceKey,
+    /// Monitor sampling period (default 10 ms).
+    pub period_us: u64,
+}
+
+/// Client construction options.
+pub struct ClientOpts {
+    pub server: ActorId,
+    pub n_images: usize,
+    pub initial: VizConfig,
+    pub user: UserModel,
+    /// Radius covering the whole image.
+    pub cover_radius: usize,
+    pub img_dims: (usize, usize),
+    /// The pyramid's finest level (resolution level of the original).
+    pub max_level: usize,
+    /// When set, really decompress/reconstruct and assert correctness.
+    pub verify_store: Option<Arc<ImageStore>>,
+    /// Retransmit a request if its reply has not arrived within this time
+    /// (needed on lossy links; the server is idempotent).
+    pub request_timeout_us: Option<u64>,
+}
+
+struct PendingRound {
+    wire_bytes: u64,
+    raw_bytes: usize,
+}
+
+/// The client actor.
+pub struct Client {
+    opts: ClientOpts,
+    cfg: VizConfig,
+    stats: StatsHandle,
+    adapt: Option<AdaptSetup>,
+    image_idx: usize,
+    fovea: (usize, usize),
+    r: usize,
+    prev_r: usize,
+    round_no: u64,
+    image_started: SimTime,
+    round_started: SimTime,
+    pending: Option<PendingRound>,
+    reassembler: Option<Reassembler>,
+    /// Simulated bytes currently allocated for the image being viewed.
+    allocated: u64,
+    done: bool,
+}
+
+impl Client {
+    pub fn new(opts: ClientOpts, stats: StatsHandle, adapt: Option<AdaptSetup>) -> Self {
+        let cfg = match &adapt {
+            Some(a) => VizConfig::from_configuration(a.runtime.current()),
+            None => opts.initial,
+        };
+        Client {
+            cfg,
+            opts,
+            stats,
+            adapt,
+            image_idx: 0,
+            fovea: (0, 0),
+            r: 0,
+            prev_r: 0,
+            round_no: 0,
+            image_started: SimTime::ZERO,
+            round_started: SimTime::ZERO,
+            pending: None,
+            reassembler: None,
+            allocated: 0,
+            done: false,
+        }
+    }
+
+    /// Working-set size for viewing one image at `level`: the coefficient
+    /// frame plus the display buffer at the level's viewing scale, plus a
+    /// fixed runtime footprint. Degrading the resolution level shrinks the
+    /// working set by ~4x per level — the memory-axis counterpart of the
+    /// resolution knob.
+    fn working_set_bytes(&self) -> u64 {
+        let (w, h) = self.opts.img_dims;
+        let shift = self.opts.max_level.saturating_sub(self.cfg.level);
+        let view = ((w >> shift).max(1) * (h >> shift).max(1)) as u64;
+        view * 5 + 32 * 1024
+    }
+
+    pub fn current_config(&self) -> VizConfig {
+        self.cfg
+    }
+
+    fn begin_image(&mut self, ctx: &mut Ctx<'_>) {
+        self.fovea = self.opts.user.next_fovea();
+        self.r = self.cfg.dr.min(self.opts.cover_radius);
+        self.prev_r = 0;
+        self.image_started = ctx.now();
+        let ws = self.working_set_bytes();
+        ctx.alloc(ws);
+        self.allocated += ws;
+        if let Some(store) = &self.opts.verify_store {
+            let (w, h) = self.opts.img_dims;
+            self.reassembler = Some(Reassembler::new(w, h, store.levels()));
+        }
+        self.begin_round(ctx);
+    }
+
+    fn begin_round(&mut self, ctx: &mut Ctx<'_>) {
+        self.round_started = ctx.now();
+        self.send_request(ctx);
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(
+            self.opts.server,
+            protocol::request_msg(Request {
+                image_id: self.image_idx,
+                cx: self.fovea.0,
+                cy: self.fovea.1,
+                r: self.r,
+                prev_r: self.prev_r,
+                level: self.cfg.level,
+                round: self.round_no,
+            }),
+        );
+        if let Some(timeout) = self.opts.request_timeout_us {
+            ctx.set_timer(timeout, TAG_RETRY_BASE + self.round_no);
+        }
+    }
+
+    /// The task boundary: apply any pending reconfiguration and execute
+    /// transition actions.
+    fn boundary(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(adapt) = self.adapt.as_mut() else { return };
+        let now = ctx.now();
+        if let Some(ev) = adapt.runtime.at_boundary(now) {
+            let new_cfg = VizConfig::from_configuration(&ev.new);
+            let method_changed = new_cfg.method != self.cfg.method;
+            self.cfg = new_cfg;
+            self.stats.with_mut(|s| s.config_history.push((now, ev.new.clone())));
+            for action in &ev.actions {
+                match action {
+                    adapt_core::TransitionAction::NotifyHost { host, param } => {
+                        if host == "server" && param == "c" && method_changed {
+                            ctx.send(
+                                self.opts.server,
+                                protocol::set_compression_msg(self.cfg.method),
+                            );
+                        }
+                    }
+                    adapt_core::TransitionAction::SetLocal { .. } => {
+                        // Local knobs already applied via self.cfg.
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_image(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        ctx.free(self.allocated);
+        self.allocated = 0;
+        let rounds_for_image = self
+            .stats
+            .with(|s| s.rounds.iter().filter(|r| r.image_id == self.image_idx).count());
+        self.stats.with_mut(|s| {
+            s.images.push(ImageRecord {
+                image_id: self.image_idx,
+                started: self.image_started,
+                finished: now,
+                rounds: rounds_for_image,
+            })
+        });
+        // End-to-end verification: the reassembled image at the requested
+        // level must match the server's pyramid exactly.
+        if let (Some(re), Some(store)) = (&self.reassembler, &self.opts.verify_store) {
+            let got = re.reconstruct(self.cfg.level);
+            let want = store.pyramid(self.image_idx).reconstruct(self.cfg.level);
+            assert_eq!(
+                got, want,
+                "image {} not reconstructed exactly at level {}",
+                self.image_idx, self.cfg.level
+            );
+        }
+        self.boundary(ctx);
+        self.image_idx += 1;
+        if self.image_idx < self.opts.n_images {
+            self.begin_image(ctx);
+        } else {
+            self.done = true;
+            self.stats.with_mut(|s| s.finished_at = Some(now));
+            if let Some(a) = &self.adapt {
+                let events = a.runtime.events().to_vec();
+                let estimate = a.runtime.monitor.estimate();
+                self.stats.with_mut(|s| {
+                    s.adapt_events = events;
+                    s.final_estimate = Some(estimate);
+                });
+            }
+            ctx.send(self.opts.server, Message::signal(protocol::TAG_DISCONNECT, 32));
+        }
+    }
+}
+
+impl Actor for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let initial = self.cfg.to_configuration();
+        self.stats.with_mut(|s| s.config_history.push((ctx.now(), initial)));
+        ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
+        if let Some(a) = &self.adapt {
+            ctx.set_timer(a.period_us, TAG_MONITOR);
+        }
+        self.begin_image(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
+        if msg.tag == protocol::TAG_RESOURCE_REPORT {
+            // A remote monitoring agent's estimate: feed it to our runtime
+            // (ignored unless the spec watches that resource).
+            if let Some(a) = self.adapt.as_mut() {
+                let rep = msg.expect_body::<protocol::ResourceReport>();
+                let kind = match rep.kind {
+                    0 => adapt_core::ResourceKind::CpuShare,
+                    1 => adapt_core::ResourceKind::NetworkBps,
+                    _ => adapt_core::ResourceKind::MemBytes,
+                };
+                let key = ResourceKey::new(&rep.component, kind);
+                a.runtime.observe(ctx.now(), &key, rep.value);
+            }
+            return;
+        }
+        if msg.tag != protocol::TAG_REPLY {
+            return;
+        }
+        let reply = msg.expect_body::<Reply>();
+        if reply.image_id != self.image_idx
+            || reply.round != self.round_no
+            || self.pending.is_some()
+        {
+            return; // stale or duplicate reply (e.g. a retransmission race)
+        }
+        // Real decompression + reassembly when verifying.
+        if let Some(re) = self.reassembler.as_mut() {
+            let raw = reply
+                .compression
+                .decompress(&reply.payload)
+                .expect("corrupt reply payload");
+            assert_eq!(raw.len(), reply.raw_bytes);
+            for chunk in decode_chunks(&raw).expect("malformed chunk payload") {
+                re.apply(&chunk);
+            }
+        }
+        self.pending = Some(PendingRound {
+            wire_bytes: msg.wire_bytes,
+            raw_bytes: reply.raw_bytes,
+        });
+        // Display repaints the requested square at the *viewing* scale of
+        // the requested level: degrading resolution shrinks both the data
+        // and the repaint cost (one quarter per level).
+        let shift = 2 * self.opts.max_level.saturating_sub(self.cfg.level);
+        let shown = (reply.region.area() >> shift).max(1);
+        ctx.compute(costs::client_round_work(
+            reply.ncoeffs,
+            reply.raw_bytes,
+            shown,
+            reply.compression,
+        ));
+        ctx.continue_with(CONT_ROUND_DONE);
+    }
+
+    fn on_continue(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        if tag != CONT_ROUND_DONE {
+            return;
+        }
+        let Some(pending) = self.pending.take() else { return };
+        let now = ctx.now();
+        self.stats.with_mut(|s| {
+            s.rounds.push(RoundRecord {
+                image_id: self.image_idx,
+                round: self.round_no,
+                started: self.round_started,
+                finished: now,
+                wire_bytes: pending.wire_bytes,
+                raw_bytes: pending.raw_bytes,
+                level: self.cfg.level,
+                dr: self.cfg.dr,
+            })
+        });
+        self.prev_r = self.r;
+        self.round_no += 1;
+        if self.r >= self.opts.cover_radius {
+            self.finish_image(ctx);
+        } else {
+            self.boundary(ctx);
+            self.r = (self.r + self.cfg.dr).min(self.opts.cover_radius);
+            self.begin_round(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        if (TAG_RETRY_BASE..sandbox::TAG_BASE).contains(&tag) {
+            // A request's reply is overdue: retransmit if we are still
+            // awaiting exactly that round (the server is idempotent — its
+            // payload cache serves the same bytes again).
+            let awaited = tag - TAG_RETRY_BASE;
+            if !self.done && self.pending.is_none() && self.round_no == awaited {
+                self.stats.with_mut(|s| s.retries += 1);
+                self.send_request(ctx);
+            }
+            return;
+        }
+        if tag != TAG_MONITOR {
+            return;
+        }
+        if self.done {
+            return;
+        }
+        let now = ctx.now();
+        if let Some(a) = self.adapt.as_mut() {
+            if let Some(share) = a.sandbox_stats.cpu_share() {
+                a.runtime.observe(now, &a.cpu_key, share);
+            }
+            if let Some(bw) = a.sandbox_stats.bandwidth_bps(true) {
+                a.runtime.observe(now, &a.net_key, bw);
+            }
+            a.runtime.tick(now);
+            let period = a.period_us;
+            ctx.set_timer(period, TAG_MONITOR);
+        }
+    }
+}

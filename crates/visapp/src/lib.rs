@@ -1,0 +1,40 @@
+//! # visapp — the active visualization application (paper §2.1, §4.1, §7)
+//!
+//! A client-server application for interactively viewing large images:
+//! the server stores images as wavelet pyramids and transmits the user's
+//! foveal region progressively; the client decompresses, reconstructs,
+//! and displays. Control parameters: incremental fovea size `dR`,
+//! compression type `c` (LZW vs Bzip2-style), resolution level `l`. QoS
+//! metrics: `transmit_time`, `response_time`, `resolution`.
+//!
+//! - [`store`]: server-side wavelet image store with memoized compression;
+//! - [`protocol`]: the request/reply/control wire protocol;
+//! - [`server`], [`client`]: the two actors; the client optionally embeds
+//!   the framework's [`adapt_core::AdaptiveRuntime`] and executes the
+//!   `transition on c` notify action when switching compression;
+//! - [`costs`]: simulated CPU costs calibrated to the paper's era;
+//! - [`stats`]: measured QoS records;
+//! - [`scenario`]: full deployments (static/adaptive), the profiling
+//!   runner, and performance-database construction — the basis of every
+//!   reproduced figure;
+//! - [`user_model`]: synthetic fovea behavior.
+
+pub mod client;
+pub mod costs;
+pub mod protocol;
+pub mod scenario;
+pub mod server;
+pub mod stats;
+pub mod store;
+pub mod user_model;
+
+pub use client::{AdaptSetup, Client, ClientOpts, VizConfig};
+pub use scenario::{
+    build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
+    run_adaptive, run_competing, run_static, viz_spec, LoadSpec, RunOutcome, Scenario,
+    PROFILE_INPUT,
+};
+pub use server::{Reporter, Server};
+pub use stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
+pub use store::ImageStore;
+pub use user_model::UserModel;

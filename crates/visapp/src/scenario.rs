@@ -1,0 +1,507 @@
+//! Scenario assembly: complete simulated deployments of the active
+//! visualization application, static or adaptive, plus the profiling
+//! runner that populates the performance database.
+//!
+//! This is the experiment harness layer: Figures 4-7 are all produced by
+//! composing [`run_static`], [`run_adaptive`], and [`build_db`] with
+//! different parameters and resource schedules.
+
+use std::sync::Arc;
+
+use adapt_core::{
+    AdaptiveRuntime, Configuration, ControlParam, ControlSpace, ExecutionEnv, PerfDb,
+    PreferenceList, Profiler, QosMetricDef, QosReport, ResourceGrid, ResourceKey,
+    ResourceScheduler, ResourceVector, TaskGraph, TaskSpec, TransitionAction, TransitionSpec,
+    TunableSpec, MONITOR_PERIOD_US,
+};
+use compress::Method;
+use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
+use simnet::{LinkMode, Sim, SimTime};
+
+use crate::client::{AdaptSetup, Client, ClientOpts, VizConfig};
+use crate::server::Server;
+use crate::stats::{RunStats, StatsHandle};
+use crate::store::ImageStore;
+use crate::user_model::UserModel;
+
+/// A background competing process on the client host: kernel-scheduled
+/// (not sandboxed), so it genuinely contends with the client for CPU —
+/// the paper's "competition for resources affecting their dynamic
+/// availability". The monitoring agent must *infer* the reduced share
+/// from its own progress, with no ground-truth signal.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// When the process starts (absolute simulation time, us).
+    pub start_us: u64,
+    /// Proportional-share weight relative to the client's 1.0.
+    pub weight: f64,
+    /// How long it runs (us).
+    pub duration_us: u64,
+}
+
+/// The competing process: CPU-bound slices until its deadline.
+struct LoadActor {
+    until: SimTime,
+}
+
+impl simnet::Actor for LoadActor {
+    fn on_start(&mut self, ctx: &mut simnet::Ctx<'_>) {
+        ctx.compute(100_000.0);
+        ctx.continue_with(0);
+    }
+    fn on_continue(&mut self, _tag: u64, ctx: &mut simnet::Ctx<'_>) {
+        if ctx.now() < self.until {
+            ctx.compute(100_000.0);
+            ctx.continue_with(0);
+        }
+    }
+}
+
+fn install_loads(sim: &mut Sim, host: simnet::HostId, loads: &[LoadSpec]) {
+    for spec in loads {
+        let LoadSpec { start_us, weight, duration_us } = *spec;
+        sim.at(SimTime::from_us(start_us), move |s| {
+            let until = s.now() + duration_us;
+            let id = s.spawn(host, Box::new(LoadActor { until }));
+            s.set_weight(id, weight);
+        });
+    }
+}
+
+/// A deployment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub n_images: usize,
+    pub img_size: usize,
+    pub levels: usize,
+    pub seed: u64,
+    /// Physical link bandwidth (bytes/second) and latency.
+    pub link_bps: f64,
+    pub link_latency_us: u64,
+    /// Host speeds relative to the reference machine (PII-450).
+    pub client_speed: f64,
+    pub server_speed: f64,
+    /// Optional outbound bandwidth cap on the *server's* sandbox (used in
+    /// Figure 4b, where the server is limited to 1 MBps).
+    pub server_net_cap: Option<f64>,
+    /// Really decompress/reconstruct in the client and assert exactness.
+    pub verify: bool,
+    /// Monitoring-agent history window (paper: sliding window over 10 ms
+    /// samples). Scale down together with workload size in small tests.
+    pub monitor_window_us: u64,
+    /// Minimum gap between monitor triggers.
+    pub trigger_gap_us: u64,
+    /// Background competing processes on the client host.
+    pub competing_load: Vec<LoadSpec>,
+    /// Message-loss probability injected on both link directions, with a
+    /// deterministic seed (failure injection).
+    pub link_loss: Option<(f64, u64)>,
+    /// Client request-retransmission timeout (required for lossy links).
+    pub request_timeout_us: Option<u64>,
+    /// How concurrent messages share the client-server link.
+    pub link_mode: LinkMode,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            n_images: 10,
+            img_size: 256,
+            levels: 4,
+            seed: 42,
+            // 100 Mbps Ethernet, 100us one-way.
+            link_bps: 12_500_000.0,
+            link_latency_us: 100,
+            client_speed: 1.0,
+            server_speed: 1.0,
+            server_net_cap: None,
+            verify: false,
+            monitor_window_us: 2_000_000,
+            trigger_gap_us: 500_000,
+            competing_load: Vec::new(),
+            link_loss: None,
+            request_timeout_us: None,
+            link_mode: LinkMode::Fifo,
+        }
+    }
+}
+
+impl Scenario {
+    /// A small, fast configuration for unit tests.
+    pub fn small() -> Self {
+        Scenario { n_images: 2, img_size: 64, levels: 3, ..Scenario::default() }
+    }
+
+    pub fn build_store(&self) -> Arc<ImageStore> {
+        Arc::new(ImageStore::generate(self.n_images, self.img_size, self.levels, self.seed))
+    }
+
+    /// Sensible `dR` domain for this image size: quarter, half, and full
+    /// cover radius.
+    pub fn dr_values(&self) -> Vec<i64> {
+        let cover = (self.img_size / 2) as i64;
+        vec![cover / 4, cover / 2, cover]
+    }
+
+    /// Resolution-level domain: the two finest levels (the paper's
+    /// "level 3 and level 4").
+    pub fn level_values(&self) -> (i64, i64) {
+        ((self.levels - 1) as i64, self.levels as i64)
+    }
+}
+
+/// The client-side resource keys used across all experiments.
+pub fn client_cpu_key() -> ResourceKey {
+    ResourceKey::cpu("client")
+}
+
+pub fn client_net_key() -> ResourceKey {
+    ResourceKey::net("client")
+}
+
+/// Memory axis (an extension beyond the paper's CPU/network experiments;
+/// the sandbox models paging slowdown above the limit).
+pub fn client_mem_key() -> ResourceKey {
+    ResourceKey::mem("client")
+}
+
+/// Build the tunability specification for a scenario (the programmatic
+/// twin of `adapt_core::dsl::ACTIVE_VIZ_SPEC`, with domains matched to the
+/// scenario's geometry).
+pub fn viz_spec(sc: &Scenario) -> TunableSpec {
+    let (l_lo, l_hi) = sc.level_values();
+    let mut tasks = TaskGraph::default();
+    tasks.add_task(
+        TaskSpec::new("module1")
+            .with_params(&["l", "dR", "c"])
+            .with_resources(&[client_cpu_key(), client_net_key()])
+            .with_metrics(&["transmit_time", "response_time", "resolution"]),
+    );
+    let spec = TunableSpec {
+        control: ControlSpace::new(vec![
+            ControlParam::set("dR", &sc.dr_values()),
+            ControlParam::enumeration(
+                "c",
+                &[("lzw", Method::Lzw.code()), ("bzip", Method::Bzip.code())],
+            ),
+            ControlParam::range("l", l_lo, l_hi, 1),
+        ]),
+        env: ExecutionEnv::default()
+            .with_host("client")
+            .with_host("server")
+            .with_link("client", "server"),
+        metrics: vec![
+            QosMetricDef::lower("transmit_time", "s"),
+            QosMetricDef::lower("response_time", "s"),
+            QosMetricDef::higher("resolution", "level"),
+        ],
+        tasks,
+        transitions: vec![TransitionSpec::on(
+            &["c"],
+            vec![TransitionAction::NotifyHost { host: "server".into(), param: "c".into() }],
+        )],
+    };
+    spec.validate().expect("generated spec must be valid");
+    spec
+}
+
+/// What a run produced.
+pub struct RunOutcome {
+    pub stats: RunStats,
+    pub end: SimTime,
+}
+
+/// Debug hooks: `VISAPP_EVENT_LIMIT=<n>` installs a runaway-loop backstop,
+/// `VISAPP_TRACE=1` enables kernel tracing (printed on the backstop panic).
+fn apply_debug_env(sim: &mut Sim) {
+    if let Ok(v) = std::env::var("VISAPP_EVENT_LIMIT") {
+        if let Ok(n) = v.parse::<u64>() {
+            sim.set_event_limit(Some(n));
+        }
+    }
+    if std::env::var("VISAPP_TRACE").is_ok_and(|v| v == "1") {
+        sim.trace.set_enabled(true);
+    }
+}
+
+fn assemble(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    config: VizConfig,
+    limits: LimitsHandle,
+    stats_handle: &StatsHandle,
+    adapt: Option<AdaptSetup>,
+) -> Sim {
+    let mut sim = Sim::new();
+    let hc = sim.add_host("client", sc.client_speed, 1 << 30);
+    let hs = sim.add_host("server", sc.server_speed, 1 << 30);
+    sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);
+    sim.set_link_mode(hc, hs, sc.link_mode);
+    sim.set_link_mode(hs, hc, sc.link_mode);
+    if let Some((p, seed)) = sc.link_loss {
+        sim.set_link_loss(hc, hs, p, seed);
+        sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
+    }
+
+    // Server, optionally bandwidth-capped via its own sandbox.
+    let server_id = match sc.server_net_cap {
+        Some(cap) => {
+            let slim = LimitsHandle::new(Limits {
+                net_send_bps: Some(cap),
+                ..Limits::default()
+            });
+            sim.spawn(
+                hs,
+                Box::new(Sandboxed::new(
+                    Server::new(store.clone()),
+                    slim,
+                    SandboxStats::default(),
+                )),
+            )
+        }
+        None => sim.spawn(hs, Box::new(Server::new(store.clone()))),
+    };
+
+    let opts = ClientOpts {
+        server: server_id,
+        n_images: sc.n_images,
+        initial: config,
+        user: UserModel::center(sc.img_size, sc.img_size),
+        cover_radius: store.cover_radius(),
+        img_dims: store.dims(),
+        max_level: store.levels(),
+        verify_store: if sc.verify { Some(store.clone()) } else { None },
+        request_timeout_us: sc.request_timeout_us,
+    };
+    let client = Client::new(opts, stats_handle.clone(), adapt);
+    sim.spawn(
+        hc,
+        Box::new(Sandboxed::new(client, limits, SandboxStats::new(sc.monitor_window_us))),
+    );
+    install_loads(&mut sim, hc, &sc.competing_load);
+    sim
+}
+
+/// Run a fixed (non-adaptive) configuration. `schedule` varies the
+/// client's virtual-execution-environment limits over time.
+pub fn run_static(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    config: VizConfig,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+) -> RunOutcome {
+    let stats_handle = StatsHandle::new();
+    let limits = LimitsHandle::new(initial_limits);
+    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None);
+    apply_debug_env(&mut sim);
+    if let Some(sched) = schedule {
+        sched.install(&mut sim, &limits);
+    }
+    sim.run_until_idle();
+    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+}
+
+/// Run the adaptive application: performance database + preferences drive
+/// run-time reconfiguration while `schedule` varies resources.
+pub fn run_adaptive(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    db: PerfDb,
+    prefs: PreferenceList,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+) -> RunOutcome {
+    assert!(!sc.verify, "verification requires a fixed configuration");
+    let spec = viz_spec(sc);
+    let scheduler = ResourceScheduler::new(db, prefs, PROFILE_INPUT);
+    // Initial resource estimate from the starting limits (what admission
+    // control / reservation would have granted).
+    let l = initial_limits;
+    let mut start = ResourceVector::default();
+    start.set(client_cpu_key(), l.cpu_share.unwrap_or(1.0));
+    start.set(
+        client_net_key(),
+        l.net_recv_bps.unwrap_or(sc.link_bps).min(sc.link_bps),
+    );
+    let mut runtime = AdaptiveRuntime::configure(spec, scheduler, sc.monitor_window_us, &start)
+        .expect("no satisfiable initial configuration");
+    runtime.monitor.min_trigger_gap_us = sc.trigger_gap_us;
+    let initial_cfg = VizConfig::from_configuration(runtime.current());
+    let sandbox_stats = SandboxStats::new(sc.monitor_window_us);
+    let adapt = AdaptSetup {
+        runtime,
+        sandbox_stats: sandbox_stats.clone(),
+        cpu_key: client_cpu_key(),
+        net_key: client_net_key(),
+        period_us: MONITOR_PERIOD_US,
+    };
+
+    let stats_handle = StatsHandle::new();
+    let limits = LimitsHandle::new(l);
+    let mut sim = Sim::new();
+    let hc = sim.add_host("client", sc.client_speed, 1 << 30);
+    let hs = sim.add_host("server", sc.server_speed, 1 << 30);
+    sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);
+    sim.set_link_mode(hc, hs, sc.link_mode);
+    sim.set_link_mode(hs, hc, sc.link_mode);
+    if let Some((p, seed)) = sc.link_loss {
+        sim.set_link_loss(hc, hs, p, seed);
+        sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
+    }
+    let server_id = sim.spawn(hs, Box::new(Server::new(store.clone())));
+    let opts = ClientOpts {
+        server: server_id,
+        n_images: sc.n_images,
+        initial: initial_cfg,
+        user: UserModel::center(sc.img_size, sc.img_size),
+        cover_radius: store.cover_radius(),
+        img_dims: store.dims(),
+        max_level: store.levels(),
+        verify_store: None,
+        request_timeout_us: sc.request_timeout_us,
+    };
+    let client = Client::new(opts, stats_handle.clone(), Some(adapt));
+    sim.spawn(hc, Box::new(Sandboxed::new(client, limits.clone(), sandbox_stats)));
+    install_loads(&mut sim, hc, &sc.competing_load);
+    apply_debug_env(&mut sim);
+    if let Some(sched) = schedule {
+        sched.install(&mut sim, &limits);
+    }
+    sim.run_until_idle();
+    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+}
+
+/// Run several independent clients concurrently against one server, each
+/// inside its own virtual execution environment — the competing-
+/// applications setting that motivates admission control and policing
+/// (§6.2). Returns one stats record per client, in input order.
+pub fn run_competing(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    clients: &[(VizConfig, Limits)],
+) -> Vec<RunStats> {
+    let mut sim = Sim::new();
+    let hc = sim.add_host("client", sc.client_speed, 1 << 30);
+    let hs = sim.add_host("server", sc.server_speed, 1 << 30);
+    sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);
+    sim.set_link_mode(hc, hs, sc.link_mode);
+    sim.set_link_mode(hs, hc, sc.link_mode);
+    if let Some((p, seed)) = sc.link_loss {
+        sim.set_link_loss(hc, hs, p, seed);
+        sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
+    }
+    let server_id = sim.spawn(hs, Box::new(Server::new(store.clone())));
+    let mut handles = Vec::new();
+    for (config, limits) in clients {
+        let stats_handle = StatsHandle::new();
+        let opts = ClientOpts {
+            server: server_id,
+            n_images: sc.n_images,
+            initial: *config,
+            user: UserModel::center(sc.img_size, sc.img_size),
+            cover_radius: store.cover_radius(),
+            img_dims: store.dims(),
+            max_level: store.levels(),
+            verify_store: if sc.verify { Some(store.clone()) } else { None },
+            request_timeout_us: sc.request_timeout_us,
+        };
+        let client = Client::new(opts, stats_handle.clone(), None);
+        sim.spawn(
+            hc,
+            Box::new(Sandboxed::new(
+                client,
+                LimitsHandle::new(*limits),
+                SandboxStats::new(sc.monitor_window_us),
+            )),
+        );
+        handles.push(stats_handle);
+    }
+    apply_debug_env(&mut sim);
+    sim.run_until_idle();
+    handles.iter().map(|h| h.take()).collect()
+}
+
+/// Workload key used in the performance database.
+pub const PROFILE_INPUT: &str = "plasma";
+
+/// Profile one `(configuration, resource point)` — used by the framework's
+/// profiling driver. Runs a short download inside the testbed and reports
+/// the paper's three QoS metrics.
+pub fn profile_point(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    config: &Configuration,
+    resources: &ResourceVector,
+) -> QosReport {
+    let viz = VizConfig::from_configuration(config);
+    let mut limits = Limits::unconstrained();
+    if let Some(share) = resources.get(&client_cpu_key()) {
+        limits.cpu_share = Some(share.clamp(0.01, 1.0));
+    }
+    if let Some(bps) = resources.get(&client_net_key()) {
+        limits.net_recv_bps = Some(bps.max(1.0));
+        limits.net_send_bps = Some(bps.max(1.0));
+    }
+    if let Some(mem) = resources.get(&client_mem_key()) {
+        limits.mem_bytes = Some(mem.max(1.0) as u64);
+    }
+    let outcome = run_static(sc, store, viz, limits, None);
+    QosReport::new(&[
+        ("transmit_time", outcome.stats.avg_transmit_secs()),
+        ("response_time", outcome.stats.avg_response_secs()),
+        ("resolution", viz.level as f64),
+    ])
+}
+
+/// Like [`build_db`] but with sensitivity-driven refinement: wherever
+/// adjacent samples differ by more than `threshold` (relative), midpoints
+/// are added, concentrating samples around cliffs and crossovers. This is
+/// the "sensitivity analysis tool that can automatically drive the
+/// collection of performance data in the most relevant regions" the
+/// paper's prototype lacked (§7.1).
+pub fn build_db_refined(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    cpu_shares: &[f64],
+    bandwidths: &[f64],
+    threshold: f64,
+    threads: usize,
+) -> PerfDb {
+    let prof_sc = Scenario { n_images: 2.min(sc.n_images), verify: false, ..sc.clone() };
+    let spec = viz_spec(sc);
+    let grid = ResourceGrid::new()
+        .with_axis(client_cpu_key(), cpu_shares)
+        .with_axis(client_net_key(), bandwidths);
+    let profiler = Profiler::new(spec.configurations(), grid, vec![PROFILE_INPUT.into()])
+        .with_sensitivity(adapt_core::SensitivityOpts { threshold, max_rounds: 2 });
+    let store = store.clone();
+    let runner = move |config: &Configuration, resources: &ResourceVector, _input: &str| {
+        profile_point(&prof_sc, &store, config, resources)
+    };
+    profiler.run_parallel(&runner, threads)
+}
+
+/// Build the performance database for a scenario by sweeping all
+/// configurations over a CPU-share x bandwidth grid, in parallel.
+pub fn build_db(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    cpu_shares: &[f64],
+    bandwidths: &[f64],
+    threads: usize,
+) -> PerfDb {
+    // Profiling uses a shorter workload than the experiments (2 images):
+    // per-image metrics are what the database stores.
+    let prof_sc = Scenario { n_images: 2.min(sc.n_images), verify: false, ..sc.clone() };
+    let spec = viz_spec(sc);
+    let grid = ResourceGrid::new()
+        .with_axis(client_cpu_key(), cpu_shares)
+        .with_axis(client_net_key(), bandwidths);
+    let profiler = Profiler::new(spec.configurations(), grid, vec![PROFILE_INPUT.into()]);
+    let store = store.clone();
+    let runner = move |config: &Configuration, resources: &ResourceVector, _input: &str| {
+        profile_point(&prof_sc, &store, config, resources)
+    };
+    profiler.run_parallel(&runner, threads)
+}

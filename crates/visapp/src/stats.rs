@@ -1,0 +1,211 @@
+//! Run statistics: the measured QoS of one client execution.
+//!
+//! The client records one [`RoundRecord`] per request/reply round and one
+//! [`ImageRecord`] per completed image; these are the raw data behind
+//! every figure (per-image transmission times, per-round response times,
+//! cumulative progress) and behind the QoS metrics stored in the
+//! performance database (`transmit_time`, `response_time`, `resolution`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use adapt_core::{AdaptationEvent, Configuration, ResourceVector};
+use simnet::SimTime;
+
+/// One request/reply/display round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    pub image_id: usize,
+    pub round: u64,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub wire_bytes: u64,
+    pub raw_bytes: usize,
+    pub level: usize,
+    pub dr: usize,
+}
+
+impl RoundRecord {
+    /// The paper's `response_time` for this round, seconds.
+    pub fn response_secs(&self) -> f64 {
+        (self.finished.since(self.started)) as f64 / 1e6
+    }
+}
+
+/// One completed image download.
+#[derive(Debug, Clone)]
+pub struct ImageRecord {
+    pub image_id: usize,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub rounds: usize,
+}
+
+impl ImageRecord {
+    /// The paper's `transmit_time` for this image, seconds.
+    pub fn transmit_secs(&self) -> f64 {
+        (self.finished.since(self.started)) as f64 / 1e6
+    }
+}
+
+/// All measurements from one client run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    pub rounds: Vec<RoundRecord>,
+    pub images: Vec<ImageRecord>,
+    /// `(time, configuration)` history, including the initial one.
+    pub config_history: Vec<(SimTime, Configuration)>,
+    /// The adaptation runtime's event log (triggers, decisions, switches,
+    /// NAKs), copied out when the run completes.
+    pub adapt_events: Vec<AdaptationEvent>,
+    /// Set when every requested image has been delivered.
+    pub finished_at: Option<SimTime>,
+    /// Request retransmissions (lossy-link runs).
+    pub retries: u64,
+    /// The monitoring agent's resource estimate when the run finished
+    /// (adaptive runs only).
+    pub final_estimate: Option<ResourceVector>,
+}
+
+impl RunStats {
+    /// Mean per-round response time, seconds.
+    pub fn avg_response_secs(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(RoundRecord::response_secs).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// Maximum per-round response time, seconds.
+    pub fn max_response_secs(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(RoundRecord::response_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-image transmission time, seconds.
+    pub fn avg_transmit_secs(&self) -> f64 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.images.iter().map(ImageRecord::transmit_secs).sum::<f64>() / self.images.len() as f64
+    }
+
+    /// Per-image `(end_time_secs, transmit_secs)` series (Figure 7 style).
+    pub fn transmit_series(&self) -> Vec<(f64, f64)> {
+        self.images
+            .iter()
+            .map(|i| (i.finished.as_secs_f64(), i.transmit_secs()))
+            .collect()
+    }
+
+    /// Per-round `(end_time_secs, response_secs)` series.
+    pub fn response_series(&self) -> Vec<(f64, f64)> {
+        self.rounds
+            .iter()
+            .map(|r| (r.finished.as_secs_f64(), r.response_secs()))
+            .collect()
+    }
+
+    /// Images completed by time `t`.
+    pub fn images_done_by(&self, t: SimTime) -> usize {
+        self.images.iter().filter(|i| i.finished <= t).count()
+    }
+
+    /// Total bytes received on the wire.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Number of configuration switches after the initial configuration.
+    pub fn switch_count(&self) -> usize {
+        self.config_history.len().saturating_sub(1)
+    }
+}
+
+/// Shared handle, cloned into the client actor.
+#[derive(Debug, Clone, Default)]
+pub struct StatsHandle(Rc<RefCell<RunStats>>);
+
+impl StatsHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(&RunStats) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut RunStats) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Extract the final stats (clones the records).
+    pub fn take(&self) -> RunStats {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = RunStats::default();
+        s.rounds.push(RoundRecord {
+            image_id: 0,
+            round: 0,
+            started: t(0.0),
+            finished: t(0.5),
+            wire_bytes: 100,
+            raw_bytes: 200,
+            level: 4,
+            dr: 80,
+        });
+        s.rounds.push(RoundRecord {
+            image_id: 0,
+            round: 1,
+            started: t(0.5),
+            finished: t(2.0),
+            wire_bytes: 300,
+            raw_bytes: 600,
+            level: 4,
+            dr: 80,
+        });
+        s.images.push(ImageRecord { image_id: 0, started: t(0.0), finished: t(2.0), rounds: 2 });
+        assert!((s.avg_response_secs() - 1.0).abs() < 1e-9);
+        assert!((s.max_response_secs() - 1.5).abs() < 1e-9);
+        assert!((s.avg_transmit_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(s.total_wire_bytes(), 400);
+        assert_eq!(s.images_done_by(t(1.0)), 0);
+        assert_eq!(s.images_done_by(t(2.0)), 1);
+        assert_eq!(s.transmit_series(), vec![(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.avg_response_secs(), 0.0);
+        assert_eq!(s.avg_transmit_secs(), 0.0);
+        assert_eq!(s.switch_count(), 0);
+    }
+
+    #[test]
+    fn handle_shares_and_takes() {
+        let h = StatsHandle::new();
+        let h2 = h.clone();
+        h2.with_mut(|s| {
+            s.images.push(ImageRecord { image_id: 0, started: t(0.0), finished: t(1.0), rounds: 1 })
+        });
+        assert_eq!(h.with(|s| s.images.len()), 1);
+        let taken = h.take();
+        assert_eq!(taken.images.len(), 1);
+        assert_eq!(h.with(|s| s.images.len()), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Synthetic user-interaction model.
+//!
+//! The paper's client polls `check_for_user_interaction`, which moves the
+//! fovea. Experiments download whole images with a fixed fovea; the
+//! examples also exercise a wandering fovea. Movement happens at image
+//! boundaries so the server's incremental-region bookkeeping stays exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where the user is looking, image by image.
+#[allow(clippy::large_enum_variant)] // one UserModel per client; size is fine
+pub enum UserModel {
+    /// Fixed fovea at the image center (the experiments' setting).
+    Center { w: usize, h: usize },
+    /// Seeded random fovea per image (examples; models a browsing user).
+    Wandering { w: usize, h: usize, rng: StdRng },
+}
+
+impl UserModel {
+    pub fn center(w: usize, h: usize) -> Self {
+        UserModel::Center { w, h }
+    }
+
+    pub fn wandering(w: usize, h: usize, seed: u64) -> Self {
+        UserModel::Wandering { w, h, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The fovea center for the next image.
+    pub fn next_fovea(&mut self) -> (usize, usize) {
+        match self {
+            UserModel::Center { w, h } => (*w / 2, *h / 2),
+            UserModel::Wandering { w, h, rng } => {
+                // Stay away from edges so regions remain non-degenerate.
+                let x = rng.gen_range(*w / 4..*w * 3 / 4);
+                let y = rng.gen_range(*h / 4..*h * 3 / 4);
+                (x, y)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_is_stable() {
+        let mut m = UserModel::center(512, 512);
+        assert_eq!(m.next_fovea(), (256, 256));
+        assert_eq!(m.next_fovea(), (256, 256));
+    }
+
+    #[test]
+    fn wandering_is_seeded_and_bounded() {
+        let mut a = UserModel::wandering(256, 256, 9);
+        let mut b = UserModel::wandering(256, 256, 9);
+        for _ in 0..10 {
+            let (x, y) = a.next_fovea();
+            assert_eq!((x, y), b.next_fovea());
+            assert!((64..192).contains(&x));
+            assert!((64..192).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = UserModel::wandering(256, 256, 9);
+        let mut c = UserModel::wandering(256, 256, 10);
+        let differs = (0..10).any(|_| a.next_fovea() != c.next_fovea());
+        assert!(differs);
+    }
+}

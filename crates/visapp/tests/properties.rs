@@ -1,0 +1,120 @@
+//! Property-based tests of the application layer: protocol geometry,
+//! payload monotonicity, and run invariants for arbitrary configurations.
+
+use proptest::prelude::*;
+
+use compress::Method;
+use sandbox::Limits;
+use visapp::{run_static, ImageStore, Scenario, VizConfig};
+use wavelet::Rect;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![Just(Method::Raw), Just(Method::Lzw), Just(Method::Bzip)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_configuration_delivers_every_image_exactly(
+        dr in prop_oneof![Just(8usize), Just(16), Just(24), Just(32)],
+        level in 1usize..=3,
+        method in arb_method(),
+        share in 0.2f64..1.0,
+    ) {
+        let sc = Scenario {
+            n_images: 2,
+            img_size: 64,
+            levels: 3,
+            verify: true,
+            ..Scenario::default()
+        };
+        let store = sc.build_store();
+        let cfg = VizConfig { dr, level, method };
+        // verify: the client decompresses and asserts pixel-exactness
+        // internally; here we check the control-flow invariants.
+        let out = run_static(&sc, &store, cfg, Limits::cpu(share), None);
+        prop_assert_eq!(out.stats.images.len(), 2);
+        prop_assert!(out.stats.finished_at.is_some());
+        let rounds_per_image = 32_usize.div_ceil(dr); // ceil(cover/dr)
+        prop_assert_eq!(out.stats.rounds.len(), 2 * rounds_per_image);
+        // Rounds of one image are time-ordered and nonoverlapping.
+        for w in out.stats.rounds.windows(2) {
+            prop_assert!(w[1].started >= w[0].finished);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_level(
+        dr in prop_oneof![Just(16usize), Just(32)],
+        method in arb_method(),
+    ) {
+        let sc = Scenario { n_images: 1, img_size: 64, levels: 3, ..Scenario::default() };
+        let store = sc.build_store();
+        let mut prev = 0u64;
+        for level in 1..=3 {
+            let out = run_static(
+                &sc,
+                &store,
+                VizConfig { dr, level, method },
+                Limits::unconstrained(),
+                None,
+            );
+            let bytes = out.stats.total_wire_bytes();
+            prop_assert!(bytes > prev, "level {} bytes {} <= previous {}", level, bytes, prev);
+            prev = bytes;
+        }
+    }
+
+    #[test]
+    fn compressed_never_larger_than_raw_on_photo_images(
+        region_r in 8usize..32,
+        level in 1usize..=3,
+    ) {
+        let store = ImageStore::generate(1, 64, 3, 99);
+        let region = Rect::fovea(32, 32, region_r, 64, 64);
+        let raw = store.prepare(0, region, level, Rect::empty(), Method::Raw);
+        for method in [Method::Lzw, Method::Bzip] {
+            let c = store.prepare(0, region, level, Rect::empty(), method);
+            prop_assert_eq!(c.raw_bytes, raw.raw_bytes);
+            // Compression may add a tiny header on incompressible tiny
+            // payloads; allow 300 bytes of slack.
+            prop_assert!(
+                c.payload.len() <= raw.payload.len() + 300,
+                "{} blew up: {} vs {}",
+                method,
+                c.payload.len(),
+                raw.payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn slower_share_never_speeds_up_the_run(share in 0.15f64..0.9) {
+        let sc = Scenario { n_images: 1, img_size: 64, levels: 3, ..Scenario::default() };
+        let store = sc.build_store();
+        let cfg = VizConfig { dr: 32, level: 3, method: Method::Lzw };
+        let limited = run_static(&sc, &store, cfg, Limits::cpu(share), None);
+        let full = run_static(&sc, &store, cfg, Limits::unconstrained(), None);
+        prop_assert!(
+            limited.stats.avg_transmit_secs() >= full.stats.avg_transmit_secs() * 0.999,
+            "share {} was faster than unconstrained",
+            share
+        );
+    }
+
+    #[test]
+    fn deterministic_for_any_config(
+        dr in prop_oneof![Just(8usize), Just(32)],
+        method in arb_method(),
+        share in 0.2f64..1.0,
+    ) {
+        let sc = Scenario { n_images: 1, img_size: 64, levels: 3, ..Scenario::default() };
+        let store = sc.build_store();
+        let cfg = VizConfig { dr, level: 3, method };
+        let a = run_static(&sc, &store, cfg, Limits::cpu(share), None);
+        let b = run_static(&sc, &store, cfg, Limits::cpu(share), None);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.stats.total_wire_bytes(), b.stats.total_wire_bytes());
+    }
+}

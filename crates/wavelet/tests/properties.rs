@@ -1,0 +1,161 @@
+//! Property-based tests for the wavelet substrate: losslessness, region
+//! exactness, geometry invariants, and wire-format roundtrips.
+
+use proptest::prelude::*;
+
+use wavelet::haar::{fwd_pair, inv_pair};
+use wavelet::image::Image;
+use wavelet::{decode_chunks, encode_chunks, Pyramid, Reassembler, Rect};
+
+/// Arbitrary image with power-of-two dimensions in {16, 32, 64}.
+fn arb_image() -> impl Strategy<Value = Image> {
+    (prop_oneof![Just(16usize), Just(32), Just(64)], any::<u64>()).prop_flat_map(|(size, seed)| {
+        proptest::collection::vec(any::<u8>(), size * size).prop_map(move |data| {
+            let mut img = Image::blank(size, size);
+            img.data = data;
+            let _ = seed;
+            img
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn haar_pair_roundtrips(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+        let (l, h) = fwd_pair(a, b);
+        prop_assert_eq!(inv_pair(l, h), (a, b));
+        // The low-pass value is the floor mean, so it lies between the inputs.
+        prop_assert!(l >= a.min(b) - 1 && l <= a.max(b));
+    }
+
+    #[test]
+    fn pyramid_is_lossless(img in arb_image()) {
+        let levels = 3;
+        let p = Pyramid::build(&img, levels);
+        prop_assert_eq!(p.reconstruct(levels), img);
+    }
+
+    #[test]
+    fn any_region_reconstructs_exactly(
+        img in arb_image(),
+        x in 0usize..64,
+        y in 0usize..64,
+        w in 1usize..64,
+        h in 1usize..64,
+        level in 1usize..=3,
+    ) {
+        let levels = 3;
+        let p = Pyramid::build(&img, levels);
+        let region = Rect::new(x, y, w, h).intersect(&Rect::new(0, 0, img.width, img.height));
+        prop_assume!(!region.is_empty());
+        let chunks = p.chunks_for_region(region, level, None);
+        let mut re = Reassembler::new(img.width, img.height, levels);
+        for c in &chunks {
+            re.apply(c);
+        }
+        let got = re.reconstruct(level);
+        let want = p.reconstruct(level);
+        // Exact inside the region at the requested level's scale.
+        let shift = levels - level;
+        let scaled = region.scale_down(shift);
+        for yy in scaled.y..scaled.y1().min(want.height) {
+            for xx in scaled.x..scaled.x1().min(want.width) {
+                prop_assert_eq!(got.get(xx, yy), want.get(xx, yy), "pixel ({}, {})", xx, yy);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rings_equal_full_transfer(
+        img in arb_image(),
+        r1 in 2usize..20,
+        r2 in 20usize..40,
+    ) {
+        let levels = 3;
+        let p = Pyramid::build(&img, levels);
+        let (cx, cy) = (img.width / 2, img.height / 2);
+        let inner = Rect::fovea(cx, cy, r1, img.width, img.height);
+        let outer = Rect::fovea(cx, cy, r2, img.width, img.height);
+        // Incremental: inner region then the ring.
+        let mut a = Reassembler::new(img.width, img.height, levels);
+        for c in p.chunks_for_region(inner, levels, None) {
+            a.apply(&c);
+        }
+        for c in p.chunks_for_region(outer, levels, Some(inner)) {
+            a.apply(&c);
+        }
+        // One-shot: the outer region at once.
+        let mut b = Reassembler::new(img.width, img.height, levels);
+        for c in p.chunks_for_region(outer, levels, None) {
+            b.apply(&c);
+        }
+        prop_assert_eq!(a.reconstruct(levels), b.reconstruct(levels));
+    }
+
+    #[test]
+    fn ring_coefficients_are_disjoint_from_inner(
+        img in arb_image(),
+        r1 in 2usize..16,
+        extra in 1usize..16,
+    ) {
+        let levels = 3;
+        let p = Pyramid::build(&img, levels);
+        let (cx, cy) = (img.width / 2, img.height / 2);
+        let inner = Rect::fovea(cx, cy, r1, img.width, img.height);
+        let outer = Rect::fovea(cx, cy, r1 + extra, img.width, img.height);
+        let inner_n: usize = p.chunks_for_region(inner, levels, None).iter().map(|c| c.len()).sum();
+        let ring_n: usize = p.chunks_for_region(outer, levels, Some(inner)).iter().map(|c| c.len()).sum();
+        let outer_n: usize = p.chunks_for_region(outer, levels, None).iter().map(|c| c.len()).sum();
+        // No double counting: inner + ring covers at most outer (the ring
+        // excludes inner's coefficients; outward rounding may leave a
+        // shared boundary row that the ring re-sends, never more).
+        prop_assert!(ring_n <= outer_n);
+        prop_assert!(inner_n + ring_n >= outer_n, "union must cover the outer region");
+    }
+
+    #[test]
+    fn chunk_encoding_roundtrips(img in arb_image(), level in 0usize..=3) {
+        let p = Pyramid::build(&img, 3);
+        let chunks = p.chunks_for_region(Rect::new(0, 0, img.width, img.height), level, None);
+        let bytes = encode_chunks(&chunks);
+        prop_assert_eq!(decode_chunks(&bytes).unwrap(), chunks);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_chunks(&data);
+    }
+
+    #[test]
+    fn rect_subtract_partitions(
+        ax in 0usize..30, ay in 0usize..30, aw in 1usize..30, ah in 1usize..30,
+        bx in 0usize..30, by in 0usize..30, bw in 1usize..30, bh in 1usize..30,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        let parts = a.subtract(&b);
+        // Pointwise: parts tile exactly a \ b, disjointly.
+        for y in 0..64 {
+            for x in 0..64 {
+                let expect = a.contains(x, y) && !b.contains(x, y);
+                let got = parts.iter().filter(|p| p.contains(x, y)).count();
+                prop_assert_eq!(got, usize::from(expect), "({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_down_covers_source(
+        x in 0usize..100, y in 0usize..100, w in 1usize..100, h in 1usize..100,
+        shift in 0usize..5,
+    ) {
+        let r = Rect::new(x, y, w, h);
+        let s = r.scale_down(shift);
+        // Every source pixel maps into the scaled rect.
+        for (px, py) in [(r.x, r.y), (r.x1() - 1, r.y1() - 1)] {
+            prop_assert!(s.contains(px >> shift, py >> shift));
+        }
+    }
+}

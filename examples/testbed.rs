@@ -1,0 +1,100 @@
+//! The virtual execution environment as a standalone tool: resource
+//! control traces, testbed-vs-expected timing, and admission control —
+//! Figures 3(a)/3(b) of the paper at example scale.
+//!
+//! ```text
+//! cargo run --example testbed
+//! ```
+
+use adaptive_framework::sandbox::{
+    HostVmm, LimitSchedule, Limits, LimitsHandle, Reservation, SandboxStats, Sandboxed,
+    SeriesHandle, UsageSampler,
+};
+use adaptive_framework::simnet::{dur, Actor, Ctx, Sim, SimTime};
+
+/// A CPU-bound application that computes forever.
+struct Grinder;
+impl Actor for Grinder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(1e15);
+    }
+}
+
+/// A fixed-work task recording its completion time.
+struct Task {
+    work: f64,
+    done: std::rc::Rc<std::cell::RefCell<Option<SimTime>>>,
+}
+impl Actor for Task {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(self.work);
+        ctx.continue_with(0);
+    }
+    fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+        *self.done.borrow_mut() = Some(ctx.now());
+    }
+}
+
+fn main() {
+    // --- Part 1: dynamic CPU control (Figure 3a) -----------------------
+    println!("part 1: CPU-share control trace (80% -> 40% @20s -> 60% @50s)");
+    let mut sim = Sim::new();
+    let host = sim.add_host("pii450", 1.0, 1 << 30);
+    let limits = LimitsHandle::new(Limits::cpu(0.8));
+    let app = sim.spawn(
+        host,
+        Box::new(Sandboxed::new(Grinder, limits.clone(), SandboxStats::default())),
+    );
+    let series = SeriesHandle::new();
+    sim.spawn(
+        host,
+        Box::new(UsageSampler::new(app, dur::secs(1), series.clone()).until(SimTime::from_secs(70))),
+    );
+    LimitSchedule::new()
+        .at(SimTime::from_secs(20), Limits::cpu(0.4))
+        .at(SimTime::from_secs(50), Limits::cpu(0.6))
+        .install(&mut sim, &limits);
+    sim.run_until(SimTime::from_secs(70));
+    for (t, share) in series.points().iter().step_by(10) {
+        println!("  t={:>4.0}s observed share {:.3}", t.as_secs_f64(), share);
+    }
+
+    // --- Part 2: testbed accuracy (Figure 3b) --------------------------
+    println!("\npart 2: a 2s task under shares 25%..100% (measured vs expected)");
+    for pct in [25u32, 50, 75, 100] {
+        let share = pct as f64 / 100.0;
+        let mut sim = Sim::new();
+        let h = sim.add_host("pii450", 1.0, 1 << 30);
+        let done = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let lh = LimitsHandle::new(Limits::cpu(share));
+        sim.spawn(
+            h,
+            Box::new(Sandboxed::new(
+                Task { work: 2e6, done: done.clone() },
+                lh,
+                SandboxStats::default(),
+            )),
+        );
+        sim.run_until_idle();
+        let measured = done.borrow().expect("finishes").as_secs_f64();
+        println!(
+            "  share {pct:>3}%: measured {measured:>6.3}s expected {:>6.3}s",
+            2.0 / share
+        );
+    }
+
+    // --- Part 3: admission control (paper §6.2) ------------------------
+    println!("\npart 3: admission control on one host (threshold 95% CPU)");
+    let mut vmm = HostVmm::new(12_500_000.0, 1 << 30);
+    let req = |cpu: f64| Reservation { cpu_share: cpu, net_bps: 1e6, mem_bytes: 64 << 20 };
+    for (name, share) in [("viewer", 0.5), ("indexer", 0.3), ("backup", 0.3)] {
+        match vmm.admit(name, req(share)) {
+            Ok(()) => println!("  admitted {name} at {share:.0}% CPU", share = share * 100.0),
+            Err(e) => println!("  rejected {name}: {e}"),
+        }
+    }
+    vmm.release("indexer");
+    println!("  released indexer; available CPU {:.2}", vmm.cpu_available());
+    vmm.admit("backup", req(0.3)).expect("fits after release");
+    println!("  admitted backup after the release");
+}

@@ -1,0 +1,27 @@
+//! # adaptive-framework
+//!
+//! Umbrella crate for the reproduction of *Chang & Karamcheti, "Automatic
+//! Configuration and Run-time Adaptation of Distributed Applications"
+//! (HPDC 2000)*. Re-exports the workspace crates under one roof:
+//!
+//! - [`simnet`]: deterministic discrete-event simulation of hosts, CPUs,
+//!   memory, and links — the hardware substrate;
+//! - [`sandbox`]: the virtual execution environment (user-level resource
+//!   sandbox, progress estimation, admission control);
+//! - [`wavelet`]: integer Haar pyramids and progressive foveal regions;
+//! - [`compress`]: from-scratch LZW and Bzip2-style compressors;
+//! - [`adapt`] (crate `adapt-core`): the adaptation framework itself —
+//!   tunability specs and DSL, performance database, profiling driver,
+//!   monitoring agent, resource scheduler, steering agent;
+//! - [`visapp`]: the active visualization application used for every
+//!   experiment in the paper.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `EXPERIMENTS.md` for the paper-figure reproduction record.
+
+pub use adapt_core as adapt;
+pub use compress;
+pub use sandbox;
+pub use simnet;
+pub use visapp;
+pub use wavelet;
