@@ -64,11 +64,7 @@ fn ablation_prune_cost(c: &mut Criterion) {
         )
     });
     c.bench_function("ablation_merge_similar", |b| {
-        b.iter_batched(
-            || crossover_db(12),
-            |mut db| db.merge_similar(0.02),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| crossover_db(12), |mut db| db.merge_similar(0.02), BatchSize::SmallInput)
     });
 }
 
@@ -91,10 +87,5 @@ fn ablation_monitor_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_prediction_cost,
-    ablation_prune_cost,
-    ablation_monitor_cost
-);
+criterion_group!(benches, ablation_prediction_cost, ablation_prune_cost, ablation_monitor_cost);
 criterion_main!(benches);

@@ -2,7 +2,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use adapt_core::{Configuration, PerfDb, PerfRecord, PredictMode, QosReport, ResourceKey, ResourceVector};
+use adapt_core::{
+    Configuration, Objective, PerfDb, PerfRecord, PredictMode, Preference, PreferenceList,
+    QosReport, ResourceKey, ResourceScheduler, ResourceVector,
+};
 use wavelet::image::plasma;
 use wavelet::{Pyramid, Rect};
 
@@ -106,7 +109,56 @@ fn bench_perfdb(c: &mut Criterion) {
     c.bench_function("perfdb_nearest", |b| {
         b.iter(|| db.predict(&cfg, "img", &q, PredictMode::Nearest).unwrap())
     });
+    // The indexed lattice path against the pre-index reference scan.
+    let mut g = c.benchmark_group("predict_indexed_vs_scan");
+    g.bench_function("indexed", |b| {
+        b.iter(|| db.predict(&cfg, "img", &q, PredictMode::Interpolate).unwrap())
+    });
+    g.bench_function("scan", |b| {
+        b.iter(|| db.predict_scan(&cfg, "img", &q, PredictMode::Interpolate).unwrap())
+    });
+    g.finish();
 }
 
-criterion_group!(benches, bench_wavelet, bench_compress, bench_simnet, bench_perfdb);
+fn bench_scheduler(c: &mut Criterion) {
+    // The acceptance-criteria database: 4 configs x 2 axes x 9 samples.
+    let cpu = ResourceKey::cpu("client");
+    let net = ResourceKey::net("client");
+    let mut db = PerfDb::new();
+    for ci in 0..4i64 {
+        for s in 1..=9 {
+            for n in 1..=9 {
+                let share = s as f64 / 9.0;
+                let bw = n as f64 * 100_000.0;
+                db.add(PerfRecord {
+                    config: Configuration::new(&[("c", ci)]),
+                    resources: ResourceVector::new(&[(cpu.clone(), share), (net.clone(), bw)]),
+                    input: "img".into(),
+                    metrics: QosReport::new(&[(
+                        "transmit_time",
+                        (ci + 1) as f64 / share + 2e6 / ((ci + 1) as f64 * bw),
+                    )]),
+                });
+            }
+        }
+    }
+    let prefs =
+        PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
+    let sched = ResourceScheduler::new(db, prefs, "img");
+    let q = ResourceVector::new(&[(cpu.clone(), 0.62), (net.clone(), 350_000.0)]);
+    c.bench_function("scheduler_choose", |b| b.iter(|| sched.choose(&q).unwrap()));
+    let d = sched.choose(&q).unwrap();
+    c.bench_function("validity_region", |b| {
+        b.iter(|| sched.validity_region(&d.config, &sched.prefs.prefs[0], &q))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wavelet,
+    bench_compress,
+    bench_simnet,
+    bench_perfdb,
+    bench_scheduler
+);
 criterion_main!(benches);

@@ -59,8 +59,18 @@ fn main() {
     if !run_all
         && !matches!(
             which.as_str(),
-            "fig3a" | "fig3b" | "fig4a" | "fig4b" | "fig5" | "fig6a" | "fig6b" | "fig7a"
-                | "fig7b" | "fig7cd" | "extmem" | "extload"
+            "fig3a"
+                | "fig3b"
+                | "fig4a"
+                | "fig4b"
+                | "fig5"
+                | "fig6a"
+                | "fig6b"
+                | "fig7a"
+                | "fig7b"
+                | "fig7cd"
+                | "extmem"
+                | "extload"
         )
     {
         eprintln!("unknown figure {which:?}");
@@ -91,7 +101,9 @@ fn run_fig3a() {
         .filter(|p| (p.t_secs - 21.0).abs() > 1.5 && (p.t_secs - 51.0).abs() > 1.5)
         .map(|p| (p.observed_share - p.requested_share).abs())
         .fold(0.0, f64::max);
-    println!("shape: observed usage tracks the requested share (max steady-state error {worst:.3})");
+    println!(
+        "shape: observed usage tracks the requested share (max steady-state error {worst:.3})"
+    );
 }
 
 fn run_fig3b() {
@@ -113,7 +125,10 @@ fn run_fig3b() {
         &rows,
     );
     let worst = rows_data.iter().map(|r| r.relative_error()).fold(0.0, f64::max);
-    println!("shape: measured time matches full-speed-time/share (worst error {:.2}%)", worst * 100.0);
+    println!(
+        "shape: measured time matches full-speed-time/share (worst error {:.2}%)",
+        worst * 100.0
+    );
 }
 
 fn run_fig4a() {
@@ -256,11 +271,8 @@ fn print_run(label: &str, stats: &RunStats) {
         stats.avg_response_secs(),
         stats.switch_count()
     );
-    let series: Vec<String> = stats
-        .transmit_series()
-        .iter()
-        .map(|(t, tt)| format!("{t:.1}s:{tt:.2}"))
-        .collect();
+    let series: Vec<String> =
+        stats.transmit_series().iter().map(|(t, tt)| format!("{t:.1}s:{tt:.2}")).collect();
     println!("    per-image (end:transmit) {}", series.join(" "));
 }
 
@@ -273,8 +285,18 @@ fn run_fig7a(threads: usize) {
     let store = sc.build_store();
     let res =
         adaptation::fig7a(&sc, &store, 1.0, 500_000.0, 50_000.0, SimTime::from_secs(3), threads);
-    println!("\n== Figure 7(a): Experiment 1 — adapt compression to bandwidth (500 -> 50 KB/s @3s) ==");
-    println!("  db: {} records; config history: {:?}", res.db_records, res.adaptive.config_history.iter().map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key())).collect::<Vec<_>>());
+    println!(
+        "\n== Figure 7(a): Experiment 1 — adapt compression to bandwidth (500 -> 50 KB/s @3s) =="
+    );
+    println!(
+        "  db: {} records; config history: {:?}",
+        res.db_records,
+        res.adaptive
+            .config_history
+            .iter()
+            .map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key()))
+            .collect::<Vec<_>>()
+    );
     print_run("adaptive", &res.adaptive);
     for (label, stats) in &res.static_runs {
         print_run(label, stats);
@@ -295,7 +317,11 @@ fn run_fig7b(threads: usize) {
     println!(
         "  calibrated deadline: {:.2}s; config history: {:?}",
         res.threshold.unwrap(),
-        res.adaptive.config_history.iter().map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key())).collect::<Vec<_>>()
+        res.adaptive
+            .config_history
+            .iter()
+            .map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key()))
+            .collect::<Vec<_>>()
     );
     print_run("adaptive", &res.adaptive);
     for (label, stats) in &res.static_runs {
@@ -309,24 +335,23 @@ fn run_fig7b(threads: usize) {
 fn run_fig7cd(threads: usize) {
     let sc = experiment_scenario();
     let store = sc.build_store();
-    let res =
-        adaptation::fig7cd(&sc, &store, 500_000.0, 0.9, 0.4, SimTime::from_secs(3), threads);
+    let res = adaptation::fig7cd(&sc, &store, 500_000.0, 0.9, 0.4, SimTime::from_secs(3), threads);
     println!("\n== Figure 7(c,d): Experiment 3 — shrink fovea under a response bound (CPU 90% -> 40% @3s) ==");
     println!(
         "  calibrated response bound: {:.3}s; config history: {:?}",
         res.threshold.unwrap(),
-        res.adaptive.config_history.iter().map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key())).collect::<Vec<_>>()
+        res.adaptive
+            .config_history
+            .iter()
+            .map(|(t, c)| format!("{:.1}s {}", t.as_secs_f64(), c.key()))
+            .collect::<Vec<_>>()
     );
     print_run("adaptive", &res.adaptive);
     for (label, stats) in &res.static_runs {
         print_run(label, stats);
     }
-    let resp: Vec<String> = res
-        .adaptive
-        .response_series()
-        .iter()
-        .map(|(t, r)| format!("{t:.1}s:{r:.3}"))
-        .collect();
+    let resp: Vec<String> =
+        res.adaptive.response_series().iter().map(|(t, r)| format!("{t:.1}s:{r:.3}")).collect();
     println!("  adaptive per-round (end:response) {}", resp.join(" "));
     println!("shape: big fovea until the CPU drop, then a smaller increment restores sub-bound responses");
 }
@@ -335,10 +360,8 @@ fn run_extmem() {
     let sc = figure_scenario();
     let store = sc.build_store();
     // Working sets at 512px: level 4 ~ 1.34 MB, level 3 ~ 0.35 MB.
-    let limits: Vec<u64> = [256u64, 512, 768, 1024, 1536, 2048]
-        .iter()
-        .map(|kb| kb * 1024)
-        .collect();
+    let limits: Vec<u64> =
+        [256u64, 512, 768, 1024, 1536, 2048].iter().map(|kb| kb * 1024).collect();
     let series = extensions::extmem(&sc, &store, &limits, 0.5);
     let mut rows = Vec::new();
     for &mem in &limits {
@@ -362,7 +385,9 @@ fn run_extload(threads: usize) {
     let sc = experiment_scenario();
     let store = sc.build_store();
     let (adaptive, static_fine, deadline) = extensions::extload(&sc, &store, 1.0, 3.0, threads);
-    println!("\n== Extension: adaptation under genuine contention (intruder process, weight 1.0 @3s) ==");
+    println!(
+        "\n== Extension: adaptation under genuine contention (intruder process, weight 1.0 @3s) =="
+    );
     println!(
         "  calibrated deadline: {deadline:.2}s; config history: {:?}",
         adaptive

@@ -83,8 +83,7 @@ pub fn fig7a(
         vec![Constraint::at_least("resolution", sc.levels as f64)],
         Objective::minimize("transmit_time"),
     ));
-    let schedule =
-        || LimitSchedule::new().at(switch_at, Limits::cpu(cpu_share).with_net(lo_bps));
+    let schedule = || LimitSchedule::new().at(switch_at, Limits::cpu(cpu_share).with_net(lo_bps));
     let start = Limits::cpu(cpu_share).with_net(hi_bps);
     let adaptive = run_adaptive(sc, store, db, prefs, start, Some(schedule())).stats;
     let dr = sc.img_size / 2; // the scheduler's typical pick
@@ -125,18 +124,14 @@ pub fn fig7b(
     // level, violated at the low share (midpoint of the two predictions).
     let t_hi = predict(&db, &cfg_hi, hi_share, fixed_bps, "transmit_time");
     let t_lo_share = predict(&db, &cfg_hi, lo_share, fixed_bps, "transmit_time");
-    assert!(
-        t_lo_share > t_hi,
-        "CPU drop must slow the fine level ({t_hi} -> {t_lo_share})"
-    );
+    assert!(t_lo_share > t_hi, "CPU drop must slow the fine level ({t_hi} -> {t_lo_share})");
     let deadline = (t_hi + t_lo_share) / 2.0;
     let prefs = PreferenceList::single(Preference::new(
         vec![Constraint::at_most("transmit_time", deadline)],
         Objective::maximize("resolution"),
     ))
     .then(Preference::new(vec![], Objective::minimize("transmit_time")));
-    let schedule =
-        || LimitSchedule::new().at(switch_at, Limits::cpu(lo_share).with_net(fixed_bps));
+    let schedule = || LimitSchedule::new().at(switch_at, Limits::cpu(lo_share).with_net(fixed_bps));
     let start = Limits::cpu(hi_share).with_net(fixed_bps);
     let adaptive = run_adaptive(sc, store, db, prefs, start, Some(schedule())).stats;
     let mut static_runs = Vec::new();
@@ -200,8 +195,7 @@ pub fn fig7cd(
         vec![Constraint::at_least("resolution", level as f64)],
         Objective::minimize("response_time"),
     ));
-    let schedule =
-        || LimitSchedule::new().at(switch_at, Limits::cpu(lo_share).with_net(fixed_bps));
+    let schedule = || LimitSchedule::new().at(switch_at, Limits::cpu(lo_share).with_net(fixed_bps));
     let start = Limits::cpu(hi_share).with_net(fixed_bps);
     let adaptive = run_adaptive(sc, store, db, prefs, start, Some(schedule())).stats;
     let mut static_runs = Vec::new();
@@ -289,23 +283,13 @@ mod tests {
             res.adaptive.config_history
         );
         let final_dr = res.final_config().get("dR").unwrap();
-        assert!(
-            final_dr < initial_dr,
-            "fovea shrinks: {:?}",
-            res.adaptive.config_history
-        );
+        assert!(final_dr < initial_dr, "fovea shrinks: {:?}", res.adaptive.config_history);
         // The bound constrains the *average* response (as in the paper:
         // "keeping average response time ... below one second"), so check
         // the mean over the post-switch tail.
         let bound = res.threshold.unwrap();
-        let tail: Vec<f64> = res
-            .adaptive
-            .rounds
-            .iter()
-            .rev()
-            .take(6)
-            .map(|r| r.response_secs())
-            .collect();
+        let tail: Vec<f64> =
+            res.adaptive.rounds.iter().rev().take(6).map(|r| r.response_secs()).collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(mean <= bound * 1.1, "late mean response {mean} vs bound {bound}");
     }

@@ -21,7 +21,12 @@ use visapp::{
 use crate::figs::profiles::Series;
 
 /// Transmission time vs memory limit, one series per resolution level.
-pub fn extmem(sc: &Scenario, store: &Arc<ImageStore>, mem_limits: &[u64], share: f64) -> Vec<Series> {
+pub fn extmem(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    mem_limits: &[u64],
+    share: f64,
+) -> Vec<Series> {
     let psc = Scenario { n_images: 2, verify: false, ..sc.clone() };
     let (l_lo, l_hi) = sc.level_values();
     [l_lo, l_hi]
@@ -66,7 +71,13 @@ pub fn extload(
     };
     // Share the intruder leaves the client: 1 / (1 + weight).
     let residual = 1.0 / (1.0 + weight);
-    let db = build_db(sc, store, &[residual * 0.5, residual, (1.0 + residual) / 2.0, 1.0], &[500_000.0], threads);
+    let db = build_db(
+        sc,
+        store,
+        &[residual * 0.5, residual, (1.0 + residual) / 2.0, 1.0],
+        &[500_000.0],
+        threads,
+    );
     let (l_lo, l_hi) = sc.level_values();
     let dr = (sc.img_size / 2) as i64;
     let cfg_hi = Configuration::new(&[("dR", dr), ("c", Method::Lzw.code()), ("l", l_hi)]);
@@ -85,15 +96,8 @@ pub fn extload(
         Objective::maximize("resolution"),
     ))
     .then(Preference::new(vec![], Objective::minimize("transmit_time")));
-    let adaptive = run_adaptive(
-        &loaded,
-        store,
-        db,
-        prefs,
-        Limits::cpu(1.0).with_net(500_000.0),
-        None,
-    )
-    .stats;
+    let adaptive =
+        run_adaptive(&loaded, store, db, prefs, Limits::cpu(1.0).with_net(500_000.0), None).stats;
     let static_fine = run_static(
         &loaded,
         store,

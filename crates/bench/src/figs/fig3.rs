@@ -7,7 +7,9 @@
 //!     10%..100%; measured time is compared against the expected time
 //!     (full-speed time / share).
 
-use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed, SeriesHandle, UsageSampler};
+use sandbox::{
+    LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed, SeriesHandle, UsageSampler,
+};
 use simnet::{dur, Sim, SimTime};
 
 use crate::toy::{FixedWork, Grinder};
@@ -30,7 +32,9 @@ pub fn fig3a() -> Vec<UsagePoint> {
     let series = SeriesHandle::new();
     sim.spawn(
         h,
-        Box::new(UsageSampler::new(target, dur::secs(1), series.clone()).until(SimTime::from_secs(80))),
+        Box::new(
+            UsageSampler::new(target, dur::secs(1), series.clone()).until(SimTime::from_secs(80)),
+        ),
     );
     LimitSchedule::new()
         .at(SimTime::from_secs(20), Limits::cpu(0.4))

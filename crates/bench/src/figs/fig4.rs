@@ -78,26 +78,15 @@ pub fn fig4a(work_secs: f64) -> Vec<EmulationRow> {
 /// rows of mean per-image transmission time. The server runs at reference
 /// speed with its outbound bandwidth limited to 1 MB/s.
 pub fn fig4b(sc: &Scenario) -> Vec<EmulationRow> {
-    let cfg = VizConfig {
-        dr: (sc.img_size / 4),
-        level: sc.levels,
-        method: Method::Lzw,
-    };
-    let base_sc = Scenario {
-        server_net_cap: Some(1_000_000.0),
-        ..sc.clone()
-    };
+    let cfg = VizConfig { dr: (sc.img_size / 4), level: sc.levels, method: Method::Lzw };
+    let base_sc = Scenario { server_net_cap: Some(1_000_000.0), ..sc.clone() };
     let store: Arc<_> = base_sc.build_store();
     let run_physical = |speed: f64| {
         let s = Scenario { client_speed: speed, ..base_sc.clone() };
-        run_static(&s, &store, cfg, Limits::unconstrained(), None)
-            .stats
-            .avg_transmit_secs()
+        run_static(&s, &store, cfg, Limits::unconstrained(), None).stats.avg_transmit_secs()
     };
     let run_testbed = |share: f64| {
-        run_static(&base_sc, &store, cfg, Limits::cpu(share), None)
-            .stats
-            .avg_transmit_secs()
+        run_static(&base_sc, &store, cfg, Limits::cpu(share), None).stats.avg_transmit_secs()
     };
     let base = run_physical(1.0);
     MACHINES

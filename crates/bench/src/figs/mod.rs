@@ -13,22 +13,10 @@ use visapp::Scenario;
 /// settings in individual figures are scaled from the paper's 500/50 KBps
 /// and 90/40% so the *ratios* match (see EXPERIMENTS.md for the mapping).
 pub fn figure_scenario() -> Scenario {
-    Scenario {
-        n_images: 10,
-        img_size: 512,
-        levels: 4,
-        seed: 2000,
-        ..Scenario::default()
-    }
+    Scenario { n_images: 10, img_size: 512, levels: 4, seed: 2000, ..Scenario::default() }
 }
 
 /// A smaller scenario for quick shape checks in tests.
 pub fn test_scenario() -> Scenario {
-    Scenario {
-        n_images: 3,
-        img_size: 128,
-        levels: 3,
-        seed: 2000,
-        ..Scenario::default()
-    }
+    Scenario { n_images: 3, img_size: 128, levels: 3, seed: 2000, ..Scenario::default() }
 }

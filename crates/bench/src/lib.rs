@@ -32,11 +32,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let hdr: Vec<String> = headers
-        .iter()
-        .enumerate()
-        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
-        .collect();
+    let hdr: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:>w$}", h, w = widths[i])).collect();
     println!("{}", hdr.join("  "));
     for row in rows {
         let line: Vec<String> = row

@@ -5,8 +5,9 @@
 #![allow(clippy::type_complexity)]
 
 use adapt_core::{
-    Configuration, MonitoringAgent, Objective, PerfDb, PerfRecord, Preference, PreferenceList,
-    PredictMode, QosReport, ResourceKey, ResourceScheduler, ResourceVector, Sense, ValidityRegion,
+    Configuration, MonitoringAgent, Objective, PerfDb, PerfRecord, PredictMode, Preference,
+    PreferenceList, QosReport, ResourceKey, ResourceScheduler, ResourceVector, Sense,
+    ValidityRegion,
 };
 use simnet::SimTime;
 
@@ -22,8 +23,7 @@ fn net() -> ResourceKey {
 /// t1 = 2e6/net + 5, t2 = 4e5/net + 20 (crossover at 106.7 KB/s).
 fn crossover_db(grid: &[f64]) -> PerfDb {
     let mut db = PerfDb::new();
-    let curves: [(i64, fn(f64) -> f64); 2] =
-        [(1, |n| 2e6 / n + 5.0), (2, |n| 4e5 / n + 20.0)];
+    let curves: [(i64, fn(f64) -> f64); 2] = [(1, |n| 2e6 / n + 5.0), (2, |n| 4e5 / n + 20.0)];
     for (c, f) in curves {
         for &nv in grid {
             db.add(PerfRecord {

@@ -28,8 +28,7 @@ pub fn suffix_array(s: &[u8]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + i64::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + i64::from(key(prev) != key(cur));
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {

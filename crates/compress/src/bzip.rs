@@ -30,9 +30,7 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf
-            .get(*pos)
-            .ok_or_else(|| CodecError::corrupt("bzip varint truncated"))?;
+        let byte = *buf.get(*pos).ok_or_else(|| CodecError::corrupt("bzip varint truncated"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(CodecError::corrupt("bzip varint overflow"));

@@ -46,10 +46,8 @@ fn lengths_once(freqs: &[u64]) -> Vec<u8> {
     // Heap of (weight, node). Leaves are 0..n, internal nodes follow.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = live
-        .iter()
-        .map(|&i| Reverse((freqs[i], i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        live.iter().map(|&i| Reverse((freqs[i], i))).collect();
     let mut parent: Vec<usize> = vec![usize::MAX; n];
     let mut next_node = n;
     while heap.len() > 1 {
@@ -187,9 +185,7 @@ impl Decoder {
         }
         let mut code = 0u32;
         for l in 1..=self.max_len {
-            let bit = r
-                .get_bit()
-                .ok_or_else(|| CodecError::corrupt("Huffman stream truncated"))?;
+            let bit = r.get_bit().ok_or_else(|| CodecError::corrupt("Huffman stream truncated"))?;
             code = (code << 1) | bit;
             let c = self.count[l];
             if c > 0 && code >= self.first_code[l] && code < self.first_code[l] + c {
@@ -218,9 +214,7 @@ mod tests {
         let bits = w.finish();
         let dec = Decoder::new(&lengths).unwrap();
         let mut r = BitReader::new(&bits);
-        let out: Vec<u8> = (0..data.len())
-            .map(|_| dec.decode(&mut r).unwrap() as u8)
-            .collect();
+        let out: Vec<u8> = (0..data.len()).map(|_| dec.decode(&mut r).unwrap() as u8).collect();
         assert_eq!(out, data);
     }
 
@@ -282,19 +276,15 @@ mod tests {
         let freqs: Vec<u64> = (0..256).map(|_| rng.gen_range(0..1000)).collect();
         let lengths = build_lengths(&freqs);
         let maxl = *lengths.iter().max().unwrap() as u32;
-        let kraft: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 1u64 << (maxl - l as u32))
-            .sum();
+        let kraft: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (maxl - l as u32)).sum();
         assert!(kraft <= 1u64 << maxl, "Kraft violated: {kraft} > 2^{maxl}");
     }
 
     #[test]
     fn compression_beats_raw_for_skewed_data() {
-        let data: Vec<u8> = std::iter::repeat_n(b'a', 9000)
-            .chain(std::iter::repeat_n(b'b', 1000))
-            .collect();
+        let data: Vec<u8> =
+            std::iter::repeat_n(b'a', 9000).chain(std::iter::repeat_n(b'b', 1000)).collect();
         let mut freqs = vec![0u64; 256];
         for &b in &data {
             freqs[b as usize] += 1;

@@ -104,9 +104,8 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
                 break;
             }
             let idx = (c - FIRST_FREE) as usize;
-            let &(prefix, last) = entries
-                .get(idx)
-                .ok_or_else(|| CodecError::corrupt("LZW code out of range"))?;
+            let &(prefix, last) =
+                entries.get(idx).ok_or_else(|| CodecError::corrupt("LZW code out of range"))?;
             out.push(last);
             c = prefix;
             if out.len() - start > MAX_CODE as usize + 2 {
@@ -118,9 +117,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
 
     loop {
-        let code = r
-            .get(s.width)
-            .ok_or_else(|| CodecError::corrupt("LZW stream truncated"))?;
+        let code = r.get(s.width).ok_or_else(|| CodecError::corrupt("LZW stream truncated"))?;
         match code {
             EOF => return Ok(out),
             CLEAR => {

@@ -86,11 +86,17 @@ impl Method {
     pub fn cost(self) -> CostModel {
         match self {
             // ~200 MB/s memcpy-ish.
-            Method::Raw => CostModel { compress_per_byte: 0.005, decompress_per_byte: 0.005, fixed: 20.0 },
+            Method::Raw => {
+                CostModel { compress_per_byte: 0.005, decompress_per_byte: 0.005, fixed: 20.0 }
+            }
             // ~12 MB/s compress, ~20 MB/s decompress on the reference host.
-            Method::Lzw => CostModel { compress_per_byte: 0.085, decompress_per_byte: 0.05, fixed: 100.0 },
+            Method::Lzw => {
+                CostModel { compress_per_byte: 0.085, decompress_per_byte: 0.05, fixed: 100.0 }
+            }
             // ~1.2 MB/s compress, ~3.3 MB/s decompress.
-            Method::Bzip => CostModel { compress_per_byte: 0.85, decompress_per_byte: 0.30, fixed: 300.0 },
+            Method::Bzip => {
+                CostModel { compress_per_byte: 0.85, decompress_per_byte: 0.30, fixed: 300.0 }
+            }
         }
     }
 }
@@ -150,9 +156,7 @@ mod tests {
         let lz = Method::Lzw.compress(&data).len();
         let bz = Method::Bzip.compress(&data).len();
         assert!(bz < lz, "bzip {bz} vs lzw {lz}");
-        assert!(
-            Method::Bzip.cost().compress_per_byte > 5.0 * Method::Lzw.cost().compress_per_byte
-        );
+        assert!(Method::Bzip.cost().compress_per_byte > 5.0 * Method::Lzw.cost().compress_per_byte);
     }
 
     #[test]

@@ -53,18 +53,10 @@ fn main() -> ExitCode {
     let writes: [(&str, String); 4] = [
         ("spec.json", serde_json::to_string_pretty(&spec).expect("spec serializes")),
         ("spec.normal.tun", dsl::render(&spec)),
-        (
-            "db_template.json",
-            serde_json::to_string_pretty(&template).expect("template serializes"),
-        ),
+        ("db_template.json", serde_json::to_string_pretty(&template).expect("template serializes")),
         (
             "configurations.txt",
-            template
-                .configurations
-                .iter()
-                .map(|c| c.key())
-                .collect::<Vec<_>>()
-                .join("\n"),
+            template.configurations.iter().map(|c| c.key()).collect::<Vec<_>>().join("\n"),
         ),
     ];
     for (name, contents) in writes {

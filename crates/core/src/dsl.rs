@@ -155,7 +155,9 @@ impl<'a> Lexer<'a> {
                     out.push((Tok::Str(s.to_string()), self.line));
                     self.pos += 1;
                 }
-                c if c.is_ascii_digit() || (c == '-' && self.peek(1).is_some_and(|d| d.is_ascii_digit())) => {
+                c if c.is_ascii_digit()
+                    || (c == '-' && self.peek(1).is_some_and(|d| d.is_ascii_digit())) =>
+                {
                     let start = self.pos;
                     if c == '-' {
                         self.pos += 1;
@@ -175,9 +177,8 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    let text: String = std::str::from_utf8(&self.src[start..self.pos])
-                        .unwrap()
-                        .replace('_', "");
+                    let text: String =
+                        std::str::from_utf8(&self.src[start..self.pos]).unwrap().replace('_', "");
                     if is_float {
                         let v: f64 = text.parse().map_err(|_| self.err("bad float"))?;
                         out.push((Tok::Float(v), self.line));
@@ -217,10 +218,7 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(_, l)| *l).unwrap_or(0)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -391,10 +389,8 @@ pub fn parse(src: &str) -> Result<TunableSpec, ParseError> {
                             match p.peek() {
                                 Some(Tok::Sym("{")) => {
                                     let vs = p.int_set()?;
-                                    params.push(ControlParam {
-                                        name,
-                                        domain: ParamDomain::Set(vs),
-                                    });
+                                    params
+                                        .push(ControlParam { name, domain: ParamDomain::Set(vs) });
                                 }
                                 _ => {
                                     let min = p.int()?;
@@ -474,7 +470,11 @@ pub fn parse(src: &str) -> Result<TunableSpec, ParseError> {
                     let sense = match dir.as_str() {
                         "minimize" => crate::qos::Sense::LowerIsBetter,
                         "maximize" => crate::qos::Sense::HigherIsBetter,
-                        other => return Err(p.err(format!("expected minimize/maximize, found {other:?}"))),
+                        other => {
+                            return Err(
+                                p.err(format!("expected minimize/maximize, found {other:?}"))
+                            )
+                        }
                     };
                     let unit = match p.peek() {
                         Some(Tok::Str(_)) => match p.next()? {
@@ -529,11 +529,7 @@ pub fn parse(src: &str) -> Result<TunableSpec, ParseError> {
             "transition" => {
                 p.ident_eq("on")?;
                 let on_params = p.ident_list()?;
-                let mut tr = TransitionSpec {
-                    on_params,
-                    guard: Guard::True,
-                    actions: Vec::new(),
-                };
+                let mut tr = TransitionSpec { on_params, guard: Guard::True, actions: Vec::new() };
                 p.expect_sym("{")?;
                 while !p.eat_sym("}") {
                     let kw = p.ident()?;
@@ -664,10 +660,8 @@ mod tests {
 
     #[test]
     fn host_speed_and_links() {
-        let spec = parse(
-            "execution_env { host fast; host slow speed 0.44; link fast slow; }",
-        )
-        .unwrap();
+        let spec =
+            parse("execution_env { host fast; host slow speed 0.44; link fast slow; }").unwrap();
         assert_eq!(spec.env.host("slow").unwrap().speed, 0.44);
         assert_eq!(spec.env.links, vec![("fast".to_string(), "slow".to_string())]);
     }
@@ -777,8 +771,7 @@ pub fn render(spec: &TunableSpec) -> String {
                     let _ = writeln!(out, "    int {} in {{{}}};", p.name, list.join(", "));
                 }
                 ParamDomain::Enum(vs) => {
-                    let list: Vec<String> =
-                        vs.iter().map(|(n, v)| format!("{n} = {v}")).collect();
+                    let list: Vec<String> = vs.iter().map(|(n, v)| format!("{n} = {v}")).collect();
                     let _ = writeln!(out, "    enum {} {{ {} }};", p.name, list.join(", "));
                 }
             }

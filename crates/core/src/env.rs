@@ -268,7 +268,8 @@ mod tests {
 
     #[test]
     fn covers_semantics() {
-        let have = ResourceVector::new(&[(ResourceKey::cpu("c"), 0.8), (ResourceKey::net("c"), 1e6)]);
+        let have =
+            ResourceVector::new(&[(ResourceKey::cpu("c"), 0.8), (ResourceKey::net("c"), 1e6)]);
         let need = ResourceVector::new(&[(ResourceKey::cpu("c"), 0.5)]);
         assert!(have.covers(&need));
         let need2 = ResourceVector::new(&[(ResourceKey::cpu("c"), 0.9)]);
@@ -279,8 +280,14 @@ mod tests {
 
     #[test]
     fn normalized_distance() {
-        let a = ResourceVector::new(&[(ResourceKey::cpu("c"), 0.2), (ResourceKey::net("c"), 100_000.0)]);
-        let b = ResourceVector::new(&[(ResourceKey::cpu("c"), 0.6), (ResourceKey::net("c"), 500_000.0)]);
+        let a = ResourceVector::new(&[
+            (ResourceKey::cpu("c"), 0.2),
+            (ResourceKey::net("c"), 100_000.0),
+        ]);
+        let b = ResourceVector::new(&[
+            (ResourceKey::cpu("c"), 0.6),
+            (ResourceKey::net("c"), 500_000.0),
+        ]);
         let mut scale = BTreeMap::new();
         scale.insert(ResourceKey::cpu("c"), 1.0);
         scale.insert(ResourceKey::net("c"), 1_000_000.0);

@@ -69,10 +69,7 @@ impl WindowStat {
 /// The resource region within which the currently active configuration
 /// remains valid (chosen by the scheduler, checked by the monitor).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(
-    into = "Vec<(ResourceKey, f64, f64)>",
-    from = "Vec<(ResourceKey, f64, f64)>"
-)]
+#[serde(into = "Vec<(ResourceKey, f64, f64)>", from = "Vec<(ResourceKey, f64, f64)>")]
 pub struct ValidityRegion {
     /// Per-resource inclusive `(min, max)` bounds.
     pub ranges: BTreeMap<ResourceKey, (f64, f64)>,
@@ -86,9 +83,7 @@ impl From<ValidityRegion> for Vec<(ResourceKey, f64, f64)> {
 
 impl From<Vec<(ResourceKey, f64, f64)>> for ValidityRegion {
     fn from(triples: Vec<(ResourceKey, f64, f64)>) -> Self {
-        ValidityRegion {
-            ranges: triples.into_iter().map(|(k, lo, hi)| (k, (lo, hi))).collect(),
-        }
+        ValidityRegion { ranges: triples.into_iter().map(|(k, lo, hi)| (k, (lo, hi))).collect() }
     }
 }
 
@@ -210,10 +205,7 @@ impl MonitoringAgent {
             return;
         }
         let w = self.window_us;
-        self.stats
-            .entry(key.clone())
-            .or_insert_with(|| WindowStat::new(w))
-            .push(t, value);
+        self.stats.entry(key.clone()).or_insert_with(|| WindowStat::new(w)).push(t, value);
     }
 
     /// Current availability estimate (window means).

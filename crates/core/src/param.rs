@@ -78,9 +78,7 @@ impl ControlParam {
     pub fn enumeration(name: &str, values: &[(&str, i64)]) -> Self {
         ControlParam {
             name: name.into(),
-            domain: ParamDomain::Enum(
-                values.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
-            ),
+            domain: ParamDomain::Enum(values.iter().map(|(n, v)| (n.to_string(), *v)).collect()),
         }
     }
 }
@@ -174,8 +172,7 @@ impl Configuration {
 
     /// Like `get` but panicking with context (protocol-guaranteed params).
     pub fn expect(&self, name: &str) -> i64 {
-        self.get(name)
-            .unwrap_or_else(|| panic!("configuration missing parameter {name}"))
+        self.get(name).unwrap_or_else(|| panic!("configuration missing parameter {name}"))
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
@@ -259,19 +256,14 @@ mod tests {
         let space = ControlSpace::new(vec![ControlParam::set("x", &[1, 2])]);
         assert!(space.validate(&Configuration::new(&[("x", 3)])).is_err());
         assert!(space.validate(&Configuration::new(&[])).is_err());
-        assert!(space
-            .validate(&Configuration::new(&[("x", 1), ("y", 0)]))
-            .is_err());
+        assert!(space.validate(&Configuration::new(&[("x", 1), ("y", 0)])).is_err());
         space.validate(&Configuration::new(&[("x", 2)])).unwrap();
     }
 
     #[test]
     #[should_panic(expected = "duplicate parameter")]
     fn duplicate_params_rejected() {
-        ControlSpace::new(vec![
-            ControlParam::set("x", &[1]),
-            ControlParam::set("x", &[2]),
-        ]);
+        ControlSpace::new(vec![ControlParam::set("x", &[1]), ControlParam::set("x", &[2])]);
     }
 
     #[test]

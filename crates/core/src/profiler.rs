@@ -141,43 +141,54 @@ impl Profiler {
     /// Run the sweep across `threads` OS threads. Each grid point builds
     /// its own independent simulation, so this is embarrassingly parallel;
     /// results are merged in deterministic job order afterwards.
+    ///
+    /// Workers pull flat job ids from a shared counter and decode them
+    /// into `(input, config, point)` on the fly — the grid's points are
+    /// computed once and shared by reference, never cloned per job — and
+    /// buffer results locally, so the only cross-thread synchronization is
+    /// the counter; buffers are merged after join.
     pub fn run_parallel(&self, runner: &(dyn ProfileRunner + Sync), threads: usize) -> PerfDb {
         let threads = threads.max(1);
-        let mut jobs: Vec<(usize, &Configuration, ResourceVector, &String)> = Vec::new();
         let points = self.grid.points();
-        let mut id = 0usize;
-        for input in &self.inputs {
-            for config in &self.configs {
-                for point in &points {
-                    jobs.push((id, config, point.clone(), input));
-                    id += 1;
-                }
-            }
-        }
-        let results: parking_lot::Mutex<Vec<(usize, QosReport)>> =
-            parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (id, config, point, input) = &jobs[i];
-                    let metrics = runner.run(config, point, input);
-                    results.lock().push((*id, metrics));
-                });
-            }
-        })
-        .expect("profiling thread panicked");
-        let mut results = results.into_inner();
-        results.sort_by_key(|(id, _)| *id);
+        let npoints = points.len();
+        let nconfigs = self.configs.len();
+        let total = self.inputs.len() * nconfigs * npoints;
+        // Job id layout (insertion order of the sequential sweep):
+        // id = (input_i * nconfigs + config_i) * npoints + point_i.
+        let decode = |id: usize| {
+            let (pair, point_i) = (id / npoints, id % npoints);
+            let (input_i, config_i) = (pair / nconfigs, pair % nconfigs);
+            (&self.inputs[input_i], &self.configs[config_i], &points[point_i])
+        };
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Vec<(usize, QosReport)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local: Vec<(usize, QosReport)> = Vec::new();
+                        loop {
+                            let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if id >= total {
+                                break;
+                            }
+                            let (input, config, point) = decode(id);
+                            local.push((id, runner.run(config, point, input)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("profiling thread panicked")).collect()
+        });
+        let mut merged: Vec<(usize, QosReport)> =
+            results.iter_mut().flat_map(std::mem::take).collect();
+        merged.sort_by_key(|(id, _)| *id);
         let mut db = PerfDb::new();
-        for ((_, metrics), (_, config, point, input)) in results.into_iter().zip(jobs) {
+        for (id, metrics) in merged {
+            let (input, config, point) = decode(id);
             db.add(PerfRecord {
                 config: config.clone(),
-                resources: point,
+                resources: point.clone(),
                 input: input.clone(),
                 metrics,
             });
@@ -207,7 +218,8 @@ impl Profiler {
                             // other axes held at their existing sampled
                             // combinations: use the records directly.
                             let pairs = adjacent_pairs(db, config, input, axis, lo, hi);
-                            let needs = pairs.iter().any(|(a, b)| a.max_rel_diff(b) > opts.threshold);
+                            let needs =
+                                pairs.iter().any(|(a, b)| a.max_rel_diff(b) > opts.threshold);
                             if needs {
                                 let mid = (lo + hi) / 2.0;
                                 for point in points_with_axis(db, config, input, axis, lo, mid) {
@@ -243,11 +255,7 @@ fn adjacent_pairs(
     hi: f64,
 ) -> Vec<(QosReport, QosReport)> {
     let mut out = Vec::new();
-    let recs: Vec<&PerfRecord> = db
-        .records()
-        .iter()
-        .filter(|r| r.input == input && &r.config == config)
-        .collect();
+    let recs = db.records_for(config, input);
     for a in &recs {
         let Some(va) = a.resources.get(axis) else { continue };
         if (va - lo).abs() > 1e-9 {
@@ -281,14 +289,12 @@ fn points_with_axis(
     mid: f64,
 ) -> Vec<ResourceVector> {
     let mut out = Vec::new();
-    for r in db.records() {
-        if r.input == input && &r.config == config {
-            if let Some(v) = r.resources.get(axis) {
-                if (v - lo).abs() < 1e-9 {
-                    let mut p = r.resources.clone();
-                    p.set(axis.clone(), mid);
-                    out.push(p);
-                }
+    for r in db.records_for(config, input) {
+        if let Some(v) = r.resources.get(axis) {
+            if (v - lo).abs() < 1e-9 {
+                let mut p = r.resources.clone();
+                p.set(axis.clone(), mid);
+                out.push(p);
             }
         }
     }

@@ -104,8 +104,7 @@ impl QosReport {
 
 impl fmt::Display for QosReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.values.iter().map(|(k, v)| format!("{k}={v:.3}")).collect();
+        let parts: Vec<String> = self.values.iter().map(|(k, v)| format!("{k}={v:.3}")).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }
@@ -135,9 +134,7 @@ impl Constraint {
     pub fn satisfied_by(&self, report: &QosReport) -> bool {
         match report.get(&self.metric) {
             None => false,
-            Some(v) => {
-                self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m)
-            }
+            Some(v) => self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m),
         }
     }
 }

@@ -62,11 +62,8 @@ impl AdaptiveRuntime {
     ) -> Option<AdaptiveRuntime> {
         let decision = scheduler.choose(initial_resources)?;
         let watched = spec.tasks.monitored_resources(&decision.config);
-        let watched = if watched.is_empty() {
-            initial_resources.keys().cloned().collect()
-        } else {
-            watched
-        };
+        let watched =
+            if watched.is_empty() { initial_resources.keys().cloned().collect() } else { watched };
         let mut monitor = MonitoringAgent::new(watched, window_us);
         monitor.set_validity(decision.validity.clone());
         let mut rt = AdaptiveRuntime {
@@ -122,13 +119,14 @@ impl AdaptiveRuntime {
     }
 
     fn queue_decision(&mut self, t: SimTime, d: Decision) {
+        let same = &d.config == self.steering.current();
         self.events.push(AdaptationEvent::Decided {
             at: t,
             config: d.config.clone(),
-            predicted: d.predicted.clone(),
+            predicted: d.predicted,
             rank: d.preference_rank,
         });
-        if &d.config == self.steering.current() {
+        if same {
             // Same choice under the new conditions: refresh the validity
             // region so the monitor stops re-triggering on it.
             self.monitor.set_validity(d.validity);
@@ -170,15 +168,15 @@ impl AdaptiveRuntime {
                     let estimate = self.monitor.estimate();
                     match self.scheduler.choose_excluding(&estimate, &excluded) {
                         Some(d) if &d.config != self.steering.current() => {
-                            self.steering.request(ReconfigureRequest {
-                                config: d.config.clone(),
-                                validity: d.validity.clone(),
-                            });
                             self.events.push(AdaptationEvent::Decided {
                                 at: t,
-                                config: d.config,
+                                config: d.config.clone(),
                                 predicted: d.predicted,
                                 rank: d.preference_rank,
+                            });
+                            self.steering.request(ReconfigureRequest {
+                                config: d.config,
+                                validity: d.validity,
                             });
                         }
                         _ => return None,
@@ -247,10 +245,8 @@ mod tests {
 
     fn runtime() -> AdaptiveRuntime {
         let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
-        let prefs = PreferenceList::single(Preference::new(
-            vec![],
-            Objective::minimize("transmit_time"),
-        ));
+        let prefs =
+            PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
         AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap()
@@ -394,10 +390,8 @@ mod negotiation_tests {
         // must fall back to the best *reachable* configuration.
         let mut spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
         spec.transitions[0].guard = Guard::Eq("c".into(), 1);
-        let prefs = PreferenceList::single(Preference::new(
-            vec![],
-            Objective::minimize("transmit_time"),
-        ));
+        let prefs =
+            PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
         let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
@@ -412,11 +406,7 @@ mod negotiation_tests {
         }
         rt.tick(SimTime::from_secs(3)).expect("trigger");
         let switched = rt.at_boundary(SimTime::from_secs(3));
-        let naks = rt
-            .events()
-            .iter()
-            .filter(|e| matches!(e, AdaptationEvent::Nak { .. }))
-            .count();
+        let naks = rt.events().iter().filter(|e| matches!(e, AdaptationEvent::Nak { .. })).count();
         assert!(naks >= 1, "the guard must have rejected at least one proposal");
         match switched {
             Some(ev) => {
@@ -452,10 +442,8 @@ mod negotiation_tests {
         }
         rt.tick(SimTime::from_secs(3));
         rt.at_boundary(SimTime::from_secs(3));
-        let no_candidate = rt
-            .events()
-            .iter()
-            .any(|e| matches!(e, AdaptationEvent::NoCandidate { .. }));
+        let no_candidate =
+            rt.events().iter().any(|e| matches!(e, AdaptationEvent::NoCandidate { .. }));
         if no_candidate {
             assert_eq!(rt.current(), &before, "keeps running the old configuration");
         }

@@ -10,6 +10,21 @@
 //! the performance database, interpolation (or even extrapolation) of the
 //! representative data is used ... If no candidate configurations exist,
 //! the next preferred user constraint is examined."
+//!
+//! # Decision memoization
+//!
+//! One decision probes the database heavily: the validity-region walk
+//! re-evaluates "is `config` still the best choice?" at every sampled
+//! axis value, and each such check needs predictions for *every*
+//! configuration. Many of those `(config, probe)` pairs repeat (the walk
+//! revisits the center point per axis, and the objective comparison needs
+//! the full prediction row at each probe), so a [`DecisionCtx`] shares a
+//! per-decision memo: the candidate list is fetched from the database
+//! index once, and each distinct probe's prediction row is computed once
+//! and reused across `choose_excluding`, the region walk, and the
+//! per-probe optimality checks.
+
+use std::collections::HashMap;
 
 use crate::env::ResourceVector;
 use crate::monitor::ValidityRegion;
@@ -41,6 +56,46 @@ pub struct ResourceScheduler {
     pub input: String,
 }
 
+/// Per-decision working state: the candidate configurations (fetched from
+/// the database index once per decision, not once per probe) and a memo of
+/// prediction rows keyed by probe point.
+struct DecisionCtx {
+    /// All configurations profiled for the input (plus, for
+    /// [`ResourceScheduler::validity_region`], the config under test when
+    /// it is not in the database). Optimality checks compare against every
+    /// entry; the choose loop additionally honors `eligible`.
+    configs: Vec<Configuration>,
+    /// False for configurations excluded from selection (failed steering
+    /// negotiation, §6.3). Excluded configs still participate in
+    /// optimality comparisons, exactly like the unmemoized code path.
+    eligible: Vec<bool>,
+    /// probe point -> predictions for each config (parallel to `configs`).
+    memo: HashMap<Vec<u64>, Vec<Option<QosReport>>>,
+}
+
+/// Memo key: the probe's values, bit-exact. All probes within one decision
+/// share the key *set* (they are single-axis perturbations of the same
+/// center point), so the values alone identify the probe.
+fn probe_key(probe: &ResourceVector) -> Vec<u64> {
+    probe.iter().map(|(_, v)| v.to_bits()).collect()
+}
+
+/// The memoized prediction row for `probe`, computing it on first use.
+/// A free function over the memo field (rather than a `DecisionCtx`
+/// method) so callers can keep reading `configs`/`eligible` while the row
+/// borrow is live.
+fn memoized<'m>(
+    memo: &'m mut HashMap<Vec<u64>, Vec<Option<QosReport>>>,
+    configs: &[Configuration],
+    db: &PerfDb,
+    input: &str,
+    mode: PredictMode,
+    probe: &ResourceVector,
+) -> &'m [Option<QosReport>] {
+    memo.entry(probe_key(probe))
+        .or_insert_with(|| configs.iter().map(|c| db.predict(c, input, probe, mode)).collect())
+}
+
 impl ResourceScheduler {
     pub fn new(db: PerfDb, prefs: PreferenceList, input: &str) -> Self {
         ResourceScheduler { db, prefs, mode: PredictMode::Interpolate, input: input.into() }
@@ -63,60 +118,68 @@ impl ResourceScheduler {
         resources: &ResourceVector,
         excluded: &[Configuration],
     ) -> Option<Decision> {
-        let candidates: Vec<Configuration> = self
-            .db
-            .configs(&self.input)
-            .into_iter()
-            .filter(|c| !excluded.contains(c))
-            .collect();
-        if candidates.is_empty() {
+        let configs = self.db.configs(&self.input);
+        let eligible: Vec<bool> = configs.iter().map(|c| !excluded.contains(c)).collect();
+        if !eligible.contains(&true) {
             return None;
         }
+        let mut ctx = DecisionCtx { configs, eligible, memo: HashMap::new() };
         for (rank, pref) in self.prefs.prefs.iter().enumerate() {
-            let mut best: Option<(Configuration, QosReport)> = None;
-            for c in &candidates {
-                let Some(pred) = self.db.predict(c, &self.input, resources, self.mode) else {
-                    continue;
-                };
-                if !pref.satisfied_by(&pred) {
+            let preds =
+                memoized(&mut ctx.memo, &ctx.configs, &self.db, &self.input, self.mode, resources);
+            let mut best: Option<usize> = None;
+            for (i, pred) in preds.iter().enumerate() {
+                if !ctx.eligible[i] {
                     continue;
                 }
-                let better = match &best {
+                let Some(pred) = pred else { continue };
+                if !pref.satisfied_by(pred) {
+                    continue;
+                }
+                let better = match best {
                     None => true,
-                    Some((_, b)) => pref.objective.better(&pred, b),
+                    Some(b) => pref.objective.better(pred, preds[b].as_ref().unwrap()),
                 };
                 if better {
-                    best = Some((c.clone(), pred));
+                    best = Some(i);
                 }
             }
-            if let Some((config, predicted)) = best {
-                let validity = self.validity_region(&config, pref, resources);
-                return Some(Decision { config, predicted, preference_rank: rank, validity });
+            if let Some(bi) = best {
+                let predicted = preds[bi].clone().expect("best candidate has a prediction");
+                let validity = self.validity_region_ctx(&mut ctx, bi, pref, resources);
+                return Some(Decision {
+                    config: ctx.configs.swap_remove(bi),
+                    predicted,
+                    preference_rank: rank,
+                    validity,
+                });
             }
         }
         None
     }
 
-    /// True when `config` both satisfies `pref` and remains the best
-    /// (objective-optimal) satisfying candidate at `probe`.
-    fn is_choice_at(
+    /// True when config `chosen` both satisfies `pref` and remains the
+    /// best (objective-optimal) satisfying candidate at `probe`.
+    fn is_choice_at_ctx(
         &self,
-        config: &Configuration,
+        ctx: &mut DecisionCtx,
+        chosen: usize,
         pref: &Preference,
         probe: &ResourceVector,
     ) -> bool {
-        let Some(mine) = self.db.predict(config, &self.input, probe, self.mode) else {
+        let preds = memoized(&mut ctx.memo, &ctx.configs, &self.db, &self.input, self.mode, probe);
+        let Some(mine) = preds[chosen].as_ref() else {
             return false;
         };
-        if !pref.satisfied_by(&mine) {
+        if !pref.satisfied_by(mine) {
             return false;
         }
-        for other in self.db.configs(&self.input) {
-            if &other == config {
+        for (i, pred) in preds.iter().enumerate() {
+            if i == chosen {
                 continue;
             }
-            if let Some(pred) = self.db.predict(&other, &self.input, probe, self.mode) {
-                if pref.satisfied_by(&pred) && pref.objective.better(&pred, &mine) {
+            if let Some(pred) = pred {
+                if pref.satisfied_by(pred) && pref.objective.better(pred, mine) {
                     return false;
                 }
             }
@@ -135,22 +198,46 @@ impl ResourceScheduler {
         pref: &Preference,
         around: &ResourceVector,
     ) -> ValidityRegion {
+        let configs = self.db.configs(&self.input);
+        let eligible = vec![true; configs.len()];
+        let mut ctx = DecisionCtx { configs, eligible, memo: HashMap::new() };
+        // The config under test is usually one of the candidates; when it
+        // is not (caller probing a hypothetical), append it so memo rows
+        // stay parallel to `ctx.configs`.
+        let chosen = match ctx.configs.iter().position(|c| c == config) {
+            Some(i) => i,
+            None => {
+                ctx.configs.push(config.clone());
+                ctx.eligible.push(true);
+                ctx.configs.len() - 1
+            }
+        };
+        self.validity_region_ctx(&mut ctx, chosen, pref, around)
+    }
+
+    fn validity_region_ctx(
+        &self,
+        ctx: &mut DecisionCtx,
+        chosen: usize,
+        pref: &Preference,
+        around: &ResourceVector,
+    ) -> ValidityRegion {
         let mut region = ValidityRegion::new();
-        for axis in self.db.axes(config, &self.input) {
+        let axes = self.db.axes(&ctx.configs[chosen], &self.input);
+        for axis in axes {
             let Some(center) = around.get(&axis) else { continue };
-            let samples = self.db.axis_values(config, &self.input, &axis);
+            let samples = self.db.axis_values(&ctx.configs[chosen], &self.input, &axis);
             if samples.is_empty() {
                 continue;
             }
-            let satisfies = |v: f64| -> bool {
-                let mut probe = around.clone();
-                probe.set(axis.clone(), v);
-                self.is_choice_at(config, pref, &probe)
-            };
+            // One probe buffer per axis: only this axis's value changes
+            // during the walk.
+            let mut probe = around.clone();
             // Walk down from the center.
             let mut lo = center;
             for &v in samples.iter().rev().filter(|&&v| v <= center) {
-                if satisfies(v) {
+                probe.set(axis.clone(), v);
+                if self.is_choice_at_ctx(ctx, chosen, pref, &probe) {
                     lo = v;
                 } else {
                     break;
@@ -159,7 +246,8 @@ impl ResourceScheduler {
             // Walk up from the center.
             let mut hi = center;
             for &v in samples.iter().filter(|&&v| v >= center) {
-                if satisfies(v) {
+                probe.set(axis.clone(), v);
+                if self.is_choice_at_ctx(ctx, chosen, pref, &probe) {
                     hi = v;
                 } else {
                     break;
@@ -232,9 +320,7 @@ mod tests {
         // 50 KB/s and 200 KB/s samples) — exactly the Experiment 1 trigger.
         let (lo, _) = d.validity.ranges[&net()];
         assert!((lo - 200_000.0).abs() < 1.0, "validity low bound {lo}");
-        assert!(!d
-            .validity
-            .contains(&ResourceVector::new(&[(cpu(), 1.0), (net(), 50_000.0)])));
+        assert!(!d.validity.contains(&ResourceVector::new(&[(cpu(), 1.0), (net(), 50_000.0)])));
     }
 
     #[test]
@@ -335,5 +421,21 @@ mod tests {
         let (lo, hi) = d.validity.ranges[&cpu()];
         assert_eq!(lo, 0.0);
         assert!(hi.is_infinite());
+    }
+
+    #[test]
+    fn validity_region_standalone_matches_decision() {
+        // The public validity_region entry point (fresh memo, config
+        // looked up or appended) must agree with the region computed
+        // inside choose().
+        let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let d = s.choose(&r).unwrap();
+        let standalone = s.validity_region(&d.config, &s.prefs.prefs[0], &r);
+        assert_eq!(d.validity.ranges, standalone.ranges);
+        // A config absent from the database yields an empty region.
+        let ghost = Configuration::new(&[("c", 99)]);
+        let empty = s.validity_region(&ghost, &s.prefs.prefs[0], &r);
+        assert!(empty.ranges.is_empty());
     }
 }

@@ -88,10 +88,7 @@ impl TunableSpec {
         old: &Configuration,
         new: &Configuration,
     ) -> Vec<&TransitionSpec> {
-        self.transitions
-            .iter()
-            .filter(|t| t.triggered_by(old, new))
-            .collect()
+        self.transitions.iter().filter(|t| t.triggered_by(old, new)).collect()
     }
 }
 

@@ -110,14 +110,11 @@ impl SteeringAgent {
         // transition blocks the switch (the guard "determines whether
         // transitions from/to a specific task configuration are possible").
         let mut actions = Vec::new();
+        // Here `req.config != self.current` already holds, so a transition
+        // with no `on` parameters always fires.
         for tr in &spec.transitions {
-            let param_changed = if tr.on_params.is_empty() {
-                self.current != req.config
-            } else {
-                tr.on_params
-                    .iter()
-                    .any(|p| self.current.get(p) != req.config.get(p))
-            };
+            let param_changed = tr.on_params.is_empty()
+                || tr.on_params.iter().any(|p| self.current.get(p) != req.config.get(p));
             if !param_changed {
                 continue;
             }
@@ -130,11 +127,11 @@ impl SteeringAgent {
             actions.extend(tr.actions.iter().cloned());
         }
         let old = std::mem::replace(&mut self.current, req.config.clone());
-        self.history.push((t, req.config.clone()));
+        self.history.push((t, req.config));
         BoundaryOutcome::Switched(SwitchEvent {
             at: t,
             old,
-            new: req.config,
+            new: self.current.clone(),
             actions,
             validity: req.validity,
         })
@@ -246,10 +243,7 @@ mod tests {
         }
         // Scheduler retries with a different config: dR change is allowed.
         s.request(req(cfg(160, 1, 4)));
-        assert!(matches!(
-            s.at_boundary(SimTime::ZERO, &sp),
-            BoundaryOutcome::Switched(_)
-        ));
+        assert!(matches!(s.at_boundary(SimTime::ZERO, &sp), BoundaryOutcome::Switched(_)));
     }
 
     #[test]

@@ -123,11 +123,7 @@ pub struct TaskGraph {
 
 impl TaskGraph {
     pub fn add_task(&mut self, task: TaskSpec) -> &mut Self {
-        assert!(
-            self.task(&task.name).is_none(),
-            "duplicate task {}",
-            task.name
-        );
+        assert!(self.task(&task.name).is_none(), "duplicate task {}", task.name);
         self.tasks.push(task);
         self
     }
@@ -342,12 +338,9 @@ mod tests {
     #[test]
     fn active_tasks_follow_guards() {
         let mut g = TaskGraph::default();
+        g.add_task(TaskSpec::new("plain").with_guard(Guard::Eq("c".into(), 0)));
         g.add_task(
-            TaskSpec::new("plain").with_guard(Guard::Eq("c".into(), 0)),
-        );
-        g.add_task(
-            TaskSpec::new("compressed")
-                .with_guard(Guard::Not(Box::new(Guard::Eq("c".into(), 0)))),
+            TaskSpec::new("compressed").with_guard(Guard::Not(Box::new(Guard::Eq("c".into(), 0)))),
         );
         let active = g.active_tasks(&cfg(&[("c", 2)]));
         assert_eq!(active.len(), 1);
@@ -357,9 +350,7 @@ mod tests {
     #[test]
     fn monitored_resources_union() {
         let mut g = TaskGraph::default();
-        g.add_task(
-            TaskSpec::new("a").with_resources(&[ResourceKey::cpu("client")]),
-        );
+        g.add_task(TaskSpec::new("a").with_resources(&[ResourceKey::cpu("client")]));
         g.add_task(
             TaskSpec::new("b")
                 .with_resources(&[ResourceKey::cpu("client"), ResourceKey::net("client")]),
@@ -381,8 +372,7 @@ mod tests {
         assert!(!t.triggered_by(&old, &new_l), "only c changes trigger");
         assert!(!t.triggered_by(&old, &old));
         // Guarded transition: only into configurations with l >= 4.
-        let tg = TransitionSpec::on(&[], vec![])
-            .with_guard(Guard::Ge("l".into(), 4));
+        let tg = TransitionSpec::on(&[], vec![]).with_guard(Guard::Ge("l".into(), 4));
         assert!(tg.triggered_by(&old, &new_c));
         assert!(!tg.triggered_by(&old, &new_l));
     }

@@ -13,11 +13,7 @@ fn preprocesses_the_paper_spec() {
     let input = dir.join("viz.tun");
     std::fs::create_dir_all(&dir).unwrap();
     std::fs::write(&input, adapt_core::dsl::ACTIVE_VIZ_SPEC).unwrap();
-    let out = Command::new(bin())
-        .arg(&input)
-        .arg(dir.join("out"))
-        .output()
-        .expect("runs");
+    let out = Command::new(bin()).arg(&input).arg(dir.join("out")).output().expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     // All four artifacts exist and are consistent.
     let spec_json = std::fs::read_to_string(dir.join("out/spec.json")).unwrap();
@@ -40,11 +36,7 @@ fn reports_parse_errors_with_location() {
     std::fs::create_dir_all(&dir).unwrap();
     let input = dir.join("bad.tun");
     std::fs::write(&input, "control_parameters {\n  int x in ??; }\n").unwrap();
-    let out = Command::new(bin())
-        .arg(&input)
-        .arg(dir.join("out"))
-        .output()
-        .expect("runs");
+    let out = Command::new(bin()).arg(&input).arg(dir.join("out")).output().expect("runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 2"), "{stderr}");

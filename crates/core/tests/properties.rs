@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use adapt_core::{
     Configuration, Constraint, ControlParam, ControlSpace, Guard, Objective, ParamDomain, PerfDb,
-    PerfRecord, Preference, PreferenceList, PredictMode, QosReport, ResourceKey, ResourceScheduler,
+    PerfRecord, PredictMode, Preference, PreferenceList, QosReport, ResourceKey, ResourceScheduler,
     ResourceVector, Sense,
 };
 
@@ -243,10 +243,173 @@ proptest! {
     }
 }
 
+mod index_props {
+    use super::*;
+    use proptest::test_runner::TestCaseError;
+
+    const CPUS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+    const NETS: [f64; 5] = [1e5, 2e5, 4e5, 8e5, 1.6e6];
+    const MEMS: [f64; 5] = [1e6, 2e6, 4e6, 8e6, 1.6e7];
+
+    /// Records over a small value lattice with deliberately mixed axis
+    /// signatures: full `{cpu, net}` grid records, ragged `{cpu}`-only /
+    /// `{net}`-only records, and `{cpu, net, mem}` records — so slices are
+    /// non-rectangular and some records sit off the interpolation lattice.
+    /// Duplicate points (same coordinates, different metrics) also occur.
+    fn arb_record() -> impl Strategy<Value = PerfRecord> {
+        (
+            0i64..3,
+            prop_oneof![Just("a"), Just("b")],
+            0usize..4,
+            0usize..5,
+            0usize..5,
+            0usize..5,
+            1.0f64..100.0,
+            proptest::option::of(1.0f64..100.0),
+        )
+            .prop_map(|(c, input, sig, ci, ni, mi, t, u)| {
+                let mut res = ResourceVector::default();
+                if sig != 1 {
+                    res.set(cpu(), CPUS[ci]);
+                }
+                if sig != 2 {
+                    res.set(net(), NETS[ni]);
+                }
+                if sig == 3 {
+                    res.set(ResourceKey::mem("client"), MEMS[mi]);
+                }
+                let mut metrics = QosReport::new(&[("t", t)]);
+                if let Some(u) = u {
+                    metrics.set("u", u);
+                }
+                PerfRecord {
+                    config: Configuration::new(&[("x", c)]),
+                    resources: res,
+                    input: input.into(),
+                    metrics,
+                }
+            })
+    }
+
+    /// Queries both on and off the sampled lattice.
+    fn arb_query() -> impl Strategy<Value = ResourceVector> {
+        (0.05f64..1.2, 5e4f64..2e6, proptest::bool::ANY, 0usize..5, 0usize..5).prop_map(
+            |(qc, qn, on_grid, ci, ni)| {
+                if on_grid {
+                    ResourceVector::new(&[(cpu(), CPUS[ci]), (net(), NETS[ni])])
+                } else {
+                    ResourceVector::new(&[(cpu(), qc), (net(), qn)])
+                }
+            },
+        )
+    }
+
+    fn check_equivalent(
+        indexed: &Option<QosReport>,
+        scan: &Option<QosReport>,
+        what: &str,
+    ) -> Result<(), TestCaseError> {
+        match (indexed, scan) {
+            (None, None) => Ok(()),
+            (Some(a), Some(b)) => {
+                let av: Vec<(&str, f64)> = a.iter().collect();
+                let bv: Vec<(&str, f64)> = b.iter().collect();
+                prop_assert_eq!(av.len(), bv.len(), "metric sets differ: {}", what);
+                for (&(ka, va), &(kb, vb)) in av.iter().zip(bv.iter()) {
+                    prop_assert_eq!(ka, kb, "metric names differ: {}", what);
+                    prop_assert!(
+                        (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                        "{}: {} = {} indexed vs {} scan",
+                        what,
+                        ka,
+                        va,
+                        vb
+                    );
+                }
+                Ok(())
+            }
+            _ => {
+                prop_assert!(
+                    false,
+                    "{}: indexed {:?} vs scan {:?}",
+                    what,
+                    indexed.is_some(),
+                    scan.is_some()
+                );
+                Ok(())
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The tentpole's correctness contract: the lattice-indexed
+        /// `predict` agrees with the reference linear scan for arbitrary
+        /// (including ragged) databases, both modes, all query points.
+        #[test]
+        fn indexed_predict_matches_linear_scan(
+            records in proptest::collection::vec(arb_record(), 1..40),
+            queries in proptest::collection::vec(arb_query(), 1..6),
+            nearest in proptest::bool::ANY,
+        ) {
+            let mut db = PerfDb::new();
+            for r in records {
+                db.add(r);
+            }
+            let mode = if nearest { PredictMode::Nearest } else { PredictMode::Interpolate };
+            for q in &queries {
+                for c in 0..3i64 {
+                    for input in ["a", "b"] {
+                        let cfg = Configuration::new(&[("x", c)]);
+                        let a = db.predict(&cfg, input, q, mode);
+                        let b = db.predict_scan(&cfg, input, q, mode);
+                        check_equivalent(&a, &b, &format!("x={c} {input} {q} {mode:?}"))?;
+                    }
+                }
+            }
+        }
+
+        /// Interleaving queries (which build the index) with `add` batches
+        /// (which must invalidate it) never lets a stale index answer:
+        /// after every mutation the indexed path still equals the scan,
+        /// and the interned distinct sets match a from-scratch clone.
+        #[test]
+        fn add_after_query_invalidates_index(
+            batches in proptest::collection::vec(
+                proptest::collection::vec(arb_record(), 1..8), 1..4),
+            q in arb_query(),
+        ) {
+            let mut db = PerfDb::new();
+            for batch in batches {
+                for r in batch {
+                    db.add(r);
+                }
+                for c in 0..3i64 {
+                    let cfg = Configuration::new(&[("x", c)]);
+                    let a = db.predict(&cfg, "a", &q, PredictMode::Interpolate);
+                    let b = db.predict_scan(&cfg, "a", &q, PredictMode::Interpolate);
+                    check_equivalent(&a, &b, &format!("x={c} after batch"))?;
+                }
+                // A fresh db built from the same records has never had a
+                // stale index; its views must agree with the mutated one.
+                let mut fresh = PerfDb::new();
+                for r in db.records() {
+                    fresh.add(r.clone());
+                }
+                prop_assert_eq!(db.inputs(), fresh.inputs());
+                for input in ["a", "b"] {
+                    prop_assert_eq!(db.configs(input), fresh.configs(input));
+                }
+            }
+        }
+    }
+}
+
 mod steering_props {
     use super::*;
     use adapt_core::{dsl, BoundaryOutcome, ReconfigureRequest, SteeringAgent, ValidityRegion};
-    
+
     use simnet::SimTime;
 
     /// Arbitrary (possibly invalid) configurations over the paper's space.

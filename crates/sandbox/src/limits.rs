@@ -42,11 +42,7 @@ impl Limits {
     /// Only a symmetric network bandwidth cap (bytes/second).
     pub fn net(bps: f64) -> Self {
         assert!(bps > 0.0, "bandwidth must be positive");
-        Limits {
-            net_recv_bps: Some(bps),
-            net_send_bps: Some(bps),
-            ..Limits::default()
-        }
+        Limits { net_recv_bps: Some(bps), net_send_bps: Some(bps), ..Limits::default() }
     }
 
     /// Builder-style: add a CPU cap.
@@ -147,10 +143,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let l = Limits::unconstrained()
-            .with_cpu(0.4)
-            .with_net(50_000.0)
-            .with_mem(1 << 20);
+        let l = Limits::unconstrained().with_cpu(0.4).with_net(50_000.0).with_mem(1 << 20);
         assert_eq!(l.cpu_share, Some(0.4));
         assert_eq!(l.net_recv_bps, Some(50_000.0));
         assert_eq!(l.net_send_bps, Some(50_000.0));
@@ -193,9 +186,7 @@ mod tests {
         let mut sim = Sim::new();
         sim.add_host("h", 1.0, 1 << 30);
         let h = LimitsHandle::new(Limits::unconstrained());
-        LimitSchedule::new()
-            .at(SimTime::ZERO, Limits::cpu(0.5))
-            .install(&mut sim, &h);
+        LimitSchedule::new().at(SimTime::ZERO, Limits::cpu(0.5)).install(&mut sim, &h);
         assert_eq!(h.get().cpu_share, Some(0.5));
     }
 }

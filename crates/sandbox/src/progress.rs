@@ -200,7 +200,12 @@ mod tests {
     fn bandwidth_from_busy_time() {
         let mut p = ProgressEstimator::new(10_000_000);
         // 100_000 bytes over 2 seconds of busy transfer = 50 KB/s.
-        p.push_net(NetSample { queued: t(0), processed: t(2_000_000), bytes: 100_000, inbound: true });
+        p.push_net(NetSample {
+            queued: t(0),
+            processed: t(2_000_000),
+            bytes: 100_000,
+            inbound: true,
+        });
         assert!((p.bandwidth_bps(true).unwrap() - 50_000.0).abs() < 1e-6);
         assert!(p.bandwidth_bps(false).is_none(), "outbound unaffected");
     }

@@ -40,11 +40,8 @@ impl SeriesHandle {
     /// Mean value over points with `t` in `[from, to)`.
     pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
         let pts = self.0.borrow();
-        let vals: Vec<f64> = pts
-            .iter()
-            .filter(|(t, _)| *t >= from && *t < to)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            pts.iter().filter(|(t, _)| *t >= from && *t < to).map(|(_, v)| *v).collect();
         if vals.is_empty() {
             None
         } else {

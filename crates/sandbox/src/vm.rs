@@ -179,20 +179,13 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut vmm = HostVmm::new(1e9, 1 << 30);
         vmm.admit("a", cpu(0.1)).unwrap();
-        assert!(matches!(
-            vmm.admit("a", cpu(0.1)),
-            Err(AdmissionError::DuplicateName(_))
-        ));
+        assert!(matches!(vmm.admit("a", cpu(0.1)), Err(AdmissionError::DuplicateName(_))));
     }
 
     #[test]
     fn net_and_mem_limits_enforced() {
         let mut vmm = HostVmm::new(1_000_000.0, 1_000);
-        vmm.admit(
-            "a",
-            Reservation { cpu_share: 0.1, net_bps: 800_000.0, mem_bytes: 600 },
-        )
-        .unwrap();
+        vmm.admit("a", Reservation { cpu_share: 0.1, net_bps: 800_000.0, mem_bytes: 600 }).unwrap();
         assert!(matches!(
             vmm.admit("b", Reservation { cpu_share: 0.1, net_bps: 300_000.0, mem_bytes: 0 }),
             Err(AdmissionError::NetExhausted { .. })

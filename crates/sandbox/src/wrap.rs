@@ -137,9 +137,8 @@ impl<A: Actor> Sandboxed<A> {
     fn send_delay(&mut self, now: SimTime, bytes: u64) -> u64 {
         match self.limits.get().net_send_bps {
             Some(rate) => {
-                let b = self
-                    .send_bucket
-                    .get_or_insert_with(|| TokenBucket::with_default_burst(rate));
+                let b =
+                    self.send_bucket.get_or_insert_with(|| TokenBucket::with_default_burst(rate));
                 if (b.rate_bps() - rate).abs() > 1e-6 {
                     b.set_rate(now, rate);
                 }
@@ -152,9 +151,8 @@ impl<A: Actor> Sandboxed<A> {
     fn recv_delay(&mut self, now: SimTime, bytes: u64) -> u64 {
         match self.limits.get().net_recv_bps {
             Some(rate) => {
-                let b = self
-                    .recv_bucket
-                    .get_or_insert_with(|| TokenBucket::with_default_burst(rate));
+                let b =
+                    self.recv_bucket.get_or_insert_with(|| TokenBucket::with_default_burst(rate));
                 if (b.rate_bps() - rate).abs() > 1e-6 {
                     b.set_rate(now, rate);
                 }
@@ -260,10 +258,7 @@ impl<A: Actor> Actor for Sandboxed<A> {
     fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
         debug_assert!(!self.busy, "kernel delivered a message to a busy actor");
         let now = ctx.now();
-        let queued = ctx
-            .last_received()
-            .map(|t| t.queued)
-            .unwrap_or(now);
+        let queued = ctx.last_received().map(|t| t.queued).unwrap_or(now);
         let delay = self.recv_delay(now, msg.wire_bytes);
         if delay > 0 {
             self.pending_recv.push_back((from, msg, queued));
@@ -350,7 +345,7 @@ impl<A: Actor> Actor for Sandboxed<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::limits::{Limits, LimitSchedule};
+    use crate::limits::{LimitSchedule, Limits};
     use simnet::{dur, Sim};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -378,11 +373,7 @@ mod tests {
         let done = Rc::new(RefCell::new(None));
         let lh = LimitsHandle::new(limits);
         let stats = SandboxStats::default();
-        let sb = Sandboxed::new(
-            Worker { work, done_at: done.clone() },
-            lh.clone(),
-            stats.clone(),
-        );
+        let sb = Sandboxed::new(Worker { work, done_at: done.clone() }, lh.clone(), stats.clone());
         sim.spawn(h, Box::new(sb));
         (sim, done, lh, stats)
     }
@@ -418,9 +409,7 @@ mod tests {
         // 1s of work: 0.5s at 100% does half, then 40% share makes the
         // remaining 0.5s take 1.25s -> total 1.75s.
         let (mut sim, done, lh, _) = sandboxed_worker(1_000_000.0, Limits::unconstrained());
-        LimitSchedule::new()
-            .at(SimTime::from_ms(500), Limits::cpu(0.4))
-            .install(&mut sim, &lh);
+        LimitSchedule::new().at(SimTime::from_ms(500), Limits::cpu(0.4)).install(&mut sim, &lh);
         sim.run_until_idle();
         let t = done.borrow().unwrap().as_secs_f64();
         assert!((t - 1.75).abs() < 0.03, "expected ~1.75s, got {t}");
@@ -438,10 +427,7 @@ mod tests {
             let mut sim2 = Sim::new();
             let h = sim2.add_host("ref", 1.0, 1 << 30);
             let done2 = Rc::new(RefCell::new(None));
-            let a = sim2.spawn(
-                h,
-                Box::new(Worker { work: 1_000_000.0, done_at: done2.clone() }),
-            );
+            let a = sim2.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done2.clone() }));
             sim2.set_cpu_cap(a, Some(share));
             sim2.run_until_idle();
             let kernel_t = done2.borrow().unwrap().as_secs_f64();
@@ -531,10 +517,7 @@ mod tests {
         sim.set_link(hc, hs, 12_500_000.0, 100);
         let sink = sim.spawn(hs, Box::new(Sink));
         let done = Rc::new(RefCell::new(None));
-        let lh = LimitsHandle::new(Limits {
-            net_send_bps: Some(100_000.0),
-            ..Limits::default()
-        });
+        let lh = LimitsHandle::new(Limits { net_send_bps: Some(100_000.0), ..Limits::default() });
         let up = Uploader { dst: sink, done: done.clone() };
         sim.spawn(hc, Box::new(Sandboxed::new(up, lh, SandboxStats::default())));
         sim.run_until_idle();
@@ -638,7 +621,11 @@ mod tests {
         let lh = LimitsHandle::new(Limits::cpu(0.25));
         sim.spawn(
             h,
-            Box::new(Sandboxed::new(TimerWorker { done: done.clone() }, lh, SandboxStats::default())),
+            Box::new(Sandboxed::new(
+                TimerWorker { done: done.clone() },
+                lh,
+                SandboxStats::default(),
+            )),
         );
         sim.run_until_idle();
         let t = done.borrow().expect("must finish").as_secs_f64();

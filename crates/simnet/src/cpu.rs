@@ -116,10 +116,7 @@ impl CpuSched {
     /// Zero-or-negative work is the caller's responsibility (complete inline).
     pub fn start(&mut self, actor: ActorId, work: f64, weight: f64, cap: Option<f64>) {
         debug_assert!(work > WORK_EPS, "zero-work runs must be completed inline");
-        debug_assert!(
-            !self.has_run(actor),
-            "actor {actor:?} already has an active run"
-        );
+        debug_assert!(!self.has_run(actor), "actor {actor:?} already has an active run");
         self.runs.push(Run {
             actor,
             remaining: work,
@@ -179,11 +176,7 @@ impl CpuSched {
 
     /// Current service rate of `actor` (work-units/us), 0 if not running.
     pub fn rate_of(&self, actor: ActorId) -> f64 {
-        self.runs
-            .iter()
-            .find(|r| r.actor == actor)
-            .map(|r| r.rate)
-            .unwrap_or(0.0)
+        self.runs.iter().find(|r| r.actor == actor).map(|r| r.rate).unwrap_or(0.0)
     }
 
     /// Water-filling rate assignment: capped runs whose proportional share
@@ -199,13 +192,8 @@ impl CpuSched {
         let mut fixed = vec![false; n];
         let mut capacity = self.speed;
         loop {
-            let total_w: f64 = self
-                .runs
-                .iter()
-                .zip(&fixed)
-                .filter(|(_, f)| !**f)
-                .map(|(r, _)| r.weight)
-                .sum();
+            let total_w: f64 =
+                self.runs.iter().zip(&fixed).filter(|(_, f)| !**f).map(|(r, _)| r.weight).sum();
             if total_w <= 0.0 {
                 break;
             }

@@ -164,11 +164,7 @@ impl Sim {
     /// Add a host. `speed` is in work-units per microsecond (1.0 is the
     /// reference machine), `mem_capacity` in bytes.
     pub fn add_host(&mut self, name: &str, speed: f64, mem_capacity: u64) -> HostId {
-        self.hosts.push(Host {
-            name: name.to_string(),
-            sched: CpuSched::new(speed),
-            mem_capacity,
-        });
+        self.hosts.push(Host { name: name.to_string(), sched: CpuSched::new(speed), mem_capacity });
         HostId(self.hosts.len() - 1)
     }
 
@@ -210,8 +206,7 @@ impl Sim {
         bw_bytes_per_sec: f64,
         latency_us: u64,
     ) {
-        self.links
-            .insert((src.0, dst.0), Link::new(bw_bytes_per_sec, latency_us));
+        self.links.insert((src.0, dst.0), Link::new(bw_bytes_per_sec, latency_us));
     }
 
     /// Change the bandwidth of an existing (or default) link at run time.
@@ -268,10 +263,7 @@ impl Sim {
     /// Full capacity (bytes/second) of the `src -> dst` link, as a
     /// system-wide monitor would report it.
     pub fn link_capacity_bps(&self, src: HostId, dst: HostId) -> f64 {
-        self.links
-            .get(&(src.0, dst.0))
-            .map(|l| l.bw_bytes_per_sec())
-            .unwrap_or(self.default_bw_bps)
+        self.links.get(&(src.0, dst.0)).map(|l| l.bw_bytes_per_sec()).unwrap_or(self.default_bw_bps)
     }
 
     // ------------------------------------------------------------------
@@ -393,11 +385,7 @@ impl Sim {
     /// Transfers of `a` delivered at or after `since` (most recent last).
     pub fn transfers_since(&mut self, a: ActorId, since: SimTime) -> Vec<Transfer> {
         self.with_accounting(a, |acct| {
-            acct.transfers
-                .iter()
-                .filter(|t| t.delivered >= since)
-                .copied()
-                .collect()
+            acct.transfers.iter().filter(|t| t.delivered >= since).copied().collect()
         })
     }
 
@@ -502,26 +490,15 @@ impl Sim {
                 }
                 let bytes = msg.wire_bytes;
                 let now = self.now;
-                let t_recv = Transfer {
-                    peer: src,
-                    dir: Dir::Received,
-                    bytes,
-                    queued,
-                    delivered: now,
-                };
+                let t_recv =
+                    Transfer { peer: src, dir: Dir::Received, bytes, queued, delivered: now };
                 self.states[dst.0].acct.record_transfer(t_recv);
                 if src.0 < self.states.len() {
-                    let t_sent = Transfer {
-                        peer: dst,
-                        dir: Dir::Sent,
-                        bytes,
-                        queued,
-                        delivered: now,
-                    };
+                    let t_sent =
+                        Transfer { peer: dst, dir: Dir::Sent, bytes, queued, delivered: now };
                     self.states[src.0].acct.record_transfer(t_sent);
                 }
-                self.trace
-                    .emit(now, TraceEvent::MsgDelivered { src, dst, bytes });
+                self.trace.emit(now, TraceEvent::MsgDelivered { src, dst, bytes });
                 let st = &mut self.states[dst.0];
                 if st.running == Running::Idle && st.fifo.is_empty() && st.inbox.is_empty() {
                     self.dispatch(dst, |actor, ctx| actor.on_message(src, msg, ctx));
@@ -584,11 +561,8 @@ impl Sim {
     /// flow that completed.
     fn sync_flows(&mut self, src: usize, dst: usize) {
         let now = self.now;
-        let latency = self
-            .links
-            .get(&(src, dst))
-            .map(|l| l.latency_us)
-            .unwrap_or(self.default_latency_us);
+        let latency =
+            self.links.get(&(src, dst)).map(|l| l.latency_us).unwrap_or(self.default_latency_us);
         let done = match self.flow_scheds.get_mut(&(src, dst)) {
             Some(fs) => fs.advance(now),
             None => return,
@@ -646,8 +620,7 @@ impl Sim {
                     let st = &mut self.states[a.0];
                     st.running = Running::Compute;
                     st.compute_started = self.now;
-                    self.trace
-                        .emit(self.now, TraceEvent::ComputeStart { actor: a, work: eff });
+                    self.trace.emit(self.now, TraceEvent::ComputeStart { actor: a, work: eff });
                     self.schedule_next_cpu(host);
                     return;
                 }
@@ -686,8 +659,7 @@ impl Sim {
         let hs = self.states[src.0].host.0;
         let hd = self.states[dst.0].host.0;
         let bytes = msg.wire_bytes;
-        self.trace
-            .emit(self.now, TraceEvent::MsgSent { src, dst, bytes });
+        self.trace.emit(self.now, TraceEvent::MsgSent { src, dst, bytes });
         if let Some((p, rng)) = self.loss.get_mut(&(hs, hd)) {
             if rng.gen::<f64>() < *p {
                 // The message still occupied the wire (sender-side cost),
@@ -717,10 +689,7 @@ impl Sim {
             self.now + self.local_latency_us
         } else {
             let (dbw, dlat) = (self.default_bw_bps, self.default_latency_us);
-            let link = self
-                .links
-                .entry((hs, hd))
-                .or_insert_with(|| Link::new(dbw, dlat));
+            let link = self.links.entry((hs, hd)).or_insert_with(|| Link::new(dbw, dlat));
             link.schedule(self.now, bytes).deliver
         };
         let queued = self.now;
@@ -729,9 +698,8 @@ impl Sim {
 
     /// Take the actor out of its slot, run `f` with a [`Ctx`], put it back.
     fn dispatch(&mut self, a: ActorId, f: impl FnOnce(&mut Box<dyn Actor>, &mut Ctx<'_>)) {
-        let mut actor = self.actors[a.0]
-            .take()
-            .unwrap_or_else(|| panic!("reentrant dispatch on {a}"));
+        let mut actor =
+            self.actors[a.0].take().unwrap_or_else(|| panic!("reentrant dispatch on {a}"));
         {
             let mut ctx = Ctx { sim: self, id: a };
             f(&mut actor, &mut ctx);
@@ -1127,10 +1095,7 @@ mod tests {
         sim.at(SimTime::from_secs(2), move |s| l2.borrow_mut().push(s.now()));
         sim.at(SimTime::from_secs(1), move |s| l1.borrow_mut().push(s.now()));
         sim.run_until_idle();
-        assert_eq!(
-            log.borrow().as_slice(),
-            &[SimTime::from_secs(1), SimTime::from_secs(2)]
-        );
+        assert_eq!(log.borrow().as_slice(), &[SimTime::from_secs(1), SimTime::from_secs(2)]);
     }
 
     #[test]
@@ -1168,10 +1133,8 @@ mod tests {
             sim.set_link(h, hs, 2_000_000.0, 500);
             let server = sim.spawn(hs, Box::new(Echo));
             let rtt = Rc::new(RefCell::new(None));
-            let a = sim.spawn(
-                h,
-                Box::new(Pinger { server, bytes: 123_456, rtt, sent_at: SimTime::ZERO }),
-            );
+            let a = sim
+                .spawn(h, Box::new(Pinger { server, bytes: 123_456, rtt, sent_at: SimTime::ZERO }));
             sim.run_until_idle();
             let s = sim.snapshot(a);
             (sim.now(), s.cpu_time_us + s.bytes_recv as f64)

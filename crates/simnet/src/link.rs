@@ -42,10 +42,7 @@ pub struct TxSchedule {
 impl Link {
     /// Construct from bandwidth in bytes/second and latency in microseconds.
     pub fn new(bw_bytes_per_sec: f64, latency_us: u64) -> Self {
-        assert!(
-            bw_bytes_per_sec > 0.0,
-            "link bandwidth must be positive, got {bw_bytes_per_sec}"
-        );
+        assert!(bw_bytes_per_sec > 0.0, "link bandwidth must be positive, got {bw_bytes_per_sec}");
         Link {
             bandwidth: bw_bytes_per_sec / 1e6,
             latency_us,
@@ -68,11 +65,8 @@ impl Link {
     /// Schedule the transmission of `bytes` enqueued at `now`.
     pub fn schedule(&mut self, now: SimTime, bytes: u64) -> TxSchedule {
         let depart = if self.busy_until > now { self.busy_until } else { now };
-        let tx_us = if bytes == 0 {
-            0
-        } else {
-            ((bytes as f64 / self.bandwidth).ceil() as u64).max(1)
-        };
+        let tx_us =
+            if bytes == 0 { 0 } else { ((bytes as f64 / self.bandwidth).ceil() as u64).max(1) };
         let tx_end = depart + tx_us;
         self.busy_until = tx_end;
         self.bytes_carried += bytes;
@@ -183,7 +177,12 @@ pub struct FlowSched {
 impl FlowSched {
     pub fn new(bw_bytes_per_sec: f64) -> Self {
         assert!(bw_bytes_per_sec > 0.0);
-        FlowSched { bandwidth: bw_bytes_per_sec / 1e6, flows: Vec::new(), last: SimTime::ZERO, epoch: 0 }
+        FlowSched {
+            bandwidth: bw_bytes_per_sec / 1e6,
+            flows: Vec::new(),
+            last: SimTime::ZERO,
+            epoch: 0,
+        }
     }
 
     pub fn set_bandwidth(&mut self, bw_bytes_per_sec: f64) {

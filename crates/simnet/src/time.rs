@@ -78,9 +78,7 @@ impl AddAssign<u64> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = u64;
     fn sub(self, rhs: SimTime) -> u64 {
-        self.0
-            .checked_sub(rhs.0)
-            .expect("SimTime subtraction went negative")
+        self.0.checked_sub(rhs.0).expect("SimTime subtraction went negative")
     }
 }
 

@@ -9,8 +9,8 @@ use simnet::{Actor, ActorId, Ctx, Message, Sim, SimTime};
 fn arb_runs() -> impl Strategy<Value = Vec<(f64, f64, Option<f64>)>> {
     proptest::collection::vec(
         (
-            1.0f64..1e6,                     // work
-            0.1f64..10.0,                    // weight
+            1.0f64..1e6,                        // work
+            0.1f64..10.0,                       // weight
             proptest::option::of(0.05f64..1.0), // cap
         ),
         1..8,

@@ -231,9 +231,8 @@ impl Client {
         let now = ctx.now();
         ctx.free(self.allocated);
         self.allocated = 0;
-        let rounds_for_image = self
-            .stats
-            .with(|s| s.rounds.iter().filter(|r| r.image_id == self.image_idx).count());
+        let rounds_for_image =
+            self.stats.with(|s| s.rounds.iter().filter(|r| r.image_id == self.image_idx).count());
         self.stats.with_mut(|s| {
             s.images.push(ImageRecord {
                 image_id: self.image_idx,
@@ -312,19 +311,14 @@ impl Actor for Client {
         }
         // Real decompression + reassembly when verifying.
         if let Some(re) = self.reassembler.as_mut() {
-            let raw = reply
-                .compression
-                .decompress(&reply.payload)
-                .expect("corrupt reply payload");
+            let raw = reply.compression.decompress(&reply.payload).expect("corrupt reply payload");
             assert_eq!(raw.len(), reply.raw_bytes);
             for chunk in decode_chunks(&raw).expect("malformed chunk payload") {
                 re.apply(&chunk);
             }
         }
-        self.pending = Some(PendingRound {
-            wire_bytes: msg.wire_bytes,
-            raw_bytes: reply.raw_bytes,
-        });
+        self.pending =
+            Some(PendingRound { wire_bytes: msg.wire_bytes, raw_bytes: reply.raw_bytes });
         // Display repaints the requested square at the *viewing* scale of
         // the requested level: degrading resolution shrinks both the data
         // and the repaint cost (one quarter per level).

@@ -56,7 +56,8 @@ mod tests {
         // The per-byte compression cost (what differs between methods) is
         // ~7x; fixed per-round overheads are method-independent.
         let bytes = 100_000;
-        let lzw = Method::Lzw.cost().compress_work(bytes) + Method::Lzw.cost().decompress_work(bytes);
+        let lzw =
+            Method::Lzw.cost().compress_work(bytes) + Method::Lzw.cost().decompress_work(bytes);
         let bzip =
             Method::Bzip.cost().compress_work(bytes) + Method::Bzip.cost().decompress_work(bytes);
         assert!(bzip > 5.0 * lzw, "bzip {bzip} vs lzw {lzw}");

@@ -246,17 +246,10 @@ fn assemble(
     // Server, optionally bandwidth-capped via its own sandbox.
     let server_id = match sc.server_net_cap {
         Some(cap) => {
-            let slim = LimitsHandle::new(Limits {
-                net_send_bps: Some(cap),
-                ..Limits::default()
-            });
+            let slim = LimitsHandle::new(Limits { net_send_bps: Some(cap), ..Limits::default() });
             sim.spawn(
                 hs,
-                Box::new(Sandboxed::new(
-                    Server::new(store.clone()),
-                    slim,
-                    SandboxStats::default(),
-                )),
+                Box::new(Sandboxed::new(Server::new(store.clone()), slim, SandboxStats::default())),
             )
         }
         None => sim.spawn(hs, Box::new(Server::new(store.clone()))),
@@ -320,10 +313,7 @@ pub fn run_adaptive(
     let l = initial_limits;
     let mut start = ResourceVector::default();
     start.set(client_cpu_key(), l.cpu_share.unwrap_or(1.0));
-    start.set(
-        client_net_key(),
-        l.net_recv_bps.unwrap_or(sc.link_bps).min(sc.link_bps),
-    );
+    start.set(client_net_key(), l.net_recv_bps.unwrap_or(sc.link_bps).min(sc.link_bps));
     let mut runtime = AdaptiveRuntime::configure(spec, scheduler, sc.monitor_window_us, &start)
         .expect("no satisfiable initial configuration");
     runtime.monitor.min_trigger_gap_us = sc.trigger_gap_us;

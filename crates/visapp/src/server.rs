@@ -125,11 +125,7 @@ impl Actor for Server {
                 let level = req.level.min(self.store.levels());
                 let prepared = self.store.prepare(req.image_id, region, level, exclude, method);
                 // Charge extraction + compression work, then transmit.
-                ctx.compute(costs::server_reply_work(
-                    prepared.ncoeffs,
-                    prepared.raw_bytes,
-                    method,
-                ));
+                ctx.compute(costs::server_reply_work(prepared.ncoeffs, prepared.raw_bytes, method));
                 ctx.send(
                     from,
                     protocol::reply_msg(Reply {

@@ -78,10 +78,7 @@ impl RunStats {
 
     /// Maximum per-round response time, seconds.
     pub fn max_response_secs(&self) -> f64 {
-        self.rounds
-            .iter()
-            .map(RoundRecord::response_secs)
-            .fold(0.0, f64::max)
+        self.rounds.iter().map(RoundRecord::response_secs).fold(0.0, f64::max)
     }
 
     /// Mean per-image transmission time, seconds.
@@ -94,18 +91,12 @@ impl RunStats {
 
     /// Per-image `(end_time_secs, transmit_secs)` series (Figure 7 style).
     pub fn transmit_series(&self) -> Vec<(f64, f64)> {
-        self.images
-            .iter()
-            .map(|i| (i.finished.as_secs_f64(), i.transmit_secs()))
-            .collect()
+        self.images.iter().map(|i| (i.finished.as_secs_f64(), i.transmit_secs())).collect()
     }
 
     /// Per-round `(end_time_secs, response_secs)` series.
     pub fn response_series(&self) -> Vec<(f64, f64)> {
-        self.rounds
-            .iter()
-            .map(|r| (r.finished.as_secs_f64(), r.response_secs()))
-            .collect()
+        self.rounds.iter().map(|r| (r.finished.as_secs_f64(), r.response_secs())).collect()
     }
 
     /// Images completed by time `t`.

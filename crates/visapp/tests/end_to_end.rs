@@ -96,20 +96,10 @@ fn bigger_fovea_fewer_rounds_longer_response() {
     let store = sc.build_store();
     // Throttle so per-round time is dominated by shaped bandwidth.
     let limits = Limits::net(50_000.0);
-    let small_dr = run_static(
-        &sc,
-        &store,
-        VizConfig { dr: 8, level: 3, method: Method::Lzw },
-        limits,
-        None,
-    );
-    let big_dr = run_static(
-        &sc,
-        &store,
-        VizConfig { dr: 32, level: 3, method: Method::Lzw },
-        limits,
-        None,
-    );
+    let small_dr =
+        run_static(&sc, &store, VizConfig { dr: 8, level: 3, method: Method::Lzw }, limits, None);
+    let big_dr =
+        run_static(&sc, &store, VizConfig { dr: 32, level: 3, method: Method::Lzw }, limits, None);
     assert!(big_dr.stats.rounds.len() < small_dr.stats.rounds.len());
     assert!(big_dr.stats.avg_response_secs() > small_dr.stats.avg_response_secs());
     // Total transmission: big fovea has less per-round overhead.
@@ -160,10 +150,7 @@ fn predict(
     let mut r = adapt_core::ResourceVector::default();
     r.set(client_cpu_key(), cpu);
     r.set(client_net_key(), net);
-    db.predict(config, PROFILE_INPUT, &r, PredictMode::Interpolate)
-        .unwrap()
-        .get(metric)
-        .unwrap()
+    db.predict(config, PROFILE_INPUT, &r, PredictMode::Interpolate).unwrap().get(metric).unwrap()
 }
 
 #[test]
@@ -200,17 +187,13 @@ fn adaptive_client_switches_compression_on_bandwidth_drop() {
         "bzip must win at 2 KB/s"
     );
     let start = Limits::cpu(0.05).with_net(60_000.0);
-    let schedule = LimitSchedule::new()
-        .at(SimTime::from_secs(2), Limits::cpu(0.05).with_net(2_000.0));
+    let schedule =
+        LimitSchedule::new().at(SimTime::from_secs(2), Limits::cpu(0.05).with_net(2_000.0));
     let out = run_adaptive(&sc, &store, db, prefs, start, Some(schedule));
     let hist = &out.stats.config_history;
     assert_eq!(hist[0].1.get("c"), Some(Method::Lzw.code()), "starts with lzw");
     let last = &hist.last().unwrap().1;
-    assert_eq!(
-        last.get("c"),
-        Some(Method::Bzip.code()),
-        "ends with bzip; history {hist:?}"
-    );
+    assert_eq!(last.get("c"), Some(Method::Bzip.code()), "ends with bzip; history {hist:?}");
     assert_eq!(out.stats.images.len(), 30, "all images delivered despite the drop");
 }
 
@@ -240,16 +223,10 @@ fn adaptive_client_degrades_resolution_under_deadline() {
         Objective::maximize("resolution"),
     ))
     .then(Preference::new(vec![], Objective::minimize("transmit_time")));
-    let schedule = LimitSchedule::new()
-        .at(SimTime::from_ms(300), Limits::cpu(0.05).with_net(100_000.0));
-    let out = run_adaptive(
-        &sc,
-        &store,
-        db,
-        prefs,
-        Limits::cpu(1.0).with_net(100_000.0),
-        Some(schedule),
-    );
+    let schedule =
+        LimitSchedule::new().at(SimTime::from_ms(300), Limits::cpu(0.05).with_net(100_000.0));
+    let out =
+        run_adaptive(&sc, &store, db, prefs, Limits::cpu(1.0).with_net(100_000.0), Some(schedule));
     let hist = &out.stats.config_history;
     assert_eq!(hist[0].1.get("l"), Some(3), "starts at the finest level");
     let final_l = hist.last().unwrap().1.get("l");
@@ -325,9 +302,7 @@ fn memory_axis_profiles_into_the_database() {
         r.set(client_cpu_key(), 1.0);
         r.set(client_net_key(), 200_000.0);
         r.set(visapp::client_mem_key(), mem);
-        visapp::profile_point(&sc, &store, &config, &r)
-            .get("transmit_time")
-            .unwrap()
+        visapp::profile_point(&sc, &store, &config, &r).get("transmit_time").unwrap()
     };
     let tight = t_at(40.0 * 1024.0);
     let roomy = t_at(1024.0 * 1024.0);
@@ -400,7 +375,11 @@ fn competing_process_slows_an_unpoliced_client() {
     // no sandbox limit changed.
     let sc_quiet = Scenario { n_images: 2, img_size: 64, levels: 3, ..Scenario::default() };
     let sc_loud = Scenario {
-        competing_load: vec![visapp::LoadSpec { start_us: 0, weight: 1.0, duration_us: 60_000_000 }],
+        competing_load: vec![visapp::LoadSpec {
+            start_us: 0,
+            weight: 1.0,
+            duration_us: 60_000_000,
+        }],
         ..sc_quiet.clone()
     };
     let store = sc_quiet.build_store();
@@ -568,22 +547,17 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
 
     // Extend the spec so the monitor also watches server.cpu.
     let mut spec = visapp::viz_spec(&sc);
-    spec.tasks
-        .add_task(TaskSpec::new("server_side").with_resources(&[adapt_core::ResourceKey::cpu("server")]));
+    spec.tasks.add_task(
+        TaskSpec::new("server_side").with_resources(&[adapt_core::ResourceKey::cpu("server")]),
+    );
     spec.validate().unwrap();
 
     let prefs =
         PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
     let scheduler = ResourceScheduler::new(db, prefs, PROFILE_INPUT);
-    let start = ResourceVector::new(&[
-        (client_cpu_key(), 1.0),
-        (client_net_key(), 100_000.0),
-    ]);
+    let start = ResourceVector::new(&[(client_cpu_key(), 1.0), (client_net_key(), 100_000.0)]);
     let runtime = AdaptiveRuntime::configure(spec, scheduler, 1_000_000, &start).unwrap();
-    assert!(runtime
-        .monitor
-        .watched()
-        .contains(&adapt_core::ResourceKey::cpu("server")));
+    assert!(runtime.monitor.watched().contains(&adapt_core::ResourceKey::cpu("server")));
     let initial = visapp::VizConfig::from_configuration(runtime.current());
 
     // Manual deployment: sandboxed server (30% CPU) with a reporter.
@@ -599,11 +573,7 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
     });
     let server_id = sim.spawn(
         hs,
-        Box::new(Sandboxed::new(
-            server,
-            LimitsHandle::new(Limits::cpu(0.3)),
-            server_stats,
-        )),
+        Box::new(Sandboxed::new(server, LimitsHandle::new(Limits::cpu(0.3)), server_stats)),
     );
 
     let client_stats = SandboxStats::new(1_000_000);
@@ -630,11 +600,7 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
     let client = visapp::Client::new(opts, stats.clone(), Some(adapt));
     sim.spawn(
         hc,
-        Box::new(Sandboxed::new(
-            client,
-            LimitsHandle::new(Limits::unconstrained()),
-            client_stats,
-        )),
+        Box::new(Sandboxed::new(client, LimitsHandle::new(Limits::unconstrained()), client_stats)),
     );
     sim.run_until_idle();
     let final_stats = probe.take();
@@ -679,10 +645,7 @@ fn fair_share_links_equalize_competing_clients() {
         for (i, s) in stats.iter().enumerate() {
             assert_eq!(s.images.len(), 2, "{mode:?} client {i}");
         }
-        let ends: Vec<f64> = stats
-            .iter()
-            .map(|s| s.finished_at.unwrap().as_secs_f64())
-            .collect();
+        let ends: Vec<f64> = stats.iter().map(|s| s.finished_at.unwrap().as_secs_f64()).collect();
         let spread = (ends[0] - ends[1]).abs() / ends[0].max(ends[1]);
         if mode == LinkMode::FairShare {
             assert!(spread < 0.25, "fair share keeps clients together: {ends:?}");

@@ -119,7 +119,9 @@ mod tests {
 
     #[test]
     fn pair_roundtrip_extremes() {
-        for &(a, b) in &[(255, 0), (0, 255), (255, 255), (-1000, 1000), (i32::MIN / 4, i32::MAX / 4)] {
+        for &(a, b) in
+            &[(255, 0), (0, 255), (255, 255), (-1000, 1000), (i32::MIN / 4, i32::MAX / 4)]
+        {
             let (l, h) = fwd_pair(a, b);
             assert_eq!(inv_pair(l, h), (a, b));
         }

@@ -170,9 +170,7 @@ impl Pyramid {
     /// band whose coefficients live `shift` halvings below full resolution.
     fn band_local(&self, region: Rect, shift: usize, band: Band, level: usize) -> Rect {
         let (bw, bh) = self.band_size(band, level);
-        region
-            .scale_down(shift)
-            .intersect(&Rect::new(0, 0, bw, bh))
+        region.scale_down(shift).intersect(&Rect::new(0, 0, bw, bh))
     }
 
     /// All coefficient chunks needed to reconstruct `region` (full-res
@@ -219,10 +217,7 @@ impl Pyramid {
 
     /// Total coefficient count for `region` at `level` (no exclusion).
     pub fn region_coeff_count(&self, region: Rect, level: usize) -> usize {
-        self.chunks_for_region(region, level, None)
-            .iter()
-            .map(SubbandChunk::len)
-            .sum()
+        self.chunks_for_region(region, level, None).iter().map(SubbandChunk::len).sum()
     }
 
     /// Reconstruct the full image at `level` (level `L` is lossless).
@@ -245,8 +240,7 @@ pub(crate) fn reconstruct_from_frame(
     let (bw, bh) = (width >> shift, height >> shift);
     let mut block = vec![0i32; bw * bh];
     for y in 0..bh {
-        block[y * bw..(y + 1) * bw]
-            .copy_from_slice(&frame[y * width..y * width + bw]);
+        block[y * bw..(y + 1) * bw].copy_from_slice(&frame[y * width..y * width + bw]);
     }
     for step in (0..level).rev() {
         inv_2d_level(&mut block, bw, bw >> step, bh >> step);
@@ -274,13 +268,7 @@ impl Reassembler {
             width.is_multiple_of(1 << levels) && height.is_multiple_of(1 << levels),
             "dimensions not divisible by 2^levels"
         );
-        Reassembler {
-            width,
-            height,
-            levels,
-            frame: vec![0; width * height],
-            coeffs_received: 0,
-        }
+        Reassembler { width, height, levels, frame: vec![0; width * height], coeffs_received: 0 }
     }
 
     pub fn levels(&self) -> usize {
@@ -308,11 +296,7 @@ impl Reassembler {
 
     /// Write a received chunk into the coefficient frame.
     pub fn apply(&mut self, chunk: &SubbandChunk) {
-        assert_eq!(
-            chunk.data.len(),
-            chunk.rect.area(),
-            "chunk data does not match its rectangle"
-        );
+        assert_eq!(chunk.data.len(), chunk.rect.area(), "chunk data does not match its rectangle");
         let (ox, oy) = self.band_origin(chunk.band, chunk.level);
         for (i, y) in (chunk.rect.y..chunk.rect.y1()).enumerate() {
             let src = &chunk.data[i * chunk.rect.w..(i + 1) * chunk.rect.w];
@@ -443,7 +427,8 @@ mod tests {
         }
         // The ring must be smaller than a fresh full-region transfer.
         let ring_coeffs: usize = ring.iter().map(SubbandChunk::len).sum();
-        let full_coeffs: usize = p.chunks_for_region(r2, 3, None).iter().map(SubbandChunk::len).sum();
+        let full_coeffs: usize =
+            p.chunks_for_region(r2, 3, None).iter().map(SubbandChunk::len).sum();
         assert!(ring_coeffs < full_coeffs);
     }
 

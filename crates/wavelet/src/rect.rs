@@ -46,7 +46,8 @@ impl Rect {
     }
 
     pub fn contains_rect(&self, o: &Rect) -> bool {
-        o.is_empty() || (o.x >= self.x && o.y >= self.y && o.x1() <= self.x1() && o.y1() <= self.y1())
+        o.is_empty()
+            || (o.x >= self.x && o.y >= self.y && o.x1() <= self.x1() && o.y1() <= self.y1())
     }
 
     /// Intersection (possibly empty).

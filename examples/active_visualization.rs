@@ -43,8 +43,7 @@ fn main() {
         Objective::minimize("transmit_time"),
     ));
     let start = Limits::cpu(0.05).with_net(60_000.0);
-    let drop = LimitSchedule::new()
-        .at(SimTime::from_secs(2), Limits::cpu(0.05).with_net(2_000.0));
+    let drop = LimitSchedule::new().at(SimTime::from_secs(2), Limits::cpu(0.05).with_net(2_000.0));
     println!("\nrunning the adaptive client ...");
     let adaptive = run_adaptive(&sc, &store, db, prefs, start, Some(drop.clone()));
 
@@ -59,7 +58,11 @@ fn main() {
                 println!("  {:>7.2}s  monitor trigger, estimate {}", at.as_secs_f64(), estimate)
             }
             AdaptationEvent::Decided { at, config, rank, .. } => {
-                println!("  {:>7.2}s  scheduler decision {} (preference rank {rank})", at.as_secs_f64(), config.key())
+                println!(
+                    "  {:>7.2}s  scheduler decision {} (preference rank {rank})",
+                    at.as_secs_f64(),
+                    config.key()
+                )
             }
             AdaptationEvent::Switched { at, old, new } => {
                 println!("  {:>7.2}s  switched {} -> {}", at.as_secs_f64(), old.key(), new.key())
@@ -75,10 +78,8 @@ fn main() {
 
     // Baselines: the two static configurations under the same drop.
     let dr = sc.dr_values()[2] as usize;
-    let mut lines = vec![(
-        "adaptive".to_string(),
-        adaptive.stats.finished_at.expect("finished").as_secs_f64(),
-    )];
+    let mut lines =
+        vec![("adaptive".to_string(), adaptive.stats.finished_at.expect("finished").as_secs_f64())];
     for method in [Method::Lzw, Method::Bzip] {
         let cfg = VizConfig { dr, level: sc.levels, method };
         let out = run_static(&sc, &store, cfg, start, Some(drop.clone()));
@@ -91,9 +92,6 @@ fn main() {
     for (label, total) in &lines {
         println!("  {label:<12} {total:>7.2}s");
     }
-    assert!(
-        lines[0].1 < lines[1].1,
-        "the adaptive run must beat the static LZW configuration"
-    );
+    assert!(lines[0].1 < lines[1].1, "the adaptive run must beat the static LZW configuration");
     println!("\nthe adaptive client tracked the better configuration in each bandwidth regime.");
 }

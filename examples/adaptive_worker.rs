@@ -92,9 +92,11 @@ impl Actor for Worker {
 
     fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
         let latency = ctx.now().since(self.batch_started) as f64 / 1e6;
-        self.log
-            .borrow_mut()
-            .push((ctx.now().as_secs_f64(), self.runtime.current().key(), latency));
+        self.log.borrow_mut().push((
+            ctx.now().as_secs_f64(),
+            self.runtime.current().key(),
+            latency,
+        ));
         self.batches_left -= 1;
         // Task boundary: apply any pending reconfiguration.
         self.runtime.at_boundary(ctx.now());
@@ -178,9 +180,7 @@ fn main() {
         log: log.clone(),
     };
     sim.spawn(h, Box::new(Sandboxed::new(worker, limits.clone(), stats)));
-    LimitSchedule::new()
-        .at(SimTime::from_secs(5), Limits::cpu(0.15))
-        .install(&mut sim, &limits);
+    LimitSchedule::new().at(SimTime::from_secs(5), Limits::cpu(0.15)).install(&mut sim, &limits);
     sim.run_until_idle();
 
     println!("\nbatch log (time, configuration, latency):");

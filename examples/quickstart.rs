@@ -24,11 +24,18 @@ use adaptive_framework::simnet::SimTime;
 fn main() {
     // 1. The annotation source (identical to the paper's Figure 2).
     let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).expect("spec parses");
-    println!("parsed spec: {} parameters, {} configurations", spec.control.params.len(), spec.control.cardinality());
+    println!(
+        "parsed spec: {} parameters, {} configurations",
+        spec.control.params.len(),
+        spec.control.cardinality()
+    );
 
     // 2. Preprocessor outputs.
     let template = spec.perf_db_template();
-    println!("database template: axes {:?}", template.axes.iter().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!(
+        "database template: axes {:?}",
+        template.axes.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+    );
 
     // 3. Profile with a synthetic behavior model: transmit time grows with
     //    resolution, shrinks with CPU/bandwidth; bzip (c=2) halves the
@@ -48,11 +55,7 @@ fn main() {
         let cpu_s = (0.02 + if c == 2 { 0.10 } else { 0.01 }) * (l - 2.0) / share;
         let rounds = (320.0 / dr).ceil();
         let t = bytes / bw + cpu_s + rounds * 0.01;
-        QosReport::new(&[
-            ("transmit_time", t),
-            ("response_time", t / rounds),
-            ("resolution", l),
-        ])
+        QosReport::new(&[("transmit_time", t), ("response_time", t / rounds), ("resolution", l)])
     };
     let profiler = Profiler::new(spec.configurations(), grid, vec!["demo".into()]);
     println!("profiling {} runs...", profiler.base_run_count());

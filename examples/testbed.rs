@@ -41,14 +41,14 @@ fn main() {
     let mut sim = Sim::new();
     let host = sim.add_host("pii450", 1.0, 1 << 30);
     let limits = LimitsHandle::new(Limits::cpu(0.8));
-    let app = sim.spawn(
-        host,
-        Box::new(Sandboxed::new(Grinder, limits.clone(), SandboxStats::default())),
-    );
+    let app =
+        sim.spawn(host, Box::new(Sandboxed::new(Grinder, limits.clone(), SandboxStats::default())));
     let series = SeriesHandle::new();
     sim.spawn(
         host,
-        Box::new(UsageSampler::new(app, dur::secs(1), series.clone()).until(SimTime::from_secs(70))),
+        Box::new(
+            UsageSampler::new(app, dur::secs(1), series.clone()).until(SimTime::from_secs(70)),
+        ),
     );
     LimitSchedule::new()
         .at(SimTime::from_secs(20), Limits::cpu(0.4))
@@ -77,10 +77,7 @@ fn main() {
         );
         sim.run_until_idle();
         let measured = done.borrow().expect("finishes").as_secs_f64();
-        println!(
-            "  share {pct:>3}%: measured {measured:>6.3}s expected {:>6.3}s",
-            2.0 / share
-        );
+        println!("  share {pct:>3}%: measured {measured:>6.3}s expected {:>6.3}s", 2.0 / share);
     }
 
     // --- Part 3: admission control (paper §6.2) ------------------------

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

@@ -3,8 +3,8 @@
 //! application as the profiling subject.
 
 use adaptive_framework::adapt::{
-    dsl, BoundaryOutcome, Configuration, Objective, PerfDb, Preference, PreferenceList,
-    PredictMode, ReconfigureRequest, ResourceScheduler, ResourceVector, SteeringAgent,
+    dsl, BoundaryOutcome, Configuration, Objective, PerfDb, PredictMode, Preference,
+    PreferenceList, ReconfigureRequest, ResourceScheduler, ResourceVector, SteeringAgent,
     ValidityRegion,
 };
 use adaptive_framework::simnet::SimTime;
@@ -29,9 +29,8 @@ fn annotations_to_database_to_decision() {
     // 3. The database answers interpolated queries for every configuration.
     let q = ResourceVector::new(&[(client_cpu_key(), 0.6), (client_net_key(), 80_000.0)]);
     for config in db.configs(PROFILE_INPUT) {
-        let p = db
-            .predict(&config, PROFILE_INPUT, &q, PredictMode::Interpolate)
-            .expect("prediction");
+        let p =
+            db.predict(&config, PROFILE_INPUT, &q, PredictMode::Interpolate).expect("prediction");
         assert!(p.get("transmit_time").unwrap() > 0.0);
         assert!(p.get("resolution").unwrap() >= 2.0);
     }
@@ -70,9 +69,7 @@ fn database_persists_to_disk_and_reloads() {
     let loaded = PerfDb::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(loaded.len(), 1);
-    let p = loaded
-        .predict(&config, PROFILE_INPUT, &point, PredictMode::Interpolate)
-        .unwrap();
+    let p = loaded.predict(&config, PROFILE_INPUT, &point, PredictMode::Interpolate).unwrap();
     assert_eq!(p, metrics);
 }
 
