@@ -16,7 +16,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use adapt_core::{
-    Configuration, Objective, PerfDb, PerfRecord, Preference, PreferenceList, PredictMode,
+    Configuration, Objective, PerfDb, PerfRecord, PredictMode, Preference, PreferenceList,
     QosReport, ResourceKey, ResourceScheduler, ResourceVector, ValidityRegion,
 };
 
@@ -197,8 +197,7 @@ fn choose_unindexed(
 }
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_perfdb.json".to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_perfdb.json".to_string());
     let db = bench_db();
     let cfg = Configuration::new(&[("c", 1)]);
     let q = ResourceVector::new(&[(cpu(), 0.62), (net(), 350_000.0)]);
@@ -213,22 +212,18 @@ fn main() {
         "indexed and scan predictions diverge"
     );
 
-    let interp_after =
-        ops_per_sec(|| {
-            black_box(db.predict(&cfg, "img", &q, PredictMode::Interpolate));
-        });
-    let interp_before =
-        ops_per_sec(|| {
-            black_box(db.predict_scan(&cfg, "img", &q, PredictMode::Interpolate));
-        });
-    let nearest_after =
-        ops_per_sec(|| {
-            black_box(db.predict(&cfg, "img", &q, PredictMode::Nearest));
-        });
-    let nearest_before =
-        ops_per_sec(|| {
-            black_box(db.predict_scan(&cfg, "img", &q, PredictMode::Nearest));
-        });
+    let interp_after = ops_per_sec(|| {
+        black_box(db.predict(&cfg, "img", &q, PredictMode::Interpolate));
+    });
+    let interp_before = ops_per_sec(|| {
+        black_box(db.predict_scan(&cfg, "img", &q, PredictMode::Interpolate));
+    });
+    let nearest_after = ops_per_sec(|| {
+        black_box(db.predict(&cfg, "img", &q, PredictMode::Nearest));
+    });
+    let nearest_before = ops_per_sec(|| {
+        black_box(db.predict_scan(&cfg, "img", &q, PredictMode::Nearest));
+    });
 
     let sched = ResourceScheduler::new(db.clone(), prefs.clone(), "img");
     let d_after = sched.choose(&q).expect("indexed choose");

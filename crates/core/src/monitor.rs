@@ -33,9 +33,22 @@ impl WindowStat {
         WindowStat { window_us, samples: VecDeque::new() }
     }
 
+    fn cutoff(&self, now: SimTime) -> SimTime {
+        SimTime(now.0.saturating_sub(self.window_us))
+    }
+
     pub fn push(&mut self, t: SimTime, v: f64) {
         self.samples.push_back((t, v));
-        let cutoff = SimTime(t.0.saturating_sub(self.window_us));
+        self.prune(t);
+    }
+
+    /// Evict samples older than the window as of `now`. `push` prunes by
+    /// the pushed timestamp, but when observations *stop* arriving the
+    /// deque would otherwise retain ancient samples forever — readers that
+    /// need freshness use [`WindowStat::mean_at`]/[`WindowStat::latest_at`]
+    /// or call this with the current time.
+    pub fn prune(&mut self, now: SimTime) {
+        let cutoff = self.cutoff(now);
         while let Some(&(ts, _)) = self.samples.front() {
             if ts < cutoff {
                 self.samples.pop_front();
@@ -45,6 +58,9 @@ impl WindowStat {
         }
     }
 
+    /// Mean over every retained sample, regardless of age. This is the
+    /// "last known" view: after a source goes quiet it keeps reporting the
+    /// final window of data.
     pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
             None
@@ -53,8 +69,33 @@ impl WindowStat {
         }
     }
 
+    /// Mean over samples no older than the window as of `now` — `None`
+    /// when every sample has expired (a stale source).
+    pub fn mean_at(&self, now: SimTime) -> Option<f64> {
+        let cutoff = self.cutoff(now);
+        let (mut sum, mut n) = (0.0, 0usize);
+        for &(ts, v) in self.samples.iter().rev() {
+            if ts < cutoff {
+                break;
+            }
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
     pub fn latest(&self) -> Option<f64> {
         self.samples.back().map(|&(_, v)| v)
+    }
+
+    /// Latest sample still inside the window as of `now`.
+    pub fn latest_at(&self, now: SimTime) -> Option<f64> {
+        let cutoff = self.cutoff(now);
+        self.samples.back().filter(|&&(ts, _)| ts >= cutoff).map(|&(_, v)| v)
     }
 
     pub fn len(&self) -> usize {
@@ -147,7 +188,21 @@ impl std::fmt::Display for Violation {
 pub struct Trigger {
     pub at: SimTime,
     pub violations: Vec<Violation>,
+    /// Fresh estimate (window means over unexpired samples only). Stale
+    /// resources are absent here; their last-known values are available
+    /// through [`MonitoringAgent::estimate`].
     pub estimate: ResourceVector,
+    /// Watched resources that *were* reporting but have produced no
+    /// observation within the window — a dead link or crashed reporter.
+    pub stale: Vec<ResourceKey>,
+}
+
+impl Trigger {
+    /// True when the trigger fired (at least in part) because previously
+    /// observed resources expired.
+    pub fn is_stale(&self) -> bool {
+        !self.stale.is_empty()
+    }
 }
 
 /// The monitoring agent.
@@ -208,7 +263,9 @@ impl MonitoringAgent {
         self.stats.entry(key.clone()).or_insert_with(|| WindowStat::new(w)).push(t, value);
     }
 
-    /// Current availability estimate (window means).
+    /// Last-known availability estimate (window means over all retained
+    /// samples, however old). Use [`MonitoringAgent::estimate_at`] when
+    /// freshness matters.
     pub fn estimate(&self) -> ResourceVector {
         let mut v = ResourceVector::default();
         for (k, s) in &self.stats {
@@ -219,24 +276,50 @@ impl MonitoringAgent {
         v
     }
 
-    /// Periodic check: returns a trigger when the estimate violates the
-    /// validity region (rate-limited by `min_trigger_gap_us`).
+    /// Fresh availability estimate as of `t`: window means over unexpired
+    /// samples only. Resources whose every sample is older than the window
+    /// are omitted (see [`MonitoringAgent::stale_keys`]).
+    pub fn estimate_at(&self, t: SimTime) -> ResourceVector {
+        let mut v = ResourceVector::default();
+        for (k, s) in &self.stats {
+            if let Some(m) = s.mean_at(t) {
+                v.set(k.clone(), m.max(0.0));
+            }
+        }
+        v
+    }
+
+    /// Watched resources that have been observed at least once but have no
+    /// sample within the window as of `t` — their estimates have expired.
+    pub fn stale_keys(&self, t: SimTime) -> Vec<ResourceKey> {
+        self.stats
+            .iter()
+            .filter(|(_, s)| !s.is_empty() && s.mean_at(t).is_none())
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Periodic check: returns a trigger when the fresh estimate violates
+    /// the validity region, or when a previously reporting resource has
+    /// gone stale (rate-limited by `min_trigger_gap_us`). Resources that
+    /// were never observed do not trigger.
     pub fn check(&mut self, t: SimTime) -> Option<Trigger> {
         if let Some(last) = self.last_trigger {
             if t.since(last) < self.min_trigger_gap_us {
                 return None;
             }
         }
-        let estimate = self.estimate();
-        if estimate.is_empty() {
+        let estimate = self.estimate_at(t);
+        let stale = self.stale_keys(t);
+        if estimate.is_empty() && stale.is_empty() {
             return None;
         }
         let violations = self.validity.violations(&estimate, self.hysteresis);
-        if violations.is_empty() {
+        if violations.is_empty() && stale.is_empty() {
             return None;
         }
         self.last_trigger = Some(t);
-        Some(Trigger { at: t, violations, estimate })
+        Some(Trigger { at: t, violations, estimate, stale })
     }
 }
 
@@ -349,5 +432,42 @@ mod tests {
         let mut m = MonitoringAgent::new(vec![cpu()], 1_000_000);
         m.set_validity(ValidityRegion::new().with_range(cpu(), 0.5, 1.0));
         assert!(m.check(t(1000)).is_none());
+    }
+
+    #[test]
+    fn window_stat_prunes_on_read() {
+        let mut w = WindowStat::new(1000);
+        w.push(t(0), 1.0);
+        assert_eq!(w.mean_at(t(500)), Some(1.0));
+        assert_eq!(w.mean_at(t(5000)), None, "expired as of now");
+        assert_eq!(w.latest_at(t(5000)), None);
+        assert_eq!(w.mean(), Some(1.0), "untimed view keeps last-known");
+        w.prune(t(5000));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_estimate_expires_and_triggers() {
+        let mut m = MonitoringAgent::new(vec![cpu()], 1_000_000);
+        m.set_validity(ValidityRegion::new().with_range(cpu(), 0.5, 1.0));
+        m.observe(t(0), &cpu(), 0.8);
+        assert!(m.check(t(100_000)).is_none(), "fresh and in range");
+        // The reporter dies: no observations for far longer than the window.
+        let trig = m.check(t(5_000_000)).expect("stale resource must trigger");
+        assert!(trig.is_stale());
+        assert_eq!(trig.stale, vec![cpu()]);
+        assert!(trig.estimate.get(&cpu()).is_none(), "expired value is not 'fresh'");
+        assert_eq!(m.estimate().get(&cpu()), Some(0.8), "last-known value retained");
+        assert!(trig.violations.is_empty(), "stale alone, not a range violation");
+    }
+
+    #[test]
+    fn stale_trigger_is_rate_limited_too() {
+        let mut m = MonitoringAgent::new(vec![cpu()], 1_000_000);
+        m.set_validity(ValidityRegion::new().with_range(cpu(), 0.5, 1.0));
+        m.observe(t(0), &cpu(), 0.8);
+        assert!(m.check(t(5_000_000)).is_some());
+        assert!(m.check(t(5_100_000)).is_none(), "within the gap");
+        assert!(m.check(t(5_600_000)).is_some(), "stale condition persists");
     }
 }

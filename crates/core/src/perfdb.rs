@@ -267,8 +267,8 @@ impl PerfDb {
                 .iter()
                 .filter_map(|&i| self.records[i].metrics.get(metric).map(|v| (i, v)))
                 .min_by(|a, b| match sense {
-                    Sense::LowerIsBetter => a.1.partial_cmp(&b.1).unwrap(),
-                    Sense::HigherIsBetter => b.1.partial_cmp(&a.1).unwrap(),
+                    Sense::LowerIsBetter => a.1.total_cmp(&b.1),
+                    Sense::HigherIsBetter => b.1.total_cmp(&a.1),
                 });
             let Some((_, best_v)) = best else { continue };
             for &i in idxs {
@@ -406,7 +406,7 @@ impl PerfDb {
             .iter()
             .filter_map(|r| r.resources.get(axis))
             .collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(|a, b| a.total_cmp(b));
         vals.dedup_by(|a, b| (*a - *b).abs() < AXIS_TOL);
         vals
     }
@@ -460,7 +460,7 @@ impl PerfDb {
                     .min_by(|a, b| {
                         let da = a.resources.distance(resources, &scales);
                         let db = b.resources.distance(resources, &scales);
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .map(|r| r.metrics.clone())
             }
@@ -487,7 +487,7 @@ impl PerfDb {
             if vals.is_empty() {
                 return None;
             }
-            let q = resources.get(axis)?.clamp(vals[0], *vals.last().unwrap());
+            let q = resources.get(axis)?.clamp(vals[0], vals[vals.len() - 1]);
             let hi_idx = vals.partition_point(|&v| v < q - AXIS_TOL);
             if hi_idx == 0 {
                 brackets.push((vals[0], vals[0], 0.0));
@@ -524,7 +524,9 @@ impl PerfDb {
             }
             let rec = recs.iter().find(|r| same_point(&r.resources, &point))?;
             for (m, v) in rec.metrics.iter() {
-                *sums.get_mut(m).unwrap() += weight * v;
+                if let Some(s) = sums.get_mut(m) {
+                    *s += weight * v;
+                }
             }
             total_w += weight;
         }
@@ -548,7 +550,7 @@ impl PerfDb {
         let scales = self.axis_scales_scan(config, input);
         let mut weighted: Vec<(f64, &PerfRecord)> =
             recs.iter().map(|r| (r.resources.distance(resources, &scales), *r)).collect();
-        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = weighted.len().min(4);
         let mut metric_names = BTreeSet::new();
         for (_, r) in &weighted[..k] {
@@ -562,7 +564,9 @@ impl PerfDb {
         for (d, r) in &weighted[..k] {
             let w = 1.0 / (d + 1e-9);
             for (m, v) in r.metrics.iter() {
-                *sums.get_mut(m).unwrap() += w * v;
+                if let Some(s) = sums.get_mut(m) {
+                    *s += w * v;
+                }
             }
             total_w += w;
         }
@@ -700,7 +704,7 @@ impl Slice {
                     .iter()
                     .filter_map(|&ri| records[ri as usize].resources.get(axis))
                     .collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vals.sort_by(|a, b| a.total_cmp(b));
                 vals.dedup_by(|a, b| (*a - *b).abs() < AXIS_TOL);
                 vals
             })
@@ -849,7 +853,7 @@ impl Slice {
             if vals.is_empty() {
                 return None;
             }
-            let q = resources.get(axis)?.clamp(vals[0], *vals.last().unwrap());
+            let q = resources.get(axis)?.clamp(vals[0], vals[vals.len() - 1]);
             let hi_idx = vals.partition_point(|&v| v < q - AXIS_TOL);
             if hi_idx == 0 {
                 brackets.push((0, 0, 0.0));
@@ -878,7 +882,9 @@ impl Slice {
             }
             let ri = self.corner_record(records, cell, &brackets, corner)?;
             for (m, v) in records[ri].metrics.iter() {
-                *sums.get_mut(m).unwrap() += weight * v;
+                if let Some(s) = sums.get_mut(m) {
+                    *s += weight * v;
+                }
             }
             total_w += weight;
         }
@@ -925,7 +931,7 @@ impl Slice {
             .iter()
             .map(|&ri| (records[ri as usize].resources.distance(resources, &self.scales), ri))
             .collect();
-        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = weighted.len().min(4);
         let mut metric_names = BTreeSet::new();
         for &(_, ri) in &weighted[..k] {
@@ -938,7 +944,9 @@ impl Slice {
         for &(d, ri) in &weighted[..k] {
             let w = 1.0 / (d + 1e-9);
             for (m, v) in records[ri as usize].metrics.iter() {
-                *sums.get_mut(m).unwrap() += w * v;
+                if let Some(s) = sums.get_mut(m) {
+                    *s += w * v;
+                }
             }
             total_w += w;
         }

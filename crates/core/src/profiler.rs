@@ -49,7 +49,7 @@ impl ResourceGrid {
     pub fn with_axis(mut self, key: ResourceKey, values: &[f64]) -> Self {
         assert!(!values.is_empty(), "axis {key} has no sample values");
         let mut vs = values.to_vec();
-        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vs.sort_by(|a, b| a.total_cmp(b));
         self.axes.push((key, vs));
         self
     }

@@ -137,6 +137,29 @@ impl Constraint {
             Some(v) => self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m),
         }
     }
+
+    /// How badly `report` violates this constraint, as a relative
+    /// overshoot of the breached bound; `0.0` when satisfied. A missing
+    /// metric counts as a large fixed penalty so configurations that do
+    /// not even report the metric rank last.
+    pub fn violation(&self, report: &QosReport) -> f64 {
+        const MISSING_METRIC_PENALTY: f64 = 1e9;
+        let Some(v) = report.get(&self.metric) else {
+            return MISSING_METRIC_PENALTY;
+        };
+        let mut s = 0.0;
+        if let Some(min) = self.min {
+            if v < min {
+                s += (min - v) / min.abs().max(1e-12);
+            }
+        }
+        if let Some(max) = self.max {
+            if v > max {
+                s += (v - max) / max.abs().max(1e-12);
+            }
+        }
+        s
+    }
 }
 
 /// The optimization objective: maximize or minimize a single metric
@@ -181,6 +204,13 @@ impl Preference {
 
     pub fn satisfied_by(&self, report: &QosReport) -> bool {
         self.constraints.iter().all(|c| c.satisfied_by(report))
+    }
+
+    /// Total relative constraint violation of `report`; `0.0` iff every
+    /// constraint is satisfied. The scheduler's best-effort fallback
+    /// minimizes this when no configuration satisfies the preference.
+    pub fn violation_score(&self, report: &QosReport) -> f64 {
+        self.constraints.iter().map(|c| c.violation(report)).sum()
     }
 }
 
@@ -249,6 +279,21 @@ mod tests {
         let empty = QosReport::default();
         assert!(min_t.better(&a, &empty));
         assert!(!min_t.better(&empty, &a));
+    }
+
+    #[test]
+    fn violation_scores() {
+        let c = Constraint::at_most("t", 10.0);
+        assert_eq!(c.violation(&QosReport::new(&[("t", 8.0)])), 0.0);
+        assert!((c.violation(&QosReport::new(&[("t", 15.0)])) - 0.5).abs() < 1e-12);
+        assert!(c.violation(&QosReport::new(&[("u", 1.0)])) > 1e8, "missing metric penalized");
+        let p = Preference::new(
+            vec![Constraint::at_most("t", 10.0), Constraint::at_least("q", 4.0)],
+            Objective::minimize("t"),
+        );
+        assert_eq!(p.violation_score(&QosReport::new(&[("t", 9.0), ("q", 5.0)])), 0.0);
+        let both = p.violation_score(&QosReport::new(&[("t", 20.0), ("q", 2.0)]));
+        assert!((both - (1.0 + 0.5)).abs() < 1e-12, "violations add up: {both}");
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub enum AdaptationEvent {
     Decided { at: SimTime, config: Configuration, predicted: QosReport, rank: usize },
     /// The scheduler found no satisfying configuration.
     NoCandidate { at: SimTime },
+    /// No configuration satisfied any preference: the runtime fell back to
+    /// the least-violating one and entered degraded operation.
+    Degraded { at: SimTime, config: Configuration },
+    /// A recovery probe found a satisfying configuration again.
+    Recovered { at: SimTime },
     /// The steering agent completed a switch.
     Switched { at: SimTime, old: Configuration, new: Configuration },
     /// A proposed configuration was rejected by a guard (negotiation).
@@ -47,6 +52,11 @@ pub struct AdaptiveRuntime {
     events: Vec<AdaptationEvent>,
     /// Upper bound on guard-negotiation retries per boundary.
     pub max_negotiations: usize,
+    /// While degraded (running a best-effort configuration), how often to
+    /// re-consult the scheduler for a satisfying choice.
+    pub recovery_probe_gap_us: u64,
+    degraded: bool,
+    last_probe: Option<SimTime>,
 }
 
 impl AdaptiveRuntime {
@@ -73,6 +83,9 @@ impl AdaptiveRuntime {
             steering: SteeringAgent::new(decision.config.clone()),
             events: Vec::new(),
             max_negotiations: 4,
+            recovery_probe_gap_us: 500_000,
+            degraded: false,
+            last_probe: None,
         };
         rt.events.push(AdaptationEvent::Decided {
             at: SimTime::ZERO,
@@ -95,6 +108,20 @@ impl AdaptiveRuntime {
         self.steering.history()
     }
 
+    /// True while the active configuration is a best-effort fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Minimum time between applied switches (anti-oscillation dwell).
+    pub fn set_min_dwell(&mut self, us: u64) {
+        self.steering.min_dwell_us = us;
+    }
+
+    pub fn min_dwell(&self) -> u64 {
+        self.steering.min_dwell_us
+    }
+
     /// Feed one resource observation into the monitoring agent.
     pub fn observe(&mut self, t: SimTime, key: &ResourceKey, value: f64) {
         self.monitor.observe(t, key, value);
@@ -104,18 +131,65 @@ impl AdaptiveRuntime {
     /// queues a reconfiguration with the steering agent. Returns the
     /// trigger if one fired.
     pub fn tick(&mut self, t: SimTime) -> Option<Trigger> {
+        if self.degraded {
+            self.probe_recovery(t);
+        }
         let trigger = self.monitor.check(t)?;
         self.events.push(AdaptationEvent::Triggered { at: t, estimate: trigger.estimate.clone() });
-        match self.scheduler.choose(&trigger.estimate) {
-            Some(d) => self.queue_decision(t, d),
+        // A stale trigger's fresh estimate omits (or may entirely lack) the
+        // expired resources; decide on the last-known view instead so the
+        // scheduler still has a complete vector to price configurations at.
+        let estimate =
+            if trigger.is_stale() { self.monitor.estimate() } else { trigger.estimate.clone() };
+        match self.scheduler.choose(&estimate) {
+            Some(d) => {
+                if self.degraded {
+                    self.degraded = false;
+                    self.events.push(AdaptationEvent::Recovered { at: t });
+                }
+                self.queue_decision(t, d);
+            }
             None => {
                 self.events.push(AdaptationEvent::NoCandidate { at: t });
-                // Keep running the current configuration; widen nothing —
-                // the monitor stays armed and will re-trigger after its
-                // rate-limit gap.
+                // Best-effort fallback chain: run the least-violating
+                // configuration rather than freezing on one whose validity
+                // region is already violated, and keep probing for
+                // recovery (the fallback's validity is unbounded, so the
+                // monitor alone would never re-trigger).
+                if let Some(d) = self.scheduler.choose_least_violating(&estimate, &[]) {
+                    if !self.degraded {
+                        self.events
+                            .push(AdaptationEvent::Degraded { at: t, config: d.config.clone() });
+                    }
+                    self.degraded = true;
+                    self.last_probe = Some(t);
+                    self.queue_decision(t, d);
+                }
             }
         }
         Some(trigger)
+    }
+
+    /// While degraded, periodically re-consult the scheduler with the
+    /// freshest estimate; on success queue the satisfying configuration.
+    fn probe_recovery(&mut self, t: SimTime) {
+        let due = match self.last_probe {
+            None => true,
+            Some(p) => t.since(p) >= self.recovery_probe_gap_us,
+        };
+        if !due {
+            return;
+        }
+        self.last_probe = Some(t);
+        let estimate = self.monitor.estimate_at(t);
+        if estimate.is_empty() {
+            return;
+        }
+        if let Some(d) = self.scheduler.choose(&estimate) {
+            self.degraded = false;
+            self.events.push(AdaptationEvent::Recovered { at: t });
+            self.queue_decision(t, d);
+        }
     }
 
     fn queue_decision(&mut self, t: SimTime, d: Decision) {
@@ -143,6 +217,7 @@ impl AdaptiveRuntime {
         for _ in 0..=self.max_negotiations {
             match self.steering.at_boundary(t, &self.spec) {
                 BoundaryOutcome::NoChange => return None,
+                BoundaryOutcome::Deferred { .. } => return None,
                 BoundaryOutcome::Switched(ev) => {
                     self.monitor.set_validity(ev.validity.clone());
                     let watched = self.spec.tasks.monitored_resources(&ev.new);
@@ -320,6 +395,31 @@ mod tests {
     }
 
     #[test]
+    fn dwell_limits_reconfigurations_under_flapping() {
+        let mut rt = runtime();
+        rt.set_min_dwell(5_000_000);
+        // Bandwidth flaps between 1 MB/s and 50 KB/s every 2 s for 20 s —
+        // slow enough for the 1 s window mean to settle at each level, so
+        // without the dwell guard every flap would re-trigger a switch.
+        for i in 0..2000u64 {
+            let t = SimTime::from_ms(10 * i);
+            let low_phase = (i / 200) % 2 == 1;
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), if low_phase { 50_000.0 } else { 1_000_000.0 });
+            rt.tick(t);
+            rt.at_boundary(t);
+        }
+        let windows = 20_000_000u64.div_ceil(rt.min_dwell()) as usize;
+        assert!(
+            rt.switch_count() <= windows + 1,
+            "flapping caused {} switches, more than one per {}-us dwell window",
+            rt.switch_count(),
+            rt.min_dwell()
+        );
+        assert!(rt.switch_count() >= 2, "adaptation must still happen across dwell windows");
+    }
+
+    #[test]
     fn event_log_records_the_story() {
         let mut rt = runtime();
         for i in 0..200 {
@@ -337,6 +437,8 @@ mod tests {
                 AdaptationEvent::Switched { .. } => "switch",
                 AdaptationEvent::NoCandidate { .. } => "none",
                 AdaptationEvent::Nak { .. } => "nak",
+                AdaptationEvent::Degraded { .. } => "degrade",
+                AdaptationEvent::Recovered { .. } => "recover",
             })
             .collect();
         assert_eq!(kinds, vec!["decide", "trigger", "decide", "switch"]);
@@ -424,7 +526,7 @@ mod negotiation_tests {
     }
 
     #[test]
-    fn no_candidate_keeps_current_configuration_and_logs() {
+    fn no_candidate_degrades_to_least_violating_and_recovers() {
         let spec = dsl::parse(dsl::ACTIVE_VIZ_SPEC).unwrap();
         // Impossible constraint at low bandwidth; satisfiable at high.
         let prefs = PreferenceList::single(Preference::new(
@@ -434,7 +536,6 @@ mod negotiation_tests {
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
         let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
-        let before = rt.current().clone();
         for i in 0..300 {
             let t = SimTime::from_ms(10 * i);
             rt.observe(t, &cpu(), 1.0);
@@ -442,10 +543,19 @@ mod negotiation_tests {
         }
         rt.tick(SimTime::from_secs(3));
         rt.at_boundary(SimTime::from_secs(3));
-        let no_candidate =
-            rt.events().iter().any(|e| matches!(e, AdaptationEvent::NoCandidate { .. }));
-        if no_candidate {
-            assert_eq!(rt.current(), &before, "keeps running the old configuration");
+        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::NoCandidate { .. })));
+        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::Degraded { .. })));
+        assert!(rt.is_degraded(), "runs the least-violating fallback");
+        // Bandwidth recovers: a recovery probe finds a satisfying choice
+        // and the runtime leaves degraded mode at the next boundary.
+        for i in 0..300 {
+            let t = SimTime::from_secs(4) + 10_000 * i;
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), 1_000_000.0);
         }
+        rt.tick(SimTime::from_secs(7));
+        rt.at_boundary(SimTime::from_secs(7));
+        assert!(!rt.is_degraded(), "left degraded mode after recovery");
+        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::Recovered { .. })));
     }
 }

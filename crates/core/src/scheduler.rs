@@ -44,6 +44,11 @@ pub struct Decision {
     /// Resource region within which the choice remains valid; handed to
     /// the monitoring agent.
     pub validity: ValidityRegion,
+    /// True when no configuration satisfied any preference and this is the
+    /// least-violating fallback (see
+    /// [`ResourceScheduler::choose_least_violating`]). The runtime treats
+    /// such decisions as *degraded* and keeps probing for recovery.
+    pub best_effort: bool,
 }
 
 /// The resource scheduler.
@@ -136,26 +141,83 @@ impl ResourceScheduler {
                 if !pref.satisfied_by(pred) {
                     continue;
                 }
-                let better = match best {
+                let better = match best.and_then(|b| preds[b].as_ref()) {
                     None => true,
-                    Some(b) => pref.objective.better(pred, preds[b].as_ref().unwrap()),
+                    Some(best_pred) => pref.objective.better(pred, best_pred),
                 };
                 if better {
                     best = Some(i);
                 }
             }
             if let Some(bi) = best {
-                let predicted = preds[bi].clone().expect("best candidate has a prediction");
+                let Some(predicted) = preds[bi].clone() else { continue };
                 let validity = self.validity_region_ctx(&mut ctx, bi, pref, resources);
                 return Some(Decision {
                     config: ctx.configs.swap_remove(bi),
                     predicted,
                     preference_rank: rank,
                     validity,
+                    best_effort: false,
                 });
             }
         }
         None
+    }
+
+    /// The best-effort fallback chain: the full preference walk first,
+    /// then — when nothing satisfies — the least-violating configuration.
+    /// Returns `None` only when no configuration has a prediction at all.
+    pub fn choose_best_effort(
+        &self,
+        resources: &ResourceVector,
+        excluded: &[Configuration],
+    ) -> Option<Decision> {
+        self.choose_excluding(resources, excluded)
+            .or_else(|| self.choose_least_violating(resources, excluded))
+    }
+
+    /// When no configuration satisfies any preference: pick the one with
+    /// the smallest total relative constraint violation under the
+    /// least-demanding (last) preference, ties broken by that preference's
+    /// objective. The decision is marked `best_effort` and carries an
+    /// unbounded validity region — the monitor cannot delimit a region in
+    /// which a *failing* choice stays best, so the runtime instead keeps
+    /// probing the scheduler for recovery while degraded.
+    pub fn choose_least_violating(
+        &self,
+        resources: &ResourceVector,
+        excluded: &[Configuration],
+    ) -> Option<Decision> {
+        let pref = self.prefs.prefs.last()?;
+        let configs = self.db.configs(&self.input);
+        let mut best: Option<(usize, f64, QosReport)> = None;
+        for (i, c) in configs.iter().enumerate() {
+            if excluded.contains(c) {
+                continue;
+            }
+            let Some(pred) = self.db.predict(c, &self.input, resources, self.mode) else {
+                continue;
+            };
+            let score = pref.violation_score(&pred);
+            let better = match &best {
+                None => true,
+                Some((_, s, bp)) => {
+                    score < s - 1e-12
+                        || ((score - s).abs() <= 1e-12 && pref.objective.better(&pred, bp))
+                }
+            };
+            if better {
+                best = Some((i, score, pred));
+            }
+        }
+        let (bi, _, predicted) = best?;
+        Some(Decision {
+            config: configs[bi].clone(),
+            predicted,
+            preference_rank: self.prefs.prefs.len().saturating_sub(1),
+            validity: ValidityRegion::unbounded(),
+            best_effort: true,
+        })
     }
 
     /// True when config `chosen` both satisfies `pref` and remains the
@@ -256,7 +318,9 @@ impl ResourceScheduler {
             // Extend to the sampled extremes when they satisfy: beyond the
             // sampled range, prediction clamps, so validity extends to
             // infinity on a satisfied edge.
-            let (min_s, max_s) = (*samples.first().unwrap(), *samples.last().unwrap());
+            let (Some(&min_s), Some(&max_s)) = (samples.first(), samples.last()) else {
+                continue;
+            };
             let lo_bound = if (lo - min_s).abs() < 1e-12 { 0.0 } else { lo };
             let hi_bound = if (hi - max_s).abs() < 1e-12 { f64::INFINITY } else { hi };
             region = region.with_range(axis, lo_bound.min(center), hi_bound.max(center));
@@ -370,6 +434,35 @@ mod tests {
         let s = ResourceScheduler::new(crossover_db(), prefs, "img");
         let r = ResourceVector::new(&[(cpu(), 0.25), (net(), 50_000.0)]);
         assert!(s.choose(&r).is_none());
+    }
+
+    #[test]
+    fn best_effort_falls_back_to_least_violating() {
+        // Impossible constraint everywhere: nothing satisfies, so the
+        // fallback ranks configurations by violation size. At cpu=0.25,
+        // net=50K: lzw t = 40 + 20 = 60, bzip t = 8 + 80 = 88 — lzw
+        // violates `t <= 0.001` less.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_most("transmit_time", 0.001)],
+            Objective::minimize("transmit_time"),
+        ));
+        let s = ResourceScheduler::new(crossover_db(), prefs, "img");
+        let r = ResourceVector::new(&[(cpu(), 0.25), (net(), 50_000.0)]);
+        assert!(s.choose(&r).is_none());
+        let d = s.choose_best_effort(&r, &[]).unwrap();
+        assert!(d.best_effort);
+        assert_eq!(d.config.get("c"), Some(1));
+        assert!(d.validity.ranges.is_empty(), "no region can hold a failing choice");
+        // Exclusions are honored in the fallback too.
+        let lzw = Configuration::new(&[("c", 1)]);
+        let d2 = s.choose_best_effort(&r, &[lzw]).unwrap();
+        assert!(d2.best_effort);
+        assert_eq!(d2.config.get("c"), Some(2));
+        // A satisfiable preference passes through the chain unmarked.
+        let s2 = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
+        let hi = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
+        let d3 = s2.choose_best_effort(&hi, &[]).unwrap();
+        assert!(!d3.best_effort);
     }
 
     #[test]

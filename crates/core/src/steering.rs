@@ -29,6 +29,13 @@ pub struct ReconfigureRequest {
 pub enum BoundaryOutcome {
     /// No pending request, or the pending config equals the current one.
     NoChange,
+    /// A switch is pending but the minimum dwell time since the last
+    /// switch has not elapsed; the request stays queued (anti-oscillation
+    /// guard for flapping resources).
+    Deferred {
+        /// Earliest time the pending switch may take effect.
+        until: SimTime,
+    },
     /// The switch happened; actions are the transition bodies to execute
     /// (the acknowledgement to the scheduler).
     Switched(SwitchEvent),
@@ -55,6 +62,10 @@ pub struct SteeringAgent {
     current: Configuration,
     pending: Option<ReconfigureRequest>,
     history: Vec<(SimTime, Configuration)>,
+    /// Minimum time a configuration must stay active before the next
+    /// switch is applied (0 disables). Damps oscillation when a resource
+    /// flaps across a validity boundary faster than switches settle.
+    pub min_dwell_us: u64,
 }
 
 impl SteeringAgent {
@@ -63,6 +74,7 @@ impl SteeringAgent {
             current: initial.clone(),
             pending: None,
             history: vec![(SimTime::ZERO, initial)],
+            min_dwell_us: 0,
         }
     }
 
@@ -87,6 +99,20 @@ impl SteeringAgent {
     /// Called by the application at a task boundary / transition point:
     /// the only places a new configuration may take effect.
     pub fn at_boundary(&mut self, t: SimTime, spec: &TunableSpec) -> BoundaryOutcome {
+        // Dwell guard: a *completed* switch (history beyond the initial
+        // configuration) pins the current config for `min_dwell_us`. The
+        // request stays pending — later, possibly superseded, it applies
+        // at the first boundary past the dwell.
+        if self.min_dwell_us > 0 && self.history.len() > 1 {
+            if let Some(req) = &self.pending {
+                if req.config != self.current {
+                    let last = self.history[self.history.len() - 1].0;
+                    if t.since(last) < self.min_dwell_us {
+                        return BoundaryOutcome::Deferred { until: last + self.min_dwell_us };
+                    }
+                }
+            }
+        }
         let Some(req) = self.pending.take() else {
             return BoundaryOutcome::NoChange;
         };
@@ -244,6 +270,35 @@ mod tests {
         // Scheduler retries with a different config: dR change is allowed.
         s.request(req(cfg(160, 1, 4)));
         assert!(matches!(s.at_boundary(SimTime::ZERO, &sp), BoundaryOutcome::Switched(_)));
+    }
+
+    #[test]
+    fn dwell_defers_rapid_second_switch() {
+        let mut s = SteeringAgent::new(cfg(80, 1, 4));
+        s.min_dwell_us = 1_000_000;
+        s.request(req(cfg(80, 2, 4)));
+        // First switch is never dwell-blocked (only the initial config is
+        // in history).
+        assert!(matches!(
+            s.at_boundary(SimTime::from_ms(100), &spec()),
+            BoundaryOutcome::Switched(_)
+        ));
+        // Flap straight back: deferred until the dwell elapses.
+        s.request(req(cfg(80, 1, 4)));
+        match s.at_boundary(SimTime::from_ms(600), &spec()) {
+            BoundaryOutcome::Deferred { until } => {
+                assert_eq!(until, SimTime::from_ms(1100));
+            }
+            other => panic!("expected deferral, got {other:?}"),
+        }
+        assert!(s.has_pending(), "request stays queued through the dwell");
+        assert_eq!(s.current(), &cfg(80, 2, 4));
+        // Past the dwell the queued request applies.
+        assert!(matches!(
+            s.at_boundary(SimTime::from_ms(1200), &spec()),
+            BoundaryOutcome::Switched(_)
+        ));
+        assert_eq!(s.current(), &cfg(80, 1, 4));
     }
 
     #[test]

@@ -455,6 +455,11 @@ mod steering_props {
                     BoundaryOutcome::NoChange => {
                         prop_assert_eq!(agent.current(), &before);
                     }
+                    BoundaryOutcome::Deferred { .. } => {
+                        // Dwell guard: current is kept, request stays queued.
+                        prop_assert_eq!(agent.current(), &before);
+                        prop_assert!(agent.has_pending());
+                    }
                 }
                 // The invariant of invariants: whatever happened, the
                 // current configuration is always valid.

@@ -255,6 +255,20 @@ impl<A: Actor> Actor for Sandboxed<A> {
         self.issue(ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // The crash discarded every outstanding kernel action, so the
+        // interposition state from the previous incarnation is void.
+        self.queue.clear();
+        self.chop_remaining = None;
+        self.busy = false;
+        self.pending_recv.clear();
+        self.send_bucket = None;
+        self.recv_bucket = None;
+        self.inner.on_restart(ctx);
+        self.drain_inner(ctx);
+        self.issue(ctx);
+    }
+
     fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
         debug_assert!(!self.busy, "kernel delivered a message to a busy actor");
         let now = ctx.now();

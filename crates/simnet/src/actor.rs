@@ -40,6 +40,15 @@ pub trait Actor {
     /// spawned later, at spawn time.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
+    /// Invoked when the actor's crashed host restarts
+    /// (see [`Sim::restart_host`](crate::kernel::Sim::restart_host)). The
+    /// default re-runs [`Actor::on_start`]; implementors with in-memory
+    /// session state should reset it here, since a restarted process
+    /// would come back empty.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.on_start(ctx);
+    }
+
     /// A message has been delivered. Called only when the actor's action
     /// queue is empty (messages wait for the actor to go idle).
     fn on_message(&mut self, _from: ActorId, _msg: Message, _ctx: &mut Ctx<'_>) {}

@@ -22,7 +22,7 @@
 //! the kernel knowing.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +30,7 @@ use rand::{Rng, SeedableRng};
 use crate::accounting::{Accounting, Dir, Snapshot, Transfer};
 use crate::actor::{Action, Actor, ActorId, HostId};
 use crate::cpu::CpuSched;
+use crate::fault::DropReason;
 use crate::link::{FlowSched, Link, LinkMode};
 use crate::message::Message;
 use crate::time::SimTime;
@@ -66,14 +67,21 @@ pub(crate) struct ActorState {
     sleep_started: SimTime,
     pub acct: Accounting,
     alive: bool,
+    /// Dead because its host crashed (revivable by a host restart), as
+    /// opposed to a permanent [`Sim::kill`].
+    crashed: bool,
+    /// Incarnation number: bumped on every crash so timers armed by a
+    /// previous incarnation are ignored after a restart.
+    incarnation: u64,
 }
 
 enum Ev {
     Start(ActorId),
+    Restart(ActorId),
     CpuNext { host: usize, epoch: u64 },
     FlowNext { src: usize, dst: usize, epoch: u64 },
     Deliver { src: ActorId, dst: ActorId, msg: Message, queued: SimTime },
-    Timer { actor: ActorId, tag: u64 },
+    Timer { actor: ActorId, tag: u64, incarnation: u64 },
     Wake { actor: ActorId },
     Script(Box<dyn FnOnce(&mut Sim)>),
 }
@@ -111,11 +119,16 @@ pub struct Sim {
     links: HashMap<(usize, usize), Link>,
     /// Links operating in fluid fair-share mode.
     flow_scheds: HashMap<(usize, usize), FlowSched>,
-    /// In-flight fair-share transmissions: flow id -> (src, dst, msg, queued).
-    inflight: HashMap<u64, (ActorId, ActorId, Message, SimTime)>,
+    /// In-flight fair-share transmissions:
+    /// flow id -> (src, dst, msg, queued, jitter_us).
+    inflight: HashMap<u64, (ActorId, ActorId, Message, SimTime, u64)>,
     next_flow_id: u64,
     /// Per-directed-link message loss: probability and a deterministic RNG.
     loss: HashMap<(usize, usize), (f64, StdRng)>,
+    /// Per-directed-link latency jitter: max extra us and a deterministic RNG.
+    jitter: HashMap<(usize, usize), (u64, StdRng)>,
+    /// Directed links currently inside a scheduled down window.
+    down_links: HashSet<(usize, usize)>,
     default_bw_bps: f64,
     default_latency_us: u64,
     local_latency_us: u64,
@@ -146,6 +159,8 @@ impl Sim {
             inflight: HashMap::new(),
             next_flow_id: 0,
             loss: HashMap::new(),
+            jitter: HashMap::new(),
+            down_links: HashSet::new(),
             default_bw_bps: 12_500_000.0, // 100 Mbit/s in bytes/s
             default_latency_us: 100,
             local_latency_us: DEFAULT_LOCAL_LATENCY_US,
@@ -186,6 +201,8 @@ impl Sim {
             sleep_started: SimTime::ZERO,
             acct: Accounting::default(),
             alive: true,
+            crashed: false,
+            incarnation: 0,
         });
         let t = self.now;
         self.push(t, Ev::Start(id));
@@ -260,6 +277,37 @@ impl Sim {
         }
     }
 
+    /// Add uniform random extra delivery latency in `[0, max_us]` to every
+    /// message on the directed `src -> dst` link, drawn from a
+    /// deterministic RNG seeded by `seed`. `max_us = 0` removes it.
+    pub fn set_link_jitter(&mut self, src: HostId, dst: HostId, max_us: u64, seed: u64) {
+        if max_us == 0 {
+            self.jitter.remove(&(src.0, dst.0));
+        } else {
+            self.jitter.insert((src.0, dst.0), (max_us, StdRng::seed_from_u64(seed)));
+        }
+    }
+
+    /// Take the directed `src -> dst` link down (or bring it back up).
+    /// While down, every message transmitted on it is dropped and traced
+    /// as [`TraceEvent::MsgDropped`]. State changes are traced as
+    /// [`TraceEvent::LinkDown`] / [`TraceEvent::LinkUp`].
+    pub fn set_link_down(&mut self, src: HostId, dst: HostId, down: bool) {
+        let key = (src.0, dst.0);
+        if down {
+            if self.down_links.insert(key) {
+                self.trace.emit(self.now, TraceEvent::LinkDown { src, dst });
+            }
+        } else if self.down_links.remove(&key) {
+            self.trace.emit(self.now, TraceEvent::LinkUp { src, dst });
+        }
+    }
+
+    /// Is the directed `src -> dst` link inside a down window?
+    pub fn is_link_down(&self, src: HostId, dst: HostId) -> bool {
+        self.down_links.contains(&(src.0, dst.0))
+    }
+
     /// Full capacity (bytes/second) of the `src -> dst` link, as a
     /// system-wide monitor would report it.
     pub fn link_capacity_bps(&self, src: HostId, dst: HostId) -> f64 {
@@ -329,6 +377,58 @@ impl Sim {
     /// Is the actor still alive (not killed)?
     pub fn is_alive(&self, a: ActorId) -> bool {
         self.states[a.0].alive
+    }
+
+    /// Crash every actor on `host`: computation is aborted, queues are
+    /// cleared, and timers armed before the crash are cancelled. Unlike
+    /// [`Sim::kill`], crashed actors can be revived by
+    /// [`Sim::restart_host`]. Traced as [`TraceEvent::HostCrash`].
+    pub fn crash_host(&mut self, host: HostId) {
+        let mut any = false;
+        for i in 0..self.states.len() {
+            if self.states[i].host != host || !self.states[i].alive {
+                continue;
+            }
+            any = true;
+            let a = ActorId(i);
+            self.sync_host(host.0);
+            if self.states[i].running == Running::Compute {
+                self.hosts[host.0].sched.abort(a);
+                self.schedule_next_cpu(host.0);
+            }
+            let st = &mut self.states[i];
+            st.alive = false;
+            st.crashed = true;
+            st.incarnation += 1;
+            st.running = Running::Idle;
+            st.fifo.clear();
+            st.inbox.clear();
+        }
+        if any {
+            self.trace.emit(self.now, TraceEvent::HostCrash { host });
+        }
+    }
+
+    /// Restart a crashed host: every actor that died in a [`Sim::crash_host`]
+    /// comes back alive and its [`Actor::on_restart`] runs (by default that
+    /// re-runs `on_start`, modeling a process restart). Actors removed with
+    /// [`Sim::kill`] stay dead. Traced as [`TraceEvent::HostRestart`].
+    pub fn restart_host(&mut self, host: HostId) {
+        let mut any = false;
+        for i in 0..self.states.len() {
+            let st = &mut self.states[i];
+            if st.host != host || !st.crashed {
+                continue;
+            }
+            any = true;
+            st.alive = true;
+            st.crashed = false;
+            let t = self.now;
+            self.push(t, Ev::Restart(ActorId(i)));
+        }
+        if any {
+            self.trace.emit(self.now, TraceEvent::HostRestart { host });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -472,6 +572,12 @@ impl Sim {
                     self.pump(a);
                 }
             }
+            Ev::Restart(a) => {
+                if self.states[a.0].alive {
+                    self.dispatch(a, |actor, ctx| actor.on_restart(ctx));
+                    self.pump(a);
+                }
+            }
             Ev::CpuNext { host, epoch } => {
                 if self.hosts[host].sched.epoch == epoch {
                     self.sync_host(host);
@@ -486,6 +592,16 @@ impl Sim {
             }
             Ev::Deliver { src, dst, msg, queued } => {
                 if !self.states[dst.0].alive {
+                    let now = self.now;
+                    self.trace.emit(
+                        now,
+                        TraceEvent::MsgDropped {
+                            src,
+                            dst,
+                            bytes: msg.wire_bytes,
+                            reason: DropReason::ReceiverDead,
+                        },
+                    );
                     return;
                 }
                 let bytes = msg.wire_bytes;
@@ -507,8 +623,8 @@ impl Sim {
                     st.inbox.push_back((src, msg));
                 }
             }
-            Ev::Timer { actor, tag } => {
-                if self.states[actor.0].alive {
+            Ev::Timer { actor, tag, incarnation } => {
+                if self.states[actor.0].alive && self.states[actor.0].incarnation == incarnation {
                     self.trace.emit(self.now, TraceEvent::TimerFired { actor, tag });
                     self.dispatch(actor, |a, ctx| a.on_timer(tag, ctx));
                     self.pump(actor);
@@ -568,8 +684,8 @@ impl Sim {
             None => return,
         };
         for id in done {
-            if let Some((s, d, msg, queued)) = self.inflight.remove(&id) {
-                let t = now + latency;
+            if let Some((s, d, msg, queued, jitter_us)) = self.inflight.remove(&id) {
+                let t = now + latency + jitter_us;
                 self.push(t, Ev::Deliver { src: s, dst: d, msg, queued });
             }
         }
@@ -660,6 +776,16 @@ impl Sim {
         let hd = self.states[dst.0].host.0;
         let bytes = msg.wire_bytes;
         self.trace.emit(self.now, TraceEvent::MsgSent { src, dst, bytes });
+        if hs != hd && self.down_links.contains(&(hs, hd)) {
+            // The link is inside a scheduled down window: nothing gets
+            // through (and nothing occupies the wire).
+            let now = self.now;
+            self.trace.emit(
+                now,
+                TraceEvent::MsgDropped { src, dst, bytes, reason: DropReason::LinkDown },
+            );
+            return;
+        }
         if let Some((p, rng)) = self.loss.get_mut(&(hs, hd)) {
             if rng.gen::<f64>() < *p {
                 // The message still occupied the wire (sender-side cost),
@@ -671,16 +797,27 @@ impl Sim {
                         .or_insert_with(|| Link::new(dbw, dlat))
                         .schedule(self.now, bytes);
                 }
+                let now = self.now;
+                self.trace.emit(
+                    now,
+                    TraceEvent::MsgDropped { src, dst, bytes, reason: DropReason::Loss },
+                );
                 return;
             }
         }
+        // Latency jitter is sampled per message at transmit time so the
+        // random stream is independent of delivery interleaving.
+        let jitter_us = match self.jitter.get_mut(&(hs, hd)) {
+            Some((max, rng)) => rng.gen_range(0..=*max),
+            None => 0,
+        };
         if hs != hd && self.flow_scheds.contains_key(&(hs, hd)) {
             // Fluid fair-share path: register the flow; delivery happens
-            // when its last byte leaves the wire, plus latency.
+            // when its last byte leaves the wire, plus latency (and jitter).
             self.sync_flows(hs, hd);
             let id = self.next_flow_id;
             self.next_flow_id += 1;
-            self.inflight.insert(id, (src, dst, msg, self.now));
+            self.inflight.insert(id, (src, dst, msg, self.now, jitter_us));
             self.flow_scheds.get_mut(&(hs, hd)).unwrap().start(id, bytes);
             self.schedule_next_flow(hs, hd);
             return;
@@ -691,7 +828,7 @@ impl Sim {
             let (dbw, dlat) = (self.default_bw_bps, self.default_latency_us);
             let link = self.links.entry((hs, hd)).or_insert_with(|| Link::new(dbw, dlat));
             link.schedule(self.now, bytes).deliver
-        };
+        } + jitter_us;
         let queued = self.now;
         self.push(deliver_at, Ev::Deliver { src, dst, msg, queued });
     }
@@ -753,10 +890,13 @@ impl Ctx<'_> {
     }
 
     /// Fire `on_timer(tag)` after `delay_us` (fires even while busy).
+    /// Timers do not survive a host crash: they are cancelled when the
+    /// actor's incarnation changes.
     pub fn set_timer(&mut self, delay_us: u64, tag: u64) {
         let t = self.sim.now + delay_us;
         let id = self.id;
-        self.sim.push(t, Ev::Timer { actor: id, tag });
+        let incarnation = self.sim.states[id.0].incarnation;
+        self.sim.push(t, Ev::Timer { actor: id, tag, incarnation });
     }
 
     /// Allocate simulated memory.

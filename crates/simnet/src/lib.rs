@@ -57,6 +57,7 @@
 pub mod accounting;
 pub mod actor;
 pub mod cpu;
+pub mod fault;
 pub mod kernel;
 pub mod link;
 pub mod message;
@@ -65,8 +66,9 @@ pub mod trace;
 
 pub use accounting::{Accounting, Dir, Snapshot, Transfer};
 pub use actor::{Action, Actor, ActorId, HostId};
+pub use fault::{DropReason, FaultPlan};
 pub use kernel::{Ctx, Sim};
 pub use link::{FlowSched, Link, LinkMode};
-pub use message::Message;
+pub use message::{DecodeError, Message};
 pub use time::{dur, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -50,7 +50,41 @@ impl Message {
             )
         })
     }
+
+    /// Downcast the payload to `T`, returning a typed [`DecodeError`]
+    /// instead of panicking. Use on hot paths where a malformed or
+    /// unexpected message should be handled, not crash the actor.
+    pub fn decode<T: Any>(&self) -> Result<&T, DecodeError> {
+        self.body::<T>().ok_or_else(|| DecodeError {
+            tag: self.tag,
+            expected: std::any::type_name::<T>(),
+            had_payload: self.payload.is_some(),
+        })
+    }
 }
+
+/// A message payload failed to downcast to the expected protocol type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Tag of the offending message.
+    pub tag: u64,
+    /// The type the receiver expected.
+    pub expected: &'static str,
+    /// Whether the message carried any payload at all.
+    pub had_payload: bool,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "message tag {} does not carry expected payload type {} (payload present: {})",
+            self.tag, self.expected, self.had_payload
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 impl std::fmt::Debug for Message {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -3,18 +3,63 @@
 //! Disabled by default; enabling it appends lightweight records to an
 //! in-memory log that tests and harnesses can inspect or dump.
 
-use crate::actor::ActorId;
+use crate::actor::{ActorId, HostId};
+use crate::fault::DropReason;
 use crate::time::SimTime;
 
 /// One traced kernel event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
-    ComputeStart { actor: ActorId, work: f64 },
-    ComputeEnd { actor: ActorId },
-    MsgSent { src: ActorId, dst: ActorId, bytes: u64 },
-    MsgDelivered { src: ActorId, dst: ActorId, bytes: u64 },
-    TimerFired { actor: ActorId, tag: u64 },
-    CapChange { actor: ActorId, cap: Option<f64> },
+    ComputeStart {
+        actor: ActorId,
+        work: f64,
+    },
+    ComputeEnd {
+        actor: ActorId,
+    },
+    MsgSent {
+        src: ActorId,
+        dst: ActorId,
+        bytes: u64,
+    },
+    MsgDelivered {
+        src: ActorId,
+        dst: ActorId,
+        bytes: u64,
+    },
+    /// An injected fault discarded a message (see [`DropReason`]).
+    MsgDropped {
+        src: ActorId,
+        dst: ActorId,
+        bytes: u64,
+        reason: DropReason,
+    },
+    /// A scheduled down window started on the directed link.
+    LinkDown {
+        src: HostId,
+        dst: HostId,
+    },
+    /// The down window ended.
+    LinkUp {
+        src: HostId,
+        dst: HostId,
+    },
+    /// Every actor on the host died (revivable, unlike `Sim::kill`).
+    HostCrash {
+        host: HostId,
+    },
+    /// Crashed actors on the host came back and re-ran `on_restart`.
+    HostRestart {
+        host: HostId,
+    },
+    TimerFired {
+        actor: ActorId,
+        tag: u64,
+    },
+    CapChange {
+        actor: ActorId,
+        cap: Option<f64>,
+    },
 }
 
 /// An in-memory trace log.

@@ -1,0 +1,227 @@
+//! Fault-injection integration tests: deterministic loss, jitter, down
+//! windows, partitions, and host crash/restart, all visible in the trace.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{
+    dur, Actor, ActorId, Ctx, DropReason, FaultPlan, HostId, Message, Sim, SimTime, TraceEvent,
+};
+
+/// Sends one message to `dst` every `period_us`, counting replies.
+struct Pinger {
+    dst: ActorId,
+    period_us: u64,
+    sent: Rc<RefCell<u32>>,
+    got: Rc<RefCell<u32>>,
+    rounds: u32,
+}
+
+impl Actor for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.period_us, 1);
+    }
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        if *self.sent.borrow() < self.rounds {
+            *self.sent.borrow_mut() += 1;
+            ctx.send_now(self.dst, Message::signal(7, 1000));
+            ctx.set_timer(self.period_us, 1);
+        }
+    }
+    fn on_message(&mut self, _from: ActorId, _msg: Message, _ctx: &mut Ctx<'_>) {
+        *self.got.borrow_mut() += 1;
+    }
+}
+
+/// Echoes every message back to its sender.
+struct Echo;
+impl Actor for Echo {
+    fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.send(from, Message::signal(msg.tag, msg.wire_bytes));
+    }
+}
+
+fn ping_setup(rounds: u32) -> (Sim, HostId, HostId, Rc<RefCell<u32>>, Rc<RefCell<u32>>) {
+    let mut sim = Sim::new();
+    let ha = sim.add_host("a", 1.0, 1 << 30);
+    let hb = sim.add_host("b", 1.0, 1 << 30);
+    sim.set_link(ha, hb, 1_000_000.0, 100);
+    let echo = sim.spawn(hb, Box::new(Echo));
+    let sent = Rc::new(RefCell::new(0));
+    let got = Rc::new(RefCell::new(0));
+    sim.spawn(
+        ha,
+        Box::new(Pinger {
+            dst: echo,
+            period_us: dur::ms(10),
+            sent: sent.clone(),
+            got: got.clone(),
+            rounds,
+        }),
+    );
+    (sim, ha, hb, sent, got)
+}
+
+#[test]
+fn down_window_drops_and_recovers() {
+    let (mut sim, ha, hb, sent, got) = ping_setup(20);
+    sim.trace.set_enabled(true);
+    FaultPlan::new(1)
+        .link_down(ha, hb, SimTime::from_ms(45), SimTime::from_ms(105))
+        .install(&mut sim);
+    sim.run_until_idle();
+    assert_eq!(*sent.borrow(), 20);
+    // Pings at 50..=100 ms fall in the window: 6 of 20 lost.
+    assert_eq!(*got.borrow(), 14);
+    let evs = sim.trace.take();
+    let drops = evs
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::MsgDropped { reason: DropReason::LinkDown, .. }))
+        .count();
+    assert_eq!(drops, 6);
+    assert!(evs
+        .iter()
+        .any(|(t, e)| matches!(e, TraceEvent::LinkDown { .. }) && *t == SimTime::from_ms(45)));
+    assert!(evs
+        .iter()
+        .any(|(t, e)| matches!(e, TraceEvent::LinkUp { .. }) && *t == SimTime::from_ms(105)));
+}
+
+#[test]
+fn loss_is_traced_and_deterministic() {
+    let run = || {
+        let (mut sim, ha, hb, _, got) = ping_setup(50);
+        sim.trace.set_enabled(true);
+        FaultPlan::new(42).loss(ha, hb, 0.5).install(&mut sim);
+        sim.run_until_idle();
+        let g = *got.borrow();
+        (g, sim.trace.take())
+    };
+    let (got1, trace1) = run();
+    let (got2, trace2) = run();
+    assert_eq!(got1, got2, "identical plans must give identical outcomes");
+    assert_eq!(trace1, trace2, "traces must be bit-identical");
+    let drops = trace1
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::MsgDropped { reason: DropReason::Loss, .. }))
+        .count();
+    assert!(drops > 0, "50% loss must drop something");
+    assert!(got1 < 50, "some round trips must fail");
+}
+
+#[test]
+fn jitter_delays_but_delivers_everything() {
+    let deliveries = |seed: u64| {
+        let (mut sim, ha, hb, _, got) = ping_setup(20);
+        sim.trace.set_enabled(true);
+        FaultPlan::new(seed).jitter(ha, hb, 5_000).install(&mut sim);
+        sim.run_until_idle();
+        assert_eq!(*got.borrow(), 20, "jitter must not lose messages");
+        sim.trace
+            .take()
+            .into_iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::MsgDelivered { .. }))
+            .map(|(t, _)| t)
+            .collect::<Vec<_>>()
+    };
+    let d1 = deliveries(9);
+    let d2 = deliveries(9);
+    assert_eq!(d1, d2, "jitter must be deterministic for a fixed seed");
+    let d3 = deliveries(10);
+    assert_ne!(d1, d3, "different seeds should produce different schedules");
+}
+
+#[test]
+fn partition_cuts_cross_links_only() {
+    let mut sim = Sim::new();
+    let ha = sim.add_host("a", 1.0, 1 << 30);
+    let hb = sim.add_host("b", 1.0, 1 << 30);
+    let hc = sim.add_host("c", 1.0, 1 << 30);
+    FaultPlan::new(0)
+        .partition(&[ha], &[hb, hc], SimTime::from_ms(1), SimTime::from_ms(2))
+        .install(&mut sim);
+    sim.run_until(SimTime::from_us(1500));
+    assert!(sim.is_link_down(ha, hb));
+    assert!(sim.is_link_down(hb, ha));
+    assert!(sim.is_link_down(ha, hc));
+    assert!(!sim.is_link_down(hb, hc), "links within a group stay up");
+    sim.run_until_idle();
+    assert!(!sim.is_link_down(ha, hb), "partition heals");
+}
+
+/// Counts restarts; sets a timer that must NOT survive the crash.
+struct CrashDummy {
+    starts: Rc<RefCell<u32>>,
+    stale_fired: Rc<RefCell<bool>>,
+}
+
+impl Actor for CrashDummy {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        *self.starts.borrow_mut() += 1;
+        if *self.starts.borrow() == 1 {
+            // Armed pre-crash; would fire post-restart if not cancelled.
+            ctx.set_timer(dur::ms(500), 99);
+        }
+    }
+    fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_>) {
+        if tag == 99 {
+            *self.stale_fired.borrow_mut() = true;
+        }
+    }
+}
+
+#[test]
+fn crash_restart_rehydrates_and_cancels_stale_timers() {
+    let mut sim = Sim::new();
+    let h = sim.add_host("srv", 1.0, 1 << 30);
+    sim.trace.set_enabled(true);
+    let starts = Rc::new(RefCell::new(0));
+    let stale = Rc::new(RefCell::new(false));
+    let a =
+        sim.spawn(h, Box::new(CrashDummy { starts: starts.clone(), stale_fired: stale.clone() }));
+    FaultPlan::new(0)
+        .crash_host(h, SimTime::from_ms(100), Some(SimTime::from_ms(200)))
+        .install(&mut sim);
+    sim.run_until(SimTime::from_ms(150));
+    assert!(!sim.is_alive(a), "actor dead during the outage");
+    sim.run_until_idle();
+    assert!(sim.is_alive(a), "actor restarted");
+    assert_eq!(*starts.borrow(), 2, "on_start re-ran on restart");
+    assert!(!*stale.borrow(), "pre-crash timer must not fire post-restart");
+    let evs = sim.trace.take();
+    assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostCrash { .. })));
+    assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostRestart { .. })));
+}
+
+#[test]
+fn messages_to_crashed_host_are_dropped_as_receiver_dead() {
+    let mut sim = Sim::new();
+    let ha = sim.add_host("a", 1.0, 1 << 30);
+    let hb = sim.add_host("b", 1.0, 1 << 30);
+    sim.trace.set_enabled(true);
+    let echo = sim.spawn(hb, Box::new(Echo));
+    let sent = Rc::new(RefCell::new(0));
+    let got = Rc::new(RefCell::new(0));
+    sim.spawn(
+        ha,
+        Box::new(Pinger {
+            dst: echo,
+            period_us: dur::ms(10),
+            sent: sent.clone(),
+            got: got.clone(),
+            rounds: 10,
+        }),
+    );
+    // Crash covers pings 5..10 (at 50..100 ms); no restart.
+    FaultPlan::new(0).crash_host(hb, SimTime::from_ms(45), None).install(&mut sim);
+    sim.run_until_idle();
+    assert_eq!(*got.borrow(), 4);
+    let evs = sim.trace.take();
+    let dead_drops = evs
+        .iter()
+        .filter(|(_, e)| {
+            matches!(e, TraceEvent::MsgDropped { reason: DropReason::ReceiverDead, .. })
+        })
+        .count();
+    assert_eq!(dead_drops, 6);
+}

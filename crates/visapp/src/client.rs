@@ -16,12 +16,15 @@ use std::sync::Arc;
 
 use adapt_core::{AdaptiveRuntime, Configuration, ResourceKey};
 use compress::Method;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sandbox::SandboxStats;
 use simnet::{Actor, ActorId, Ctx, Message, SimTime};
 use wavelet::{decode_chunks, Reassembler};
 
 use crate::costs;
 use crate::protocol::{self, Reply, Request};
+use crate::resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::stats::{ImageRecord, RoundRecord, StatsHandle};
 use crate::store::ImageStore;
 use crate::user_model::UserModel;
@@ -30,6 +33,9 @@ use crate::user_model::UserModel;
 /// reserved range).
 pub const TAG_MONITOR: u64 = 10;
 const CONT_ROUND_DONE: u64 = 20;
+/// Timer tag for half-open circuit-breaker probes (must stay below
+/// `TAG_RETRY_BASE`, whose range check runs first).
+const TAG_BREAKER_PROBE: u64 = 30;
 /// Retransmission timers encode the awaited round as `TAG_RETRY_BASE + round`.
 const TAG_RETRY_BASE: u64 = 1_000;
 
@@ -44,6 +50,34 @@ pub struct VizConfig {
     pub method: Method,
 }
 
+/// Why a framework [`Configuration`] could not be interpreted as a
+/// [`VizConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required control parameter is absent.
+    MissingParam(&'static str),
+    /// A parameter value is outside its meaningful range.
+    OutOfRange { param: &'static str, value: i64 },
+    /// The compression code does not name a known method.
+    UnknownCompression(i64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MissingParam(p) => write!(f, "configuration lacks parameter {p}"),
+            ConfigError::OutOfRange { param, value } => {
+                write!(f, "parameter {param} = {value} out of range")
+            }
+            ConfigError::UnknownCompression(code) => {
+                write!(f, "unknown compression code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl VizConfig {
     /// Into the framework's named-parameter form (`dR`, `l`, `c`).
     pub fn to_configuration(self) -> Configuration {
@@ -54,13 +88,31 @@ impl VizConfig {
         ])
     }
 
+    /// From the framework's named-parameter form, with typed errors for
+    /// malformed configurations (e.g. an out-of-spec control message).
+    pub fn try_from_configuration(c: &Configuration) -> Result<VizConfig, ConfigError> {
+        fn positive(c: &Configuration, name: &'static str) -> Result<usize, ConfigError> {
+            let v = c.get(name).ok_or(ConfigError::MissingParam(name))?;
+            if v <= 0 {
+                return Err(ConfigError::OutOfRange { param: name, value: v });
+            }
+            Ok(v as usize)
+        }
+        let code = c.get("c").ok_or(ConfigError::MissingParam("c"))?;
+        Ok(VizConfig {
+            dr: positive(c, "dR")?,
+            level: positive(c, "l")?,
+            method: Method::from_code(code).ok_or(ConfigError::UnknownCompression(code))?,
+        })
+    }
+
     /// From the framework's named-parameter form. Panics on malformed
-    /// configurations (the control space validates them upstream).
+    /// configurations (the control space validates them upstream); use
+    /// [`VizConfig::try_from_configuration`] where the source is untrusted.
     pub fn from_configuration(c: &Configuration) -> VizConfig {
-        VizConfig {
-            dr: c.expect("dR") as usize,
-            level: c.expect("l") as usize,
-            method: Method::from_code(c.expect("c")).expect("invalid compression code"),
+        match Self::try_from_configuration(c) {
+            Ok(v) => v,
+            Err(e) => panic!("invalid configuration {c}: {e}"),
         }
     }
 }
@@ -93,6 +145,11 @@ pub struct ClientOpts {
     /// Retransmit a request if its reply has not arrived within this time
     /// (needed on lossy links; the server is idempotent).
     pub request_timeout_us: Option<u64>,
+    /// Backoff/jitter schedule for those retransmissions.
+    pub retry: RetryPolicy,
+    /// Circuit breaker guarding the retransmission loop; `None` retries
+    /// forever at the backoff schedule.
+    pub breaker: Option<BreakerOpts>,
 }
 
 struct PendingRound {
@@ -118,6 +175,14 @@ pub struct Client {
     /// Simulated bytes currently allocated for the image being viewed.
     allocated: u64,
     done: bool,
+    /// Retransmissions already attempted for the current round (drives
+    /// the exponential backoff).
+    attempt: u32,
+    /// Deterministic jitter source for retry timeouts.
+    retry_rng: StdRng,
+    breaker: Option<CircuitBreaker>,
+    /// The configuration to restore when an open breaker re-closes.
+    saved_cfg: Option<VizConfig>,
 }
 
 impl Client {
@@ -126,6 +191,8 @@ impl Client {
             Some(a) => VizConfig::from_configuration(a.runtime.current()),
             None => opts.initial,
         };
+        let retry_rng = StdRng::seed_from_u64(opts.retry.seed);
+        let breaker = opts.breaker.as_ref().map(CircuitBreaker::new);
         Client {
             cfg,
             opts,
@@ -142,6 +209,10 @@ impl Client {
             reassembler: None,
             allocated: 0,
             done: false,
+            attempt: 0,
+            retry_rng,
+            breaker,
+            saved_cfg: None,
         }
     }
 
@@ -178,7 +249,16 @@ impl Client {
 
     fn begin_round(&mut self, ctx: &mut Ctx<'_>) {
         self.round_started = ctx.now();
+        self.attempt = 0;
         self.send_request(ctx);
+    }
+
+    /// The cheapest configuration in the client's geometry: coarsest
+    /// resolution, whole-fovea increments (fewest round trips), keeping
+    /// the current compression method. Used when the breaker opens and
+    /// [`BreakerOpts::degraded`] is unset.
+    fn lowest_cost_config(&self) -> VizConfig {
+        VizConfig { dr: self.opts.cover_radius.max(1), level: 1, method: self.cfg.method }
     }
 
     fn send_request(&mut self, ctx: &mut Ctx<'_>) {
@@ -194,7 +274,8 @@ impl Client {
                 round: self.round_no,
             }),
         );
-        if let Some(timeout) = self.opts.request_timeout_us {
+        if let Some(base) = self.opts.request_timeout_us {
+            let timeout = self.opts.retry.timeout_us(base, self.attempt, &mut self.retry_rng);
             ctx.set_timer(timeout, TAG_RETRY_BASE + self.round_no);
         }
     }
@@ -202,10 +283,17 @@ impl Client {
     /// The task boundary: apply any pending reconfiguration and execute
     /// transition actions.
     fn boundary(&mut self, ctx: &mut Ctx<'_>) {
+        // While the breaker is non-closed the client is pinned to its
+        // degraded configuration; scheduler decisions resume on re-close.
+        if self.breaker.as_ref().is_some_and(|b| b.state() != BreakerState::Closed) {
+            return;
+        }
         let Some(adapt) = self.adapt.as_mut() else { return };
         let now = ctx.now();
         if let Some(ev) = adapt.runtime.at_boundary(now) {
-            let new_cfg = VizConfig::from_configuration(&ev.new);
+            // Steering validated the switch against the control space; a
+            // config the application cannot interpret is skipped, not fatal.
+            let Ok(new_cfg) = VizConfig::try_from_configuration(&ev.new) else { return };
             let method_changed = new_cfg.method != self.cfg.method;
             self.cfg = new_cfg;
             self.stats.with_mut(|s| s.config_history.push((now, ev.new.clone())));
@@ -288,7 +376,7 @@ impl Actor for Client {
             // A remote monitoring agent's estimate: feed it to our runtime
             // (ignored unless the spec watches that resource).
             if let Some(a) = self.adapt.as_mut() {
-                let rep = msg.expect_body::<protocol::ResourceReport>();
+                let Ok(rep) = msg.decode::<protocol::ResourceReport>() else { return };
                 let kind = match rep.kind {
                     0 => adapt_core::ResourceKind::CpuShare,
                     1 => adapt_core::ResourceKind::NetworkBps,
@@ -302,12 +390,28 @@ impl Actor for Client {
         if msg.tag != protocol::TAG_REPLY {
             return;
         }
-        let reply = msg.expect_body::<Reply>();
+        let Ok(reply) = msg.decode::<Reply>() else { return };
         if reply.image_id != self.image_idx
             || reply.round != self.round_no
             || self.pending.is_some()
         {
-            return; // stale or duplicate reply (e.g. a retransmission race)
+            // Stale or duplicate reply (e.g. a retransmission race):
+            // dropped, never applied twice.
+            self.stats.with_mut(|s| s.dup_replies_dropped += 1);
+            return;
+        }
+        // A live reply: the path works again.
+        self.attempt = 0;
+        if let Some(b) = self.breaker.as_mut() {
+            if b.on_success() {
+                self.stats.with_mut(|s| s.breaker_closes += 1);
+                if let Some(saved) = self.saved_cfg.take() {
+                    self.cfg = saved;
+                    let now = ctx.now();
+                    let restored = self.cfg.to_configuration();
+                    self.stats.with_mut(|s| s.config_history.push((now, restored)));
+                }
+            }
         }
         // Real decompression + reassembly when verifying.
         if let Some(re) = self.reassembler.as_mut() {
@@ -366,11 +470,64 @@ impl Actor for Client {
         if (TAG_RETRY_BASE..sandbox::TAG_BASE).contains(&tag) {
             // A request's reply is overdue: retransmit if we are still
             // awaiting exactly that round (the server is idempotent — its
-            // payload cache serves the same bytes again).
+            // session cache serves the same bytes again).
             let awaited = tag - TAG_RETRY_BASE;
             if !self.done && self.pending.is_none() && self.round_no == awaited {
+                self.stats.with_mut(|s| s.timeouts += 1);
+                self.attempt += 1;
+                let now = ctx.now();
+                let mut blocked = false;
+                let mut opened = false;
+                if let Some(b) = self.breaker.as_mut() {
+                    opened = b.on_failure(now);
+                    blocked = !b.can_attempt(now);
+                }
+                if opened {
+                    self.stats.with_mut(|s| s.breaker_opens += 1);
+                    if self.saved_cfg.is_none() {
+                        // Degrade: ride out the outage in the cheapest
+                        // configuration so the half-open probes (and the
+                        // first post-recovery rounds) cost as little as
+                        // possible.
+                        self.saved_cfg = Some(self.cfg);
+                        self.cfg = self
+                            .opts
+                            .breaker
+                            .as_ref()
+                            .and_then(|o| o.degraded)
+                            .unwrap_or_else(|| self.lowest_cost_config());
+                        let degraded = self.cfg.to_configuration();
+                        self.stats.with_mut(|s| s.config_history.push((now, degraded)));
+                    }
+                }
+                if blocked {
+                    // Breaker open: stop retransmitting; probe when the
+                    // recovery window elapses.
+                    let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);
+                    ctx.set_timer(wait, TAG_BREAKER_PROBE);
+                    return;
+                }
                 self.stats.with_mut(|s| s.retries += 1);
                 self.send_request(ctx);
+            }
+            return;
+        }
+        if tag == TAG_BREAKER_PROBE {
+            if self.done || self.pending.is_some() {
+                return;
+            }
+            let now = ctx.now();
+            let can = self.breaker.as_mut().is_none_or(|b| b.can_attempt(now));
+            if can {
+                // Half-open probe. The server may have crashed and lost
+                // our session since we last spoke: re-announce the
+                // compression method before re-asking for the round.
+                ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
+                self.stats.with_mut(|s| s.retries += 1);
+                self.send_request(ctx);
+            } else {
+                let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);
+                ctx.set_timer(wait, TAG_BREAKER_PROBE);
             }
             return;
         }

@@ -13,6 +13,8 @@
 //!   the framework's [`adapt_core::AdaptiveRuntime`] and executes the
 //!   `transition on c` notify action when switching compression;
 //! - [`costs`]: simulated CPU costs calibrated to the paper's era;
+//! - [`resilience`]: retry backoff and the circuit breaker that keep the
+//!   client live over lossy links and across server crashes;
 //! - [`stats`]: measured QoS records;
 //! - [`scenario`]: full deployments (static/adaptive), the profiling
 //!   runner, and performance-database construction — the basis of every
@@ -22,17 +24,19 @@
 pub mod client;
 pub mod costs;
 pub mod protocol;
+pub mod resilience;
 pub mod scenario;
 pub mod server;
 pub mod stats;
 pub mod store;
 pub mod user_model;
 
-pub use client::{AdaptSetup, Client, ClientOpts, VizConfig};
+pub use client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
+pub use resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 pub use scenario::{
     build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
-    run_adaptive, run_competing, run_static, viz_spec, LoadSpec, RunOutcome, Scenario,
-    PROFILE_INPUT,
+    run_adaptive, run_competing, run_static, run_static_until, viz_spec, LoadSpec, RunOutcome,
+    Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
 };
 pub use server::{Reporter, Server};
 pub use stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};

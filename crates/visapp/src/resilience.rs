@@ -1,0 +1,260 @@
+//! Client-side resilience primitives for lossy links and crashing peers:
+//! exponential-backoff retry timing and a circuit breaker.
+//!
+//! The paper assumes a reliable transport; these primitives let the
+//! reproduction run the same application over the fault-injecting
+//! simulator (`simnet::FaultPlan`) without livelocking. The breaker
+//! follows the classic Closed → Open → HalfOpen state machine: after
+//! `failure_threshold` consecutive request timeouts the client stops
+//! retransmitting (the link or server is presumed dead), degrades to its
+//! lowest-cost configuration, and probes again after `recovery_timeout_us`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::SimTime;
+
+use crate::client::VizConfig;
+
+/// Retransmission timing: exponential backoff with multiplicative jitter.
+///
+/// Attempt `n` waits `base * multiplier^n`, capped at `max_timeout_us`,
+/// then scaled by a uniform factor in `[1 - jitter_frac, 1 + jitter_frac]`
+/// drawn from the client's seeded RNG (deterministic per run; jitter
+/// avoids lock-step retry storms when several clients share a link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff growth factor per attempt (>= 1).
+    pub multiplier: f64,
+    /// Upper bound on the scaled timeout, microseconds.
+    pub max_timeout_us: u64,
+    /// Relative jitter magnitude in `[0, 1)`.
+    pub jitter_frac: f64,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { multiplier: 2.0, max_timeout_us: 2_000_000, jitter_frac: 0.1, seed: 0x5e11 }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout for retry `attempt` (0 = first transmission) of a
+    /// request whose base timeout is `base_us`.
+    pub fn timeout_us(&self, base_us: u64, attempt: u32, rng: &mut StdRng) -> u64 {
+        let scaled = (base_us as f64 * self.multiplier.max(1.0).powi(attempt.min(32) as i32))
+            .min(self.max_timeout_us as f64);
+        let factor = if self.jitter_frac > 0.0 {
+            rng.gen_range(1.0 - self.jitter_frac..=1.0 + self.jitter_frac)
+        } else {
+            1.0
+        };
+        (scaled * factor).max(1.0) as u64
+    }
+}
+
+/// Breaker configuration carried in [`crate::ClientOpts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerOpts {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before a half-open probe.
+    pub recovery_timeout_us: u64,
+    /// Configuration to degrade to while the breaker is non-closed;
+    /// `None` derives the lowest-cost configuration (coarsest level,
+    /// whole-fovea increments) from the client's geometry.
+    pub degraded: Option<VizConfig>,
+}
+
+impl Default for BreakerOpts {
+    fn default() -> Self {
+        BreakerOpts { failure_threshold: 5, recovery_timeout_us: 500_000, degraded: None }
+    }
+}
+
+/// Breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Tripped: no retransmissions until the recovery timeout elapses.
+    Open,
+    /// One probe in flight; its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// The circuit breaker proper (state machine only — the client owns the
+/// timers and the degraded-configuration swap).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    pub failure_threshold: u32,
+    pub recovery_timeout_us: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(opts: &BreakerOpts) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            failure_threshold: opts.failure_threshold.max(1),
+            recovery_timeout_us: opts.recovery_timeout_us,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Record a success. Returns `true` when this closed a non-closed
+    /// breaker (the "re-close" event the client logs and acts on).
+    pub fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        let reclosed = self.state != BreakerState::Closed;
+        self.state = BreakerState::Closed;
+        reclosed
+    }
+
+    /// Record a failure at time `now`. Returns `true` when this tripped
+    /// the breaker open (from Closed past the threshold, or a failed
+    /// half-open probe).
+    pub fn on_failure(&mut self, now: SimTime) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                true
+            }
+            BreakerState::Open => {
+                self.opened_at = now;
+                false
+            }
+        }
+    }
+
+    /// May the client transmit at `now`? An open breaker transitions to
+    /// half-open (and answers yes) once the recovery timeout has elapsed.
+    pub fn can_attempt(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now.since(self.opened_at) >= self.recovery_timeout_us {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy { jitter_frac: 0.0, ..RetryPolicy::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.timeout_us(100_000, 0, &mut rng), 100_000);
+        assert_eq!(p.timeout_us(100_000, 1, &mut rng), 200_000);
+        assert_eq!(p.timeout_us(100_000, 2, &mut rng), 400_000);
+        // Capped at max_timeout_us regardless of attempt.
+        assert_eq!(p.timeout_us(100_000, 20, &mut rng), p.max_timeout_us);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let p = RetryPolicy { jitter_frac: 0.25, ..RetryPolicy::default() };
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for attempt in 0..8 {
+            let ta = p.timeout_us(100_000, attempt, &mut a);
+            let tb = p.timeout_us(100_000, attempt, &mut b);
+            assert_eq!(ta, tb, "same seed, same timeouts");
+            let nominal = (100_000.0 * 2.0f64.powi(attempt as i32)).min(2_000_000.0);
+            assert!((ta as f64) >= nominal * 0.75 - 1.0, "attempt {attempt}: {ta}");
+            assert!((ta as f64) <= nominal * 1.25 + 1.0, "attempt {attempt}: {ta}");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_via_half_open() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 3,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(t(0)));
+        assert!(!b.on_failure(t(10)));
+        assert!(b.on_failure(t(20)), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Still open before the recovery timeout.
+        assert!(!b.can_attempt(t(50)));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Past the timeout: half-open, one probe allowed.
+        assert!(b.can_attempt(t(130)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Successful probe closes it.
+        assert!(b.on_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(!b.on_success(), "success while closed is not a re-close");
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 1,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        assert!(b.on_failure(t(0)));
+        assert!(b.can_attempt(t(150)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.on_failure(t(160)), "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        // The open window restarts from the probe failure.
+        assert!(!b.can_attempt(t(200)));
+        assert!(b.can_attempt(t(260)));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 3,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        b.on_failure(t(0));
+        b.on_failure(t(10));
+        b.on_success();
+        assert!(!b.on_failure(t(20)), "streak restarted");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -16,9 +16,10 @@ use adapt_core::{
 };
 use compress::Method;
 use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
-use simnet::{LinkMode, Sim, SimTime};
+use simnet::{FaultPlan, HostId, LinkMode, Sim, SimTime};
 
 use crate::client::{AdaptSetup, Client, ClientOpts, VizConfig};
+use crate::resilience::{BreakerOpts, RetryPolicy};
 use crate::server::Server;
 use crate::stats::{RunStats, StatsHandle};
 use crate::store::ImageStore;
@@ -98,9 +99,22 @@ pub struct Scenario {
     pub link_loss: Option<(f64, u64)>,
     /// Client request-retransmission timeout (required for lossy links).
     pub request_timeout_us: Option<u64>,
+    /// Retransmission backoff/jitter schedule.
+    pub retry: RetryPolicy,
+    /// Client-side circuit breaker (`None` = retry forever).
+    pub breaker: Option<BreakerOpts>,
+    /// Full fault-injection plan (loss, jitter, down windows, partitions,
+    /// host crashes) installed on top of `link_loss`. Host references use
+    /// [`CLIENT_HOST`] / [`SERVER_HOST`].
+    pub fault_plan: Option<FaultPlan>,
     /// How concurrent messages share the client-server link.
     pub link_mode: LinkMode,
 }
+
+/// The client host in every scenario-assembled simulation (added first).
+pub const CLIENT_HOST: HostId = HostId(0);
+/// The server host in every scenario-assembled simulation (added second).
+pub const SERVER_HOST: HostId = HostId(1);
 
 impl Default for Scenario {
     fn default() -> Self {
@@ -121,6 +135,9 @@ impl Default for Scenario {
             competing_load: Vec::new(),
             link_loss: None,
             request_timeout_us: None,
+            retry: RetryPolicy::default(),
+            breaker: None,
+            fault_plan: None,
             link_mode: LinkMode::Fifo,
         }
     }
@@ -242,6 +259,9 @@ fn assemble(
         sim.set_link_loss(hc, hs, p, seed);
         sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
     }
+    if let Some(plan) = &sc.fault_plan {
+        plan.install(&mut sim);
+    }
 
     // Server, optionally bandwidth-capped via its own sandbox.
     let server_id = match sc.server_net_cap {
@@ -265,6 +285,8 @@ fn assemble(
         max_level: store.levels(),
         verify_store: if sc.verify { Some(store.clone()) } else { None },
         request_timeout_us: sc.request_timeout_us,
+        retry: sc.retry,
+        breaker: sc.breaker,
     };
     let client = Client::new(opts, stats_handle.clone(), adapt);
     sim.spawn(
@@ -292,6 +314,29 @@ pub fn run_static(
         sched.install(&mut sim, &limits);
     }
     sim.run_until_idle();
+    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+}
+
+/// Like [`run_static`] but stops the simulation at `horizon` even when
+/// events remain. Chaos runs need this: against a peer that crashed and
+/// never restarts, the client's breaker probes re-arm forever, so the
+/// event queue never drains on its own.
+pub fn run_static_until(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    config: VizConfig,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+    horizon: SimTime,
+) -> RunOutcome {
+    let stats_handle = StatsHandle::new();
+    let limits = LimitsHandle::new(initial_limits);
+    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None);
+    apply_debug_env(&mut sim);
+    if let Some(sched) = schedule {
+        sched.install(&mut sim, &limits);
+    }
+    sim.run_until(horizon);
     RunOutcome { stats: stats_handle.take(), end: sim.now() }
 }
 
@@ -339,6 +384,9 @@ pub fn run_adaptive(
         sim.set_link_loss(hc, hs, p, seed);
         sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
     }
+    if let Some(plan) = &sc.fault_plan {
+        plan.install(&mut sim);
+    }
     let server_id = sim.spawn(hs, Box::new(Server::new(store.clone())));
     let opts = ClientOpts {
         server: server_id,
@@ -350,6 +398,8 @@ pub fn run_adaptive(
         max_level: store.levels(),
         verify_store: None,
         request_timeout_us: sc.request_timeout_us,
+        retry: sc.retry,
+        breaker: sc.breaker,
     };
     let client = Client::new(opts, stats_handle.clone(), Some(adapt));
     sim.spawn(hc, Box::new(Sandboxed::new(client, limits.clone(), sandbox_stats)));
@@ -381,6 +431,9 @@ pub fn run_competing(
         sim.set_link_loss(hc, hs, p, seed);
         sim.set_link_loss(hs, hc, p, seed.wrapping_add(1));
     }
+    if let Some(plan) = &sc.fault_plan {
+        plan.install(&mut sim);
+    }
     let server_id = sim.spawn(hs, Box::new(Server::new(store.clone())));
     let mut handles = Vec::new();
     for (config, limits) in clients {
@@ -395,6 +448,8 @@ pub fn run_competing(
             max_level: store.levels(),
             verify_store: if sc.verify { Some(store.clone()) } else { None },
             request_timeout_us: sc.request_timeout_us,
+            retry: sc.retry,
+            breaker: sc.breaker,
         };
         let client = Client::new(opts, stats_handle.clone(), None);
         sim.spawn(

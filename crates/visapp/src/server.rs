@@ -4,6 +4,14 @@
 //! requests, compressing replies with the per-client compression method
 //! (changed mid-session by `SetCompression` control messages — the
 //! server-side effect of the client's `transition on c`).
+//!
+//! Requests are idempotent: each client session caches the last
+//! `(request, reply)` pair, keyed by the request's monotonic round
+//! number, so a retransmitted request (lossy links, client timeouts) is
+//! answered from the cache without re-extracting or re-compressing.
+//! Malformed or unknown messages are counted and dropped rather than
+//! fatal, and a host restart (fault injection) clears all session state —
+//! clients re-announce themselves when their probes get through.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,11 +39,24 @@ pub struct Reporter {
 
 const TAG_REPORT: u64 = 1;
 
+/// Per-client session state.
+#[derive(Debug, Default)]
+struct Session {
+    compression: Option<Method>,
+    /// Last `(request, reply)` pair: the idempotency cache that makes
+    /// client retransmissions safe and cheap.
+    cached: Option<(Request, Reply)>,
+    /// Retransmissions answered from the cache.
+    dups: u64,
+}
+
 /// The server actor.
 pub struct Server {
     store: Arc<ImageStore>,
-    compression: HashMap<ActorId, Method>,
+    sessions: HashMap<ActorId, Session>,
     requests_served: u64,
+    duplicate_requests: u64,
+    dropped_msgs: u64,
     reporter: Option<Reporter>,
     had_clients: bool,
 }
@@ -44,8 +65,10 @@ impl Server {
     pub fn new(store: Arc<ImageStore>) -> Self {
         Server {
             store,
-            compression: HashMap::new(),
+            sessions: HashMap::new(),
             requests_served: 0,
+            duplicate_requests: 0,
+            dropped_msgs: 0,
             reporter: None,
             had_clients: false,
         }
@@ -61,8 +84,18 @@ impl Server {
         self.requests_served
     }
 
+    /// Retransmitted requests answered from the idempotency cache.
+    pub fn duplicate_requests(&self) -> u64 {
+        self.duplicate_requests
+    }
+
+    /// Unknown-tag or undecodable messages discarded.
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
+    }
+
     fn method_for(&self, client: ActorId) -> Method {
-        self.compression.get(&client).copied().unwrap_or(Method::Raw)
+        self.sessions.get(&client).and_then(|s| s.compression).unwrap_or(Method::Raw)
     }
 }
 
@@ -79,12 +112,12 @@ impl Actor for Server {
         }
         // Stop reporting (and let the simulation drain) once the session
         // is over: every previously connected client has disconnected.
-        if self.had_clients && self.compression.is_empty() {
+        if self.had_clients && self.sessions.is_empty() {
             return;
         }
         if let Some(rep) = &self.reporter {
             if let Some(share) = rep.stats.cpu_share() {
-                for &client in self.compression.keys() {
+                for &client in self.sessions.keys() {
                     ctx.send_now(
                         client,
                         protocol::resource_report_msg(ResourceReport {
@@ -103,16 +136,41 @@ impl Actor for Server {
     fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
         match msg.tag {
             protocol::TAG_CONNECT => {
-                let c = msg.expect_body::<protocol::Connect>();
-                self.compression.insert(from, c.compression);
+                let Ok(c) = msg.decode::<protocol::Connect>() else {
+                    self.dropped_msgs += 1;
+                    return;
+                };
+                self.sessions.entry(from).or_default().compression = Some(c.compression);
                 self.had_clients = true;
             }
             protocol::TAG_SET_COMPRESSION => {
-                let c = msg.expect_body::<protocol::SetCompression>();
-                self.compression.insert(from, c.compression);
+                let Ok(c) = msg.decode::<protocol::SetCompression>() else {
+                    self.dropped_msgs += 1;
+                    return;
+                };
+                if let Some(sess) = self.sessions.get_mut(&from) {
+                    sess.compression = Some(c.compression);
+                }
             }
             protocol::TAG_REQUEST => {
-                let req = msg.expect_body::<Request>().clone();
+                let Ok(req) = msg.decode::<Request>() else {
+                    self.dropped_msgs += 1;
+                    return;
+                };
+                let req = req.clone();
+                // Idempotent retransmissions: answer repeats of the last
+                // request from the session cache, skipping the extraction
+                // and compression work (the bytes are already prepared).
+                if let Some(sess) = self.sessions.get_mut(&from) {
+                    if let Some((cached_req, cached_reply)) = &sess.cached {
+                        if *cached_req == req {
+                            sess.dups += 1;
+                            self.duplicate_requests += 1;
+                            ctx.send(from, protocol::reply_msg(cached_reply.clone()));
+                            return;
+                        }
+                    }
+                }
                 self.requests_served += 1;
                 let method = self.method_for(from);
                 let (w, h) = self.store.dims();
@@ -124,26 +182,41 @@ impl Actor for Server {
                 };
                 let level = req.level.min(self.store.levels());
                 let prepared = self.store.prepare(req.image_id, region, level, exclude, method);
+                let reply = Reply {
+                    image_id: req.image_id,
+                    round: req.round,
+                    compression: method,
+                    payload: prepared.payload.clone(),
+                    raw_bytes: prepared.raw_bytes,
+                    ncoeffs: prepared.ncoeffs,
+                    region,
+                };
+                if let Some(sess) = self.sessions.get_mut(&from) {
+                    sess.cached = Some((req, reply.clone()));
+                }
                 // Charge extraction + compression work, then transmit.
                 ctx.compute(costs::server_reply_work(prepared.ncoeffs, prepared.raw_bytes, method));
-                ctx.send(
-                    from,
-                    protocol::reply_msg(Reply {
-                        image_id: req.image_id,
-                        round: req.round,
-                        compression: method,
-                        payload: prepared.payload.clone(),
-                        raw_bytes: prepared.raw_bytes,
-                        ncoeffs: prepared.ncoeffs,
-                        region,
-                    }),
-                );
+                ctx.send(from, protocol::reply_msg(reply));
             }
             protocol::TAG_DISCONNECT => {
-                self.compression.remove(&from);
+                self.sessions.remove(&from);
             }
-            other => panic!("server: unexpected message tag {other}"),
+            _ => {
+                // Unknown tags are dropped, not fatal: under fault
+                // injection a peer may be mid-restart or speaking a newer
+                // protocol revision.
+                self.dropped_msgs += 1;
+            }
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // A crashed host loses all in-memory session state; clients
+        // re-establish it (re-connect, re-request) via their retry and
+        // breaker-probe paths.
+        self.sessions.clear();
+        self.had_clients = false;
+        self.on_start(ctx);
     }
 }
 
@@ -250,21 +323,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unexpected message tag")]
-    fn unknown_tag_panics() {
+    fn unknown_tag_is_dropped_not_fatal() {
+        // Garbage tags (a confused or newer peer) must not kill the
+        // server: it drops them and keeps serving real requests.
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
         let store = Arc::new(ImageStore::generate(1, 64, 3, 7));
         let server = sim.spawn(h, Box::new(Server::new(store)));
         struct Bad {
             server: ActorId,
+            got_reply: Rc<RefCell<bool>>,
         }
         impl Actor for Bad {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.send(self.server, Message::signal(999, 8));
+                ctx.send(self.server, protocol::connect_msg(Method::Raw));
+                ctx.send(
+                    self.server,
+                    protocol::request_msg(Request {
+                        image_id: 0,
+                        cx: 32,
+                        cy: 32,
+                        r: 16,
+                        prev_r: 0,
+                        level: 3,
+                        round: 0,
+                    }),
+                );
+            }
+            fn on_message(&mut self, _from: ActorId, msg: Message, _ctx: &mut Ctx<'_>) {
+                if msg.tag == protocol::TAG_REPLY {
+                    *self.got_reply.borrow_mut() = true;
+                }
             }
         }
-        sim.spawn(h, Box::new(Bad { server }));
+        let got_reply = Rc::new(RefCell::new(false));
+        sim.spawn(h, Box::new(Bad { server, got_reply: got_reply.clone() }));
         sim.run_until_idle();
+        assert!(*got_reply.borrow(), "server survived the unknown tag and served the request");
+    }
+
+    #[test]
+    fn retransmitted_request_is_answered_from_cache() {
+        // The same request twice: both get a byte-identical reply, and
+        // the second costs no server compute (idempotency cache).
+        let mut sim = Sim::new();
+        let hs = sim.add_host("server", 1.0, 1 << 30);
+        let hc = sim.add_host("client", 1.0, 1 << 30);
+        sim.set_link(hs, hc, 1_000_000.0, 100);
+        let store = Arc::new(ImageStore::generate(1, 64, 3, 7));
+        let server = sim.spawn(hs, Box::new(Server::new(store)));
+        struct Retry {
+            server: ActorId,
+            replies: Rc<RefCell<Vec<(u64, u64)>>>, // (round, wire_bytes)
+            sent_dup: bool,
+        }
+        fn the_request() -> Request {
+            Request { image_id: 0, cx: 32, cy: 32, r: 16, prev_r: 0, level: 3, round: 0 }
+        }
+        impl Actor for Retry {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.server, protocol::connect_msg(Method::Bzip));
+                ctx.send(self.server, protocol::request_msg(the_request()));
+            }
+            fn on_message(&mut self, _from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
+                let reply = msg.expect_body::<Reply>();
+                self.replies.borrow_mut().push((reply.round, msg.wire_bytes));
+                if !self.sent_dup {
+                    self.sent_dup = true;
+                    // Pretend the first reply was lost: retransmit.
+                    ctx.send(self.server, protocol::request_msg(the_request()));
+                }
+            }
+        }
+        let replies = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(hc, Box::new(Retry { server, replies: replies.clone(), sent_dup: false }));
+        sim.run_until_idle();
+        let replies = replies.borrow();
+        assert_eq!(replies.len(), 2, "both the request and its retransmission were answered");
+        assert_eq!(replies[0], replies[1], "cached reply is byte-identical");
     }
 }

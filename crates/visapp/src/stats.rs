@@ -62,6 +62,17 @@ pub struct RunStats {
     pub finished_at: Option<SimTime>,
     /// Request retransmissions (lossy-link runs).
     pub retries: u64,
+    /// Request-timeout expirations observed by the client.
+    pub timeouts: u64,
+    /// Times the circuit breaker tripped open (including re-opens after a
+    /// failed half-open probe).
+    pub breaker_opens: u64,
+    /// Times a success re-closed a non-closed breaker.
+    pub breaker_closes: u64,
+    /// Stale or duplicate replies the client discarded (retransmission
+    /// races; the server's dedup cache makes retries idempotent, this
+    /// counter proves no duplicate was ever *applied*).
+    pub dup_replies_dropped: u64,
     /// The monitoring agent's resource estimate when the run finished
     /// (adaptive runs only).
     pub final_estimate: Option<ResourceVector>,

@@ -596,6 +596,8 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
         max_level: store.levels(),
         verify_store: None,
         request_timeout_us: None,
+        retry: Default::default(),
+        breaker: None,
     };
     let client = visapp::Client::new(opts, stats.clone(), Some(adapt));
     sim.spawn(

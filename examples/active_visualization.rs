@@ -73,6 +73,16 @@ fn main() {
             AdaptationEvent::NoCandidate { at } => {
                 println!("  {:>7.2}s  no satisfiable configuration", at.as_secs_f64())
             }
+            AdaptationEvent::Degraded { at, config } => {
+                println!(
+                    "  {:>7.2}s  degraded to {} (circuit open)",
+                    at.as_secs_f64(),
+                    config.key()
+                )
+            }
+            AdaptationEvent::Recovered { at } => {
+                println!("  {:>7.2}s  recovered (circuit re-closed)", at.as_secs_f64())
+            }
         }
     }
 

@@ -1,0 +1,112 @@
+//! Chaos walkthrough: the resilient client surviving a hostile network.
+//!
+//! Runs the acceptance fault scenario — 30% bidirectional packet loss, a
+//! 500 ms link-down window, and a server crash/restart — twice with the
+//! same seeds to demonstrate deterministic replay, and writes the
+//! resilience counters (switches, retries, timeouts, breaker cycles,
+//! duplicate replies dropped) to `BENCH_faults.json`.
+//!
+//! ```text
+//! cargo run --release --example chaos [output.json]
+//! ```
+
+use adaptive_framework::compress::Method;
+use adaptive_framework::sandbox::Limits;
+use adaptive_framework::simnet::{FaultPlan, SimTime};
+use adaptive_framework::visapp::{
+    run_static, BreakerOpts, RetryPolicy, RunStats, Scenario, VizConfig, CLIENT_HOST, SERVER_HOST,
+};
+
+fn chaos_scenario(fault_seed: u64) -> Scenario {
+    Scenario {
+        n_images: 12,
+        img_size: 64,
+        levels: 3,
+        seed: 7,
+        // Modem-class link so the workload spans all three fault windows.
+        link_bps: 150_000.0,
+        link_latency_us: 2_000,
+        request_timeout_us: Some(40_000),
+        retry: RetryPolicy {
+            multiplier: 2.0,
+            max_timeout_us: 300_000,
+            jitter_frac: 0.1,
+            seed: fault_seed,
+        },
+        breaker: Some(BreakerOpts {
+            failure_threshold: 3,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        }),
+        fault_plan: Some(
+            FaultPlan::new(fault_seed)
+                .loss(CLIENT_HOST, SERVER_HOST, 0.30)
+                .link_down(CLIENT_HOST, SERVER_HOST, SimTime::from_ms(400), SimTime::from_ms(900))
+                .crash_host(SERVER_HOST, SimTime::from_ms(1_200), Some(SimTime::from_ms(1_500))),
+        ),
+        ..Scenario::default()
+    }
+}
+
+fn run_once(sc: &Scenario) -> RunStats {
+    let store = sc.build_store();
+    let cfg = VizConfig { dr: 16, level: 3, method: Method::Lzw };
+    run_static(sc, &store, cfg, Limits::unconstrained(), None).stats
+}
+
+fn summary(s: &RunStats) -> String {
+    format!(
+        "images={} rounds={} switches={} retries={} timeouts={} \
+         breaker_opens={} breaker_closes={} dup_replies_dropped={}",
+        s.images.len(),
+        s.rounds.len(),
+        s.switch_count(),
+        s.retries,
+        s.timeouts,
+        s.breaker_opens,
+        s.breaker_closes,
+        s.dup_replies_dropped
+    )
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let seed = 0xc4a05u64;
+    let sc = chaos_scenario(seed);
+
+    println!("chaos scenario: 30% loss, 500 ms link-down, server crash+restart");
+    let a = run_once(&sc);
+    let b = run_once(&sc);
+    println!("run 1: {}", summary(&a));
+    println!("run 2: {}", summary(&b));
+    let deterministic = summary(&a) == summary(&b)
+        && a.finished_at == b.finished_at
+        && a.config_history == b.config_history;
+    println!("deterministic replay: {deterministic}");
+    assert!(a.finished_at.is_some(), "chaos run must complete end-to-end");
+
+    println!("\nconfiguration history (degrade + restore visible):");
+    for (t, c) in &a.config_history {
+        println!("  {t}  {c}");
+    }
+
+    let finished = a.finished_at.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    let json = format!(
+        "{{\n  \"scenario\": {{\n    \"loss\": 0.30,\n    \"link_down_ms\": [400, 900],\n    \
+         \"server_crash_ms\": 1200,\n    \"server_restart_ms\": 1500,\n    \"seed\": {seed}\n  }},\n  \
+         \"deterministic_replay\": {deterministic},\n  \"finished_secs\": {finished:.6},\n  \
+         \"images\": {},\n  \"rounds\": {},\n  \"switches\": {},\n  \"retries\": {},\n  \
+         \"timeouts\": {},\n  \"breaker_opens\": {},\n  \"breaker_closes\": {},\n  \
+         \"dup_replies_dropped\": {}\n}}\n",
+        a.images.len(),
+        a.rounds.len(),
+        a.switch_count(),
+        a.retries,
+        a.timeouts,
+        a.breaker_opens,
+        a.breaker_closes,
+        a.dup_replies_dropped,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark output");
+    println!("\nwrote {out_path}");
+}

@@ -5,5 +5,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --all-targets -- -D warnings
+# Chaos smoke: seeded fault-injection scenarios must stay deterministic.
+cargo test -q -p visapp chaos_
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
