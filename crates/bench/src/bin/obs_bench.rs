@@ -1,0 +1,125 @@
+//! Hot-path overhead measurement for the unified observability layer,
+//! written as machine-readable JSON (BENCH_obs.json).
+//!
+//! Drives the two instrumented hot paths of the adaptation loop — the
+//! scheduler decision (`scheduler.choose` span) and the performance
+//! database prediction (`perfdb.predict` span) — with an [`obs::Obs`]
+//! handle attached, then exports the whole registry. The emitted file is
+//! `Obs::export_json` verbatim, so its histogram entries carry the
+//! p50/p95/p99 latency of each instrumented section, and it doubles as a
+//! shape check for downstream JSON consumers.
+//!
+//! For calibration the same workload also runs without obs attached; both
+//! throughputs are printed (but only the instrumented run is exported —
+//! the uninstrumented one has, by construction, nothing to export).
+//!
+//! Usage: `obs_bench [output.json]` (default `BENCH_obs.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adapt_core::{
+    Configuration, Objective, PerfDb, PerfRecord, Preference, PreferenceList, QosReport,
+    ResourceKey, ResourceScheduler, ResourceVector,
+};
+
+const CONFIGS: i64 = 4;
+const SAMPLES: usize = 9;
+const DECISIONS: usize = 5_000;
+
+fn cpu() -> ResourceKey {
+    ResourceKey::cpu("client")
+}
+
+fn net() -> ResourceKey {
+    ResourceKey::net("client")
+}
+
+/// The acceptance database: 4 configurations over a 9x9 (cpu, net) grid
+/// with pairwise crossovers (same shape as `perfdb_bench`).
+fn bench_db() -> PerfDb {
+    let mut db = PerfDb::new();
+    for ci in 0..CONFIGS {
+        for s in 1..=SAMPLES {
+            for n in 1..=SAMPLES {
+                let share = s as f64 / SAMPLES as f64;
+                let bw = n as f64 * 100_000.0;
+                db.add(PerfRecord {
+                    config: Configuration::new(&[("c", ci)]),
+                    resources: ResourceVector::new(&[(cpu(), share), (net(), bw)]),
+                    input: "img".into(),
+                    metrics: QosReport::new(&[(
+                        "transmit_time",
+                        (ci + 1) as f64 / share + 2e6 / ((ci + 1) as f64 * bw),
+                    )]),
+                });
+            }
+        }
+    }
+    db
+}
+
+fn prefs() -> PreferenceList {
+    PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")))
+}
+
+/// A deterministic walk over the resource grid, off the sample points so
+/// every decision interpolates (the expensive path).
+fn probe(i: usize) -> ResourceVector {
+    let share = 0.15 + 0.7 * ((i * 7) % 101) as f64 / 101.0;
+    let bw = 120_000.0 + 700_000.0 * ((i * 13) % 97) as f64 / 97.0;
+    ResourceVector::new(&[(cpu(), share), (net(), bw)])
+}
+
+fn run_decisions(sched: &ResourceScheduler) -> f64 {
+    let t = Instant::now();
+    let mut chosen = 0usize;
+    for i in 0..DECISIONS {
+        if black_box(sched.choose(&probe(i))).is_some() {
+            chosen += 1;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(chosen, DECISIONS, "every probe must yield a decision");
+    DECISIONS as f64 / secs
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    // Baseline: the identical workload with no obs handle attached.
+    let bare = ResourceScheduler::try_new(bench_db(), prefs(), "img").expect("bench db is usable");
+    let bare_ops = run_decisions(&bare);
+
+    // Instrumented: every decision timed into "scheduler.choose", every
+    // database prediction into "perfdb.predict".
+    let obs = obs::Obs::new();
+    let sched = ResourceScheduler::try_new(bench_db(), prefs(), "img")
+        .expect("bench db is usable")
+        .with_obs(&obs);
+    let instrumented_ops = run_decisions(&sched);
+
+    let choose = obs.histogram_stats(obs.lookup("scheduler.choose").expect("span registered"));
+    let predict = obs.histogram_stats(obs.lookup("perfdb.predict").expect("span registered"));
+    assert_eq!(choose.count as usize, DECISIONS, "one choose span per decision");
+    assert!(predict.count >= choose.count, "choose fans out into predictions");
+
+    println!(
+        "{} decisions over a {}-record database",
+        DECISIONS,
+        CONFIGS as usize * SAMPLES * SAMPLES
+    );
+    println!("  uninstrumented: {bare_ops:>10.0} decisions/s");
+    println!("  instrumented:   {instrumented_ops:>10.0} decisions/s");
+    println!(
+        "  scheduler.choose: p50={:.0}us p95={:.0}us p99={:.0}us",
+        choose.p50, choose.p95, choose.p99
+    );
+    println!(
+        "  perfdb.predict ({} samples): p50={:.0}us p95={:.0}us p99={:.0}us",
+        predict.count, predict.p50, predict.p95, predict.p99
+    );
+
+    std::fs::write(&out_path, obs.export_json()).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

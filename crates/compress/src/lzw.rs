@@ -7,7 +7,7 @@
 //! compression trade-off of Figure 6(a).
 //!
 //! Width synchronization: both encoder and decoder advance a shared
-//! *emission counter* `n` (starting at [`FIRST_FREE`]) after every data
+//! *emission counter* `n` (starting at `FIRST_FREE`) after every data
 //! code and widen when `n` reaches `1 << width`. Because the counter
 //! depends only on the code stream itself, encoder and decoder widths can
 //! never diverge (including around CLEAR, EOF, and the KwKwK case).

@@ -1,0 +1,115 @@
+//! The unified error type for the adaptation framework.
+//!
+//! Every fallible public constructor across the workspace reports through
+//! [`enum@Error`] (with `From` conversions from the layer-local error types:
+//! [`dsl::ParseError`](crate::dsl::ParseError), [`simnet::DecodeError`],
+//! [`simnet::FaultError`], and visapp's `ConfigError`), so callers match on
+//! one enum instead of a per-crate zoo. The [`Result`] alias defaults its
+//! error parameter, so `Result<T>` reads like `std::io::Result<T>` while
+//! `Result<T, E>` still works after a glob import.
+
+use crate::dsl::ParseError;
+use simnet::{DecodeError, FaultError};
+
+/// Any way configuring or running the adaptation framework can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The tunable-specification DSL failed to parse.
+    Parse(ParseError),
+    /// A wire message's payload did not decode as the expected type.
+    Decode(DecodeError),
+    /// An invalid fault-injection description.
+    Fault(FaultError),
+    /// A required control parameter is absent from a configuration.
+    MissingParam(String),
+    /// A parameter value is outside its meaningful range.
+    OutOfRange { param: String, value: i64 },
+    /// A parameter value does not name a known variant (e.g. an unknown
+    /// compression code).
+    UnknownValue { param: String, value: i64 },
+    /// The scheduler found no configuration satisfying any preference.
+    NoSatisfiableConfig,
+    /// The performance database holds no records for the requested input.
+    EmptyDatabase { input: String },
+    /// The preference list is empty: nothing to optimize for.
+    EmptyPreferences,
+    /// A scenario's parameters are inconsistent.
+    InvalidScenario(String),
+}
+
+/// Workspace-wide result alias; the error type defaults to [`enum@Error`].
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "spec parse error: {e}"),
+            Error::Decode(e) => write!(f, "message decode error: {e}"),
+            Error::Fault(e) => write!(f, "fault plan error: {e}"),
+            Error::MissingParam(p) => write!(f, "configuration lacks parameter {p}"),
+            Error::OutOfRange { param, value } => {
+                write!(f, "parameter {param} = {value} out of range")
+            }
+            Error::UnknownValue { param, value } => {
+                write!(f, "parameter {param} = {value} names no known variant")
+            }
+            Error::NoSatisfiableConfig => {
+                write!(f, "no configuration satisfies any preference under current resources")
+            }
+            Error::EmptyDatabase { input } => {
+                write!(f, "performance database has no records for input {input:?}")
+            }
+            Error::EmptyPreferences => write!(f, "preference list is empty"),
+            Error::InvalidScenario(why) => write!(f, "invalid scenario: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    #[test]
+    fn from_impls_convert_layer_errors() {
+        let fe = FaultError::EmptyWindow { from: SimTime::from_ms(2), until: SimTime::from_ms(1) };
+        let e: Error = fe.into();
+        assert!(matches!(e, Error::Fault(_)));
+        assert!(e.to_string().contains("fault plan error"));
+
+        let de = DecodeError { tag: 7, expected: "ImageRequest", had_payload: false };
+        let e: Error = de.into();
+        assert!(matches!(e, Error::Decode(DecodeError { tag: 7, .. })));
+    }
+
+    #[test]
+    fn result_alias_defaults_error_type() {
+        fn fails() -> Result<()> {
+            Err(Error::EmptyPreferences)
+        }
+        assert_eq!(fails().unwrap_err(), Error::EmptyPreferences);
+        // Two-parameter form still available.
+        let ok: Result<u8, String> = Ok(1);
+        assert_eq!(ok, Ok(1));
+    }
+}

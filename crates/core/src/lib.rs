@@ -10,7 +10,7 @@
 //!
 //! **1. Specifying application configurations (§4)**
 //! - [`param`]: control parameters and [`Configuration`]s;
-//! - [`env`]: execution environments, [`ResourceKey`]/[`ResourceVector`];
+//! - [`mod@env`]: execution environments, [`ResourceKey`]/[`ResourceVector`];
 //! - [`qos`]: quality metrics, constraints, objectives, preference lists;
 //! - [`task`]: tunable modules, guards, the task DAG, transitions;
 //! - [`spec`]: the combined [`TunableSpec`];
@@ -34,9 +34,15 @@
 //! - [`steering`]: the steering agent (switches only at task boundaries /
 //!   transition points, guard-based negotiation);
 //! - [`runtime`]: the integrated [`AdaptiveRuntime`] applications embed.
+//!
+//! Cross-cutting:
+//! - [`error`]: the unified [`enum@Error`] type and [`Result`] alias every
+//!   fallible constructor in the workspace reports through;
+//! - [`prelude`]: one-line import of the common vocabulary types.
 
 pub mod dsl;
 pub mod env;
+pub mod error;
 pub mod monitor;
 pub mod param;
 pub mod perfdb;
@@ -49,6 +55,7 @@ pub mod steering;
 pub mod task;
 
 pub use env::{ExecutionEnv, HostSpec, ResourceKey, ResourceKind, ResourceVector};
+pub use error::{Error, Result};
 pub use monitor::{MonitoringAgent, Trigger, ValidityRegion, Violation, MONITOR_PERIOD_US};
 pub use param::{Configuration, ControlParam, ControlSpace, ParamDomain};
 pub use perfdb::{PerfDb, PerfRecord, PredictMode};
@@ -59,3 +66,20 @@ pub use scheduler::{Decision, ResourceScheduler};
 pub use spec::{PerfDbTemplate, TunableSpec};
 pub use steering::{BoundaryOutcome, ReconfigureRequest, SteeringAgent, SwitchEvent};
 pub use task::{Guard, TaskGraph, TaskSpec, TransitionAction, TransitionSpec};
+
+/// The adaptation-framework vocabulary in one import:
+/// `use adapt_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::dsl;
+    pub use crate::env::{ResourceKey, ResourceVector};
+    pub use crate::error::{Error, Result};
+    pub use crate::monitor::{MonitoringAgent, Trigger, ValidityRegion};
+    pub use crate::param::Configuration;
+    pub use crate::perfdb::{PerfDb, PerfRecord, PredictMode};
+    pub use crate::profiler::{Profiler, ResourceGrid};
+    pub use crate::qos::{Constraint, Objective, Preference, PreferenceList, QosReport};
+    pub use crate::runtime::{AdaptationEvent, AdaptiveRuntime};
+    pub use crate::scheduler::{Decision, ResourceScheduler};
+    pub use crate::spec::TunableSpec;
+    pub use crate::steering::SwitchEvent;
+}

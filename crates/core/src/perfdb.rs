@@ -14,7 +14,7 @@
 //!
 //! The monitoring agent re-consults the database every 10 ms (§6.1), so
 //! point queries must not scan the record list. The database therefore
-//! maintains a lazily built [`Index`]:
+//! maintains a lazily built `Index`:
 //!
 //! - configurations and workload inputs are **interned** once into dense
 //!   ids (no per-record key cloning on queries);
@@ -117,6 +117,17 @@ pub struct PerfDb {
     /// lets `&self` queries build it on demand; any mutation resets it.
     #[serde(skip)]
     index: RwLock<Option<Arc<Index>>>,
+    /// Optional profiling hook timing every `predict` call.
+    #[serde(skip)]
+    obs: Option<ObsHook>,
+}
+
+/// Pre-registered span target so the `predict` hot path stays
+/// allocation-free.
+#[derive(Debug, Clone)]
+struct ObsHook {
+    obs: obs::Obs,
+    predict_span: obs::MetricId,
 }
 
 impl Clone for PerfDb {
@@ -125,6 +136,7 @@ impl Clone for PerfDb {
             records: self.records.clone(),
             // The index is immutable once built, so clones can share it.
             index: RwLock::new(self.index.read().expect("index lock poisoned").clone()),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -132,6 +144,19 @@ impl Clone for PerfDb {
 impl PerfDb {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record every [`predict`](PerfDb::predict) call's wall-clock latency
+    /// into `obs`'s `"perfdb.predict"` histogram.
+    pub fn set_obs(&mut self, obs: &obs::Obs) {
+        self.obs =
+            Some(ObsHook { obs: obs.clone(), predict_span: obs.histogram("perfdb.predict") });
+    }
+
+    /// Builder form of [`set_obs`](PerfDb::set_obs).
+    pub fn with_obs(mut self, obs: &obs::Obs) -> Self {
+        self.set_obs(obs);
+        self
     }
 
     /// Insert one record. O(1): the index is only marked dirty and rebuilt
@@ -238,6 +263,7 @@ impl PerfDb {
         resources: &ResourceVector,
         mode: PredictMode,
     ) -> Option<QosReport> {
+        let _span = self.obs.as_ref().map(|h| h.obs.span(h.predict_span));
         let idx = self.index();
         let slice = idx.slice(config, input)?;
         // Exact-match fast path.

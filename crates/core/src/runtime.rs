@@ -13,9 +13,11 @@
 //!    points where the switch takes effect; returned transition actions
 //!    (e.g. "notify the server") are the application's to execute.
 
+use obs::{MetricId, Obs, Source};
 use simnet::SimTime;
 
 use crate::env::{ResourceKey, ResourceVector};
+use crate::error::{Error, Result};
 use crate::monitor::{MonitoringAgent, Trigger};
 use crate::param::Configuration;
 use crate::qos::QosReport;
@@ -43,6 +45,45 @@ pub enum AdaptationEvent {
     Nak { at: SimTime, config: Configuration, reason: String },
 }
 
+impl AdaptationEvent {
+    /// Convert to a structured bus event ([`obs::Event`]), tagged with the
+    /// agent that produced it: the monitor triggers, the scheduler decides,
+    /// the steering agent switches/naks/degrades.
+    pub fn to_obs(&self) -> obs::Event {
+        match self {
+            AdaptationEvent::Triggered { at, estimate } => {
+                obs::Event::new(at.as_us(), Source::Monitor, "trigger")
+                    .with("estimate", estimate.to_string())
+            }
+            AdaptationEvent::Decided { at, config, rank, .. } => {
+                obs::Event::new(at.as_us(), Source::Scheduler, "decide")
+                    .with("config", config.key())
+                    .with("rank", *rank)
+            }
+            AdaptationEvent::NoCandidate { at } => {
+                obs::Event::new(at.as_us(), Source::Scheduler, "no_candidate")
+            }
+            AdaptationEvent::Degraded { at, config } => {
+                obs::Event::new(at.as_us(), Source::Steering, "degrade")
+                    .with("config", config.key())
+            }
+            AdaptationEvent::Recovered { at } => {
+                obs::Event::new(at.as_us(), Source::Steering, "recover")
+            }
+            AdaptationEvent::Switched { at, old, new } => {
+                obs::Event::new(at.as_us(), Source::Steering, "switch")
+                    .with("old", old.key())
+                    .with("new", new.key())
+            }
+            AdaptationEvent::Nak { at, config, reason } => {
+                obs::Event::new(at.as_us(), Source::Steering, "nak")
+                    .with("config", config.key())
+                    .with("reason", reason.as_str())
+            }
+        }
+    }
+}
+
 /// The integrated adaptation runtime for one application instance.
 pub struct AdaptiveRuntime {
     pub spec: TunableSpec,
@@ -57,20 +98,28 @@ pub struct AdaptiveRuntime {
     pub recovery_probe_gap_us: u64,
     degraded: bool,
     last_probe: Option<SimTime>,
+    obs_ctx: Option<RuntimeObs>,
+}
+
+/// Pre-registered metric targets so the 10 ms tick stays allocation-free.
+struct RuntimeObs {
+    obs: Obs,
+    ticks: MetricId,
 }
 
 impl AdaptiveRuntime {
     /// Build the runtime and choose the *initial* configuration for the
     /// given starting resources (the paper's "automatic configuration in
-    /// diverse distributed environments"). Returns `None` when no
-    /// preference is satisfiable at startup.
-    pub fn configure(
+    /// diverse distributed environments"). Fails with
+    /// [`Error::NoSatisfiableConfig`] when no preference is satisfiable at
+    /// startup.
+    pub fn try_configure(
         spec: TunableSpec,
         scheduler: ResourceScheduler,
         window_us: u64,
         initial_resources: &ResourceVector,
-    ) -> Option<AdaptiveRuntime> {
-        let decision = scheduler.choose(initial_resources)?;
+    ) -> Result<AdaptiveRuntime> {
+        let decision = scheduler.choose(initial_resources).ok_or(Error::NoSatisfiableConfig)?;
         let watched = spec.tasks.monitored_resources(&decision.config);
         let watched =
             if watched.is_empty() { initial_resources.keys().cloned().collect() } else { watched };
@@ -86,20 +135,66 @@ impl AdaptiveRuntime {
             recovery_probe_gap_us: 500_000,
             degraded: false,
             last_probe: None,
+            obs_ctx: None,
         };
-        rt.events.push(AdaptationEvent::Decided {
+        rt.push_event(AdaptationEvent::Decided {
             at: SimTime::ZERO,
             config: decision.config,
             predicted: decision.predicted,
             rank: decision.preference_rank,
         });
-        Some(rt)
+        Ok(rt)
+    }
+
+    /// Deprecated shim over [`try_configure`](AdaptiveRuntime::try_configure).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_configure`, which reports *why* configuration failed"
+    )]
+    pub fn configure(
+        spec: TunableSpec,
+        scheduler: ResourceScheduler,
+        window_us: u64,
+        initial_resources: &ResourceVector,
+    ) -> Option<AdaptiveRuntime> {
+        Self::try_configure(spec, scheduler, window_us, initial_resources).ok()
+    }
+
+    /// Publish all adaptation telemetry into `obs`: every
+    /// [`AdaptationEvent`] as a structured bus event (events recorded
+    /// before attachment are backfilled, so the bus is always a superset
+    /// of the legacy log), tick counts on the `"monitor.ticks"` counter,
+    /// and scheduler/database decision latencies as histograms.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.scheduler.set_obs(obs);
+        for ev in &self.events {
+            obs.publish(ev.to_obs());
+        }
+        self.obs_ctx = Some(RuntimeObs { obs: obs.clone(), ticks: obs.counter("monitor.ticks") });
+    }
+
+    /// Builder form of [`set_obs`](AdaptiveRuntime::set_obs).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    fn push_event(&mut self, ev: AdaptationEvent) {
+        if let Some(o) = &self.obs_ctx {
+            o.obs.publish(ev.to_obs());
+        }
+        self.events.push(ev);
     }
 
     pub fn current(&self) -> &Configuration {
         self.steering.current()
     }
 
+    /// Borrow the legacy in-memory adaptation log.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach an `obs::Obs` via `set_obs` and read the event bus instead"
+    )]
     pub fn events(&self) -> &[AdaptationEvent] {
         &self.events
     }
@@ -131,11 +226,14 @@ impl AdaptiveRuntime {
     /// queues a reconfiguration with the steering agent. Returns the
     /// trigger if one fired.
     pub fn tick(&mut self, t: SimTime) -> Option<Trigger> {
+        if let Some(o) = &self.obs_ctx {
+            o.obs.inc(o.ticks, 1);
+        }
         if self.degraded {
             self.probe_recovery(t);
         }
         let trigger = self.monitor.check(t)?;
-        self.events.push(AdaptationEvent::Triggered { at: t, estimate: trigger.estimate.clone() });
+        self.push_event(AdaptationEvent::Triggered { at: t, estimate: trigger.estimate.clone() });
         // A stale trigger's fresh estimate omits (or may entirely lack) the
         // expired resources; decide on the last-known view instead so the
         // scheduler still has a complete vector to price configurations at.
@@ -145,12 +243,12 @@ impl AdaptiveRuntime {
             Some(d) => {
                 if self.degraded {
                     self.degraded = false;
-                    self.events.push(AdaptationEvent::Recovered { at: t });
+                    self.push_event(AdaptationEvent::Recovered { at: t });
                 }
                 self.queue_decision(t, d);
             }
             None => {
-                self.events.push(AdaptationEvent::NoCandidate { at: t });
+                self.push_event(AdaptationEvent::NoCandidate { at: t });
                 // Best-effort fallback chain: run the least-violating
                 // configuration rather than freezing on one whose validity
                 // region is already violated, and keep probing for
@@ -158,8 +256,10 @@ impl AdaptiveRuntime {
                 // monitor alone would never re-trigger).
                 if let Some(d) = self.scheduler.choose_least_violating(&estimate, &[]) {
                     if !self.degraded {
-                        self.events
-                            .push(AdaptationEvent::Degraded { at: t, config: d.config.clone() });
+                        self.push_event(AdaptationEvent::Degraded {
+                            at: t,
+                            config: d.config.clone(),
+                        });
                     }
                     self.degraded = true;
                     self.last_probe = Some(t);
@@ -187,14 +287,14 @@ impl AdaptiveRuntime {
         }
         if let Some(d) = self.scheduler.choose(&estimate) {
             self.degraded = false;
-            self.events.push(AdaptationEvent::Recovered { at: t });
+            self.push_event(AdaptationEvent::Recovered { at: t });
             self.queue_decision(t, d);
         }
     }
 
     fn queue_decision(&mut self, t: SimTime, d: Decision) {
         let same = &d.config == self.steering.current();
-        self.events.push(AdaptationEvent::Decided {
+        self.push_event(AdaptationEvent::Decided {
             at: t,
             config: d.config.clone(),
             predicted: d.predicted,
@@ -224,7 +324,7 @@ impl AdaptiveRuntime {
                     if !watched.is_empty() {
                         self.monitor.set_watched(watched);
                     }
-                    self.events.push(AdaptationEvent::Switched {
+                    self.push_event(AdaptationEvent::Switched {
                         at: t,
                         old: ev.old.clone(),
                         new: ev.new.clone(),
@@ -232,18 +332,14 @@ impl AdaptiveRuntime {
                     return Some(ev);
                 }
                 BoundaryOutcome::Rejected { config, reason } => {
-                    self.events.push(AdaptationEvent::Nak {
-                        at: t,
-                        config: config.clone(),
-                        reason,
-                    });
+                    self.push_event(AdaptationEvent::Nak { at: t, config: config.clone(), reason });
                     excluded.push(config);
                     // Negotiate: ask the scheduler for the next best
                     // candidate under the latest estimate.
                     let estimate = self.monitor.estimate();
                     match self.scheduler.choose_excluding(&estimate, &excluded) {
                         Some(d) if &d.config != self.steering.current() => {
-                            self.events.push(AdaptationEvent::Decided {
+                            self.push_event(AdaptationEvent::Decided {
                                 at: t,
                                 config: d.config.clone(),
                                 predicted: d.predicted,
@@ -324,7 +420,7 @@ mod tests {
             PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
-        AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap()
+        AdaptiveRuntime::try_configure(spec, sched, 1_000_000, &start).unwrap()
     }
 
     #[test]
@@ -421,27 +517,36 @@ mod tests {
 
     #[test]
     fn event_log_records_the_story() {
-        let mut rt = runtime();
+        let obs = Obs::new();
+        // Attached *after* try_configure: the initial Decided event must be
+        // backfilled onto the bus.
+        let mut rt = runtime().with_obs(&obs);
         for i in 0..200 {
             rt.observe(SimTime::from_secs(25) + i * 10_000, &cpu(), 1.0);
             rt.observe(SimTime::from_secs(25) + i * 10_000, &net(), 50_000.0);
         }
         rt.tick(SimTime::from_secs(28));
         rt.at_boundary(SimTime::from_secs(28));
-        let kinds: Vec<&str> = rt
-            .events()
-            .iter()
-            .map(|e| match e {
-                AdaptationEvent::Triggered { .. } => "trigger",
-                AdaptationEvent::Decided { .. } => "decide",
-                AdaptationEvent::Switched { .. } => "switch",
-                AdaptationEvent::NoCandidate { .. } => "none",
-                AdaptationEvent::Nak { .. } => "nak",
-                AdaptationEvent::Degraded { .. } => "degrade",
-                AdaptationEvent::Recovered { .. } => "recover",
-            })
-            .collect();
+        let kinds: Vec<&'static str> = obs.events().iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["decide", "trigger", "decide", "switch"]);
+        // The legacy log tells the same story through the deprecated shim.
+        #[allow(deprecated)]
+        let from_shim: Vec<&'static str> = rt.events().iter().map(|e| e.to_obs().kind).collect();
+        assert_eq!(kinds, from_shim);
+    }
+
+    #[test]
+    fn ticks_counter_tracks_monitor_cadence() {
+        let obs = Obs::new();
+        let mut rt = runtime().with_obs(&obs);
+        for s in 1..=10 {
+            let t = SimTime::from_secs(s);
+            rt.observe(t, &cpu(), 1.0);
+            rt.observe(t, &net(), 1_000_000.0);
+            rt.tick(t);
+        }
+        let ticks = obs.lookup("monitor.ticks").expect("counter registered by set_obs");
+        assert_eq!(obs.counter_value(ticks), 10);
     }
 }
 
@@ -496,7 +601,9 @@ mod negotiation_tests {
             PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
-        let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
+        let obs = Obs::new();
+        let mut rt =
+            AdaptiveRuntime::try_configure(spec, sched, 1_000_000, &start).unwrap().with_obs(&obs);
         assert_eq!(rt.current().get("c"), Some(1), "starts with lzw at high bandwidth");
 
         // Bandwidth collapses: the raw optimum is a bzip configuration,
@@ -508,7 +615,7 @@ mod negotiation_tests {
         }
         rt.tick(SimTime::from_secs(3)).expect("trigger");
         let switched = rt.at_boundary(SimTime::from_secs(3));
-        let naks = rt.events().iter().filter(|e| matches!(e, AdaptationEvent::Nak { .. })).count();
+        let naks = obs.events().iter().filter(|e| e.kind == "nak").count();
         assert!(naks >= 1, "the guard must have rejected at least one proposal");
         match switched {
             Some(ev) => {
@@ -535,7 +642,9 @@ mod negotiation_tests {
         ));
         let sched = ResourceScheduler::new(db(), prefs, "img");
         let start = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
-        let mut rt = AdaptiveRuntime::configure(spec, sched, 1_000_000, &start).unwrap();
+        let obs = Obs::new();
+        let mut rt =
+            AdaptiveRuntime::try_configure(spec, sched, 1_000_000, &start).unwrap().with_obs(&obs);
         for i in 0..300 {
             let t = SimTime::from_ms(10 * i);
             rt.observe(t, &cpu(), 1.0);
@@ -543,8 +652,8 @@ mod negotiation_tests {
         }
         rt.tick(SimTime::from_secs(3));
         rt.at_boundary(SimTime::from_secs(3));
-        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::NoCandidate { .. })));
-        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::Degraded { .. })));
+        assert!(obs.events().iter().any(|e| e.kind == "no_candidate"));
+        assert!(obs.events().iter().any(|e| e.kind == "degrade"));
         assert!(rt.is_degraded(), "runs the least-violating fallback");
         // Bandwidth recovers: a recovery probe finds a satisfying choice
         // and the runtime leaves degraded mode at the next boundary.
@@ -556,6 +665,6 @@ mod negotiation_tests {
         rt.tick(SimTime::from_secs(7));
         rt.at_boundary(SimTime::from_secs(7));
         assert!(!rt.is_degraded(), "left degraded mode after recovery");
-        assert!(rt.events().iter().any(|e| matches!(e, AdaptationEvent::Recovered { .. })));
+        assert!(obs.events().iter().any(|e| e.kind == "recover"));
     }
 }

@@ -18,7 +18,7 @@
 //! axis value, and each such check needs predictions for *every*
 //! configuration. Many of those `(config, probe)` pairs repeat (the walk
 //! revisits the center point per axis, and the objective comparison needs
-//! the full prediction row at each probe), so a [`DecisionCtx`] shares a
+//! the full prediction row at each probe), so a `DecisionCtx` shares a
 //! per-decision memo: the candidate list is fetched from the database
 //! index once, and each distinct probe's prediction row is computed once
 //! and reused across `choose_excluding`, the region walk, and the
@@ -59,6 +59,15 @@ pub struct ResourceScheduler {
     pub mode: PredictMode,
     /// Workload key to consult in the database.
     pub input: String,
+    /// Optional profiling hook timing every decision.
+    obs: Option<SchedObs>,
+}
+
+/// Pre-registered span target so decision timing stays allocation-free.
+#[derive(Debug, Clone)]
+struct SchedObs {
+    obs: obs::Obs,
+    choose_span: obs::MetricId,
 }
 
 /// Per-decision working state: the candidate configurations (fetched from
@@ -103,11 +112,44 @@ fn memoized<'m>(
 
 impl ResourceScheduler {
     pub fn new(db: PerfDb, prefs: PreferenceList, input: &str) -> Self {
-        ResourceScheduler { db, prefs, mode: PredictMode::Interpolate, input: input.into() }
+        ResourceScheduler {
+            db,
+            prefs,
+            mode: PredictMode::Interpolate,
+            input: input.into(),
+            obs: None,
+        }
+    }
+
+    /// Checked constructor: rejects inputs on which every
+    /// [`choose`](ResourceScheduler::choose) would trivially return `None`
+    /// (no database records for `input`, or an empty preference list).
+    pub fn try_new(db: PerfDb, prefs: PreferenceList, input: &str) -> crate::error::Result<Self> {
+        if prefs.prefs.is_empty() {
+            return Err(crate::error::Error::EmptyPreferences);
+        }
+        if db.configs(input).is_empty() {
+            return Err(crate::error::Error::EmptyDatabase { input: input.into() });
+        }
+        Ok(Self::new(db, prefs, input))
     }
 
     pub fn with_mode(mut self, mode: PredictMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Time every decision into `obs`'s `"scheduler.choose"` histogram and
+    /// every database prediction into `"perfdb.predict"`.
+    pub fn set_obs(&mut self, obs: &obs::Obs) {
+        self.db.set_obs(obs);
+        self.obs =
+            Some(SchedObs { obs: obs.clone(), choose_span: obs.histogram("scheduler.choose") });
+    }
+
+    /// Builder form of [`set_obs`](ResourceScheduler::set_obs).
+    pub fn with_obs(mut self, obs: &obs::Obs) -> Self {
+        self.set_obs(obs);
         self
     }
 
@@ -123,6 +165,7 @@ impl ResourceScheduler {
         resources: &ResourceVector,
         excluded: &[Configuration],
     ) -> Option<Decision> {
+        let _span = self.obs.as_ref().map(|h| h.obs.span(h.choose_span));
         let configs = self.db.configs(&self.input);
         let eligible: Vec<bool> = configs.iter().map(|c| !excluded.contains(c)).collect();
         if !eligible.contains(&true) {

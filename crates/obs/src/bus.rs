@@ -1,0 +1,153 @@
+//! Ring-buffered event bus with filtered subscriptions.
+
+use crate::event::{Event, EventFilter};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default number of events retained in the ring before the oldest are
+/// evicted. Eviction only affects snapshots; subscriber queues are
+/// independent and never drop matched events.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Handle to an open subscription on the bus.
+#[derive(Debug)]
+pub struct Subscription {
+    pub(crate) id: u64,
+}
+
+struct SubState {
+    id: u64,
+    filter: EventFilter,
+    queue: VecDeque<Arc<Event>>,
+}
+
+/// The bus itself. Not public API; use the `Obs` methods.
+pub struct EventBus {
+    ring: VecDeque<Arc<Event>>,
+    capacity: usize,
+    published: u64,
+    dropped: u64,
+    subs: Vec<SubState>,
+    next_sub: u64,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus {
+            ring: VecDeque::new(),
+            capacity: DEFAULT_RING_CAPACITY,
+            published: 0,
+            dropped: 0,
+            subs: Vec::new(),
+            next_sub: 0,
+        }
+    }
+}
+
+impl EventBus {
+    pub(crate) fn publish(&mut self, ev: Event) {
+        let ev = Arc::new(ev);
+        self.published += 1;
+        for sub in &mut self.subs {
+            if sub.filter.matches(&ev) {
+                sub.queue.push_back(Arc::clone(&ev));
+            }
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    pub(crate) fn subscribe(&mut self, filter: EventFilter) -> Subscription {
+        let id = self.next_sub;
+        self.next_sub += 1;
+        self.subs.push(SubState { id, filter, queue: VecDeque::new() });
+        Subscription { id }
+    }
+
+    pub(crate) fn drain(&mut self, sub: &Subscription) -> Vec<Arc<Event>> {
+        match self.subs.iter_mut().find(|s| s.id == sub.id) {
+            Some(s) => s.queue.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    pub(crate) fn unsubscribe(&mut self, sub: Subscription) {
+        self.subs.retain(|s| s.id != sub.id);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<Arc<Event>> {
+        self.ring.iter().cloned().collect()
+    }
+
+    pub(crate) fn snapshot_filtered(&self, filter: &EventFilter) -> Vec<Arc<Event>> {
+        self.ring.iter().filter(|e| filter.matches(e)).cloned().collect()
+    }
+
+    pub(crate) fn published(&self) -> u64 {
+        self.published
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+
+    fn ev(at: u64, source: Source, kind: &'static str) -> Event {
+        Event::new(at, source, kind)
+    }
+
+    #[test]
+    fn subscribers_see_only_matching_events_in_order() {
+        let mut bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::any().source(Source::Monitor));
+        bus.publish(ev(1, Source::Monitor, "trigger"));
+        bus.publish(ev(2, Source::App, "image"));
+        bus.publish(ev(3, Source::Monitor, "trigger"));
+        let got = bus.drain(&sub);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].at_us, 1);
+        assert_eq!(got[1].at_us, 3);
+        assert!(bus.drain(&sub).is_empty());
+    }
+
+    #[test]
+    fn subscription_opened_late_misses_earlier_events() {
+        let mut bus = EventBus::default();
+        bus.publish(ev(1, Source::App, "image"));
+        let sub = bus.subscribe(EventFilter::any());
+        bus.publish(ev(2, Source::App, "image"));
+        assert_eq!(bus.drain(&sub).len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut bus = EventBus { capacity: 2, ..EventBus::default() };
+        bus.publish(ev(1, Source::App, "a"));
+        bus.publish(ev(2, Source::App, "b"));
+        bus.publish(ev(3, Source::App, "c"));
+        let snap = bus.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].at_us, 2);
+        assert_eq!(bus.published(), 3);
+        assert_eq!(bus.dropped(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus = EventBus::default();
+        let sub = bus.subscribe(EventFilter::any());
+        bus.publish(ev(1, Source::App, "a"));
+        let sub_id = Subscription { id: sub.id };
+        bus.unsubscribe(sub);
+        bus.publish(ev(2, Source::App, "b"));
+        assert!(bus.drain(&sub_id).is_empty());
+    }
+}

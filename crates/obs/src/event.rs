@@ -1,0 +1,236 @@
+//! Structured, sim-timestamped events.
+
+/// Which layer of the stack published an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The discrete-event simulation kernel (compute, messages, faults).
+    Simnet,
+    /// The monitoring agent (triggers, estimates).
+    Monitor,
+    /// The resource scheduler (decisions, dead ends).
+    Scheduler,
+    /// The steering agent (switches, NAKs, degradation).
+    Steering,
+    /// The application itself (rounds, images, configuration history).
+    App,
+}
+
+impl Source {
+    /// Stable lowercase name used by the renderer and exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Simnet => "simnet",
+            Source::Monitor => "monitor",
+            Source::Scheduler => "scheduler",
+            Source::Steering => "steering",
+            Source::App => "app",
+        }
+    }
+}
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One structured telemetry event.
+///
+/// Timestamps are simulation microseconds (`SimTime::as_us`), not wall
+/// clock, so event streams from deterministic runs compare byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time in microseconds.
+    pub at_us: u64,
+    /// Publishing layer.
+    pub source: Source,
+    /// Stable machine-readable kind, e.g. `"msg_dropped"` or `"switch"`.
+    pub kind: &'static str,
+    /// Ordered key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Start building an event with no fields.
+    pub fn new(at_us: u64, source: Source, kind: &'static str) -> Self {
+        Event { at_us, source, kind, fields: Vec::new() }
+    }
+
+    /// Attach a field (builder-style).
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64` (also accepts non-negative `I64`).
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Field as `i64`.
+    pub fn i64_field(&self, key: &str) -> Option<i64> {
+        match self.field(key)? {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Field as `f64` (integers coerce).
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Field as string slice.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.field(key)? {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Field as bool.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        match self.field(key)? {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Predicate over events for subscriptions and snapshots.
+///
+/// An empty filter ([`EventFilter::any`]) matches everything; adding
+/// sources or kinds restricts to those sets (OR within a set, AND across
+/// the two sets).
+#[derive(Debug, Clone, Default)]
+pub struct EventFilter {
+    sources: Option<Vec<Source>>,
+    kinds: Option<Vec<&'static str>>,
+}
+
+impl EventFilter {
+    /// Match every event.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Also accept events from `source` (restricts to listed sources).
+    pub fn source(mut self, source: Source) -> Self {
+        self.sources.get_or_insert_with(Vec::new).push(source);
+        self
+    }
+
+    /// Also accept events of `kind` (restricts to listed kinds).
+    pub fn kind(mut self, kind: &'static str) -> Self {
+        self.kinds.get_or_insert_with(Vec::new).push(kind);
+        self
+    }
+
+    /// Does `ev` pass this filter?
+    pub fn matches(&self, ev: &Event) -> bool {
+        if let Some(sources) = &self.sources {
+            if !sources.contains(&ev.source) {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&ev.kind) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors_round_trip() {
+        let ev = Event::new(5, Source::App, "image")
+            .with("n", 3u64)
+            .with("key", "dr128")
+            .with("ok", true)
+            .with("ratio", 0.5)
+            .with("delta", -2i64);
+        assert_eq!(ev.u64_field("n"), Some(3));
+        assert_eq!(ev.str_field("key"), Some("dr128"));
+        assert_eq!(ev.bool_field("ok"), Some(true));
+        assert_eq!(ev.f64_field("ratio"), Some(0.5));
+        assert_eq!(ev.i64_field("delta"), Some(-2));
+        assert_eq!(ev.u64_field("missing"), None);
+        assert_eq!(ev.str_field("n"), None);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let ev = Event::new(0, Source::Monitor, "trigger");
+        assert!(EventFilter::any().matches(&ev));
+        assert!(EventFilter::any().source(Source::Monitor).matches(&ev));
+        assert!(!EventFilter::any().source(Source::App).matches(&ev));
+        assert!(EventFilter::any().source(Source::App).source(Source::Monitor).matches(&ev));
+        assert!(EventFilter::any().kind("trigger").matches(&ev));
+        assert!(!EventFilter::any().kind("decide").matches(&ev));
+        assert!(!EventFilter::any().source(Source::Monitor).kind("decide").matches(&ev));
+    }
+}

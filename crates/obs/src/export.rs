@@ -1,0 +1,151 @@
+//! Deterministic JSON export and human-readable rendering.
+
+use crate::bus::EventBus;
+use crate::event::{Event, Value};
+use crate::metrics::{Data, Registry};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Format a float as a JSON number; non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize every metric (in registration order) plus bus totals as
+/// pretty-printed JSON. The output is deterministic for deterministic
+/// inputs, which is what the golden-file test locks down.
+pub(crate) fn export_json(registry: &Registry, bus: &EventBus) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut hists = Vec::new();
+    for m in registry.iter() {
+        match &m.data {
+            Data::Counter(c) => counters.push(format!("    {}: {c}", json_str(&m.name))),
+            Data::Gauge(g) => gauges.push(format!("    {}: {}", json_str(&m.name), json_f64(*g))),
+            Data::Histogram(h) => {
+                let s = h.stats();
+                hists.push(format!(
+                    "    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    json_str(&m.name),
+                    s.count,
+                    json_f64(s.sum),
+                    json_f64(s.min),
+                    json_f64(s.max),
+                    json_f64(s.p50),
+                    json_f64(s.p95),
+                    json_f64(s.p99),
+                ));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"counters\": {{\n{}\n  }},", counters.join(",\n"));
+    let _ = writeln!(out, "  \"gauges\": {{\n{}\n  }},", gauges.join(",\n"));
+    let _ = writeln!(out, "  \"histograms\": {{\n{}\n  }},", hists.join(",\n"));
+    let _ = writeln!(
+        out,
+        "  \"events\": {{\"published\": {}, \"dropped\": {}}}",
+        bus.published(),
+        bus.dropped()
+    );
+    out.push('}');
+    out
+}
+
+/// Render events one line per event, oldest first — the successor of the
+/// old `simnet::Trace::render`.
+pub(crate) fn render(events: &[Arc<Event>]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(out, "{:>12}us [{}] {}", ev.at_us, ev.source.name(), ev.kind);
+        for (k, v) in &ev.fields {
+            match v {
+                Value::I64(x) => {
+                    let _ = write!(out, " {k}={x}");
+                }
+                Value::U64(x) => {
+                    let _ = write!(out, " {k}={x}");
+                }
+                Value::F64(x) => {
+                    let _ = write!(out, " {k}={x}");
+                }
+                Value::Str(x) => {
+                    let _ = write!(out, " {k}={x}");
+                }
+                Value::Bool(x) => {
+                    let _ = write!(out, " {k}={x}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::Source;
+    use crate::{Event, Obs};
+
+    #[test]
+    fn empty_export_is_valid_shape() {
+        let obs = Obs::new();
+        let json = obs.export_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"events\": {\"published\": 0, \"dropped\": 0}"));
+    }
+
+    #[test]
+    fn non_finite_gauge_exports_null() {
+        let obs = Obs::new();
+        let g = obs.gauge("g");
+        obs.set(g, f64::NAN);
+        assert!(obs.export_json().contains("\"g\": null"));
+    }
+
+    #[test]
+    fn render_is_line_per_event_with_fields() {
+        let obs = Obs::new();
+        obs.publish(Event::new(1, Source::Simnet, "msg_sent").with("bytes", 5u64));
+        obs.publish(Event::new(2, Source::App, "image").with("key", "dr128"));
+        let r = obs.render();
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("[simnet] msg_sent bytes=5"));
+        assert!(r.contains("[app] image key=dr128"));
+    }
+
+    #[test]
+    fn escaped_metric_names_survive() {
+        let obs = Obs::new();
+        let c = obs.counter("weird\"name");
+        obs.inc(c, 1);
+        assert!(obs.export_json().contains("\"weird\\\"name\": 1"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file test: the JSON exporter's output is locked byte-for-byte.
+//!
+//! If the export format changes intentionally, regenerate the golden file
+//! by running this test and copying the printed actual output into
+//! `tests/golden/export.json`.
+
+use obs::{Event, Obs, Source};
+
+fn build_fixture() -> Obs {
+    let obs = Obs::new();
+    let reqs = obs.counter("server.requests");
+    let dups = obs.counter("server.duplicates");
+    let share = obs.gauge("sandbox.cpu_share");
+    let nan = obs.gauge("gauge.nonfinite");
+    let lat = obs.histogram("scheduler.choose");
+    let empty = obs.histogram("perfdb.predict");
+    let _ = empty;
+
+    obs.inc(reqs, 41);
+    obs.inc(reqs, 1);
+    obs.inc(dups, 3);
+    obs.set(share, 0.05);
+    obs.set(share, 0.25);
+    obs.set(nan, f64::INFINITY);
+    for v in [10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0] {
+        obs.observe(lat, v);
+    }
+
+    obs.publish(Event::new(1_000, Source::Monitor, "trigger").with("estimate", 0.5));
+    obs.publish(Event::new(2_000, Source::Steering, "switch").with("old", "a").with("new", "b"));
+    obs
+}
+
+#[test]
+fn export_matches_golden_file() {
+    let actual = build_fixture().export_json();
+    let golden = include_str!("golden/export.json");
+    assert_eq!(
+        actual.trim_end(),
+        golden.trim_end(),
+        "exporter output drifted from the golden file;\nactual:\n{actual}\n"
+    );
+}
+
+#[test]
+fn export_is_stable_across_identical_runs() {
+    assert_eq!(build_fixture().export_json(), build_fixture().export_json());
+}

@@ -1,0 +1,71 @@
+//! Hot-path allocation audit: recording a metric against a pre-registered
+//! id must not touch the heap. This binary installs a counting global
+//! allocator, so it holds exactly one test.
+
+use obs::Obs;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn recording_on_the_hot_path_never_allocates() {
+    let obs = Obs::new();
+    // Registration (allocates; done once at setup, off the hot path).
+    let ticks = obs.counter("monitor.ticks");
+    let estimate = obs.gauge("monitor.estimate");
+    let predict = obs.histogram("perfdb.predict");
+
+    // Warm up every code path once.
+    obs.inc(ticks, 1);
+    obs.set(estimate, 0.1);
+    obs.observe(predict, 1.0);
+    drop(obs.span(predict));
+
+    // The counting allocator is process-global, so a test-harness thread
+    // allocating concurrently (stdio buffers and the like) can leak a few
+    // counts into a measurement window. A genuine hot-path allocation
+    // repeats on every iteration (>= 10_000 counts); harness noise is a
+    // handful once. Demand at least one perfectly clean window.
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            obs.inc(ticks, 1);
+            obs.set(estimate, i as f64 * 0.001);
+            obs.observe(predict, (i % 97) as f64);
+            let _span = obs.span(predict);
+        }
+        min_delta = min_delta.min(ALLOCS.load(Ordering::SeqCst) - before);
+        if min_delta == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        min_delta, 0,
+        "hot-path metric recording performed {min_delta} heap allocations in its cleanest window"
+    );
+}

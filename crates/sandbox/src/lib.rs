@@ -39,3 +39,12 @@ pub use progress::{CpuSample, NetSample, ProgressEstimator, SandboxStats};
 pub use sampler::{SeriesHandle, UsageSampler};
 pub use vm::{AdmissionError, HostVmm, Reservation};
 pub use wrap::{Sandboxed, QUANTUM_US, TAG_BASE};
+
+/// The sandbox vocabulary in one import: `use sandbox::prelude::*;`.
+pub mod prelude {
+    pub use crate::limits::{LimitSchedule, Limits, LimitsHandle};
+    pub use crate::progress::{ProgressEstimator, SandboxStats};
+    pub use crate::sampler::{SeriesHandle, UsageSampler};
+    pub use crate::vm::{HostVmm, Reservation};
+    pub use crate::wrap::Sandboxed;
+}

@@ -58,18 +58,38 @@ pub struct UsageSampler {
     series: SeriesHandle,
     stop_at: Option<SimTime>,
     last_cpu_us: f64,
+    obs: Option<SamplerObs>,
+}
+
+/// Pre-registered metric targets so each sample stays allocation-free.
+struct SamplerObs {
+    obs: obs::Obs,
+    sample_span: obs::MetricId,
+    cpu_share: obs::MetricId,
 }
 
 impl UsageSampler {
     pub fn new(target: ActorId, interval_us: u64, series: SeriesHandle) -> Self {
         assert!(interval_us > 0);
-        UsageSampler { target, interval_us, series, stop_at: None, last_cpu_us: 0.0 }
+        UsageSampler { target, interval_us, series, stop_at: None, last_cpu_us: 0.0, obs: None }
     }
 
     /// Stop sampling at `t` (otherwise samples forever, keeping the
     /// simulation alive).
     pub fn until(mut self, t: SimTime) -> Self {
         self.stop_at = Some(t);
+        self
+    }
+
+    /// Mirror every sample into `obs`: the observed share on the
+    /// `"sandbox.cpu_share"` gauge and per-sample latency on the
+    /// `"sandbox.sample"` histogram.
+    pub fn with_obs(mut self, obs: &obs::Obs) -> Self {
+        self.obs = Some(SamplerObs {
+            obs: obs.clone(),
+            sample_span: obs.histogram("sandbox.sample"),
+            cpu_share: obs.gauge("sandbox.cpu_share"),
+        });
         self
     }
 }
@@ -80,10 +100,14 @@ impl Actor for UsageSampler {
     }
 
     fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        let _span = self.obs.as_ref().map(|h| h.obs.span(h.sample_span));
         let snap = ctx.snapshot_of(self.target);
         let share = (snap.cpu_time_us - self.last_cpu_us) / self.interval_us as f64;
         self.last_cpu_us = snap.cpu_time_us;
         self.series.push(ctx.now(), share);
+        if let Some(h) = &self.obs {
+            h.obs.set(h.cpu_share, share);
+        }
         match self.stop_at {
             Some(t) if ctx.now() + self.interval_us > t => {}
             _ => ctx.set_timer(self.interval_us, 0),
@@ -128,6 +152,32 @@ mod tests {
         let late = series.mean_in(SimTime::from_secs(7), SimTime::from_secs(10)).unwrap();
         assert!((early - 0.8).abs() < 0.05, "early mean {early}");
         assert!((late - 0.3).abs() < 0.05, "late mean {late}");
+    }
+
+    #[test]
+    fn sampler_mirrors_into_obs() {
+        let obs = obs::Obs::new();
+        let mut sim = Sim::new();
+        let h = sim.add_host("ref", 1.0, 1 << 30);
+        let lh = LimitsHandle::new(Limits::cpu(0.5));
+        let sb = Sandboxed::new(Grinder, lh, SandboxStats::default());
+        let target = sim.spawn(h, Box::new(sb));
+        let series = SeriesHandle::new();
+        sim.spawn(
+            h,
+            Box::new(
+                UsageSampler::new(target, dur::secs(1), series.clone())
+                    .until(SimTime::from_secs(5))
+                    .with_obs(&obs),
+            ),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let gauge = obs.lookup("sandbox.cpu_share").unwrap();
+        let span = obs.lookup("sandbox.sample").unwrap();
+        // Gauge holds the most recent sample; histogram saw one span per sample.
+        let last = series.points().last().unwrap().1;
+        assert_eq!(obs.gauge_value(gauge), last);
+        assert_eq!(obs.histogram_stats(span).count, series.len() as u64);
     }
 
     #[test]

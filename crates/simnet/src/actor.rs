@@ -2,7 +2,7 @@
 //!
 //! An [`Actor`] reacts to events (start, message arrival, timer expiry,
 //! continuation) by enqueuing *actions* — compute requests, message sends,
-//! sleeps — onto its private action queue via [`Ctx`](crate::kernel::Ctx).
+//! sleeps — onto its private action queue via [`Ctx`].
 //! The kernel executes each actor's actions strictly in order, charging
 //! compute time through the host's proportional-share CPU scheduler and
 //! send time through the link model. While the action queue is non-empty

@@ -3,7 +3,7 @@
 //! A [`FaultPlan`] describes everything that will go wrong in a run:
 //! per-link probabilistic packet loss, bounded latency jitter, scheduled
 //! link-down windows, network partitions, and host crash/restart events.
-//! Installing the plan on a [`Sim`](crate::Sim) arms all of it up front;
+//! Installing the plan on a [`Sim`] arms all of it up front;
 //! from then on the faults unfold deterministically as simulated time
 //! advances. Two runs with the same plan (and the same workload) produce
 //! bit-identical traces.
@@ -11,7 +11,9 @@
 //! Every injected fault is surfaced in the kernel trace:
 //! [`TraceEvent::MsgDropped`], [`TraceEvent::LinkDown`] /
 //! [`TraceEvent::LinkUp`], and [`TraceEvent::HostCrash`] /
-//! [`TraceEvent::HostRestart`](crate::TraceEvent::HostRestart).
+//! [`TraceEvent::HostRestart`](crate::TraceEvent::HostRestart) — and, when
+//! an [`obs::Obs`] context is attached to the simulation, as structured
+//! `Source::Simnet` events on the shared bus.
 //!
 //! ## Determinism
 //!
@@ -41,6 +43,35 @@ pub enum DropReason {
     /// The destination actor's host (or the actor itself) was dead.
     ReceiverDead,
 }
+
+/// An invalid fault description, from the `try_with_*` builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A loss probability outside `[0, 1]`.
+    LossOutOfRange(f64),
+    /// A down/partition window with `from >= until`.
+    EmptyWindow { from: SimTime, until: SimTime },
+    /// A restart scheduled at or before its crash.
+    RestartBeforeCrash { at: SimTime, restart_at: SimTime },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::LossOutOfRange(p) => {
+                write!(f, "loss probability out of range: {p}")
+            }
+            FaultError::EmptyWindow { from, until } => {
+                write!(f, "empty down window [{from}, {until})")
+            }
+            FaultError::RestartBeforeCrash { at, restart_at } => {
+                write!(f, "restart must follow the crash (crash {at}, restart {restart_at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// Mix a plan seed with a directed link so each link gets an independent
 /// deterministic stream.
@@ -83,9 +114,12 @@ struct Crash {
 
 /// A complete description of the faults to inject into one run.
 ///
-/// Build with the fluent methods, then [`install`](FaultPlan::install) on
-/// a simulation before (or while) it runs. All scheduled times are
-/// absolute simulation times and must not be in the past at install time.
+/// Build with the consuming `with_*` methods (the workspace-wide builder
+/// convention, like `ValidityRegion::with_range`), then
+/// [`install`](FaultPlan::install) on a simulation before (or while) it
+/// runs. All scheduled times are absolute simulation times and must not be
+/// in the past at install time. The `with_*` builders panic on invalid
+/// input; the `try_with_*` twins return a [`FaultError`] instead.
 ///
 /// ```
 /// use simnet::{FaultPlan, Sim, SimTime};
@@ -94,10 +128,10 @@ struct Crash {
 /// let a = sim.add_host("a", 1.0, 1 << 30);
 /// let b = sim.add_host("b", 1.0, 1 << 30);
 /// FaultPlan::new(7)
-///     .loss(a, b, 0.3)
-///     .jitter(a, b, 200)
-///     .link_down(a, b, SimTime::from_ms(100), SimTime::from_ms(600))
-///     .crash_host(b, SimTime::from_secs(2), Some(SimTime::from_secs(3)))
+///     .with_loss(a, b, 0.3)
+///     .with_jitter(a, b, 200)
+///     .with_link_down(a, b, SimTime::from_ms(100), SimTime::from_ms(600))
+///     .with_crash(b, SimTime::from_secs(2), Some(SimTime::from_secs(3)))
 ///     .install(&mut sim);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -121,69 +155,174 @@ impl FaultPlan {
     }
 
     /// Drop each message on the `a -> b` *and* `b -> a` links
-    /// independently with probability `p`.
-    pub fn loss(mut self, a: HostId, b: HostId, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+    /// independently with probability `p`. Panics if `p` is outside
+    /// `[0, 1]`; see [`try_with_loss`](FaultPlan::try_with_loss).
+    pub fn with_loss(self, a: HostId, b: HostId, p: f64) -> Self {
+        self.try_with_loss(a, b, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_loss`](FaultPlan::with_loss).
+    pub fn try_with_loss(mut self, a: HostId, b: HostId, p: f64) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultError::LossOutOfRange(p));
+        }
         self.losses.push(LinkLoss { src: a, dst: b, p });
         self.losses.push(LinkLoss { src: b, dst: a, p });
-        self
+        Ok(self)
     }
 
     /// Drop each message on the directed `src -> dst` link with
-    /// probability `p`.
-    pub fn loss_directed(mut self, src: HostId, dst: HostId, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+    /// probability `p`. Panics if `p` is outside `[0, 1]`; see
+    /// [`try_with_loss_directed`](FaultPlan::try_with_loss_directed).
+    pub fn with_loss_directed(self, src: HostId, dst: HostId, p: f64) -> Self {
+        self.try_with_loss_directed(src, dst, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_loss_directed`](FaultPlan::with_loss_directed).
+    pub fn try_with_loss_directed(
+        mut self,
+        src: HostId,
+        dst: HostId,
+        p: f64,
+    ) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultError::LossOutOfRange(p));
+        }
         self.losses.push(LinkLoss { src, dst, p });
-        self
+        Ok(self)
     }
 
     /// Add uniform random extra delivery latency in `[0, max_us]` to every
     /// message on the `a <-> b` links.
-    pub fn jitter(mut self, a: HostId, b: HostId, max_us: u64) -> Self {
+    pub fn with_jitter(mut self, a: HostId, b: HostId, max_us: u64) -> Self {
         self.jitters.push(LinkJitter { src: a, dst: b, max_us });
         self.jitters.push(LinkJitter { src: b, dst: a, max_us });
         self
     }
 
     /// Take the `a <-> b` links down for `[from, until)`: every message
-    /// transmitted inside the window is dropped.
-    pub fn link_down(mut self, a: HostId, b: HostId, from: SimTime, until: SimTime) -> Self {
-        assert!(from < until, "empty down window");
+    /// transmitted inside the window is dropped. Panics on an empty
+    /// window; see [`try_with_link_down`](FaultPlan::try_with_link_down).
+    pub fn with_link_down(self, a: HostId, b: HostId, from: SimTime, until: SimTime) -> Self {
+        self.try_with_link_down(a, b, from, until).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_link_down`](FaultPlan::with_link_down).
+    pub fn try_with_link_down(
+        mut self,
+        a: HostId,
+        b: HostId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<Self, FaultError> {
+        if from >= until {
+            return Err(FaultError::EmptyWindow { from, until });
+        }
         self.windows.push(DownWindow { src: a, dst: b, from, until });
         self.windows.push(DownWindow { src: b, dst: a, from, until });
-        self
+        Ok(self)
     }
 
     /// Partition `group_a` from `group_b` for `[from, until)`: every link
     /// crossing the cut is down for the window (links within each group
-    /// are unaffected).
-    pub fn partition(
-        mut self,
+    /// are unaffected). Panics on an empty window; see
+    /// [`try_with_partition`](FaultPlan::try_with_partition).
+    pub fn with_partition(
+        self,
         group_a: &[HostId],
         group_b: &[HostId],
         from: SimTime,
         until: SimTime,
     ) -> Self {
-        assert!(from < until, "empty partition window");
+        self.try_with_partition(group_a, group_b, from, until).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_partition`](FaultPlan::with_partition).
+    pub fn try_with_partition(
+        mut self,
+        group_a: &[HostId],
+        group_b: &[HostId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<Self, FaultError> {
+        if from >= until {
+            return Err(FaultError::EmptyWindow { from, until });
+        }
         for &a in group_a {
             for &b in group_b {
                 self.windows.push(DownWindow { src: a, dst: b, from, until });
                 self.windows.push(DownWindow { src: b, dst: a, from, until });
             }
         }
-        self
+        Ok(self)
     }
 
     /// Crash `host` at `at` (every actor on it dies: computation aborted,
     /// queues cleared, pending timers cancelled). If `restart_at` is set,
     /// the host restarts then: its actors come back alive with their
-    /// `on_start` re-run, modeling a process restart.
-    pub fn crash_host(mut self, host: HostId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+    /// `on_start` re-run, modeling a process restart. Panics if the
+    /// restart does not follow the crash; see
+    /// [`try_with_crash`](FaultPlan::try_with_crash).
+    pub fn with_crash(self, host: HostId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        self.try_with_crash(host, at, restart_at).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_crash`](FaultPlan::with_crash).
+    pub fn try_with_crash(
+        mut self,
+        host: HostId,
+        at: SimTime,
+        restart_at: Option<SimTime>,
+    ) -> Result<Self, FaultError> {
         if let Some(r) = restart_at {
-            assert!(r > at, "restart must follow the crash");
+            if r <= at {
+                return Err(FaultError::RestartBeforeCrash { at, restart_at: r });
+            }
         }
         self.crashes.push(Crash { host, at, restart_at });
-        self
+        Ok(self)
+    }
+
+    /// Deprecated alias of [`with_loss`](FaultPlan::with_loss).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_loss` (builder convention)")]
+    pub fn loss(self, a: HostId, b: HostId, p: f64) -> Self {
+        self.with_loss(a, b, p)
+    }
+
+    /// Deprecated alias of [`with_loss_directed`](FaultPlan::with_loss_directed).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_loss_directed` (builder convention)")]
+    pub fn loss_directed(self, src: HostId, dst: HostId, p: f64) -> Self {
+        self.with_loss_directed(src, dst, p)
+    }
+
+    /// Deprecated alias of [`with_jitter`](FaultPlan::with_jitter).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_jitter` (builder convention)")]
+    pub fn jitter(self, a: HostId, b: HostId, max_us: u64) -> Self {
+        self.with_jitter(a, b, max_us)
+    }
+
+    /// Deprecated alias of [`with_link_down`](FaultPlan::with_link_down).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_link_down` (builder convention)")]
+    pub fn link_down(self, a: HostId, b: HostId, from: SimTime, until: SimTime) -> Self {
+        self.with_link_down(a, b, from, until)
+    }
+
+    /// Deprecated alias of [`with_partition`](FaultPlan::with_partition).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_partition` (builder convention)")]
+    pub fn partition(
+        self,
+        group_a: &[HostId],
+        group_b: &[HostId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.with_partition(group_a, group_b, from, until)
+    }
+
+    /// Deprecated alias of [`with_crash`](FaultPlan::with_crash).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_crash` (builder convention)")]
+    pub fn crash_host(self, host: HostId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        self.with_crash(host, at, restart_at)
     }
 
     /// Arm every fault in the plan on `sim`. Probabilistic faults take
@@ -230,7 +369,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty down window")]
     fn rejects_empty_window() {
-        let _ = FaultPlan::new(0).link_down(
+        let _ = FaultPlan::new(0).with_link_down(
             HostId(0),
             HostId(1),
             SimTime::from_ms(5),
@@ -242,6 +381,42 @@ mod tests {
     #[should_panic(expected = "restart must follow")]
     fn rejects_restart_before_crash() {
         let _ =
-            FaultPlan::new(0).crash_host(HostId(0), SimTime::from_ms(5), Some(SimTime::from_ms(4)));
+            FaultPlan::new(0).with_crash(HostId(0), SimTime::from_ms(5), Some(SimTime::from_ms(4)));
+    }
+
+    #[test]
+    fn try_builders_report_instead_of_panicking() {
+        assert_eq!(
+            FaultPlan::new(0).try_with_loss(HostId(0), HostId(1), 1.5).unwrap_err(),
+            FaultError::LossOutOfRange(1.5)
+        );
+        assert!(matches!(
+            FaultPlan::new(0)
+                .try_with_partition(
+                    &[HostId(0)],
+                    &[HostId(1)],
+                    SimTime::from_ms(9),
+                    SimTime::from_ms(9),
+                )
+                .unwrap_err(),
+            FaultError::EmptyWindow { .. }
+        ));
+        assert!(FaultPlan::new(0)
+            .try_with_crash(HostId(0), SimTime::from_ms(1), Some(SimTime::from_ms(2)))
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_build() {
+        let plan = FaultPlan::new(3)
+            .loss(HostId(0), HostId(1), 0.1)
+            .jitter(HostId(0), HostId(1), 50)
+            .link_down(HostId(0), HostId(1), SimTime::from_ms(1), SimTime::from_ms(2))
+            .crash_host(HostId(1), SimTime::from_ms(3), None);
+        assert_eq!(plan.seed(), 3);
+        assert_eq!(plan.losses.len(), 2);
+        assert_eq!(plan.windows.len(), 2);
+        assert_eq!(plan.crashes.len(), 1);
     }
 }

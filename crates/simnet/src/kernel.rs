@@ -451,6 +451,14 @@ impl Sim {
         self.event_limit = limit;
     }
 
+    /// Route every kernel trace event onto `obs`'s shared event bus as a
+    /// structured `Source::Simnet` event (see [`crate::trace`]). This is
+    /// independent of [`Trace::set_enabled`], which only controls the
+    /// legacy in-memory log.
+    pub fn attach_obs(&mut self, obs: &obs::Obs) {
+        self.trace.attach_obs(obs);
+    }
+
     pub fn host_of(&self, a: ActorId) -> HostId {
         self.states[a.0].host
     }
@@ -549,6 +557,7 @@ impl Sim {
         self.events_handled += 1;
         if let Some(limit) = self.event_limit {
             if self.events_handled > limit {
+                #[allow(deprecated)]
                 let tail: Vec<String> = self
                     .trace
                     .events()

@@ -66,9 +66,20 @@ pub mod trace;
 
 pub use accounting::{Accounting, Dir, Snapshot, Transfer};
 pub use actor::{Action, Actor, ActorId, HostId};
-pub use fault::{DropReason, FaultPlan};
+pub use fault::{DropReason, FaultError, FaultPlan};
 pub use kernel::{Ctx, Sim};
 pub use link::{FlowSched, Link, LinkMode};
 pub use message::{DecodeError, Message};
 pub use time::{dur, SimTime};
 pub use trace::{Trace, TraceEvent};
+
+/// The types almost every simnet user needs.
+pub mod prelude {
+    pub use crate::actor::{Action, Actor, ActorId, HostId};
+    pub use crate::fault::{DropReason, FaultError, FaultPlan};
+    pub use crate::kernel::{Ctx, Sim};
+    pub use crate::link::LinkMode;
+    pub use crate::message::Message;
+    pub use crate::time::{dur, SimTime};
+    pub use crate::trace::TraceEvent;
+}

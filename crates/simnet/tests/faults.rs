@@ -1,12 +1,19 @@
 //! Fault-injection integration tests: deterministic loss, jitter, down
-//! windows, partitions, and host crash/restart, all visible in the trace.
+//! windows, partitions, and host crash/restart, all visible on the obs
+//! event bus.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use obs::Obs;
 use simnet::{
     dur, Actor, ActorId, Ctx, DropReason, FaultPlan, HostId, Message, Sim, SimTime, TraceEvent,
 };
+
+/// All kernel events published to `obs`, decoded back to trace form.
+fn simnet_events(obs: &Obs) -> Vec<(SimTime, TraceEvent)> {
+    obs.events().iter().filter_map(|e| TraceEvent::from_obs(e)).collect()
+}
 
 /// Sends one message to `dst` every `period_us`, counting replies.
 struct Pinger {
@@ -65,15 +72,16 @@ fn ping_setup(rounds: u32) -> (Sim, HostId, HostId, Rc<RefCell<u32>>, Rc<RefCell
 #[test]
 fn down_window_drops_and_recovers() {
     let (mut sim, ha, hb, sent, got) = ping_setup(20);
-    sim.trace.set_enabled(true);
+    let obs = Obs::new();
+    sim.attach_obs(&obs);
     FaultPlan::new(1)
-        .link_down(ha, hb, SimTime::from_ms(45), SimTime::from_ms(105))
+        .with_link_down(ha, hb, SimTime::from_ms(45), SimTime::from_ms(105))
         .install(&mut sim);
     sim.run_until_idle();
     assert_eq!(*sent.borrow(), 20);
     // Pings at 50..=100 ms fall in the window: 6 of 20 lost.
     assert_eq!(*got.borrow(), 14);
-    let evs = sim.trace.take();
+    let evs = simnet_events(&obs);
     let drops = evs
         .iter()
         .filter(|(_, e)| matches!(e, TraceEvent::MsgDropped { reason: DropReason::LinkDown, .. }))
@@ -91,11 +99,12 @@ fn down_window_drops_and_recovers() {
 fn loss_is_traced_and_deterministic() {
     let run = || {
         let (mut sim, ha, hb, _, got) = ping_setup(50);
-        sim.trace.set_enabled(true);
-        FaultPlan::new(42).loss(ha, hb, 0.5).install(&mut sim);
+        let obs = Obs::new();
+        sim.attach_obs(&obs);
+        FaultPlan::new(42).with_loss(ha, hb, 0.5).install(&mut sim);
         sim.run_until_idle();
         let g = *got.borrow();
-        (g, sim.trace.take())
+        (g, simnet_events(&obs))
     };
     let (got1, trace1) = run();
     let (got2, trace2) = run();
@@ -113,12 +122,12 @@ fn loss_is_traced_and_deterministic() {
 fn jitter_delays_but_delivers_everything() {
     let deliveries = |seed: u64| {
         let (mut sim, ha, hb, _, got) = ping_setup(20);
-        sim.trace.set_enabled(true);
-        FaultPlan::new(seed).jitter(ha, hb, 5_000).install(&mut sim);
+        let obs = Obs::new();
+        sim.attach_obs(&obs);
+        FaultPlan::new(seed).with_jitter(ha, hb, 5_000).install(&mut sim);
         sim.run_until_idle();
         assert_eq!(*got.borrow(), 20, "jitter must not lose messages");
-        sim.trace
-            .take()
+        simnet_events(&obs)
             .into_iter()
             .filter(|(_, e)| matches!(e, TraceEvent::MsgDelivered { .. }))
             .map(|(t, _)| t)
@@ -138,7 +147,7 @@ fn partition_cuts_cross_links_only() {
     let hb = sim.add_host("b", 1.0, 1 << 30);
     let hc = sim.add_host("c", 1.0, 1 << 30);
     FaultPlan::new(0)
-        .partition(&[ha], &[hb, hc], SimTime::from_ms(1), SimTime::from_ms(2))
+        .with_partition(&[ha], &[hb, hc], SimTime::from_ms(1), SimTime::from_ms(2))
         .install(&mut sim);
     sim.run_until(SimTime::from_us(1500));
     assert!(sim.is_link_down(ha, hb));
@@ -174,13 +183,14 @@ impl Actor for CrashDummy {
 fn crash_restart_rehydrates_and_cancels_stale_timers() {
     let mut sim = Sim::new();
     let h = sim.add_host("srv", 1.0, 1 << 30);
-    sim.trace.set_enabled(true);
+    let obs = Obs::new();
+    sim.attach_obs(&obs);
     let starts = Rc::new(RefCell::new(0));
     let stale = Rc::new(RefCell::new(false));
     let a =
         sim.spawn(h, Box::new(CrashDummy { starts: starts.clone(), stale_fired: stale.clone() }));
     FaultPlan::new(0)
-        .crash_host(h, SimTime::from_ms(100), Some(SimTime::from_ms(200)))
+        .with_crash(h, SimTime::from_ms(100), Some(SimTime::from_ms(200)))
         .install(&mut sim);
     sim.run_until(SimTime::from_ms(150));
     assert!(!sim.is_alive(a), "actor dead during the outage");
@@ -188,7 +198,7 @@ fn crash_restart_rehydrates_and_cancels_stale_timers() {
     assert!(sim.is_alive(a), "actor restarted");
     assert_eq!(*starts.borrow(), 2, "on_start re-ran on restart");
     assert!(!*stale.borrow(), "pre-crash timer must not fire post-restart");
-    let evs = sim.trace.take();
+    let evs = simnet_events(&obs);
     assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostCrash { .. })));
     assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostRestart { .. })));
 }
@@ -198,7 +208,8 @@ fn messages_to_crashed_host_are_dropped_as_receiver_dead() {
     let mut sim = Sim::new();
     let ha = sim.add_host("a", 1.0, 1 << 30);
     let hb = sim.add_host("b", 1.0, 1 << 30);
-    sim.trace.set_enabled(true);
+    let obs = Obs::new();
+    sim.attach_obs(&obs);
     let echo = sim.spawn(hb, Box::new(Echo));
     let sent = Rc::new(RefCell::new(0));
     let got = Rc::new(RefCell::new(0));
@@ -213,10 +224,10 @@ fn messages_to_crashed_host_are_dropped_as_receiver_dead() {
         }),
     );
     // Crash covers pings 5..10 (at 50..100 ms); no restart.
-    FaultPlan::new(0).crash_host(hb, SimTime::from_ms(45), None).install(&mut sim);
+    FaultPlan::new(0).with_crash(hb, SimTime::from_ms(45), None).install(&mut sim);
     sim.run_until_idle();
     assert_eq!(*got.borrow(), 4);
-    let evs = sim.trace.take();
+    let evs = simnet_events(&obs);
     let dead_drops = evs
         .iter()
         .filter(|(_, e)| {

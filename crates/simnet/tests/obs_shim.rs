@@ -1,0 +1,67 @@
+//! Regression: the deprecated `Trace::events` shim and the obs bus see
+//! exactly the same kernel event stream — byte-identical after decoding.
+
+use obs::{EventFilter, Obs, Source};
+use simnet::{dur, Actor, ActorId, Ctx, FaultPlan, Message, Sim, SimTime, TraceEvent};
+
+struct Echo;
+impl Actor for Echo {
+    fn on_message(&mut self, from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.send(from, Message::signal(msg.tag, msg.wire_bytes));
+    }
+}
+
+struct Burst {
+    dst: ActorId,
+    left: u32,
+}
+impl Actor for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(500.0);
+        ctx.set_timer(dur::ms(5), 1);
+    }
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send_now(self.dst, Message::signal(3, 2_000));
+            ctx.set_timer(dur::ms(5), 1);
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_trace_log_and_bus_agree_byte_for_byte() {
+    let obs = Obs::new();
+    let mut sim = Sim::new();
+    let ha = sim.add_host("a", 1.0, 1 << 30);
+    let hb = sim.add_host("b", 1.0, 1 << 30);
+    sim.set_link(ha, hb, 1_000_000.0, 150);
+    let echo = sim.spawn(hb, Box::new(Echo));
+    sim.spawn(ha, Box::new(Burst { dst: echo, left: 25 }));
+
+    // Both sinks armed: the legacy log and the bus.
+    sim.trace.set_enabled(true);
+    sim.attach_obs(&obs);
+    FaultPlan::new(5)
+        .with_loss(ha, hb, 0.2)
+        .with_link_down(ha, hb, SimTime::from_ms(40), SimTime::from_ms(60))
+        .with_crash(hb, SimTime::from_ms(90), Some(SimTime::from_ms(100)))
+        .install(&mut sim);
+    sim.run_until_idle();
+
+    let legacy: &[(SimTime, TraceEvent)] = sim.trace.events();
+    assert!(!legacy.is_empty(), "workload must produce events");
+
+    let from_bus: Vec<(SimTime, TraceEvent)> = obs
+        .events_filtered(&EventFilter::any().source(Source::Simnet))
+        .iter()
+        .map(|e| TraceEvent::from_obs(e).expect("every simnet bus event decodes"))
+        .collect();
+    assert_eq!(legacy, from_bus.as_slice());
+
+    // The rendered debug forms agree too (same order, same payloads).
+    let legacy_bytes: Vec<String> = legacy.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
+    let bus_bytes: Vec<String> = from_bus.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
+    assert_eq!(legacy_bytes, bus_bytes);
+}

@@ -78,6 +78,20 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+impl From<ConfigError> for adapt_core::Error {
+    fn from(e: ConfigError) -> Self {
+        match e {
+            ConfigError::MissingParam(p) => adapt_core::Error::MissingParam(p.to_string()),
+            ConfigError::OutOfRange { param, value } => {
+                adapt_core::Error::OutOfRange { param: param.to_string(), value }
+            }
+            ConfigError::UnknownCompression(code) => {
+                adapt_core::Error::UnknownValue { param: "c".to_string(), value: code }
+            }
+        }
+    }
+}
+
 impl VizConfig {
     /// Into the framework's named-parameter form (`dR`, `l`, `c`).
     pub fn to_configuration(self) -> Configuration {
@@ -130,6 +144,22 @@ pub struct AdaptSetup {
 }
 
 /// Client construction options.
+///
+/// Build with [`ClientOpts::new`] and the consuming `with_*` methods;
+/// struct-literal construction is a deprecated path kept only for
+/// backward compatibility (the field set will gain private members).
+///
+/// ```
+/// # use visapp::{ClientOpts, VizConfig};
+/// # use compress::Method;
+/// # use simnet::ActorId;
+/// let opts = ClientOpts::new(ActorId(0))
+///     .with_n_images(4)
+///     .with_initial(VizConfig { dr: 32, level: 3, method: Method::Lzw })
+///     .with_geometry(32, (64, 64), 3)
+///     .with_request_timeout(Some(200_000));
+/// assert_eq!(opts.n_images, 4);
+/// ```
 pub struct ClientOpts {
     pub server: ActorId,
     pub n_images: usize,
@@ -150,6 +180,77 @@ pub struct ClientOpts {
     /// Circuit breaker guarding the retransmission loop; `None` retries
     /// forever at the backoff schedule.
     pub breaker: Option<BreakerOpts>,
+}
+
+impl ClientOpts {
+    /// Options for a client of `server`, with small-test defaults: one
+    /// 64x64 3-level image at the coarsest-but-one resolution, centered
+    /// fovea, no verification, no retransmission, no breaker.
+    pub fn new(server: ActorId) -> Self {
+        ClientOpts {
+            server,
+            n_images: 1,
+            initial: VizConfig { dr: 32, level: 3, method: Method::Lzw },
+            user: UserModel::center(64, 64),
+            cover_radius: 32,
+            img_dims: (64, 64),
+            max_level: 3,
+            verify_store: None,
+            request_timeout_us: None,
+            retry: RetryPolicy::default(),
+            breaker: None,
+        }
+    }
+
+    pub fn with_n_images(mut self, n: usize) -> Self {
+        self.n_images = n;
+        self
+    }
+
+    pub fn with_initial(mut self, config: VizConfig) -> Self {
+        self.initial = config;
+        self
+    }
+
+    pub fn with_user(mut self, user: UserModel) -> Self {
+        self.user = user;
+        self
+    }
+
+    /// Set the image geometry together: the radius covering a whole image,
+    /// the pixel dimensions, and the pyramid's finest level.
+    pub fn with_geometry(
+        mut self,
+        cover_radius: usize,
+        img_dims: (usize, usize),
+        max_level: usize,
+    ) -> Self {
+        self.cover_radius = cover_radius;
+        self.img_dims = img_dims;
+        self.max_level = max_level;
+        self
+    }
+
+    /// Really decompress/reconstruct every reply against `store`.
+    pub fn with_verify_store(mut self, store: Option<Arc<ImageStore>>) -> Self {
+        self.verify_store = store;
+        self
+    }
+
+    pub fn with_request_timeout(mut self, timeout_us: Option<u64>) -> Self {
+        self.request_timeout_us = timeout_us;
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    pub fn with_breaker(mut self, breaker: Option<BreakerOpts>) -> Self {
+        self.breaker = breaker;
+        self
+    }
 }
 
 struct PendingRound {
@@ -296,7 +397,7 @@ impl Client {
             let Ok(new_cfg) = VizConfig::try_from_configuration(&ev.new) else { return };
             let method_changed = new_cfg.method != self.cfg.method;
             self.cfg = new_cfg;
-            self.stats.with_mut(|s| s.config_history.push((now, ev.new.clone())));
+            self.stats.record_config(now, ev.new.clone());
             for action in &ev.actions {
                 match action {
                     adapt_core::TransitionAction::NotifyHost { host, param } => {
@@ -321,13 +422,11 @@ impl Client {
         self.allocated = 0;
         let rounds_for_image =
             self.stats.with(|s| s.rounds.iter().filter(|r| r.image_id == self.image_idx).count());
-        self.stats.with_mut(|s| {
-            s.images.push(ImageRecord {
-                image_id: self.image_idx,
-                started: self.image_started,
-                finished: now,
-                rounds: rounds_for_image,
-            })
+        self.stats.record_image(ImageRecord {
+            image_id: self.image_idx,
+            started: self.image_started,
+            finished: now,
+            rounds: rounds_for_image,
         });
         // End-to-end verification: the reassembled image at the requested
         // level must match the server's pyramid exactly.
@@ -346,14 +445,12 @@ impl Client {
             self.begin_image(ctx);
         } else {
             self.done = true;
-            self.stats.with_mut(|s| s.finished_at = Some(now));
+            self.stats.record_finished(now);
             if let Some(a) = &self.adapt {
+                #[allow(deprecated)]
                 let events = a.runtime.events().to_vec();
                 let estimate = a.runtime.monitor.estimate();
-                self.stats.with_mut(|s| {
-                    s.adapt_events = events;
-                    s.final_estimate = Some(estimate);
-                });
+                self.stats.record_adapt_summary(events, estimate);
             }
             ctx.send(self.opts.server, Message::signal(protocol::TAG_DISCONNECT, 32));
         }
@@ -363,7 +460,7 @@ impl Client {
 impl Actor for Client {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let initial = self.cfg.to_configuration();
-        self.stats.with_mut(|s| s.config_history.push((ctx.now(), initial)));
+        self.stats.record_config(ctx.now(), initial);
         ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
         if let Some(a) = &self.adapt {
             ctx.set_timer(a.period_us, TAG_MONITOR);
@@ -397,19 +494,19 @@ impl Actor for Client {
         {
             // Stale or duplicate reply (e.g. a retransmission race):
             // dropped, never applied twice.
-            self.stats.with_mut(|s| s.dup_replies_dropped += 1);
+            self.stats.record_dup_reply();
             return;
         }
         // A live reply: the path works again.
         self.attempt = 0;
         if let Some(b) = self.breaker.as_mut() {
             if b.on_success() {
-                self.stats.with_mut(|s| s.breaker_closes += 1);
+                self.stats.record_breaker_close();
                 if let Some(saved) = self.saved_cfg.take() {
                     self.cfg = saved;
                     let now = ctx.now();
                     let restored = self.cfg.to_configuration();
-                    self.stats.with_mut(|s| s.config_history.push((now, restored)));
+                    self.stats.record_config(now, restored);
                 }
             }
         }
@@ -443,17 +540,15 @@ impl Actor for Client {
         }
         let Some(pending) = self.pending.take() else { return };
         let now = ctx.now();
-        self.stats.with_mut(|s| {
-            s.rounds.push(RoundRecord {
-                image_id: self.image_idx,
-                round: self.round_no,
-                started: self.round_started,
-                finished: now,
-                wire_bytes: pending.wire_bytes,
-                raw_bytes: pending.raw_bytes,
-                level: self.cfg.level,
-                dr: self.cfg.dr,
-            })
+        self.stats.record_round(RoundRecord {
+            image_id: self.image_idx,
+            round: self.round_no,
+            started: self.round_started,
+            finished: now,
+            wire_bytes: pending.wire_bytes,
+            raw_bytes: pending.raw_bytes,
+            level: self.cfg.level,
+            dr: self.cfg.dr,
         });
         self.prev_r = self.r;
         self.round_no += 1;
@@ -473,7 +568,7 @@ impl Actor for Client {
             // session cache serves the same bytes again).
             let awaited = tag - TAG_RETRY_BASE;
             if !self.done && self.pending.is_none() && self.round_no == awaited {
-                self.stats.with_mut(|s| s.timeouts += 1);
+                self.stats.record_timeout();
                 self.attempt += 1;
                 let now = ctx.now();
                 let mut blocked = false;
@@ -483,7 +578,7 @@ impl Actor for Client {
                     blocked = !b.can_attempt(now);
                 }
                 if opened {
-                    self.stats.with_mut(|s| s.breaker_opens += 1);
+                    self.stats.record_breaker_open();
                     if self.saved_cfg.is_none() {
                         // Degrade: ride out the outage in the cheapest
                         // configuration so the half-open probes (and the
@@ -497,7 +592,7 @@ impl Actor for Client {
                             .and_then(|o| o.degraded)
                             .unwrap_or_else(|| self.lowest_cost_config());
                         let degraded = self.cfg.to_configuration();
-                        self.stats.with_mut(|s| s.config_history.push((now, degraded)));
+                        self.stats.record_config(now, degraded);
                     }
                 }
                 if blocked {
@@ -507,7 +602,7 @@ impl Actor for Client {
                     ctx.set_timer(wait, TAG_BREAKER_PROBE);
                     return;
                 }
-                self.stats.with_mut(|s| s.retries += 1);
+                self.stats.record_retry();
                 self.send_request(ctx);
             }
             return;
@@ -523,7 +618,7 @@ impl Actor for Client {
                 // our session since we last spoke: re-announce the
                 // compression method before re-asking for the round.
                 ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
-                self.stats.with_mut(|s| s.retries += 1);
+                self.stats.record_retry();
                 self.send_request(ctx);
             } else {
                 let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);

@@ -42,3 +42,17 @@ pub use server::{Reporter, Server};
 pub use stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
 pub use store::ImageStore;
 pub use user_model::UserModel;
+
+/// The application-layer vocabulary in one import: `use visapp::prelude::*;`.
+pub mod prelude {
+    pub use crate::client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
+    pub use crate::resilience::{BreakerOpts, BreakerState, RetryPolicy};
+    pub use crate::scenario::{
+        build_db, run_adaptive, run_competing, run_static, run_static_until, LoadSpec, RunOutcome,
+        Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
+    };
+    pub use crate::server::Server;
+    pub use crate::stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
+    pub use crate::store::ImageStore;
+    pub use crate::user_model::UserModel;
+}

@@ -15,6 +15,7 @@ use adapt_core::{
     TunableSpec, MONITOR_PERIOD_US,
 };
 use compress::Method;
+use obs::Obs;
 use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
 use simnet::{FaultPlan, HostId, LinkMode, Sim, SimTime};
 
@@ -149,6 +150,48 @@ impl Scenario {
         Scenario { n_images: 2, img_size: 64, levels: 3, ..Scenario::default() }
     }
 
+    /// Check the parameters are mutually consistent before running: a
+    /// malformed scenario reports [`adapt_core::Error::InvalidScenario`]
+    /// instead of failing obscurely mid-simulation.
+    pub fn validate(&self) -> adapt_core::Result<()> {
+        let fail = |why: String| Err(adapt_core::Error::InvalidScenario(why));
+        if self.n_images == 0 {
+            return fail("n_images must be at least 1".into());
+        }
+        if self.levels == 0 {
+            return fail("levels must be at least 1".into());
+        }
+        if self.img_size < (1 << self.levels) {
+            return fail(format!(
+                "img_size {} cannot carry a {}-level pyramid",
+                self.img_size, self.levels
+            ));
+        }
+        // NaN must fail too, so compare through `partial_cmp` rather than
+        // a negated `>`.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(self.link_bps) {
+            return fail(format!("link_bps {} must be positive", self.link_bps));
+        }
+        if !positive(self.client_speed) || !positive(self.server_speed) {
+            return fail("host speeds must be positive".into());
+        }
+        if let Some(cap) = self.server_net_cap {
+            if !positive(cap) {
+                return fail(format!("server_net_cap {cap} must be positive"));
+            }
+        }
+        if let Some((p, _)) = self.link_loss {
+            if !(0.0..=1.0).contains(&p) {
+                return fail(format!("link loss probability {p} out of [0, 1]"));
+            }
+            if p > 0.0 && self.request_timeout_us.is_none() {
+                return fail("lossy links need a request timeout to retransmit".into());
+            }
+        }
+        Ok(())
+    }
+
     pub fn build_store(&self) -> Arc<ImageStore> {
         Arc::new(ImageStore::generate(self.n_images, self.img_size, self.levels, self.seed))
     }
@@ -226,6 +269,9 @@ pub fn viz_spec(sc: &Scenario) -> TunableSpec {
 pub struct RunOutcome {
     pub stats: RunStats,
     pub end: SimTime,
+    /// The run's observability sink: every kernel trace event, adaptation
+    /// event, and `visapp.*` metric, queryable after the fact.
+    pub obs: Obs,
 }
 
 /// Debug hooks: `VISAPP_EVENT_LIMIT=<n>` installs a runaway-loop backstop,
@@ -241,6 +287,23 @@ fn apply_debug_env(sim: &mut Sim) {
     }
 }
 
+/// The scenario's client options against `server_id` (builder form).
+fn client_opts(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    server_id: simnet::ActorId,
+    config: VizConfig,
+) -> ClientOpts {
+    ClientOpts::new(server_id)
+        .with_n_images(sc.n_images)
+        .with_initial(config)
+        .with_user(UserModel::center(sc.img_size, sc.img_size))
+        .with_geometry(store.cover_radius(), store.dims(), store.levels())
+        .with_request_timeout(sc.request_timeout_us)
+        .with_retry(sc.retry)
+        .with_breaker(sc.breaker)
+}
+
 fn assemble(
     sc: &Scenario,
     store: &Arc<ImageStore>,
@@ -248,8 +311,12 @@ fn assemble(
     limits: LimitsHandle,
     stats_handle: &StatsHandle,
     adapt: Option<AdaptSetup>,
+    obs: &Obs,
 ) -> Sim {
+    sc.validate().expect("invalid scenario");
+    stats_handle.attach_obs(obs);
     let mut sim = Sim::new();
+    sim.attach_obs(obs);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
     sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);
@@ -264,30 +331,20 @@ fn assemble(
     }
 
     // Server, optionally bandwidth-capped via its own sandbox.
+    let server = Server::new(store.clone()).with_obs(obs);
     let server_id = match sc.server_net_cap {
         Some(cap) => {
             let slim = LimitsHandle::new(Limits { net_send_bps: Some(cap), ..Limits::default() });
-            sim.spawn(
-                hs,
-                Box::new(Sandboxed::new(Server::new(store.clone()), slim, SandboxStats::default())),
-            )
+            sim.spawn(hs, Box::new(Sandboxed::new(server, slim, SandboxStats::default())))
         }
-        None => sim.spawn(hs, Box::new(Server::new(store.clone()))),
+        None => sim.spawn(hs, Box::new(server)),
     };
 
-    let opts = ClientOpts {
-        server: server_id,
-        n_images: sc.n_images,
-        initial: config,
-        user: UserModel::center(sc.img_size, sc.img_size),
-        cover_radius: store.cover_radius(),
-        img_dims: store.dims(),
-        max_level: store.levels(),
-        verify_store: if sc.verify { Some(store.clone()) } else { None },
-        request_timeout_us: sc.request_timeout_us,
-        retry: sc.retry,
-        breaker: sc.breaker,
-    };
+    let opts = client_opts(sc, store, server_id, config).with_verify_store(if sc.verify {
+        Some(store.clone())
+    } else {
+        None
+    });
     let client = Client::new(opts, stats_handle.clone(), adapt);
     sim.spawn(
         hc,
@@ -306,15 +363,16 @@ pub fn run_static(
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
 ) -> RunOutcome {
+    let obs = Obs::new();
     let stats_handle = StatsHandle::new();
     let limits = LimitsHandle::new(initial_limits);
-    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None);
+    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
     apply_debug_env(&mut sim);
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
     }
     sim.run_until_idle();
-    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
 }
 
 /// Like [`run_static`] but stops the simulation at `horizon` even when
@@ -329,15 +387,16 @@ pub fn run_static_until(
     schedule: Option<LimitSchedule>,
     horizon: SimTime,
 ) -> RunOutcome {
+    let obs = Obs::new();
     let stats_handle = StatsHandle::new();
     let limits = LimitsHandle::new(initial_limits);
-    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None);
+    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
     apply_debug_env(&mut sim);
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
     }
     sim.run_until(horizon);
-    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
 }
 
 /// Run the adaptive application: performance database + preferences drive
@@ -351,6 +410,8 @@ pub fn run_adaptive(
     schedule: Option<LimitSchedule>,
 ) -> RunOutcome {
     assert!(!sc.verify, "verification requires a fixed configuration");
+    sc.validate().expect("invalid scenario");
+    let obs = Obs::new();
     let spec = viz_spec(sc);
     let scheduler = ResourceScheduler::new(db, prefs, PROFILE_INPUT);
     // Initial resource estimate from the starting limits (what admission
@@ -359,8 +420,9 @@ pub fn run_adaptive(
     let mut start = ResourceVector::default();
     start.set(client_cpu_key(), l.cpu_share.unwrap_or(1.0));
     start.set(client_net_key(), l.net_recv_bps.unwrap_or(sc.link_bps).min(sc.link_bps));
-    let mut runtime = AdaptiveRuntime::configure(spec, scheduler, sc.monitor_window_us, &start)
-        .expect("no satisfiable initial configuration");
+    let mut runtime = AdaptiveRuntime::try_configure(spec, scheduler, sc.monitor_window_us, &start)
+        .unwrap_or_else(|e| panic!("initial configuration failed: {e}"));
+    runtime.set_obs(&obs);
     runtime.monitor.min_trigger_gap_us = sc.trigger_gap_us;
     let initial_cfg = VizConfig::from_configuration(runtime.current());
     let sandbox_stats = SandboxStats::new(sc.monitor_window_us);
@@ -373,8 +435,10 @@ pub fn run_adaptive(
     };
 
     let stats_handle = StatsHandle::new();
+    stats_handle.attach_obs(&obs);
     let limits = LimitsHandle::new(l);
     let mut sim = Sim::new();
+    sim.attach_obs(&obs);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
     sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);
@@ -387,20 +451,8 @@ pub fn run_adaptive(
     if let Some(plan) = &sc.fault_plan {
         plan.install(&mut sim);
     }
-    let server_id = sim.spawn(hs, Box::new(Server::new(store.clone())));
-    let opts = ClientOpts {
-        server: server_id,
-        n_images: sc.n_images,
-        initial: initial_cfg,
-        user: UserModel::center(sc.img_size, sc.img_size),
-        cover_radius: store.cover_radius(),
-        img_dims: store.dims(),
-        max_level: store.levels(),
-        verify_store: None,
-        request_timeout_us: sc.request_timeout_us,
-        retry: sc.retry,
-        breaker: sc.breaker,
-    };
+    let server_id = sim.spawn(hs, Box::new(Server::new(store.clone()).with_obs(&obs)));
+    let opts = client_opts(sc, store, server_id, initial_cfg);
     let client = Client::new(opts, stats_handle.clone(), Some(adapt));
     sim.spawn(hc, Box::new(Sandboxed::new(client, limits.clone(), sandbox_stats)));
     install_loads(&mut sim, hc, &sc.competing_load);
@@ -409,7 +461,7 @@ pub fn run_adaptive(
         sched.install(&mut sim, &limits);
     }
     sim.run_until_idle();
-    RunOutcome { stats: stats_handle.take(), end: sim.now() }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
 }
 
 /// Run several independent clients concurrently against one server, each
@@ -421,6 +473,7 @@ pub fn run_competing(
     store: &Arc<ImageStore>,
     clients: &[(VizConfig, Limits)],
 ) -> Vec<RunStats> {
+    sc.validate().expect("invalid scenario");
     let mut sim = Sim::new();
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
@@ -438,19 +491,11 @@ pub fn run_competing(
     let mut handles = Vec::new();
     for (config, limits) in clients {
         let stats_handle = StatsHandle::new();
-        let opts = ClientOpts {
-            server: server_id,
-            n_images: sc.n_images,
-            initial: *config,
-            user: UserModel::center(sc.img_size, sc.img_size),
-            cover_radius: store.cover_radius(),
-            img_dims: store.dims(),
-            max_level: store.levels(),
-            verify_store: if sc.verify { Some(store.clone()) } else { None },
-            request_timeout_us: sc.request_timeout_us,
-            retry: sc.retry,
-            breaker: sc.breaker,
-        };
+        let opts = client_opts(sc, store, server_id, *config).with_verify_store(if sc.verify {
+            Some(store.clone())
+        } else {
+            None
+        });
         let client = Client::new(opts, stats_handle.clone(), None);
         sim.spawn(
             hc,

@@ -59,6 +59,16 @@ pub struct Server {
     dropped_msgs: u64,
     reporter: Option<Reporter>,
     had_clients: bool,
+    obs: Option<ServerObs>,
+}
+
+/// Pre-registered metric targets so the request path stays allocation-free.
+struct ServerObs {
+    obs: obs::Obs,
+    request_span: obs::MetricId,
+    requests: obs::MetricId,
+    duplicates: obs::MetricId,
+    dropped: obs::MetricId,
 }
 
 impl Server {
@@ -71,6 +81,7 @@ impl Server {
             dropped_msgs: 0,
             reporter: None,
             had_clients: false,
+            obs: None,
         }
     }
 
@@ -78,6 +89,26 @@ impl Server {
     pub fn with_reporter(mut self, reporter: Reporter) -> Self {
         self.reporter = Some(reporter);
         self
+    }
+
+    /// Mirror server telemetry into `obs`: per-request service latency on
+    /// the `"visapp.request"` histogram plus served/duplicate/dropped
+    /// counters.
+    pub fn with_obs(mut self, obs: &obs::Obs) -> Self {
+        self.obs = Some(ServerObs {
+            obs: obs.clone(),
+            request_span: obs.histogram("visapp.request"),
+            requests: obs.counter("server.requests"),
+            duplicates: obs.counter("server.duplicates"),
+            dropped: obs.counter("server.dropped_msgs"),
+        });
+        self
+    }
+
+    fn count(&self, pick: impl Fn(&ServerObs) -> obs::MetricId) {
+        if let Some(h) = &self.obs {
+            h.obs.inc(pick(h), 1);
+        }
     }
 
     pub fn requests_served(&self) -> u64 {
@@ -138,6 +169,7 @@ impl Actor for Server {
             protocol::TAG_CONNECT => {
                 let Ok(c) = msg.decode::<protocol::Connect>() else {
                     self.dropped_msgs += 1;
+                    self.count(|h| h.dropped);
                     return;
                 };
                 self.sessions.entry(from).or_default().compression = Some(c.compression);
@@ -146,6 +178,7 @@ impl Actor for Server {
             protocol::TAG_SET_COMPRESSION => {
                 let Ok(c) = msg.decode::<protocol::SetCompression>() else {
                     self.dropped_msgs += 1;
+                    self.count(|h| h.dropped);
                     return;
                 };
                 if let Some(sess) = self.sessions.get_mut(&from) {
@@ -153,25 +186,33 @@ impl Actor for Server {
                 }
             }
             protocol::TAG_REQUEST => {
+                let _span = self.obs.as_ref().map(|h| h.obs.span(h.request_span));
                 let Ok(req) = msg.decode::<Request>() else {
                     self.dropped_msgs += 1;
+                    self.count(|h| h.dropped);
                     return;
                 };
                 let req = req.clone();
                 // Idempotent retransmissions: answer repeats of the last
                 // request from the session cache, skipping the extraction
                 // and compression work (the bytes are already prepared).
+                let mut cached_hit = None;
                 if let Some(sess) = self.sessions.get_mut(&from) {
                     if let Some((cached_req, cached_reply)) = &sess.cached {
                         if *cached_req == req {
                             sess.dups += 1;
-                            self.duplicate_requests += 1;
-                            ctx.send(from, protocol::reply_msg(cached_reply.clone()));
-                            return;
+                            cached_hit = Some(cached_reply.clone());
                         }
                     }
                 }
+                if let Some(reply) = cached_hit {
+                    self.duplicate_requests += 1;
+                    self.count(|h| h.duplicates);
+                    ctx.send(from, protocol::reply_msg(reply));
+                    return;
+                }
                 self.requests_served += 1;
+                self.count(|h| h.requests);
                 let method = self.method_for(from);
                 let (w, h) = self.store.dims();
                 let region = Rect::fovea(req.cx, req.cy, req.r, w, h);
@@ -206,6 +247,7 @@ impl Actor for Server {
                 // injection a peer may be mid-restart or speaking a newer
                 // protocol revision.
                 self.dropped_msgs += 1;
+                self.count(|h| h.dropped);
             }
         }
     }

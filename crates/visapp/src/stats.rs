@@ -57,6 +57,11 @@ pub struct RunStats {
     pub config_history: Vec<(SimTime, Configuration)>,
     /// The adaptation runtime's event log (triggers, decisions, switches,
     /// NAKs), copied out when the run completes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read adaptation events off the obs bus (`RunOutcome::obs`, \
+                sources Monitor/Scheduler/Steering) instead"
+    )]
     pub adapt_events: Vec<AdaptationEvent>,
     /// Set when every requested image has been delivered.
     pub finished_at: Option<SimTime>,
@@ -126,26 +131,159 @@ impl RunStats {
     }
 }
 
+/// Pre-registered metric targets so per-round recording stays
+/// allocation-free on the counters.
+#[derive(Debug)]
+struct StatsObs {
+    obs: obs::Obs,
+    images: obs::MetricId,
+    rounds: obs::MetricId,
+    switches: obs::MetricId,
+    retries: obs::MetricId,
+    timeouts: obs::MetricId,
+    breaker_opens: obs::MetricId,
+    breaker_closes: obs::MetricId,
+    dup_replies: obs::MetricId,
+    wire_bytes: obs::MetricId,
+    finished_secs: obs::MetricId,
+}
+
 /// Shared handle, cloned into the client actor.
 #[derive(Debug, Clone, Default)]
-pub struct StatsHandle(Rc<RefCell<RunStats>>);
+pub struct StatsHandle {
+    stats: Rc<RefCell<RunStats>>,
+    obs: Rc<RefCell<Option<StatsObs>>>,
+}
 
 impl StatsHandle {
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub fn with<R>(&self, f: impl FnOnce(&RunStats) -> R) -> R {
-        f(&self.0.borrow())
+    /// Mirror every recorded statistic into `obs`: `visapp.*` counters, a
+    /// `visapp.finished_secs` gauge, and [`Source::App`](obs::Source::App)
+    /// events for configuration changes, image completions, and run end.
+    pub fn attach_obs(&self, obs: &obs::Obs) {
+        *self.obs.borrow_mut() = Some(StatsObs {
+            obs: obs.clone(),
+            images: obs.counter("visapp.images"),
+            rounds: obs.counter("visapp.rounds"),
+            switches: obs.counter("visapp.switches"),
+            retries: obs.counter("visapp.retries"),
+            timeouts: obs.counter("visapp.timeouts"),
+            breaker_opens: obs.counter("visapp.breaker_opens"),
+            breaker_closes: obs.counter("visapp.breaker_closes"),
+            dup_replies: obs.counter("visapp.dup_replies_dropped"),
+            wire_bytes: obs.counter("visapp.wire_bytes"),
+            finished_secs: obs.gauge("visapp.finished_secs"),
+        });
     }
 
+    pub fn with<R>(&self, f: impl FnOnce(&RunStats) -> R) -> R {
+        f(&self.stats.borrow())
+    }
+
+    /// Mutate the raw record directly, bypassing the obs mirror.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the typed `record_*` methods so attached obs sinks stay consistent"
+    )]
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut RunStats) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.stats.borrow_mut())
     }
 
     /// Extract the final stats (clones the records).
     pub fn take(&self) -> RunStats {
-        std::mem::take(&mut self.0.borrow_mut())
+        std::mem::take(&mut self.stats.borrow_mut())
+    }
+
+    fn inc(&self, pick: impl Fn(&StatsObs) -> obs::MetricId, by: u64) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(pick(h), by);
+        }
+    }
+
+    // ---- typed record path (keeps the raw log and obs in lock-step) ----
+
+    pub fn record_round(&self, rec: RoundRecord) {
+        self.inc(|h| h.rounds, 1);
+        self.inc(|h| h.wire_bytes, rec.wire_bytes);
+        self.stats.borrow_mut().rounds.push(rec);
+    }
+
+    pub fn record_image(&self, rec: ImageRecord) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(h.images, 1);
+            h.obs.publish(
+                obs::Event::new(rec.finished.as_us(), obs::Source::App, "image")
+                    .with("id", rec.image_id)
+                    .with("rounds", rec.rounds)
+                    .with("transmit_secs", rec.transmit_secs()),
+            );
+        }
+        self.stats.borrow_mut().images.push(rec);
+    }
+
+    /// Record the active configuration changing at `t` (the initial entry
+    /// included; only subsequent entries count as switches).
+    pub fn record_config(&self, t: SimTime, config: Configuration) {
+        let first = self.stats.borrow().config_history.is_empty();
+        if let Some(h) = self.obs.borrow().as_ref() {
+            if !first {
+                h.obs.inc(h.switches, 1);
+            }
+            h.obs.publish(
+                obs::Event::new(t.as_us(), obs::Source::App, "config")
+                    .with("config", config.key())
+                    .with("initial", first),
+            );
+        }
+        self.stats.borrow_mut().config_history.push((t, config));
+    }
+
+    pub fn record_retry(&self) {
+        self.inc(|h| h.retries, 1);
+        self.stats.borrow_mut().retries += 1;
+    }
+
+    pub fn record_timeout(&self) {
+        self.inc(|h| h.timeouts, 1);
+        self.stats.borrow_mut().timeouts += 1;
+    }
+
+    pub fn record_breaker_open(&self) {
+        self.inc(|h| h.breaker_opens, 1);
+        self.stats.borrow_mut().breaker_opens += 1;
+    }
+
+    pub fn record_breaker_close(&self) {
+        self.inc(|h| h.breaker_closes, 1);
+        self.stats.borrow_mut().breaker_closes += 1;
+    }
+
+    pub fn record_dup_reply(&self) {
+        self.inc(|h| h.dup_replies, 1);
+        self.stats.borrow_mut().dup_replies_dropped += 1;
+    }
+
+    pub fn record_finished(&self, t: SimTime) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.set(h.finished_secs, t.as_secs_f64());
+            h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "finished"));
+        }
+        self.stats.borrow_mut().finished_at = Some(t);
+    }
+
+    /// Copy the runtime's legacy event log and final estimate into the raw
+    /// record when a run completes (the bus receives these live via
+    /// `AdaptiveRuntime::set_obs`).
+    pub fn record_adapt_summary(&self, events: Vec<AdaptationEvent>, estimate: ResourceVector) {
+        let mut s = self.stats.borrow_mut();
+        #[allow(deprecated)]
+        {
+            s.adapt_events = events;
+        }
+        s.final_estimate = Some(estimate);
     }
 }
 
@@ -202,12 +340,48 @@ mod tests {
     fn handle_shares_and_takes() {
         let h = StatsHandle::new();
         let h2 = h.clone();
-        h2.with_mut(|s| {
-            s.images.push(ImageRecord { image_id: 0, started: t(0.0), finished: t(1.0), rounds: 1 })
-        });
+        h2.record_image(ImageRecord { image_id: 0, started: t(0.0), finished: t(1.0), rounds: 1 });
         assert_eq!(h.with(|s| s.images.len()), 1);
         let taken = h.take();
         assert_eq!(taken.images.len(), 1);
         assert_eq!(h.with(|s| s.images.len()), 0);
+    }
+
+    #[test]
+    fn record_path_mirrors_into_obs() {
+        let obs = obs::Obs::new();
+        let h = StatsHandle::new();
+        h.attach_obs(&obs);
+        h.record_config(t(0.0), adapt_core::Configuration::new(&[("c", 1)]));
+        h.record_config(t(1.0), adapt_core::Configuration::new(&[("c", 2)]));
+        h.record_round(RoundRecord {
+            image_id: 0,
+            round: 0,
+            started: t(0.0),
+            finished: t(0.5),
+            wire_bytes: 123,
+            raw_bytes: 200,
+            level: 4,
+            dr: 80,
+        });
+        h.record_image(ImageRecord { image_id: 0, started: t(0.0), finished: t(2.0), rounds: 1 });
+        h.record_retry();
+        h.record_timeout();
+        h.record_dup_reply();
+        h.record_finished(t(2.0));
+        let c = |name: &str| obs.counter_value(obs.lookup(name).unwrap());
+        assert_eq!(c("visapp.switches"), 1, "initial config is not a switch");
+        assert_eq!(c("visapp.rounds"), 1);
+        assert_eq!(c("visapp.wire_bytes"), 123);
+        assert_eq!(c("visapp.images"), 1);
+        assert_eq!(c("visapp.retries"), 1);
+        assert_eq!(c("visapp.timeouts"), 1);
+        assert_eq!(c("visapp.dup_replies_dropped"), 1);
+        assert_eq!(obs.gauge_value(obs.lookup("visapp.finished_secs").unwrap()), 2.0);
+        let kinds: Vec<&str> = obs.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["config", "config", "image", "finished"]);
+        // The raw log saw the same facts.
+        assert_eq!(h.with(|s| s.switch_count()), 1);
+        assert_eq!(h.with(|s| s.total_wire_bytes()), 123);
     }
 }

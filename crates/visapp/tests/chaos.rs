@@ -35,9 +35,14 @@ fn chaos_scenario(seed: u64) -> Scenario {
         }),
         fault_plan: Some(
             FaultPlan::new(seed)
-                .loss(CLIENT_HOST, SERVER_HOST, 0.30)
-                .link_down(CLIENT_HOST, SERVER_HOST, SimTime::from_ms(400), SimTime::from_ms(900))
-                .crash_host(SERVER_HOST, SimTime::from_ms(1_200), Some(SimTime::from_ms(1_500))),
+                .with_loss(CLIENT_HOST, SERVER_HOST, 0.30)
+                .with_link_down(
+                    CLIENT_HOST,
+                    SERVER_HOST,
+                    SimTime::from_ms(400),
+                    SimTime::from_ms(900),
+                )
+                .with_crash(SERVER_HOST, SimTime::from_ms(1_200), Some(SimTime::from_ms(1_500))),
         ),
         ..Scenario::default()
     }
@@ -136,7 +141,7 @@ fn chaos_crash_without_restart_strands_no_resources() {
     // runs out of scheduled events. We bound the run with an event limit
     // via the breaker: no restart => the run ends un-finished.
     let mut sc = chaos_scenario(0x9d);
-    sc.fault_plan = Some(FaultPlan::new(0x9d).crash_host(SERVER_HOST, SimTime::from_ms(50), None));
+    sc.fault_plan = Some(FaultPlan::new(0x9d).with_crash(SERVER_HOST, SimTime::from_ms(50), None));
     let store = sc.build_store();
     let cfg = VizConfig { dr: 16, level: 3, method: Method::Lzw };
     // Probes re-arm forever against a dead server; cap simulated activity
@@ -184,7 +189,7 @@ proptest! {
                 degraded: None,
             }),
             fault_plan: Some(
-                FaultPlan::new(seed).loss(CLIENT_HOST, SERVER_HOST, loss_pct as f64 / 100.0),
+                FaultPlan::new(seed).with_loss(CLIENT_HOST, SERVER_HOST, loss_pct as f64 / 100.0),
             ),
             ..Scenario::default()
         };

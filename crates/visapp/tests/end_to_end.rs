@@ -556,7 +556,7 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
         PreferenceList::single(Preference::new(vec![], Objective::minimize("transmit_time")));
     let scheduler = ResourceScheduler::new(db, prefs, PROFILE_INPUT);
     let start = ResourceVector::new(&[(client_cpu_key(), 1.0), (client_net_key(), 100_000.0)]);
-    let runtime = AdaptiveRuntime::configure(spec, scheduler, 1_000_000, &start).unwrap();
+    let runtime = AdaptiveRuntime::try_configure(spec, scheduler, 1_000_000, &start).unwrap();
     assert!(runtime.monitor.watched().contains(&adapt_core::ResourceKey::cpu("server")));
     let initial = visapp::VizConfig::from_configuration(runtime.current());
 
@@ -586,19 +586,11 @@ fn remote_monitoring_reports_reach_the_client_runtime() {
     };
     let stats = visapp::StatsHandle::new();
     let probe = stats.clone();
-    let opts = visapp::ClientOpts {
-        server: server_id,
-        n_images: sc.n_images,
-        initial,
-        user: visapp::UserModel::center(sc.img_size, sc.img_size),
-        cover_radius: store.cover_radius(),
-        img_dims: store.dims(),
-        max_level: store.levels(),
-        verify_store: None,
-        request_timeout_us: None,
-        retry: Default::default(),
-        breaker: None,
-    };
+    let opts = visapp::ClientOpts::new(server_id)
+        .with_n_images(sc.n_images)
+        .with_initial(initial)
+        .with_user(visapp::UserModel::center(sc.img_size, sc.img_size))
+        .with_geometry(store.cover_radius(), store.dims(), store.levels());
     let client = visapp::Client::new(opts, stats.clone(), Some(adapt));
     sim.spawn(
         hc,

@@ -3,17 +3,24 @@
 //! environment, then watch it adapt its compression method when the
 //! network collapses mid-run.
 //!
+//! All run telemetry is read off the unified observability layer
+//! ([`Obs`]): configuration history and adaptation events come from the
+//! bus (sources `App`, `Monitor`, `Scheduler`, `Steering`), completion
+//! times from `App` `finished` events.
+//!
 //! ```text
 //! cargo run --release --example active_visualization
 //! ```
 
-use adaptive_framework::adapt::{
-    AdaptationEvent, Constraint, Objective, Preference, PreferenceList,
-};
-use adaptive_framework::compress::Method;
-use adaptive_framework::sandbox::{LimitSchedule, Limits};
-use adaptive_framework::simnet::SimTime;
-use adaptive_framework::visapp::{build_db, run_adaptive, run_static, Scenario, VizConfig};
+use adaptive_framework::prelude::*;
+
+/// When the run completed, from the bus's `App` `finished` event.
+fn finished_secs(obs: &Obs) -> f64 {
+    obs.events_filtered(&EventFilter::any().source(Source::App).kind("finished"))
+        .last()
+        .map(|e| e.at_us as f64 / 1e6)
+        .expect("run finished")
+}
 
 fn main() {
     // Scaled-down deployment: 64x64 synthetic images, monitoring time
@@ -46,57 +53,66 @@ fn main() {
     let drop = LimitSchedule::new().at(SimTime::from_secs(2), Limits::cpu(0.05).with_net(2_000.0));
     println!("\nrunning the adaptive client ...");
     let adaptive = run_adaptive(&sc, &store, db, prefs, start, Some(drop.clone()));
+    let obs = &adaptive.obs;
 
     println!("configuration history:");
-    for (t, cfg) in &adaptive.stats.config_history {
-        println!("  {:>7.2}s  {}", t.as_secs_f64(), cfg.key());
+    let config_events = obs.events_filtered(&EventFilter::any().source(Source::App).kind("config"));
+    for ev in &config_events {
+        println!(
+            "  {:>7.2}s  {}",
+            ev.at_us as f64 / 1e6,
+            ev.str_field("config").unwrap_or_default()
+        );
     }
+
     println!("adaptation events:");
-    for ev in &adaptive.stats.adapt_events {
-        match ev {
-            AdaptationEvent::Triggered { at, estimate } => {
-                println!("  {:>7.2}s  monitor trigger, estimate {}", at.as_secs_f64(), estimate)
-            }
-            AdaptationEvent::Decided { at, config, rank, .. } => {
-                println!(
-                    "  {:>7.2}s  scheduler decision {} (preference rank {rank})",
-                    at.as_secs_f64(),
-                    config.key()
-                )
-            }
-            AdaptationEvent::Switched { at, old, new } => {
-                println!("  {:>7.2}s  switched {} -> {}", at.as_secs_f64(), old.key(), new.key())
-            }
-            AdaptationEvent::Nak { at, config, reason } => {
-                println!("  {:>7.2}s  NAK {} ({reason})", at.as_secs_f64(), config.key())
-            }
-            AdaptationEvent::NoCandidate { at } => {
-                println!("  {:>7.2}s  no satisfiable configuration", at.as_secs_f64())
-            }
-            AdaptationEvent::Degraded { at, config } => {
-                println!(
-                    "  {:>7.2}s  degraded to {} (circuit open)",
-                    at.as_secs_f64(),
-                    config.key()
-                )
-            }
-            AdaptationEvent::Recovered { at } => {
-                println!("  {:>7.2}s  recovered (circuit re-closed)", at.as_secs_f64())
-            }
+    let adapt_filter = EventFilter::any()
+        .source(Source::Monitor)
+        .source(Source::Scheduler)
+        .source(Source::Steering);
+    for ev in &obs.events_filtered(&adapt_filter) {
+        let t = ev.at_us as f64 / 1e6;
+        match ev.kind {
+            "trigger" => println!(
+                "  {t:>7.2}s  monitor trigger, estimate {}",
+                ev.str_field("estimate").unwrap_or_default()
+            ),
+            "decide" => println!(
+                "  {t:>7.2}s  scheduler decision {} (preference rank {})",
+                ev.str_field("config").unwrap_or_default(),
+                ev.u64_field("rank").unwrap_or(0)
+            ),
+            "switch" => println!(
+                "  {t:>7.2}s  switched {} -> {}",
+                ev.str_field("old").unwrap_or_default(),
+                ev.str_field("new").unwrap_or_default()
+            ),
+            "nak" => println!(
+                "  {t:>7.2}s  NAK {} ({})",
+                ev.str_field("config").unwrap_or_default(),
+                ev.str_field("reason").unwrap_or_default()
+            ),
+            "no_candidate" => println!("  {t:>7.2}s  no satisfiable configuration"),
+            "degrade" => println!(
+                "  {t:>7.2}s  degraded to {} (best effort)",
+                ev.str_field("config").unwrap_or_default()
+            ),
+            "recover" => println!("  {t:>7.2}s  recovered"),
+            other => println!("  {t:>7.2}s  {other}"),
         }
     }
+    println!(
+        "monitor ticks: {}",
+        obs.lookup("monitor.ticks").map_or(0, |id| obs.counter_value(id))
+    );
 
     // Baselines: the two static configurations under the same drop.
     let dr = sc.dr_values()[2] as usize;
-    let mut lines =
-        vec![("adaptive".to_string(), adaptive.stats.finished_at.expect("finished").as_secs_f64())];
+    let mut lines = vec![("adaptive".to_string(), finished_secs(obs))];
     for method in [Method::Lzw, Method::Bzip] {
         let cfg = VizConfig { dr, level: sc.levels, method };
         let out = run_static(&sc, &store, cfg, start, Some(drop.clone()));
-        lines.push((
-            format!("static {}", method.name()),
-            out.stats.finished_at.expect("finished").as_secs_f64(),
-        ));
+        lines.push((format!("static {}", method.name()), finished_secs(&out.obs)));
     }
     println!("\ntotal time for {} images:", sc.n_images);
     for (label, total) in &lines {

@@ -14,12 +14,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use adaptive_framework::adapt::{
-    dsl, AdaptiveRuntime, Configuration, Constraint, Objective, Preference, PreferenceList,
-    Profiler, QosReport, ResourceGrid, ResourceKey, ResourceScheduler, ResourceVector,
-};
-use adaptive_framework::sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
-use adaptive_framework::simnet::{Actor, Ctx, Sim, SimTime};
+use adaptive_framework::prelude::*;
 
 /// The worker's annotation source: two knobs, two metrics.
 const WORKER_SPEC: &str = r#"
@@ -160,7 +155,7 @@ fn main() {
     let scheduler = ResourceScheduler::new(db, prefs, "batches");
     let start = ResourceVector::new(&[(cpu_key.clone(), 1.0)]);
     let mut runtime =
-        AdaptiveRuntime::configure(spec, scheduler, 400_000, &start).expect("configurable");
+        AdaptiveRuntime::try_configure(spec, scheduler, 400_000, &start).expect("configurable");
     runtime.monitor.min_trigger_gap_us = 150_000;
     println!("initial configuration: {}", runtime.current().key());
     assert_eq!(runtime.current().expect("algo"), 1, "full CPU -> exact algorithm");

@@ -6,16 +6,16 @@
 //! resilience counters (switches, retries, timeouts, breaker cycles,
 //! duplicate replies dropped) to `BENCH_faults.json`.
 //!
+//! Everything printed here is read off the run's [`Obs`] handle — the
+//! unified observability layer — rather than the raw `RunStats` record:
+//! `visapp.*` counters for the resilience numbers and `Source::App`
+//! `config` events for the configuration history.
+//!
 //! ```text
 //! cargo run --release --example chaos [output.json]
 //! ```
 
-use adaptive_framework::compress::Method;
-use adaptive_framework::sandbox::Limits;
-use adaptive_framework::simnet::{FaultPlan, SimTime};
-use adaptive_framework::visapp::{
-    run_static, BreakerOpts, RetryPolicy, RunStats, Scenario, VizConfig, CLIENT_HOST, SERVER_HOST,
-};
+use adaptive_framework::prelude::*;
 
 fn chaos_scenario(fault_seed: u64) -> Scenario {
     Scenario {
@@ -40,33 +40,59 @@ fn chaos_scenario(fault_seed: u64) -> Scenario {
         }),
         fault_plan: Some(
             FaultPlan::new(fault_seed)
-                .loss(CLIENT_HOST, SERVER_HOST, 0.30)
-                .link_down(CLIENT_HOST, SERVER_HOST, SimTime::from_ms(400), SimTime::from_ms(900))
-                .crash_host(SERVER_HOST, SimTime::from_ms(1_200), Some(SimTime::from_ms(1_500))),
+                .with_loss(CLIENT_HOST, SERVER_HOST, 0.30)
+                .with_link_down(
+                    CLIENT_HOST,
+                    SERVER_HOST,
+                    SimTime::from_ms(400),
+                    SimTime::from_ms(900),
+                )
+                .with_crash(SERVER_HOST, SimTime::from_ms(1_200), Some(SimTime::from_ms(1_500))),
         ),
         ..Scenario::default()
     }
 }
 
-fn run_once(sc: &Scenario) -> RunStats {
+fn run_once(sc: &Scenario) -> Obs {
     let store = sc.build_store();
     let cfg = VizConfig { dr: 16, level: 3, method: Method::Lzw };
-    run_static(sc, &store, cfg, Limits::unconstrained(), None).stats
+    run_static(sc, &store, cfg, Limits::unconstrained(), None).obs
 }
 
-fn summary(s: &RunStats) -> String {
+fn counter(obs: &Obs, name: &str) -> u64 {
+    obs.lookup(name).map_or(0, |id| obs.counter_value(id))
+}
+
+fn summary(obs: &Obs) -> String {
     format!(
         "images={} rounds={} switches={} retries={} timeouts={} \
          breaker_opens={} breaker_closes={} dup_replies_dropped={}",
-        s.images.len(),
-        s.rounds.len(),
-        s.switch_count(),
-        s.retries,
-        s.timeouts,
-        s.breaker_opens,
-        s.breaker_closes,
-        s.dup_replies_dropped
+        counter(obs, "visapp.images"),
+        counter(obs, "visapp.rounds"),
+        counter(obs, "visapp.switches"),
+        counter(obs, "visapp.retries"),
+        counter(obs, "visapp.timeouts"),
+        counter(obs, "visapp.breaker_opens"),
+        counter(obs, "visapp.breaker_closes"),
+        counter(obs, "visapp.dup_replies_dropped"),
     )
+}
+
+/// The `(time, configuration)` history, from the bus's `App`-sourced
+/// `config` events.
+fn config_history(obs: &Obs) -> Vec<(u64, String)> {
+    obs.events_filtered(&EventFilter::any().source(Source::App).kind("config"))
+        .iter()
+        .map(|e| (e.at_us, e.str_field("config").unwrap_or_default().to_string()))
+        .collect()
+}
+
+fn finished_secs(obs: &Obs) -> Option<f64> {
+    let done = obs
+        .events_filtered(&EventFilter::any().source(Source::App).kind("finished"))
+        .last()
+        .map(|e| e.at_us);
+    done.map(|us| us as f64 / 1e6)
 }
 
 fn main() {
@@ -79,18 +105,21 @@ fn main() {
     let b = run_once(&sc);
     println!("run 1: {}", summary(&a));
     println!("run 2: {}", summary(&b));
+    // Replay comparison uses only simulation-derived observables (counters
+    // and sim-timestamped events); span histograms are wall-clock and are
+    // deliberately excluded.
     let deterministic = summary(&a) == summary(&b)
-        && a.finished_at == b.finished_at
-        && a.config_history == b.config_history;
+        && finished_secs(&a) == finished_secs(&b)
+        && config_history(&a) == config_history(&b);
     println!("deterministic replay: {deterministic}");
-    assert!(a.finished_at.is_some(), "chaos run must complete end-to-end");
+    assert!(finished_secs(&a).is_some(), "chaos run must complete end-to-end");
 
     println!("\nconfiguration history (degrade + restore visible):");
-    for (t, c) in &a.config_history {
-        println!("  {t}  {c}");
+    for (t_us, c) in &config_history(&a) {
+        println!("  {:>10}us  {c}", t_us);
     }
 
-    let finished = a.finished_at.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    let finished = finished_secs(&a).unwrap_or(f64::NAN);
     let json = format!(
         "{{\n  \"scenario\": {{\n    \"loss\": 0.30,\n    \"link_down_ms\": [400, 900],\n    \
          \"server_crash_ms\": 1200,\n    \"server_restart_ms\": 1500,\n    \"seed\": {seed}\n  }},\n  \
@@ -98,14 +127,14 @@ fn main() {
          \"images\": {},\n  \"rounds\": {},\n  \"switches\": {},\n  \"retries\": {},\n  \
          \"timeouts\": {},\n  \"breaker_opens\": {},\n  \"breaker_closes\": {},\n  \
          \"dup_replies_dropped\": {}\n}}\n",
-        a.images.len(),
-        a.rounds.len(),
-        a.switch_count(),
-        a.retries,
-        a.timeouts,
-        a.breaker_opens,
-        a.breaker_closes,
-        a.dup_replies_dropped,
+        counter(&a, "visapp.images"),
+        counter(&a, "visapp.rounds"),
+        counter(&a, "visapp.switches"),
+        counter(&a, "visapp.retries"),
+        counter(&a, "visapp.timeouts"),
+        counter(&a, "visapp.breaker_opens"),
+        counter(&a, "visapp.breaker_closes"),
+        counter(&a, "visapp.dup_replies_dropped"),
     );
     std::fs::write(&out_path, json).expect("write benchmark output");
     println!("\nwrote {out_path}");

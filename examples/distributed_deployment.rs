@@ -6,10 +6,7 @@
 //! cargo run --release --example distributed_deployment
 //! ```
 
-use adaptive_framework::compress::Method;
-use adaptive_framework::sandbox::{HostVmm, Limits, Reservation};
-use adaptive_framework::simnet::LinkMode;
-use adaptive_framework::visapp::{run_competing, run_static, Scenario, VizConfig};
+use adaptive_framework::prelude::*;
 
 fn main() {
     // --- Admission: two viewers ask for reservations on one workstation.

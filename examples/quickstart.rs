@@ -15,11 +15,7 @@
 //! 5. Watch the monitoring agent trigger re-scheduling when resources
 //!    leave the chosen configuration's validity region.
 
-use adaptive_framework::adapt::{
-    dsl, Configuration, Constraint, MonitoringAgent, Objective, Preference, PreferenceList,
-    Profiler, QosReport, ResourceGrid, ResourceKey, ResourceScheduler, ResourceVector,
-};
-use adaptive_framework::simnet::SimTime;
+use adaptive_framework::prelude::*;
 
 fn main() {
     // 1. The annotation source (identical to the paper's Figure 2).

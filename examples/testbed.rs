@@ -6,11 +6,7 @@
 //! cargo run --example testbed
 //! ```
 
-use adaptive_framework::sandbox::{
-    HostVmm, LimitSchedule, Limits, LimitsHandle, Reservation, SandboxStats, Sandboxed,
-    SeriesHandle, UsageSampler,
-};
-use adaptive_framework::simnet::{dur, Actor, Ctx, Sim, SimTime};
+use adaptive_framework::prelude::*;
 
 /// A CPU-bound application that computes forever.
 struct Grinder;

@@ -8,4 +8,12 @@ cargo test -q
 # Chaos smoke: seeded fault-injection scenarios must stay deterministic.
 cargo test -q -p visapp chaos_
 cargo clippy --workspace --all-targets -- -D warnings
+# The workspace's own code must not call the deprecated pre-obs entry
+# points (Trace::events/take/render, AdaptiveRuntime::configure/events,
+# RunStats::adapt_events, StatsHandle::with_mut, FaultPlan::loss/...);
+# external callers still get the soft deprecation warning only.
+cargo clippy --workspace --all-targets -- -D deprecated
+# Rustdoc is part of the API surface: broken intra-doc links and bad
+# doc examples fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo fmt --check

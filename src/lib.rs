@@ -18,10 +18,38 @@
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-figure reproduction record.
+//!
+//! For experiment scripts and examples, `use
+//! adaptive_framework::prelude::*;` pulls in the common vocabulary of
+//! every layer (plus the [`obs`] observability handle) in one line.
 
 pub use adapt_core as adapt;
 pub use compress;
+pub use obs;
 pub use sandbox;
 pub use simnet;
 pub use visapp;
 pub use wavelet;
+
+/// One-line import of the workspace vocabulary: the per-crate preludes of
+/// [`simnet`], [`sandbox`], [`adapt_core`], [`visapp`], and [`obs`], plus
+/// [`compress::Method`].
+///
+/// ```
+/// use adaptive_framework::prelude::*;
+///
+/// let obs = Obs::new();
+/// let mut sim = Sim::new();
+/// sim.attach_obs(&obs);
+/// let sc = Scenario::small();
+/// assert!(sc.validate().is_ok());
+/// let _ = (Method::Lzw, Limits::cpu(0.5));
+/// ```
+pub mod prelude {
+    pub use adapt_core::prelude::*;
+    pub use compress::Method;
+    pub use obs::prelude::*;
+    pub use sandbox::prelude::*;
+    pub use simnet::prelude::*;
+    pub use visapp::prelude::*;
+}
