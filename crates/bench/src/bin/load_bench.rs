@@ -1,0 +1,106 @@
+//! Scale-out load benchmark, written as machine-readable JSON
+//! (BENCH_load.json).
+//!
+//! Three measurements in one file:
+//!
+//! 1. **Session sweep** — the `visapp::load` generator at
+//!    N ∈ {1, 10, 100, 1000} concurrent adaptive sessions sharing one
+//!    `Arc<PerfDb>`: requests, kernel events, peak queue depth,
+//!    adaptation ticks, and the deterministic run digest per N.
+//! 2. **Kernel storm** — 1000 timestamp-aligned periodic actors driven
+//!    once under the batched drain and once under the binary-heap drain;
+//!    the throughput ratio is the batching payoff (the acceptance bar is
+//!    ≥ 5x, asserted here).
+//! 3. **Memory** — total performance-database bytes for 1000 sessions
+//!    sharing one database versus 1000 clones.
+//!
+//! The `"deterministic"` object is a pure function of seeds and is what
+//! `scripts/bench_gate.sh` compares against the committed baseline; the
+//! `"timing"` object carries wall-clock measurements and is exempt.
+//!
+//! Usage: `load_bench [output.json]` (default `BENCH_load.json`).
+//! `LOAD_BENCH_FAST=1` shrinks the sweep for smoke runs and skips the
+//! speedup assertion.
+
+use adapt_bench::load::{bench_load_json, kernel_storm, sweep};
+use adapt_bench::print_table;
+use simnet::DrainMode;
+
+const STORM_ACTORS: usize = 1000;
+const STORM_FANOUT: u64 = 64;
+const STORM_ROUNDS: u64 = 10;
+
+/// Best-of-3: take the fastest run per mode so a scheduler hiccup on the
+/// CI host cannot flip the comparison.
+fn best_storm(mode: DrainMode) -> adapt_bench::load::StormResult {
+    (0..3)
+        .map(|_| kernel_storm(STORM_ACTORS, STORM_FANOUT, STORM_ROUNDS, mode))
+        .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+        .expect("three runs")
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_load.json".into());
+    let fast = std::env::var("LOAD_BENCH_FAST").is_ok_and(|v| v == "1");
+    let session_counts: &[usize] = if fast { &[1, 10] } else { &[1, 10, 100, 1000] };
+
+    println!("session sweep (shared Arc<PerfDb>, batched drain)...");
+    let rows = sweep(session_counts);
+    print_table(
+        "load sweep",
+        &["sessions", "requests", "events", "peak_q", "adapt_ticks", "wall_s"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.sessions.to_string(),
+                    r.requests.to_string(),
+                    r.events.to_string(),
+                    r.peak_queue_depth.to_string(),
+                    r.adapt_ticks.to_string(),
+                    format!("{:.3}", r.wall_secs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nkernel storm: {STORM_ACTORS} aligned actors x {STORM_FANOUT} timers...");
+    // Warm up both paths once so allocator state doesn't favor either.
+    let _ = kernel_storm(STORM_ACTORS, STORM_FANOUT, 2, DrainMode::Batched);
+    let _ = kernel_storm(STORM_ACTORS, STORM_FANOUT, 2, DrainMode::Heap);
+    let batched = best_storm(DrainMode::Batched);
+    let heap = best_storm(DrainMode::Heap);
+    let speedup = heap.wall_secs / batched.wall_secs.max(1e-12);
+    print_table(
+        "kernel drain modes",
+        &["mode", "events", "peak_q", "wall_s", "events/s"],
+        &[
+            vec![
+                "batched".into(),
+                batched.events.to_string(),
+                batched.peak_queue_depth.to_string(),
+                format!("{:.4}", batched.wall_secs),
+                format!("{:.0}", batched.events_per_sec()),
+            ],
+            vec![
+                "heap".into(),
+                heap.events.to_string(),
+                heap.peak_queue_depth.to_string(),
+                format!("{:.4}", heap.wall_secs),
+                format!("{:.0}", heap.events_per_sec()),
+            ],
+        ],
+    );
+    println!("\nbatched/heap speedup: {speedup:.2}x");
+    assert_eq!(batched.events, heap.events, "modes must process identical event streams");
+    if !fast {
+        assert!(
+            speedup >= 5.0,
+            "batched drain must be >= 5x heap drain on the aligned storm, got {speedup:.2}x"
+        );
+    }
+
+    let json = bench_load_json(&rows, &batched, &heap, STORM_ACTORS);
+    std::fs::write(&out, &json).expect("write bench output");
+    println!("\nwrote {out}");
+}

@@ -19,6 +19,7 @@
 //! | 7(c,d) Experiment 3: adapt fovea size | `figs::adaptation::fig7cd` |
 
 pub mod figs;
+pub mod load;
 pub mod toy;
 
 /// Print a simple aligned table.

@@ -403,6 +403,34 @@ impl PerfDb {
         merged
     }
 
+    /// Rough resident size of the record store in bytes: per-record struct
+    /// overhead plus the heap behind every key string, map node, and
+    /// value. Used by the scale-out load bench to show sub-linear memory
+    /// growth when N sessions share one database behind an `Arc` instead
+    /// of cloning it (the built index is excluded — it is shared across
+    /// clones anyway, see [`Clone for PerfDb`](PerfDb#impl-Clone-for-PerfDb)).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // BTreeMap nodes cost well over the raw entry; 3x entry size is a
+        // serviceable middle-ground estimate across B-tree fill factors.
+        const NODE_FACTOR: usize = 3;
+        let mut total = size_of::<Self>() + self.records.capacity() * size_of::<PerfRecord>();
+        for r in &self.records {
+            for (name, _) in r.config.iter() {
+                total += NODE_FACTOR * (size_of::<String>() + size_of::<i64>()) + name.len();
+            }
+            for (key, _) in r.resources.iter() {
+                total += NODE_FACTOR * (size_of::<ResourceKey>() + size_of::<f64>())
+                    + key.component.len();
+            }
+            total += r.input.len();
+            for (name, _) in r.metrics.iter() {
+                total += NODE_FACTOR * (size_of::<String>() + size_of::<f64>()) + name.len();
+            }
+        }
+        total
+    }
+
     /// Serialize to pretty JSON (the on-disk database artifact).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("PerfDb serialization cannot fail")

@@ -105,6 +105,10 @@ pub struct AdaptiveRuntime {
 struct RuntimeObs {
     obs: Obs,
     ticks: MetricId,
+    /// Per-tick adaptation-loop latency (`"runtime.tick"` histogram):
+    /// monitor check + scheduler decision + steering enqueue, the figure
+    /// the scale-out load harness aggregates across sessions.
+    tick_span: MetricId,
 }
 
 impl AdaptiveRuntime {
@@ -170,7 +174,11 @@ impl AdaptiveRuntime {
         for ev in &self.events {
             obs.publish(ev.to_obs());
         }
-        self.obs_ctx = Some(RuntimeObs { obs: obs.clone(), ticks: obs.counter("monitor.ticks") });
+        self.obs_ctx = Some(RuntimeObs {
+            obs: obs.clone(),
+            ticks: obs.counter("monitor.ticks"),
+            tick_span: obs.histogram("runtime.tick"),
+        });
     }
 
     /// Builder form of [`set_obs`](AdaptiveRuntime::set_obs).
@@ -226,6 +234,11 @@ impl AdaptiveRuntime {
     /// queues a reconfiguration with the steering agent. Returns the
     /// trigger if one fired.
     pub fn tick(&mut self, t: SimTime) -> Option<Trigger> {
+        // The span guard must not borrow `self` (the tick body mutates
+        // it), so it closes over a clone of the Obs handle (an `Arc`
+        // refcount bump, no allocation).
+        let span_obs = self.obs_ctx.as_ref().map(|o| (o.obs.clone(), o.tick_span));
+        let _span = span_obs.as_ref().map(|(obs, id)| obs.span(*id));
         if let Some(o) = &self.obs_ctx {
             o.obs.inc(o.ticks, 1);
         }

@@ -25,6 +25,7 @@
 //! per-probe optimality checks.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::env::ResourceVector;
 use crate::monitor::ValidityRegion;
@@ -52,9 +53,17 @@ pub struct Decision {
 }
 
 /// The resource scheduler.
+///
+/// The performance database sits behind an [`Arc`]: scale-out deployments
+/// (one `AdaptiveRuntime` per client session, see `visapp::load`) share a
+/// single interned database across every scheduler instead of cloning the
+/// record store N times. [`ResourceScheduler::new`] still accepts an owned
+/// [`PerfDb`] and wraps it; use
+/// [`new_shared`](ResourceScheduler::new_shared) to hand several
+/// schedulers the same database.
 #[derive(Debug)]
 pub struct ResourceScheduler {
-    pub db: PerfDb,
+    pub db: Arc<PerfDb>,
     pub prefs: PreferenceList,
     pub mode: PredictMode,
     /// Workload key to consult in the database.
@@ -112,6 +121,14 @@ fn memoized<'m>(
 
 impl ResourceScheduler {
     pub fn new(db: PerfDb, prefs: PreferenceList, input: &str) -> Self {
+        Self::new_shared(Arc::new(db), prefs, input)
+    }
+
+    /// Build a scheduler over a database shared with other schedulers (no
+    /// clone of the record store). Attach any [`obs`](Self::set_obs) hook
+    /// to the database *before* sharing it: once the `Arc` has multiple
+    /// owners, [`set_obs`](Self::set_obs) can no longer reach inside it.
+    pub fn new_shared(db: Arc<PerfDb>, prefs: PreferenceList, input: &str) -> Self {
         ResourceScheduler {
             db,
             prefs,
@@ -125,13 +142,22 @@ impl ResourceScheduler {
     /// [`choose`](ResourceScheduler::choose) would trivially return `None`
     /// (no database records for `input`, or an empty preference list).
     pub fn try_new(db: PerfDb, prefs: PreferenceList, input: &str) -> crate::error::Result<Self> {
+        Self::try_new_shared(Arc::new(db), prefs, input)
+    }
+
+    /// Checked form of [`new_shared`](ResourceScheduler::new_shared).
+    pub fn try_new_shared(
+        db: Arc<PerfDb>,
+        prefs: PreferenceList,
+        input: &str,
+    ) -> crate::error::Result<Self> {
         if prefs.prefs.is_empty() {
             return Err(crate::error::Error::EmptyPreferences);
         }
         if db.configs(input).is_empty() {
             return Err(crate::error::Error::EmptyDatabase { input: input.into() });
         }
-        Ok(Self::new(db, prefs, input))
+        Ok(Self::new_shared(db, prefs, input))
     }
 
     pub fn with_mode(mut self, mode: PredictMode) -> Self {
@@ -141,8 +167,15 @@ impl ResourceScheduler {
 
     /// Time every decision into `obs`'s `"scheduler.choose"` histogram and
     /// every database prediction into `"perfdb.predict"`.
+    ///
+    /// The prediction span can only be attached while this scheduler is
+    /// the database's sole owner; on a shared database (multiple `Arc`
+    /// owners), attach the hook via [`PerfDb::set_obs`] before sharing and
+    /// this call only wires the decision span.
     pub fn set_obs(&mut self, obs: &obs::Obs) {
-        self.db.set_obs(obs);
+        if let Some(db) = Arc::get_mut(&mut self.db) {
+            db.set_obs(obs);
+        }
         self.obs =
             Some(SchedObs { obs: obs.clone(), choose_span: obs.histogram("scheduler.choose") });
     }

@@ -13,6 +13,9 @@ pub enum Source {
     Steering,
     /// The application itself (rounds, images, configuration history).
     App,
+    /// The load-generation harness (session arrivals, completions,
+    /// aggregate throughput — see `visapp::load`).
+    Load,
 }
 
 impl Source {
@@ -24,6 +27,7 @@ impl Source {
             Source::Scheduler => "scheduler",
             Source::Steering => "steering",
             Source::App => "app",
+            Source::Load => "load",
         }
     }
 }

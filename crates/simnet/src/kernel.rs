@@ -21,7 +21,8 @@
 //! re-emits them chopped/delayed to enforce resource limits — all without
 //! the kernel knowing.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
@@ -92,6 +93,67 @@ struct HeapEntry {
     ev: Ev,
 }
 
+/// How the kernel drains its event queue.
+///
+/// Both modes process events in identical `(time, insertion)` order, so a
+/// run is bit-for-bit identical under either; they differ only in data
+/// structure. [`DrainMode::Batched`] is the default and the fast path for
+/// deep queues (thousands of concurrent sessions); [`DrainMode::Heap`] is
+/// the original one-entry-at-a-time binary heap, kept as the measurable
+/// baseline for the batched path (see `bench/src/bin/load_bench.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// Pop entries one at a time from a `(time, seq)`-ordered binary heap.
+    /// Every pop sifts the heap: O(log n) comparisons moving whole
+    /// entries, paid once per event.
+    Heap,
+    /// Bucket events by timestamp: a min-heap of *distinct* times plus a
+    /// FIFO bucket per time. All events at the earliest time are drained
+    /// in one pass — timestamp-aligned storms (N sessions' 10 ms monitor
+    /// timers) cost one heap operation per distinct time instead of one
+    /// per event.
+    #[default]
+    Batched,
+}
+
+/// How many drained buckets to keep for reuse. Matches the number of
+/// distinct timestamps typically live at once (current batch spillover
+/// plus the next few timer grids).
+const SPARE_BUCKETS: usize = 4;
+
+/// Multiply-shift hasher for the batched-mode bucket map. Bucket keys are
+/// `SimTime` (one `u64`), hashed on every event push, so the default
+/// SipHash would dominate the batched path's per-event cost; a single
+/// multiply + xor-shift mixes the 64 timestamp bits well enough for a
+/// table whose keys are distinct pending timestamps (typically a handful).
+#[derive(Debug, Clone, Copy, Default)]
+struct TimeHasherBuilder;
+
+#[derive(Debug, Default)]
+struct TimeHasher(u64);
+
+impl std::hash::BuildHasher for TimeHasherBuilder {
+    type Hasher = TimeHasher;
+    fn build_hasher(&self) -> TimeHasher {
+        TimeHasher(0)
+    }
+}
+
+impl std::hash::Hasher for TimeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.t == other.t && self.seq == other.seq
@@ -114,7 +176,19 @@ impl Ord for HeapEntry {
 pub struct Sim {
     now: SimTime,
     seq: u64,
+    mode: DrainMode,
     heap: BinaryHeap<HeapEntry>,
+    /// Batched-mode queue: min-heap of distinct pending timestamps …
+    times: BinaryHeap<Reverse<SimTime>>,
+    /// … and the FIFO bucket of events at each of them. A timestamp is in
+    /// `times` iff it has a bucket; a bucket is removed exactly when its
+    /// `times` entry is popped, so neither duplicates nor stale entries
+    /// can accumulate.
+    buckets: HashMap<SimTime, VecDeque<Ev>, TimeHasherBuilder>,
+    /// Drained, empty buckets kept for reuse (capacity recycling).
+    spare_buckets: Vec<VecDeque<Ev>>,
+    queue_len: usize,
+    peak_queue_depth: usize,
     hosts: Vec<Host>,
     links: HashMap<(usize, usize), Link>,
     /// Links operating in fluid fair-share mode.
@@ -152,7 +226,13 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
+            mode: DrainMode::default(),
             heap: BinaryHeap::new(),
+            times: BinaryHeap::new(),
+            buckets: HashMap::default(),
+            spare_buckets: Vec::new(),
+            queue_len: 0,
+            peak_queue_depth: 0,
             hosts: Vec::new(),
             links: HashMap::new(),
             flow_scheds: HashMap::new(),
@@ -510,22 +590,49 @@ impl Sim {
 
     /// Process events until the queue is exhausted.
     pub fn run_until_idle(&mut self) {
-        while let Some(entry) = self.heap.pop() {
-            debug_assert!(entry.t >= self.now);
-            self.now = entry.t;
-            self.handle(entry.ev);
+        match self.mode {
+            DrainMode::Heap => {
+                while let Some(entry) = self.heap.pop() {
+                    debug_assert!(entry.t >= self.now);
+                    self.queue_len -= 1;
+                    self.now = entry.t;
+                    self.handle(entry.ev);
+                }
+            }
+            DrainMode::Batched => {
+                while let Some((t, batch)) = self.pop_batch() {
+                    debug_assert!(t >= self.now);
+                    self.now = t;
+                    self.drain_batch(batch);
+                }
+            }
         }
     }
 
     /// Process events up to and including time `t`; the clock ends at `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(entry) = self.heap.peek() {
-            if entry.t > t {
-                break;
+        match self.mode {
+            DrainMode::Heap => {
+                while let Some(entry) = self.heap.peek() {
+                    if entry.t > t {
+                        break;
+                    }
+                    let entry = self.heap.pop().unwrap();
+                    self.queue_len -= 1;
+                    self.now = entry.t;
+                    self.handle(entry.ev);
+                }
             }
-            let entry = self.heap.pop().unwrap();
-            self.now = entry.t;
-            self.handle(entry.ev);
+            DrainMode::Batched => {
+                while let Some(&Reverse(bt)) = self.times.peek() {
+                    if bt > t {
+                        break;
+                    }
+                    let (bt, batch) = self.pop_batch().unwrap();
+                    self.now = bt;
+                    self.drain_batch(batch);
+                }
+            }
         }
         if t > self.now {
             self.now = t;
@@ -540,7 +647,30 @@ impl Sim {
 
     /// True when no further events are pending.
     pub fn is_idle(&self) -> bool {
-        self.heap.is_empty()
+        self.queue_len == 0
+    }
+
+    /// Number of events currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_len
+    }
+
+    /// Deepest the event queue has ever been in this simulation.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
+    /// The active [`DrainMode`].
+    pub fn drain_mode(&self) -> DrainMode {
+        self.mode
+    }
+
+    /// Select the event-queue drain strategy. Only allowed while the queue
+    /// is empty (typically right after [`Sim::new`], before spawning), so
+    /// events never have to migrate between representations.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        assert!(self.is_idle(), "set_drain_mode requires an empty event queue");
+        self.mode = mode;
     }
 
     // ------------------------------------------------------------------
@@ -548,9 +678,48 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn push(&mut self, t: SimTime, ev: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(HeapEntry { t, seq, ev });
+        self.queue_len += 1;
+        if self.queue_len > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue_len;
+        }
+        match self.mode {
+            DrainMode::Heap => {
+                let seq = self.seq;
+                self.seq += 1;
+                self.heap.push(HeapEntry { t, seq, ev });
+            }
+            DrainMode::Batched => match self.buckets.entry(t) {
+                Entry::Occupied(mut e) => e.get_mut().push_back(ev),
+                Entry::Vacant(e) => {
+                    // Reuse a drained bucket so a storm of same-time
+                    // events pays its deque growth only once.
+                    let bucket = self.spare_buckets.pop().unwrap_or_default();
+                    e.insert(bucket).push_back(ev);
+                    self.times.push(Reverse(t));
+                }
+            },
+        }
+    }
+
+    /// Remove and return the whole bucket at the earliest pending time.
+    fn pop_batch(&mut self) -> Option<(SimTime, VecDeque<Ev>)> {
+        let Reverse(t) = self.times.pop()?;
+        let batch = self.buckets.remove(&t).expect("times entry without bucket");
+        Some((t, batch))
+    }
+
+    /// Handle every event of one batch in insertion (= sequence) order.
+    /// Handlers that push new events at the current time create a fresh
+    /// bucket, drained after this one — exactly the heap-mode order, where
+    /// newly pushed events always carry a higher sequence number.
+    fn drain_batch(&mut self, mut batch: VecDeque<Ev>) {
+        while let Some(ev) = batch.pop_front() {
+            self.queue_len -= 1;
+            self.handle(ev);
+        }
+        if self.spare_buckets.len() < SPARE_BUCKETS {
+            self.spare_buckets.push(batch);
+        }
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -1321,6 +1490,141 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(*seen.borrow(), 2);
         assert_eq!(sim.now(), SimTime::from_us(150));
+    }
+}
+
+#[cfg(test)]
+mod drain_tests {
+    use super::*;
+    use crate::time::dur;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Pings a peer every `period`, logging (time, tick#) on each fire.
+    /// Many of these with the same period produce timestamp-aligned storms
+    /// — the regime batched draining targets.
+    struct AlignedTicker {
+        peer: Option<ActorId>,
+        period: u64,
+        limit: u32,
+        ticks: u32,
+        log: Rc<RefCell<Vec<(SimTime, usize, u64)>>>,
+        me: usize,
+    }
+    impl Actor for AlignedTicker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, self.me as u64);
+        }
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+            self.ticks += 1;
+            self.log.borrow_mut().push((ctx.now(), self.me, tag));
+            if let Some(peer) = self.peer {
+                ctx.send_now(peer, Message::signal(tag, 64));
+            }
+            if self.ticks < self.limit {
+                ctx.set_timer(self.period, tag);
+            }
+        }
+        fn on_message(&mut self, from: ActorId, _m: Message, ctx: &mut Ctx<'_>) {
+            self.log.borrow_mut().push((ctx.now(), self.me, u64::MAX - from.0 as u64));
+        }
+    }
+
+    fn storm(mode: DrainMode) -> (Vec<(SimTime, usize, u64)>, SimTime, u64) {
+        let mut sim = Sim::new();
+        sim.set_drain_mode(mode);
+        let h = sim.add_host("h", 1.0, 1 << 30);
+        let h2 = sim.add_host("h2", 1.0, 1 << 30);
+        sim.set_link(h, h2, 1_000_000.0, 100);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Each ticker pings the previously spawned one, so timer storms
+        // interleave with message deliveries across both hosts.
+        let mut prev: Option<ActorId> = None;
+        for i in 0..16 {
+            let host = if i % 2 == 0 { h } else { h2 };
+            prev = Some(sim.spawn(
+                host,
+                Box::new(AlignedTicker {
+                    peer: prev,
+                    period: dur::ms(10),
+                    limit: 8,
+                    ticks: 0,
+                    log: log.clone(),
+                    me: i,
+                }),
+            ));
+        }
+        sim.run_until_idle();
+        let l = log.borrow().clone();
+        (l, sim.now(), sim.events_handled())
+    }
+
+    #[test]
+    fn batched_and_heap_modes_are_bit_identical() {
+        let a = storm(DrainMode::Heap);
+        let b = storm(DrainMode::Batched);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_mode_is_batched() {
+        let sim = Sim::new();
+        assert_eq!(sim.drain_mode(), DrainMode::Batched);
+    }
+
+    #[test]
+    fn queue_depth_tracks_pending_events() {
+        for mode in [DrainMode::Heap, DrainMode::Batched] {
+            let mut sim = Sim::new();
+            sim.set_drain_mode(mode);
+            let _h = sim.add_host("h", 1.0, 1 << 30);
+            for i in 0..10 {
+                sim.at(SimTime::from_ms(10 + i), |_s| {});
+            }
+            assert_eq!(sim.queue_depth(), 10, "{mode:?}");
+            assert_eq!(sim.peak_queue_depth(), 10, "{mode:?}");
+            assert!(!sim.is_idle());
+            sim.run_until(SimTime::from_ms(14));
+            assert_eq!(sim.queue_depth(), 5, "{mode:?}");
+            sim.run_until_idle();
+            assert!(sim.is_idle());
+            assert_eq!(sim.queue_depth(), 0, "{mode:?}");
+            assert_eq!(sim.peak_queue_depth(), 10, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn same_timestamp_events_keep_insertion_order() {
+        for mode in [DrainMode::Heap, DrainMode::Batched] {
+            let mut sim = Sim::new();
+            sim.set_drain_mode(mode);
+            let _h = sim.add_host("h", 1.0, 1 << 30);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let t = SimTime::from_ms(5);
+            for i in 0..50u32 {
+                let l = log.clone();
+                sim.at(t, move |_s| l.borrow_mut().push(i));
+            }
+            // An event scheduled *during* the batch at the same time must
+            // run after the whole batch, as it would with higher seq.
+            let l = log.clone();
+            sim.at(t, move |s| {
+                let l2 = l.clone();
+                s.at(t, move |_s| l2.borrow_mut().push(999));
+            });
+            sim.run_until_idle();
+            let want: Vec<u32> = (0..50).chain([999]).collect();
+            assert_eq!(log.borrow().as_slice(), want.as_slice(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty event queue")]
+    fn set_drain_mode_rejects_pending_events() {
+        let mut sim = Sim::new();
+        let _h = sim.add_host("h", 1.0, 1 << 30);
+        sim.at(SimTime::from_ms(1), |_s| {});
+        sim.set_drain_mode(DrainMode::Heap);
     }
 }
 

@@ -36,6 +36,8 @@ const CONT_ROUND_DONE: u64 = 20;
 /// Timer tag for half-open circuit-breaker probes (must stay below
 /// `TAG_RETRY_BASE`, whose range check runs first).
 const TAG_BREAKER_PROBE: u64 = 30;
+/// Timer tag ending a think-time pause between images.
+const TAG_NEXT_IMAGE: u64 = 40;
 /// Retransmission timers encode the awaited round as `TAG_RETRY_BASE + round`.
 const TAG_RETRY_BASE: u64 = 1_000;
 
@@ -180,6 +182,11 @@ pub struct ClientOpts {
     /// Circuit breaker guarding the retransmission loop; `None` retries
     /// forever at the backoff schedule.
     pub breaker: Option<BreakerOpts>,
+    /// User think time between finishing one image and requesting the
+    /// next (us). `None` (the default) moves on immediately — the
+    /// behavior of every pre-existing scenario. The load generator sets
+    /// this per session to model interactive users.
+    pub think_time_us: Option<u64>,
 }
 
 impl ClientOpts {
@@ -199,6 +206,7 @@ impl ClientOpts {
             request_timeout_us: None,
             retry: RetryPolicy::default(),
             breaker: None,
+            think_time_us: None,
         }
     }
 
@@ -249,6 +257,12 @@ impl ClientOpts {
 
     pub fn with_breaker(mut self, breaker: Option<BreakerOpts>) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Pause for `think_us` of simulated user think time between images.
+    pub fn with_think_time(mut self, think_us: Option<u64>) -> Self {
+        self.think_time_us = think_us;
         self
     }
 }
@@ -442,7 +456,10 @@ impl Client {
         self.boundary(ctx);
         self.image_idx += 1;
         if self.image_idx < self.opts.n_images {
-            self.begin_image(ctx);
+            match self.opts.think_time_us {
+                Some(think) if think > 0 => ctx.set_timer(think, TAG_NEXT_IMAGE),
+                _ => self.begin_image(ctx),
+            }
         } else {
             self.done = true;
             self.stats.record_finished(now);
@@ -623,6 +640,14 @@ impl Actor for Client {
             } else {
                 let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);
                 ctx.set_timer(wait, TAG_BREAKER_PROBE);
+            }
+            return;
+        }
+        if tag == TAG_NEXT_IMAGE {
+            // Think time over: start the next image (unless a crash path
+            // already ended the run).
+            if !self.done {
+                self.begin_image(ctx);
             }
             return;
         }

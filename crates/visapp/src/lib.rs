@@ -23,6 +23,7 @@
 
 pub mod client;
 pub mod costs;
+pub mod load;
 pub mod protocol;
 pub mod resilience;
 pub mod scenario;
@@ -32,6 +33,9 @@ pub mod store;
 pub mod user_model;
 
 pub use client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
+pub use load::{
+    model_db, run_load, ArrivalProcess, LoadGenOpts, LoadReport, QosProfile, SessionSummary,
+};
 pub use resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 pub use scenario::{
     build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
@@ -46,6 +50,9 @@ pub use user_model::UserModel;
 /// The application-layer vocabulary in one import: `use visapp::prelude::*;`.
 pub mod prelude {
     pub use crate::client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
+    pub use crate::load::{
+        model_db, run_load, ArrivalProcess, LoadGenOpts, LoadReport, QosProfile,
+    };
     pub use crate::resilience::{BreakerOpts, BreakerState, RetryPolicy};
     pub use crate::scenario::{
         build_db, run_adaptive, run_competing, run_static, run_static_until, LoadSpec, RunOutcome,

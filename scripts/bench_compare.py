@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated benchmark JSON against a committed baseline.
+
+Used by scripts/bench_gate.sh. The comparison walks the baseline
+recursively and classifies every leaf by its key name:
+
+* ``speedup`` / ``ratio`` — relative measurements taken on one machine;
+  these gate one-sided: the fresh value may improve freely but must not
+  regress below ``baseline * (1 - tol)``.
+* volatile keys (``sum``, ``min``, ``max``, ``p50``, ``p95``, ``p99``,
+  ``mean``, anything containing ``wall`` or ending in ``_per_sec``) —
+  absolute wall-clock measurements that depend on the host; reported but
+  never gated, because the committed baseline and the CI runner are
+  different machines.
+* strings (run digests) — reported only. Digests are pinned by in-repo
+  regression tests on a *single* build; across toolchain or dependency
+  updates the exact byte streams may legitimately shift.
+* every other number (counts, sizes, simulated times) — deterministic
+  outputs of seeded simulation; gated symmetrically at ``+/- tol`` with a
+  small absolute floor so a zero baseline tolerates noise of a few units.
+
+Exit status is non-zero iff any gated leaf regressed.
+"""
+
+import json
+import os
+import sys
+
+VOLATILE_KEYS = {"sum", "min", "max", "p50", "p95", "p99", "mean"}
+ONE_SIDED_KEYS = {"speedup", "ratio"}
+
+
+def is_volatile(key: str) -> bool:
+    return key in VOLATILE_KEYS or "wall" in key or key.endswith("_per_sec")
+
+
+def walk(base, fresh, path, key, failures, infos, tol, abs_floor):
+    if isinstance(base, dict):
+        if not isinstance(fresh, dict):
+            failures.append(f"{path}: expected object, fresh has {type(fresh).__name__}")
+            return
+        for k, v in base.items():
+            if k not in fresh:
+                failures.append(f"{path}.{k}: missing from fresh output")
+                continue
+            walk(v, fresh[k], f"{path}.{k}", k, failures, infos, tol, abs_floor)
+    elif isinstance(base, list):
+        if not isinstance(fresh, list):
+            failures.append(f"{path}: expected array, fresh has {type(fresh).__name__}")
+            return
+        if len(base) != len(fresh):
+            failures.append(f"{path}: length {len(fresh)} != baseline {len(base)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            walk(b, f, f"{path}[{i}]", key, failures, infos, tol, abs_floor)
+    elif isinstance(base, bool) or base is None:
+        if fresh != base:
+            failures.append(f"{path}: {fresh!r} != baseline {base!r}")
+    elif isinstance(base, (int, float)):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            failures.append(f"{path}: expected number, fresh has {fresh!r}")
+            return
+        if key in ONE_SIDED_KEYS:
+            floor = base * (1.0 - tol)
+            if fresh < floor:
+                failures.append(
+                    f"{path}: {fresh:.4g} regressed below {floor:.4g} "
+                    f"(baseline {base:.4g}, tol {tol:.0%})"
+                )
+            return
+        if is_volatile(key):
+            infos.append(f"{path}: {fresh:.6g} (baseline {base:.6g}, machine-dependent, not gated)")
+            return
+        slack = max(tol * abs(base), abs_floor)
+        if abs(fresh - base) > slack:
+            failures.append(
+                f"{path}: {fresh:.6g} outside baseline {base:.6g} +/- {slack:.6g}"
+            )
+    else:  # strings: digests and labels
+        if fresh != base:
+            infos.append(f"{path}: {fresh!r} differs from baseline {base!r} (string, not gated)")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <committed-baseline.json> <fresh.json>", file=sys.stderr)
+        return 2
+    tol = float(os.environ.get("BENCH_GATE_TOL", "0.20"))
+    abs_floor = float(os.environ.get("BENCH_GATE_ABS", "5"))
+    with open(sys.argv[1]) as fh:
+        base = json.load(fh)
+    with open(sys.argv[2]) as fh:
+        fresh = json.load(fh)
+    failures: list = []
+    infos: list = []
+    name = os.path.basename(sys.argv[1])
+    walk(base, fresh, name, "", failures, infos, tol, abs_floor)
+    for line in infos:
+        print(f"  info: {line}")
+    for line in failures:
+        print(f"  FAIL: {line}")
+    if failures:
+        print(f"{name}: {len(failures)} regression(s) beyond {tol:.0%} tolerance")
+        return 1
+    print(f"{name}: OK ({len(infos)} machine-dependent field(s) reported, tol {tol:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

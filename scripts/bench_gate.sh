@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: regenerate every BENCH_*.json with the
+# current tree and compare against the committed baselines with a +/-20%
+# tolerance (scripts/bench_compare.py documents the exact per-field
+# policy: deterministic counts gate symmetrically, speedups/ratios gate
+# one-sided, raw wall-clock numbers are reported but never gated).
+#
+# Run directly, or from scripts/ci.sh via CI_BENCH=1. Knobs:
+#   BENCH_GATE_TOL  relative tolerance (default 0.20)
+#   BENCH_GATE_ABS  absolute slack for near-zero baselines (default 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="$(mktemp -d)"
+trap 'rm -rf "$fresh"' EXIT
+
+echo "== bench gate: regenerating benchmarks =="
+cargo build --release -q -p adapt-bench
+./target/release/perfdb_bench "$fresh/BENCH_perfdb.json"
+./target/release/obs_bench "$fresh/BENCH_obs.json"
+./target/release/load_bench "$fresh/BENCH_load.json"
+
+echo "== bench gate: comparing against committed baselines =="
+status=0
+for name in BENCH_perfdb.json BENCH_obs.json BENCH_load.json; do
+    python3 scripts/bench_compare.py "$name" "$fresh/$name" || status=1
+done
+exit "$status"

@@ -5,8 +5,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-# Chaos smoke: seeded fault-injection scenarios must stay deterministic.
-cargo test -q -p visapp chaos_
+# Note: the chaos fault-injection scenarios (visapp `chaos_*` tests) run
+# as part of `cargo test -q` above; they used to be a dedicated stage,
+# which ran the whole visapp suite a second time for nothing.
 cargo clippy --workspace --all-targets -- -D warnings
 # The workspace's own code must not call the deprecated pre-obs entry
 # points (Trace::events/take/render, AdaptiveRuntime::configure/events,
@@ -17,3 +18,8 @@ cargo clippy --workspace --all-targets -- -D deprecated
 # doc examples fail the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo fmt --check
+# Benchmark regression gate: opt-in because it rebuilds and re-runs
+# every BENCH_*.json generator (~a minute of wall time).
+if [ "${CI_BENCH:-0}" = "1" ]; then
+    scripts/bench_gate.sh
+fi
