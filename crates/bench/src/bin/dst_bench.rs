@@ -1,0 +1,86 @@
+//! Deterministic simulation-test throughput benchmark, written as
+//! machine-readable JSON (BENCH_dst.json).
+//!
+//! Runs the `adapt-dst` explorer over its default fault space with a
+//! fixed master seed and reports:
+//!
+//! * **deterministic** — trials run, violations found, and the
+//!   seed-pinned report digest (identical on every run of the same
+//!   build; the digest string itself is reported, not gated, since
+//!   toolchain updates may legitimately shift the byte streams it
+//!   hashes). On a correct build the violation count is zero; a canary
+//!   build (`RUSTFLAGS="--cfg dst_canary"`) is expected to find some and
+//!   prints them per invariant kind.
+//! * **timing** — wall-clock trials/second, exempt from gating.
+//!
+//! Usage: `dst_bench [output.json]` (default `BENCH_dst.json`).
+//! `DST_BENCH_FAST=1` shrinks the trial count for smoke runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use adapt_dst::{Explorer, ExplorerOpts, TrialContext};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_dst.json".into());
+    let fast = std::env::var("DST_BENCH_FAST").is_ok_and(|v| v == "1");
+    let trials = if fast { 12 } else { 1_000 };
+
+    println!("building trial context (profiling the shared performance database)...");
+    let ctx = TrialContext::new();
+
+    let opts = ExplorerOpts {
+        trials,
+        // Throughput measurement: count violations but skip shrinking so
+        // the workload is a pure function of the trial count.
+        shrink: false,
+        max_failures: usize::MAX,
+        ..ExplorerOpts::default()
+    };
+    println!("exploring {trials} trials (seed {:#x})...", opts.master_seed);
+    let t = Instant::now();
+    let report = Explorer::new(opts).run(&ctx);
+    let wall = t.elapsed().as_secs_f64();
+    let per_sec = report.trials_run as f64 / wall.max(1e-9);
+
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in &report.failures {
+        *by_kind.entry(f.violation.kind()).or_insert(0) += 1;
+    }
+
+    println!("  trials: {} in {wall:.2}s ({per_sec:.1} trials/s)", report.trials_run);
+    println!("  digest: {:#018x}", report.digest);
+    println!("  violations: {}", report.failures.len());
+    for (kind, n) in &by_kind {
+        println!("    {kind}: {n}");
+    }
+
+    let mut kinds = String::new();
+    for (i, (kind, n)) in by_kind.iter().enumerate() {
+        if i > 0 {
+            kinds.push_str(", ");
+        }
+        let _ = write!(kinds, "\"{kind}\": {n}");
+    }
+    let json = format!(
+        "{{\n\
+         \"bench\": \"dst\",\n\
+         \"deterministic\": {{\n\
+         \x20 \"trials\": {},\n\
+         \x20 \"violations\": {},\n\
+         \x20 \"violations_by_kind\": {{{kinds}}},\n\
+         \x20 \"digest\": \"{:016x}\"\n\
+         }},\n\
+         \"timing\": {{\n\
+         \x20 \"wall_secs\": {wall:.4},\n\
+         \x20 \"trials_per_sec\": {per_sec:.1}\n\
+         }}\n\
+         }}\n",
+        report.trials_run,
+        report.failures.len(),
+        report.digest,
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+}

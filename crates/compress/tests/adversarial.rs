@@ -1,0 +1,79 @@
+//! Adversarial round-trip inputs for every codec: the degenerate shapes
+//! that historically break block/dictionary compressors — empty input,
+//! single bytes, runs of one symbol, alternating symbols that defeat
+//! run-length stages, and payloads straddling the bzip block boundary.
+
+use compress::{bzip, lzw, Method};
+
+fn adversarial_inputs() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("empty", Vec::new()),
+        ("one zero byte", vec![0]),
+        ("one 0xff byte", vec![0xFF]),
+        ("two distinct", vec![0, 255]),
+        ("all equal short", vec![7; 64]),
+        ("all equal long", vec![42; 300_000]),
+        ("alternating pair", (0..100_000).map(|i| if i % 2 == 0 { 0xAA } else { 0x55 }).collect()),
+        ("all 256 symbols", (0..=255u8).cycle().take(4096).collect()),
+        ("sawtooth", (0..200_000).map(|i| (i % 251) as u8).collect()),
+        ("single run then noise", {
+            let mut v = vec![0u8; 1000];
+            v.extend((0..1000).map(|i: u32| (i.wrapping_mul(2_654_435_761) >> 24) as u8));
+            v
+        }),
+    ]
+}
+
+#[test]
+fn every_method_round_trips_adversarial_inputs() {
+    for method in Method::ALL {
+        for (name, input) in adversarial_inputs() {
+            let packed = method.compress(&input);
+            let unpacked = method
+                .decompress(&packed)
+                .unwrap_or_else(|e| panic!("{method:?} failed on {name}: {e}"));
+            assert_eq!(unpacked, input, "{method:?} corrupted {name}");
+        }
+    }
+}
+
+#[test]
+fn bzip_round_trips_across_block_boundaries() {
+    // Tiny block sizes force many blocks over one payload (kept small:
+    // block size 1 means one BWT per byte); larger sizes split a bigger
+    // payload into one or a few blocks.
+    let small: Vec<u8> = (0..2_000u32).map(|i| (i.wrapping_mul(193) % 241) as u8).collect();
+    for block in [1, 2, 255] {
+        let packed = bzip::compress_with_block(&small, block);
+        let unpacked =
+            bzip::decompress(&packed).unwrap_or_else(|e| panic!("block size {block} failed: {e}"));
+        assert_eq!(unpacked, small, "block size {block} corrupted the payload");
+    }
+    let data: Vec<u8> = (0..250_000u32).map(|i| (i.wrapping_mul(193) % 241) as u8).collect();
+    for block in [4096, bzip::DEFAULT_BLOCK] {
+        let packed = bzip::compress_with_block(&data, block);
+        let unpacked =
+            bzip::decompress(&packed).unwrap_or_else(|e| panic!("block size {block} failed: {e}"));
+        assert_eq!(unpacked, data, "block size {block} corrupted the payload");
+    }
+    for size in [bzip::DEFAULT_BLOCK - 1, bzip::DEFAULT_BLOCK, bzip::DEFAULT_BLOCK + 1] {
+        let data: Vec<u8> = (0..size as u32).map(|i| (i % 253) as u8).collect();
+        let unpacked = bzip::decompress(&bzip::compress(&data)).expect("boundary payload");
+        assert_eq!(unpacked, data, "payload of {size} bytes straddling the block boundary");
+    }
+}
+
+#[test]
+fn decompressors_reject_garbage_without_panicking() {
+    // Corrupt/truncated payloads must produce errors, never panics or
+    // bogus data that silently round-trips.
+    let garbage: Vec<u8> =
+        (0..4096u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+    assert!(lzw::decompress(&garbage).is_err() || bzip::decompress(&garbage).is_err());
+    for method in [Method::Lzw, Method::Bzip] {
+        let mut packed = method.compress(b"the quick brown fox jumps over the lazy dog");
+        packed.truncate(packed.len() / 2);
+        // Truncation may error or decode a prefix, but must not panic.
+        let _ = method.decompress(&packed);
+    }
+}

@@ -81,5 +81,5 @@ pub mod prelude {
     pub use crate::runtime::{AdaptationEvent, AdaptiveRuntime};
     pub use crate::scheduler::{Decision, ResourceScheduler};
     pub use crate::spec::TunableSpec;
-    pub use crate::steering::SwitchEvent;
+    pub use crate::steering::{BoundaryOutcome, ReconfigureRequest, SteeringAgent, SwitchEvent};
 }

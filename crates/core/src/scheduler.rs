@@ -160,6 +160,20 @@ impl ResourceScheduler {
         Ok(Self::new_shared(db, prefs, input))
     }
 
+    /// Oracle accessor: the keys of every configuration profiled for this
+    /// scheduler's input — the legal value set of a `decide` event's
+    /// `config` field. A decision naming any other key is a bug, whatever
+    /// the resource estimate said.
+    pub fn config_keys(&self) -> std::collections::BTreeSet<String> {
+        self.db.configs(&self.input).iter().map(|c| c.key()).collect()
+    }
+
+    /// Oracle accessor: how many preference levels this scheduler ranks
+    /// over. `decide` events carry `rank < preference_depth()`.
+    pub fn preference_depth(&self) -> usize {
+        self.prefs.prefs.len()
+    }
+
     pub fn with_mode(mut self, mode: PredictMode) -> Self {
         self.mode = mode;
         self

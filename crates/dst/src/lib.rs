@@ -1,0 +1,52 @@
+//! Deterministic simulation-test explorer (`adapt-dst`).
+//!
+//! Turns the simnet kernel into a model-checker-lite, in the tradition of
+//! FoundationDB-style deterministic simulation testing:
+//!
+//! 1. **Schedule search** — each trial runs the full adaptive
+//!    application under [`simnet::DrainMode::Explore`], which permutes
+//!    same-timestamp delivery order and skews timer fires from a seeded
+//!    PRNG, so one binary explores many legal event interleavings.
+//! 2. **Fault-space search** — a declarative [`FaultSpace`] grammar
+//!    (loss / jitter / link-down / crash-restart ranges) collapses per
+//!    trial into a concrete [`TrialPlan`] from a single seed.
+//! 3. **Invariant oracles** — after each trial, [`oracle`] functions
+//!    replay the observability bus: no duplicate reply is ever applied,
+//!    circuit-breaker transitions are legal, degrade/recover alternate,
+//!    scheduler decisions stay inside the performance database, and
+//!    (periodically) heap vs batched drain digests agree.
+//! 4. **Shrinking** — a failing trial is delta-debugged ([`shrink`])
+//!    toward the minimal plan that still violates the same invariant,
+//!    and emitted as a self-contained JSON [`Repro`] that replays
+//!    verbatim in a `#[test]`.
+//!
+//! The whole pipeline is deterministic: the same [`ExplorerOpts`]
+//! produce the same [`ExploreReport`] digest, byte for byte, every run.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use adapt_dst::{Explorer, ExplorerOpts, TrialContext};
+//!
+//! let ctx = TrialContext::new();
+//! let report = Explorer::new(ExplorerOpts { trials: 100, ..Default::default() }).run(&ctx);
+//! assert!(!report.found_violation(), "failures: {:?}", report.failures);
+//! ```
+//!
+//! The seeded canary bug (`--cfg dst_canary`, see `visapp::client`)
+//! validates the pipeline end to end: the explorer must find it, shrink
+//! it, and the committed repro must replay it.
+
+pub mod explorer;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+pub mod space;
+pub mod trial;
+
+pub use explorer::{ExploreReport, Explorer, ExplorerOpts, Failure};
+pub use oracle::{DecisionContext, Violation};
+pub use repro::Repro;
+pub use shrink::{shrink as shrink_plan, ShrinkResult};
+pub use space::{FaultSpace, Span, TrialPlan};
+pub use trial::{TrialContext, TrialOutcome, TRIAL_HORIZON_SECS};

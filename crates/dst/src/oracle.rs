@@ -1,0 +1,261 @@
+//! Invariant oracles evaluated over the observability bus.
+//!
+//! Each oracle reads one slice of the event stream a finished trial left
+//! on its [`obs::Obs`] bus and returns the first violation it finds.
+//! Oracles are pure functions of the bus (plus static context for
+//! decision validity), so they run identically on a live trial and on a
+//! replayed repro.
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+use obs::{EventFilter, Obs};
+
+/// One invariant violation. `kind()` is the stable machine name used by
+/// the shrinker (a candidate counts as "still failing" only if the same
+/// kind reappears) and by repro files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The same wire reply was applied more than once
+    /// (`(image, wire_round)` repeated in the App `round` stream).
+    DuplicateApply { image: u64, wire_round: u64 },
+    /// The circuit-breaker event stream is illegal: a close without a
+    /// matching earlier open.
+    BreakerIllegal { at_us: u64, opens: u64, closes: u64 },
+    /// Steering degrade/recover events out of order (recover first, or
+    /// two of the same in a row).
+    DegradeOrder { at_us: u64, kind_seen: String },
+    /// The scheduler decided on a configuration outside the performance
+    /// database, or at a preference rank deeper than the list.
+    InvalidDecision { at_us: u64, config: String, rank: u64 },
+    /// The same trial produced different digests under heap vs batched
+    /// drain order.
+    DrainDivergence { heap: u64, batched: u64 },
+}
+
+impl Violation {
+    /// Stable machine-readable name of the violated invariant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::DuplicateApply { .. } => "duplicate_apply",
+            Violation::BreakerIllegal { .. } => "breaker_illegal",
+            Violation::DegradeOrder { .. } => "degrade_order",
+            Violation::InvalidDecision { .. } => "invalid_decision",
+            Violation::DrainDivergence { .. } => "drain_divergence",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateApply { image, wire_round } => {
+                write!(f, "duplicate_apply: image {image} wire round {wire_round} applied twice")
+            }
+            Violation::BreakerIllegal { at_us, opens, closes } => write!(
+                f,
+                "breaker_illegal: close at t={at_us}us with {opens} opens / {closes} closes"
+            ),
+            Violation::DegradeOrder { at_us, kind_seen } => {
+                write!(f, "degrade_order: unexpected '{kind_seen}' at t={at_us}us")
+            }
+            Violation::InvalidDecision { at_us, config, rank } => {
+                write!(f, "invalid_decision: config '{config}' rank {rank} at t={at_us}us")
+            }
+            Violation::DrainDivergence { heap, batched } => {
+                write!(f, "drain_divergence: heap digest {heap:#x} != batched {batched:#x}")
+            }
+        }
+    }
+}
+
+/// Static context the decision-validity oracle needs: what the
+/// performance database and preference list actually contain.
+#[derive(Debug, Clone)]
+pub struct DecisionContext {
+    /// `Configuration::key()` of every configuration in the database.
+    pub valid_configs: BTreeSet<String>,
+    /// Length of the preference list (valid ranks are `0..depth`).
+    pub preference_depth: u64,
+}
+
+/// No reply is ever *applied* twice: each `(image, wire_round)` pair
+/// appears at most once in the App `round` event stream. A re-applied
+/// duplicate repeats the pair even though the client's sequential round
+/// counter keeps incrementing.
+pub fn no_duplicate_apply(obs: &Obs) -> Option<Violation> {
+    let filter = EventFilter::any().source(obs::Source::App).kind("round");
+    let mut seen = HashSet::new();
+    for ev in obs.events_filtered(&filter) {
+        let image = ev.u64_field("image")?;
+        let wire_round = ev.u64_field("wire_round")?;
+        if !seen.insert((image, wire_round)) {
+            return Some(Violation::DuplicateApply { image, wire_round });
+        }
+    }
+    None
+}
+
+/// The circuit-breaker event stream is prefix-legal: at every prefix,
+/// closes never exceed opens. Consecutive opens are legal (a failed
+/// half-open probe re-opens without an intervening close); a close with
+/// no outstanding open is not.
+pub fn breaker_legal(obs: &Obs) -> Option<Violation> {
+    let filter =
+        EventFilter::any().source(obs::Source::App).kind("breaker_open").kind("breaker_close");
+    let (mut opens, mut closes) = (0u64, 0u64);
+    for ev in obs.events_filtered(&filter) {
+        match ev.kind {
+            "breaker_open" => opens += 1,
+            "breaker_close" => {
+                closes += 1;
+                if closes > opens {
+                    return Some(Violation::BreakerIllegal { at_us: ev.at_us, opens, closes });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Steering degrade/recover strictly alternate, starting with degrade:
+/// the runtime only recovers from a degraded state and only degrades from
+/// a non-degraded one.
+pub fn degrade_recover_order(obs: &Obs) -> Option<Violation> {
+    let mut degraded = false;
+    for ev in obs.events_filtered(&EventFilter::degrade_recover()) {
+        match ev.kind {
+            "degrade" if degraded => {
+                return Some(Violation::DegradeOrder {
+                    at_us: ev.at_us,
+                    kind_seen: "degrade".into(),
+                })
+            }
+            "recover" if !degraded => {
+                return Some(Violation::DegradeOrder {
+                    at_us: ev.at_us,
+                    kind_seen: "recover".into(),
+                })
+            }
+            "degrade" => degraded = true,
+            "recover" => degraded = false,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Every scheduler decision names a configuration the performance
+/// database actually holds, at a rank within the preference list.
+pub fn decisions_valid(obs: &Obs, ctx: &DecisionContext) -> Option<Violation> {
+    for ev in obs.events_filtered(&EventFilter::decisions()) {
+        let config = ev.str_field("config").unwrap_or("<missing>").to_string();
+        let rank = ev.u64_field("rank").unwrap_or(u64::MAX);
+        if !ctx.valid_configs.contains(&config) || rank >= ctx.preference_depth {
+            return Some(Violation::InvalidDecision { at_us: ev.at_us, config, rank });
+        }
+    }
+    None
+}
+
+/// Run every bus oracle, collecting the first violation of each kind.
+pub fn check_all(obs: &Obs, ctx: &DecisionContext) -> Vec<Violation> {
+    [
+        no_duplicate_apply(obs),
+        breaker_legal(obs),
+        degrade_recover_order(obs),
+        decisions_valid(obs, ctx),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{Event, Source};
+
+    fn ctx() -> DecisionContext {
+        DecisionContext {
+            valid_configs: ["dR=16:c=1:l=3".to_string()].into_iter().collect(),
+            preference_depth: 2,
+        }
+    }
+
+    fn round(obs: &Obs, at: u64, image: u64, wire_round: u64) {
+        obs.publish(
+            Event::new(at, Source::App, "round")
+                .with("image", image)
+                .with("round", wire_round)
+                .with("wire_round", wire_round),
+        );
+    }
+
+    #[test]
+    fn clean_stream_passes_all_oracles() {
+        let obs = Obs::new();
+        round(&obs, 10, 0, 0);
+        round(&obs, 20, 0, 1);
+        obs.publish(Event::new(5, Source::App, "breaker_open"));
+        obs.publish(Event::new(6, Source::App, "breaker_close"));
+        obs.publish(Event::new(7, Source::Steering, "degrade"));
+        obs.publish(Event::new(8, Source::Steering, "recover"));
+        obs.publish(
+            Event::new(9, Source::Scheduler, "decide")
+                .with("config", "dR=16:c=1:l=3")
+                .with("rank", 0u64),
+        );
+        assert!(check_all(&obs, &ctx()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_wire_round_is_caught() {
+        let obs = Obs::new();
+        round(&obs, 10, 0, 0);
+        round(&obs, 20, 0, 0);
+        let v = no_duplicate_apply(&obs).expect("must flag");
+        assert_eq!(v.kind(), "duplicate_apply");
+    }
+
+    #[test]
+    fn breaker_close_without_open_is_illegal() {
+        let obs = Obs::new();
+        obs.publish(Event::new(5, Source::App, "breaker_close"));
+        assert_eq!(breaker_legal(&obs).expect("must flag").kind(), "breaker_illegal");
+        // Re-open after a failed half-open probe is legal.
+        let obs = Obs::new();
+        obs.publish(Event::new(1, Source::App, "breaker_open"));
+        obs.publish(Event::new(2, Source::App, "breaker_open"));
+        obs.publish(Event::new(3, Source::App, "breaker_close"));
+        assert!(breaker_legal(&obs).is_none());
+    }
+
+    #[test]
+    fn recover_before_degrade_is_flagged() {
+        let obs = Obs::new();
+        obs.publish(Event::new(5, Source::Steering, "recover"));
+        assert_eq!(degrade_recover_order(&obs).expect("must flag").kind(), "degrade_order");
+        let obs = Obs::new();
+        obs.publish(Event::new(5, Source::Steering, "degrade"));
+        obs.publish(Event::new(6, Source::Steering, "degrade"));
+        assert_eq!(degrade_recover_order(&obs).expect("must flag").kind(), "degrade_order");
+    }
+
+    #[test]
+    fn decision_outside_db_or_depth_is_flagged() {
+        let obs = Obs::new();
+        obs.publish(
+            Event::new(9, Source::Scheduler, "decide").with("config", "bogus").with("rank", 0u64),
+        );
+        assert_eq!(decisions_valid(&obs, &ctx()).expect("must flag").kind(), "invalid_decision");
+        let obs = Obs::new();
+        obs.publish(
+            Event::new(9, Source::Scheduler, "decide")
+                .with("config", "dR=16:c=1:l=3")
+                .with("rank", 7u64),
+        );
+        assert!(decisions_valid(&obs, &ctx()).is_some());
+    }
+}

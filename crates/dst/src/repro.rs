@@ -1,0 +1,313 @@
+//! Self-contained repro files.
+//!
+//! A repro records one failing [`TrialPlan`] plus the violated invariant,
+//! as JSON, and replays verbatim: parsing the file and running the plan
+//! reproduces the exact trial the explorer saw. The JSON is emitted and
+//! parsed by hand — the plan is all integers, and keeping the format
+//! dependency-free means a repro replays anywhere the crate builds.
+
+use std::fmt::Write as _;
+
+use crate::space::TrialPlan;
+
+/// One shrunken failing trial, ready to commit under `repros/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Format version (currently 1).
+    pub version: u64,
+    /// `Violation::kind()` of the invariant the plan violated.
+    pub violation: String,
+    /// Human-readable description of the original violation.
+    pub detail: String,
+    /// The (shrunken) plan to replay.
+    pub plan: TrialPlan,
+}
+
+impl Repro {
+    pub fn new(plan: TrialPlan, violation: &str, detail: &str) -> Self {
+        Repro { version: 1, violation: violation.to_string(), detail: detail.to_string(), plan }
+    }
+
+    /// Serialize to the committed file format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let p = &self.plan;
+        let mut down = String::new();
+        for (i, (a, b)) in p.down.iter().enumerate() {
+            if i > 0 {
+                down.push_str(", ");
+            }
+            let _ = write!(down, "[{a}, {b}]");
+        }
+        let _ = write!(
+            s,
+            "{{\n  \"version\": {},\n  \"violation\": {},\n  \"detail\": {},\n  \"plan\": {{\n",
+            self.version,
+            quote(&self.violation),
+            quote(&self.detail)
+        );
+        let _ = writeln!(s, "    \"trial_seed\": {},", p.trial_seed);
+        let _ = writeln!(s, "    \"schedule_seed\": {},", p.schedule_seed);
+        let _ = writeln!(s, "    \"timer_skew_us\": {},", p.timer_skew_us);
+        let _ = writeln!(s, "    \"loss_pct\": {},", p.loss_pct);
+        let _ = writeln!(s, "    \"jitter_us\": {},", p.jitter_us);
+        let _ = writeln!(s, "    \"down\": [{down}],");
+        let _ = writeln!(s, "    \"crash_at_ms\": {},", p.crash_at_ms);
+        let _ = writeln!(s, "    \"restart_at_ms\": {},", p.restart_at_ms);
+        let _ = writeln!(s, "    \"n_images\": {},", p.n_images);
+        let _ = writeln!(s, "    \"timeout_ms\": {}", p.timeout_ms);
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Parse a repro file. Strict about structure, lenient about
+    /// whitespace and key order.
+    pub fn from_json(text: &str) -> Result<Repro, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let mut version = None;
+        let mut violation = None;
+        let mut detail = String::new();
+        let mut plan: Option<TrialPlan> = None;
+        p.expect(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "version" => version = Some(p.u64()?),
+                "violation" => violation = Some(p.string()?),
+                "detail" => detail = p.string()?,
+                "plan" => plan = Some(p.plan()?),
+                other => return Err(format!("unknown key '{other}'")),
+            }
+            if !p.comma_or(b'}')? {
+                break;
+            }
+        }
+        p.end()?;
+        let version = version.ok_or("missing 'version'")?;
+        if version != 1 {
+            return Err(format!("unsupported repro version {version}"));
+        }
+        Ok(Repro {
+            version,
+            violation: violation.ok_or("missing 'violation'")?,
+            detail,
+            plan: plan.ok_or("missing 'plan'")?,
+        })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal scanner over the repro grammar: objects, `[a, b]` pair
+/// arrays, unsigned integers, and escaped strings.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.i += 1;
+                Ok(())
+            }
+            got => Err(format!("expected '{}' at byte {}, got {got:?}", c as char, self.i)),
+        }
+    }
+
+    /// After a member: consume `,` (returning true) or `close`
+    /// (returning false).
+    fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(got) if got == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            got => Err(format!("expected ',' or '{}', got {got:?}", close as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or("unterminated string")?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                self.b.get(self.i..self.i + 4).ok_or("truncated \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+
+    /// `[[a, b], ...]` — the down-window list.
+    fn pair_array(&mut self) -> Result<Vec<(u64, u64)>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.expect(b'[')?;
+            let a = self.u64()?;
+            self.expect(b',')?;
+            let b = self.u64()?;
+            self.expect(b']')?;
+            out.push((a, b));
+            if !self.comma_or(b']')? {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn plan(&mut self) -> Result<TrialPlan, String> {
+        self.expect(b'{')?;
+        let mut plan = TrialPlan {
+            trial_seed: 0,
+            schedule_seed: 0,
+            timer_skew_us: 0,
+            loss_pct: 0,
+            jitter_us: 0,
+            down: Vec::new(),
+            crash_at_ms: 0,
+            restart_at_ms: 0,
+            n_images: 2,
+            timeout_ms: 250,
+        };
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "trial_seed" => plan.trial_seed = self.u64()?,
+                "schedule_seed" => plan.schedule_seed = self.u64()?,
+                "timer_skew_us" => plan.timer_skew_us = self.u64()?,
+                "loss_pct" => plan.loss_pct = self.u64()?,
+                "jitter_us" => plan.jitter_us = self.u64()?,
+                "down" => plan.down = self.pair_array()?,
+                "crash_at_ms" => plan.crash_at_ms = self.u64()?,
+                "restart_at_ms" => plan.restart_at_ms = self.u64()?,
+                "n_images" => plan.n_images = self.u64()?,
+                "timeout_ms" => plan.timeout_ms = self.u64()?,
+                other => return Err(format!("unknown plan key '{other}'")),
+            }
+            if !self.comma_or(b'}')? {
+                return Ok(plan);
+            }
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.ws();
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::FaultSpace;
+
+    #[test]
+    fn json_round_trips_exactly() {
+        for seed in [1, 7, 42, 0xDEAD_BEEF] {
+            let plan = FaultSpace::default().sample(seed);
+            let repro = Repro::new(plan, "duplicate_apply", "image 0 round 3 applied twice");
+            let parsed = Repro::from_json(&repro.to_json()).expect("parses");
+            assert_eq!(parsed, repro);
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let plan = FaultSpace::quiet().sample(1);
+        let repro = Repro::new(plan, "breaker_illegal", "tab\there \"quoted\" \\ back\nline");
+        let parsed = Repro::from_json(&repro.to_json()).expect("parses");
+        assert_eq!(parsed.detail, repro.detail);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Repro::from_json("").is_err());
+        assert!(Repro::from_json("{}").is_err());
+        assert!(Repro::from_json("{\"version\": 1}").is_err());
+        assert!(Repro::from_json("{\"version\": 2, \"violation\": \"x\", \"plan\": {}}").is_err());
+        let plan = FaultSpace::quiet().sample(1);
+        let good = Repro::new(plan, "k", "d").to_json();
+        assert!(Repro::from_json(&format!("{good}garbage")).is_err());
+    }
+}

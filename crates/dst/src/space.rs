@@ -1,0 +1,271 @@
+//! Declarative fault-space grammar and trial sampling.
+//!
+//! A [`FaultSpace`] describes *ranges* of faults the explorer may inject;
+//! [`FaultSpace::sample`] collapses it into one fully-determined
+//! [`TrialPlan`] from a single seed. Everything downstream (fault plan,
+//! schedule perturbation, scenario size) derives from the plan's integer
+//! fields, so a plan round-trips losslessly through the repro file format
+//! and replays byte-identically.
+
+use simnet::{FaultPlan, SimTime};
+use visapp::load::SplitMix64;
+use visapp::{CLIENT_HOST, SERVER_HOST};
+
+/// Inclusive integer range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl Span {
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        Span { lo, hi }
+    }
+
+    pub const fn fixed(v: u64) -> Self {
+        Span { lo: v, hi: v }
+    }
+
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        rng.range(self.lo, self.hi)
+    }
+}
+
+/// The fault-space grammar: which faults trials may draw, and from what
+/// ranges. The default space exercises every injection mechanism the
+/// simnet kernel offers — loss, jitter, link-down windows, host
+/// crash/restart — plus the kernel's schedule-perturbation hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpace {
+    /// Perturb same-timestamp delivery order (kernel `DrainMode::Explore`).
+    pub perturb_schedule: bool,
+    /// Bounded additive skew on timer fires, microseconds.
+    pub timer_skew_us: Span,
+    /// Per-message loss probability, percent (applied both directions).
+    pub loss_pct: Span,
+    /// Max extra per-message delay, microseconds.
+    pub jitter_us: Span,
+    /// How many link-down windows to cut.
+    pub down_windows: Span,
+    /// Window start, milliseconds.
+    pub down_start_ms: Span,
+    /// Window length, milliseconds.
+    pub down_len_ms: Span,
+    /// Chance (percent) that the server crashes at all.
+    pub crash_pct: u64,
+    /// Crash time, milliseconds.
+    pub crash_at_ms: Span,
+    /// Chance (percent) that an injected crash restarts.
+    pub restart_pct: u64,
+    /// Restart delay after the crash, milliseconds.
+    pub restart_after_ms: Span,
+    /// Images the client fetches (kept >= 2 so the shared profiling
+    /// scenario stays identical across trials).
+    pub n_images: Span,
+    /// Client request timeout, milliseconds. Small values race
+    /// retransmissions against merely-late replies — the regime the
+    /// reply dedup guard exists for.
+    pub timeout_ms: Span,
+}
+
+impl Default for FaultSpace {
+    fn default() -> Self {
+        FaultSpace {
+            perturb_schedule: true,
+            timer_skew_us: Span::new(0, 400),
+            loss_pct: Span::new(0, 20),
+            jitter_us: Span::new(0, 3_000),
+            down_windows: Span::new(0, 1),
+            down_start_ms: Span::new(200, 3_000),
+            down_len_ms: Span::new(100, 800),
+            crash_pct: 25,
+            crash_at_ms: Span::new(300, 2_500),
+            restart_pct: 75,
+            restart_after_ms: Span::new(200, 1_500),
+            n_images: Span::new(2, 4),
+            timeout_ms: Span::new(10, 250),
+        }
+    }
+}
+
+impl FaultSpace {
+    /// A quiet space: no faults, no perturbation. Useful as a baseline
+    /// and for cross-drain digest checks.
+    pub fn quiet() -> Self {
+        FaultSpace {
+            perturb_schedule: false,
+            timer_skew_us: Span::fixed(0),
+            loss_pct: Span::fixed(0),
+            jitter_us: Span::fixed(0),
+            down_windows: Span::fixed(0),
+            down_start_ms: Span::fixed(0),
+            down_len_ms: Span::fixed(0),
+            crash_pct: 0,
+            crash_at_ms: Span::fixed(0),
+            restart_pct: 0,
+            restart_after_ms: Span::fixed(0),
+            n_images: Span::fixed(2),
+            timeout_ms: Span::fixed(250),
+        }
+    }
+
+    /// Collapse the space into one concrete trial, deterministically from
+    /// `trial_seed`. The same seed over the same space always yields the
+    /// same plan.
+    pub fn sample(&self, trial_seed: u64) -> TrialPlan {
+        let mut rng = SplitMix64::new(trial_seed ^ 0xD57E_5EED_0A11_F00D);
+        let schedule_seed = if self.perturb_schedule {
+            // Non-zero: seed 0 means "identity schedule" to the kernel.
+            rng.next_u64() | 1
+        } else {
+            0
+        };
+        let timer_skew_us = self.timer_skew_us.sample(&mut rng);
+        let loss_pct = self.loss_pct.sample(&mut rng);
+        let jitter_us = self.jitter_us.sample(&mut rng);
+        let mut down = Vec::new();
+        for _ in 0..self.down_windows.sample(&mut rng) {
+            let start = self.down_start_ms.sample(&mut rng);
+            let len = self.down_len_ms.sample(&mut rng).max(1);
+            down.push((start, start + len));
+        }
+        let mut crash_at_ms = 0;
+        let mut restart_at_ms = 0;
+        if rng.range(0, 99) < self.crash_pct {
+            crash_at_ms = self.crash_at_ms.sample(&mut rng).max(1);
+            if rng.range(0, 99) < self.restart_pct {
+                restart_at_ms = crash_at_ms + self.restart_after_ms.sample(&mut rng).max(1);
+            }
+        }
+        let n_images = self.n_images.sample(&mut rng).max(2);
+        let timeout_ms = self.timeout_ms.sample(&mut rng).max(1);
+        TrialPlan {
+            trial_seed,
+            schedule_seed,
+            timer_skew_us,
+            loss_pct,
+            jitter_us,
+            down,
+            crash_at_ms,
+            restart_at_ms,
+            n_images,
+            timeout_ms,
+        }
+    }
+}
+
+/// One fully-determined trial: every fault and perturbation pinned to an
+/// integer. Serialized verbatim into repro files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialPlan {
+    /// The seed this plan was sampled from (also seeds the fault RNG).
+    pub trial_seed: u64,
+    /// Kernel schedule-perturbation seed; 0 = identity schedule.
+    pub schedule_seed: u64,
+    /// Kernel timer-skew bound, microseconds.
+    pub timer_skew_us: u64,
+    /// Loss probability, percent, both directions.
+    pub loss_pct: u64,
+    /// Max jitter, microseconds, both directions.
+    pub jitter_us: u64,
+    /// Link-down windows `(start_ms, end_ms)`.
+    pub down: Vec<(u64, u64)>,
+    /// Server crash time in ms; 0 = no crash.
+    pub crash_at_ms: u64,
+    /// Server restart time in ms; 0 = never restarts (if crashed).
+    pub restart_at_ms: u64,
+    /// Images the client fetches.
+    pub n_images: u64,
+    /// Client request timeout, milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl TrialPlan {
+    /// The simnet fault plan this trial installs, or `None` when the plan
+    /// carries no network/host faults at all.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.loss_pct == 0
+            && self.jitter_us == 0
+            && self.down.is_empty()
+            && self.crash_at_ms == 0
+        {
+            return None;
+        }
+        let mut fp = FaultPlan::new(self.trial_seed ^ 0xFA17_FA17);
+        if self.loss_pct > 0 {
+            fp = fp.with_loss(CLIENT_HOST, SERVER_HOST, self.loss_pct as f64 / 100.0);
+        }
+        if self.jitter_us > 0 {
+            fp = fp.with_jitter(CLIENT_HOST, SERVER_HOST, self.jitter_us);
+        }
+        for &(start, end) in &self.down {
+            fp = fp.with_link_down(
+                CLIENT_HOST,
+                SERVER_HOST,
+                SimTime::from_ms(start),
+                SimTime::from_ms(end),
+            );
+        }
+        if self.crash_at_ms > 0 {
+            let restart = (self.restart_at_ms > 0).then(|| SimTime::from_ms(self.restart_at_ms));
+            fp = fp.with_crash(SERVER_HOST, SimTime::from_ms(self.crash_at_ms), restart);
+        }
+        Some(fp)
+    }
+
+    /// A crude size measure the shrinker drives toward zero: the sum of
+    /// everything that distinguishes this plan from the quiet baseline
+    /// (for the timeout, distance below the default 250 ms).
+    pub fn weight(&self) -> u64 {
+        (self.schedule_seed != 0) as u64
+            + self.timer_skew_us
+            + self.loss_pct
+            + self.jitter_us
+            + 10 * self.down.len() as u64
+            + 10 * (self.crash_at_ms != 0) as u64
+            + (self.n_images - 2)
+            + 250u64.saturating_sub(self.timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let space = FaultSpace::default();
+        assert_eq!(space.sample(1234), space.sample(1234));
+        // Different seeds explore different corners (overwhelmingly).
+        assert_ne!(space.sample(1), space.sample(2));
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        let space = FaultSpace::default();
+        for seed in 0..200 {
+            let p = space.sample(seed);
+            assert!(p.loss_pct <= space.loss_pct.hi);
+            assert!(p.jitter_us <= space.jitter_us.hi);
+            assert!(p.timer_skew_us <= space.timer_skew_us.hi);
+            assert!(p.down.len() as u64 <= space.down_windows.hi);
+            assert!((2..=4).contains(&p.n_images));
+            assert!((10..=250).contains(&p.timeout_ms));
+            assert_ne!(p.schedule_seed, 0, "perturbing space never emits identity seed");
+            for &(s, e) in &p.down {
+                assert!(e > s, "down window must be non-empty");
+            }
+            if p.restart_at_ms != 0 {
+                assert!(p.restart_at_ms > p.crash_at_ms, "restart follows crash");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_space_yields_weightless_faultless_plans() {
+        let p = FaultSpace::quiet().sample(99);
+        assert_eq!(p.weight(), 0);
+        assert!(p.fault_plan().is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Scenario-to-trial adapter: run one sampled [`TrialPlan`] through the
+//! full adaptive application and evaluate every oracle on the outcome.
+//!
+//! The expensive inputs — image store, profiled performance database,
+//! preference list — depend only on the base geometry, not on the plan,
+//! so one [`TrialContext`] is built per explorer run and shared by every
+//! trial (the database clones structurally; clones share the query
+//! index).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use adapt_core::{Constraint, Objective, PerfDb, Preference, PreferenceList};
+use sandbox::{LimitSchedule, Limits};
+use simnet::{DrainMode, ExplorePlan, SimTime};
+use visapp::{
+    build_db, run_adaptive_until, BreakerOpts, ImageStore, RunOutcome, Scenario, PROFILE_INPUT,
+};
+
+use crate::oracle::{self, DecisionContext, Violation};
+use crate::space::TrialPlan;
+
+/// Wall-clock bound on one trial, simulation seconds. Crash-without-
+/// restart trials never drain on their own (breaker probes re-arm
+/// forever), so every trial runs under a horizon.
+pub const TRIAL_HORIZON_SECS: u64 = 60;
+
+/// Everything a trial run produced that the explorer cares about.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Order-sensitive digest of the observable behaviour (events, stats,
+    /// end time). Equal digests mean indistinguishable runs.
+    pub digest: u64,
+    /// First violation of each oracle kind, in oracle order.
+    pub violations: Vec<Violation>,
+    /// Images the client completed before the horizon.
+    pub images_done: u64,
+    /// Rounds the client applied.
+    pub rounds: u64,
+    /// Simulation end time, microseconds.
+    pub end_us: u64,
+}
+
+/// Shared, plan-independent trial infrastructure.
+pub struct TrialContext {
+    base: Scenario,
+    store: Arc<ImageStore>,
+    db: PerfDb,
+    prefs: PreferenceList,
+    decisions: DecisionContext,
+}
+
+impl TrialContext {
+    /// Build the shared context: generate the store and profile the
+    /// performance database once (single-threaded so record order — and
+    /// therefore scheduler tie-breaks — never depends on thread timing).
+    pub fn new() -> Self {
+        let base = Scenario {
+            n_images: 4,
+            img_size: 64,
+            levels: 3,
+            monitor_window_us: 500_000,
+            trigger_gap_us: 200_000,
+            request_timeout_us: Some(250_000),
+            breaker: Some(BreakerOpts {
+                failure_threshold: 3,
+                recovery_timeout_us: 400_000,
+                degraded: None,
+            }),
+            ..Scenario::default()
+        };
+        let store = base.build_store();
+        let db = build_db(&base, &store, &[0.05], &[2_000.0, 11_000.0, 60_000.0], 1);
+        // Minimizing *per-round* response time steers the scheduler toward
+        // small fovea increments, so images take several request/reply
+        // rounds. Multi-round images are what give late duplicate replies
+        // a window to race the dedup guard — with one round per image the
+        // image-id check alone would mask a broken round check.
+        let prefs = PreferenceList::single(Preference::new(
+            vec![Constraint::at_least("resolution", 3.0)],
+            Objective::minimize("response_time"),
+        ))
+        .then(Preference::new(vec![], Objective::minimize("response_time")));
+        let valid_configs: BTreeSet<String> =
+            db.configs(PROFILE_INPUT).iter().map(|c| c.key()).collect();
+        let preference_depth = 2;
+        TrialContext {
+            base,
+            store,
+            db,
+            prefs,
+            decisions: DecisionContext { valid_configs, preference_depth },
+        }
+    }
+
+    /// The decision-validity oracle's context (database keys, preference
+    /// depth).
+    pub fn decision_context(&self) -> &DecisionContext {
+        &self.decisions
+    }
+
+    /// The concrete scenario a plan runs under a given drain mode.
+    pub fn scenario(&self, plan: &TrialPlan, drain_mode: DrainMode) -> Scenario {
+        Scenario {
+            n_images: plan.n_images as usize,
+            request_timeout_us: Some(plan.timeout_ms.max(1) * 1_000),
+            fault_plan: plan.fault_plan(),
+            drain_mode,
+            ..self.base.clone()
+        }
+    }
+
+    /// Run one trial under the plan's own explore drain mode.
+    pub fn run(&self, plan: &TrialPlan) -> TrialOutcome {
+        let explore = DrainMode::Explore(
+            ExplorePlan::new(plan.schedule_seed).with_timer_skew_us(plan.timer_skew_us),
+        );
+        self.run_with_drain(plan, explore)
+    }
+
+    /// Run one trial under an explicit drain mode (the cross-drain oracle
+    /// replays the same plan under `Heap` and `Batched` and compares
+    /// digests).
+    pub fn run_with_drain(&self, plan: &TrialPlan, drain_mode: DrainMode) -> TrialOutcome {
+        let sc = self.scenario(plan, drain_mode);
+        // Bandwidth collapses mid-run and later recovers: the adaptation
+        // loop must react (decisions, switches), and the collapse itself
+        // delays replies past the request timeout, racing retransmissions
+        // against late originals — exactly the schedule the dedup guard
+        // exists for.
+        let schedule = LimitSchedule::new()
+            .at(SimTime::from_secs(1), Limits::cpu(0.05).with_net(2_000.0))
+            .at(SimTime::from_secs(3), Limits::cpu(0.05).with_net(60_000.0));
+        let out = run_adaptive_until(
+            &sc,
+            &self.store,
+            self.db.clone(),
+            self.prefs.clone(),
+            Limits::cpu(0.05).with_net(60_000.0),
+            Some(schedule),
+            SimTime::from_secs(TRIAL_HORIZON_SECS),
+        );
+        let digest = digest_outcome(&out);
+        let violations = oracle::check_all(&out.obs, &self.decisions);
+        TrialOutcome {
+            digest,
+            violations,
+            images_done: out.stats.images.len() as u64,
+            rounds: out.stats.rounds.len() as u64,
+            end_us: out.end.as_us(),
+        }
+    }
+}
+
+impl Default for TrialContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a 64 over the integer-observable behaviour of a run: applied
+/// rounds, image completions, configuration history, resilience counters
+/// and the end time. Floats are deliberately excluded so the digest is
+/// exact.
+pub fn digest_outcome(out: &RunOutcome) -> u64 {
+    let mut h = Fnv::new();
+    let rounds = obs::EventFilter::any().source(obs::Source::App).kind("round");
+    for ev in out.obs.events_filtered(&rounds) {
+        h.write_u64(ev.at_us);
+        h.write_u64(ev.u64_field("image").unwrap_or(u64::MAX));
+        h.write_u64(ev.u64_field("round").unwrap_or(u64::MAX));
+        h.write_u64(ev.u64_field("wire_round").unwrap_or(u64::MAX));
+    }
+    for img in &out.stats.images {
+        h.write_u64(img.finished.as_us());
+        h.write_u64(img.image_id as u64);
+        h.write_u64(img.rounds as u64);
+    }
+    for (t, cfg) in &out.stats.config_history {
+        h.write_u64(t.as_us());
+        h.write_str(&cfg.key());
+    }
+    h.write_u64(out.stats.retries);
+    h.write_u64(out.stats.timeouts);
+    h.write_u64(out.stats.breaker_opens);
+    h.write_u64(out.stats.breaker_closes);
+    h.write_u64(out.stats.dup_replies_dropped);
+    h.write_u64(out.end.as_us());
+    h.finish()
+}
+
+/// Minimal FNV-1a 64 hasher (no external deps; stable across platforms).
+pub struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub fn write_str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        // Length terminator so "ab"+"c" != "a"+"bc".
+        self.write_u64(s.len() as u64);
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_str("ab");
+        c.write_str("c");
+        let mut d = Fnv::new();
+        d.write_str("a");
+        d.write_str("bc");
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -1,0 +1,71 @@
+//! Committed repros replay verbatim.
+//!
+//! Every file under `repros/` is a shrunken failing trial some explorer
+//! run emitted. On a correct build they replay clean — the violation
+//! they describe was a bug that is fixed or (for the canary) compiled
+//! out. On the canary build (`--cfg dst_canary`) the committed canary
+//! repro must reproduce its recorded violation, proving the repro format
+//! carries everything needed to replay the failure.
+
+use std::fs;
+use std::path::PathBuf;
+
+use adapt_dst::{Repro, TrialContext};
+
+fn repro_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("repros");
+    let Ok(entries) = fs::read_dir(&dir) else { return Vec::new() };
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn load(path: &PathBuf) -> Repro {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    Repro::from_json(&text).unwrap_or_else(|e| panic!("parse {path:?}: {e}"))
+}
+
+#[cfg(not(dst_canary))]
+#[test]
+fn committed_repros_replay_clean_on_a_correct_build() {
+    let files = repro_files();
+    if files.is_empty() {
+        return;
+    }
+    let ctx = TrialContext::new();
+    for path in files {
+        let repro = load(&path);
+        let out = ctx.run(&repro.plan);
+        assert!(
+            out.violations.is_empty(),
+            "{path:?} ({}) violates on a correct build: {:?}",
+            repro.violation,
+            out.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[cfg(dst_canary)]
+#[test]
+fn committed_canary_repro_reproduces_the_violation() {
+    let files = repro_files();
+    let canaries: Vec<_> =
+        files.iter().map(load).filter(|r| r.violation == "duplicate_apply").collect();
+    assert!(
+        !canaries.is_empty(),
+        "no committed duplicate_apply repro; run the canary explorer and commit its output"
+    );
+    let ctx = TrialContext::new();
+    for repro in canaries {
+        let out = ctx.run(&repro.plan);
+        assert!(
+            out.violations.iter().any(|v| v.kind() == repro.violation),
+            "committed repro no longer reproduces '{}' on the canary build",
+            repro.violation
+        );
+    }
+}

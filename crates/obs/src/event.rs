@@ -189,6 +189,37 @@ impl EventFilter {
         self
     }
 
+    /// Preset: every adaptation-loop event — monitor triggers, scheduler
+    /// decisions, steering transitions. The working set of the invariant
+    /// oracles in `adapt-dst`.
+    pub fn adaptation() -> Self {
+        Self::any().source(Source::Monitor).source(Source::Scheduler).source(Source::Steering)
+    }
+
+    /// Preset: steering `degrade`/`recover` transitions, in bus order.
+    /// The staleness-ordering oracle checks these strictly alternate,
+    /// starting with `degrade`.
+    pub fn degrade_recover() -> Self {
+        Self::any().source(Source::Steering).kind("degrade").kind("recover")
+    }
+
+    /// Preset: scheduler `decide` events, whose `config`/`rank` fields the
+    /// decision-validity oracle checks against the performance database.
+    pub fn decisions() -> Self {
+        Self::any().source(Source::Scheduler).kind("decide")
+    }
+
+    /// Preset: application integrity events — applied rounds, circuit
+    /// breaker transitions, and dropped duplicate replies.
+    pub fn app_integrity() -> Self {
+        Self::any()
+            .source(Source::App)
+            .kind("round")
+            .kind("breaker_open")
+            .kind("breaker_close")
+            .kind("dup_reply")
+    }
+
     /// Does `ev` pass this filter?
     pub fn matches(&self, ev: &Event) -> bool {
         if let Some(sources) = &self.sources {

@@ -93,14 +93,51 @@ struct HeapEntry {
     ev: Ev,
 }
 
+/// Schedule-perturbation budget for [`DrainMode::Explore`].
+///
+/// `seed == 0` is the identity plan: no permutation, no skew — a run under
+/// `DrainMode::Explore(ExplorePlan::new(0))` is bit-for-bit identical to
+/// [`DrainMode::Batched`]. Any other seed deterministically perturbs the
+/// schedule: same plan, same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExplorePlan {
+    /// Seed for the perturbation stream; `0` disables all perturbation.
+    pub seed: u64,
+    /// Upper bound on extra delay injected into each timer fire (us),
+    /// modeling clock skew and timer coalescing. `0` leaves timers exact.
+    pub timer_skew_us: u64,
+}
+
+impl ExplorePlan {
+    /// A plan that permutes same-timestamp delivery order but leaves
+    /// timers exact. `seed == 0` yields the identity plan.
+    pub const fn new(seed: u64) -> Self {
+        ExplorePlan { seed, timer_skew_us: 0 }
+    }
+
+    /// Additionally skew every timer by up to `skew_us`.
+    pub const fn with_timer_skew_us(mut self, skew_us: u64) -> Self {
+        self.timer_skew_us = skew_us;
+        self
+    }
+
+    /// True when this plan perturbs nothing.
+    pub fn is_identity(&self) -> bool {
+        self.seed == 0
+    }
+}
+
 /// How the kernel drains its event queue.
 ///
-/// Both modes process events in identical `(time, insertion)` order, so a
-/// run is bit-for-bit identical under either; they differ only in data
-/// structure. [`DrainMode::Batched`] is the default and the fast path for
-/// deep queues (thousands of concurrent sessions); [`DrainMode::Heap`] is
-/// the original one-entry-at-a-time binary heap, kept as the measurable
+/// [`DrainMode::Heap`] and [`DrainMode::Batched`] process events in
+/// identical `(time, insertion)` order, so a run is bit-for-bit identical
+/// under either; they differ only in data structure.
+/// [`DrainMode::Batched`] is the default and the fast path for deep
+/// queues (thousands of concurrent sessions); [`DrainMode::Heap`] is the
+/// original one-entry-at-a-time binary heap, kept as the measurable
 /// baseline for the batched path (see `bench/src/bin/load_bench.rs`).
+/// [`DrainMode::Explore`] layers a seeded schedule perturbation on the
+/// batched drain for simulation-test exploration (see `adapt-dst`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DrainMode {
     /// Pop entries one at a time from a `(time, seq)`-ordered binary heap.
@@ -114,6 +151,13 @@ pub enum DrainMode {
     /// per event.
     #[default]
     Batched,
+    /// The batched drain plus a deterministic schedule perturbation: each
+    /// same-timestamp bucket is Fisher-Yates-permuted by a per-batch
+    /// stream derived from the plan seed, and timer fires are skewed by a
+    /// bounded extra delay. Every ordering it produces is a legal
+    /// `(time, insertion)` schedule of *some* execution — the exploration
+    /// never invents impossible interleavings, only reachable ones.
+    Explore(ExplorePlan),
 }
 
 /// How many drained buckets to keep for reuse. Matches the number of
@@ -154,6 +198,36 @@ impl std::hash::Hasher for TimeHasher {
     }
 }
 
+/// SplitMix64 for the explore-mode perturbation streams. Self-contained
+/// (no `rand` involvement) so committed exploration baselines cannot
+/// drift with a crate upgrade — the same property the load generator's
+/// seeded streams rely on.
+#[derive(Debug, Clone, Copy)]
+struct Mix64(u64);
+
+impl Mix64 {
+    fn new(seed: u64) -> Self {
+        Mix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `0` when `n == 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.t == other.t && self.seq == other.seq
@@ -187,6 +261,10 @@ pub struct Sim {
     buckets: HashMap<SimTime, VecDeque<Ev>, TimeHasherBuilder>,
     /// Drained, empty buckets kept for reuse (capacity recycling).
     spare_buckets: Vec<VecDeque<Ev>>,
+    /// Explore-mode timer-skew stream (advanced once per timer push).
+    explore_rng: Mix64,
+    /// Explore-mode batches drained so far (salts per-batch permutation).
+    explore_batches: u64,
     queue_len: usize,
     peak_queue_depth: usize,
     hosts: Vec<Host>,
@@ -231,6 +309,8 @@ impl Sim {
             times: BinaryHeap::new(),
             buckets: HashMap::default(),
             spare_buckets: Vec::new(),
+            explore_rng: Mix64::new(0),
+            explore_batches: 0,
             queue_len: 0,
             peak_queue_depth: 0,
             hosts: Vec::new(),
@@ -599,7 +679,7 @@ impl Sim {
                     self.handle(entry.ev);
                 }
             }
-            DrainMode::Batched => {
+            DrainMode::Batched | DrainMode::Explore(_) => {
                 while let Some((t, batch)) = self.pop_batch() {
                     debug_assert!(t >= self.now);
                     self.now = t;
@@ -623,7 +703,7 @@ impl Sim {
                     self.handle(entry.ev);
                 }
             }
-            DrainMode::Batched => {
+            DrainMode::Batched | DrainMode::Explore(_) => {
                 while let Some(&Reverse(bt)) = self.times.peek() {
                     if bt > t {
                         break;
@@ -670,6 +750,10 @@ impl Sim {
     /// events never have to migrate between representations.
     pub fn set_drain_mode(&mut self, mode: DrainMode) {
         assert!(self.is_idle(), "set_drain_mode requires an empty event queue");
+        if let DrainMode::Explore(plan) = mode {
+            self.explore_rng = Mix64::new(plan.seed ^ 0xC1A0_57A7_E5EE_D000);
+            self.explore_batches = 0;
+        }
         self.mode = mode;
     }
 
@@ -678,6 +762,17 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn push(&mut self, t: SimTime, ev: Ev) {
+        // Explore mode: skew timer fires by a bounded, seeded extra delay
+        // (clock skew / timer coalescing). Skew is only ever added, so a
+        // skewed timer never lands in the past.
+        let t = match self.mode {
+            DrainMode::Explore(plan)
+                if plan.seed != 0 && plan.timer_skew_us != 0 && matches!(ev, Ev::Timer { .. }) =>
+            {
+                t + self.explore_rng.below(plan.timer_skew_us + 1)
+            }
+            _ => t,
+        };
         self.queue_len += 1;
         if self.queue_len > self.peak_queue_depth {
             self.peak_queue_depth = self.queue_len;
@@ -688,7 +783,7 @@ impl Sim {
                 self.seq += 1;
                 self.heap.push(HeapEntry { t, seq, ev });
             }
-            DrainMode::Batched => match self.buckets.entry(t) {
+            DrainMode::Batched | DrainMode::Explore(_) => match self.buckets.entry(t) {
                 Entry::Occupied(mut e) => e.get_mut().push_back(ev),
                 Entry::Vacant(e) => {
                     // Reuse a drained bucket so a storm of same-time
@@ -701,10 +796,28 @@ impl Sim {
         }
     }
 
-    /// Remove and return the whole bucket at the earliest pending time.
+    /// Remove and return the whole bucket at the earliest pending time. In
+    /// explore mode the bucket is permuted first, so same-timestamp events
+    /// are handled in a seeded order instead of insertion order.
     fn pop_batch(&mut self) -> Option<(SimTime, VecDeque<Ev>)> {
         let Reverse(t) = self.times.pop()?;
-        let batch = self.buckets.remove(&t).expect("times entry without bucket");
+        let mut batch = self.buckets.remove(&t).expect("times entry without bucket");
+        if let DrainMode::Explore(plan) = self.mode {
+            if plan.seed != 0 && batch.len() > 1 {
+                self.explore_batches += 1;
+                // Per-batch stream: keyed by (plan seed, timestamp, batch
+                // ordinal) so the permutation of one batch is independent
+                // of how many events earlier batches held.
+                let mut rng = Mix64::new(
+                    plan.seed ^ t.as_us().rotate_left(17) ^ self.explore_batches.rotate_left(41),
+                );
+                let slice = batch.make_contiguous();
+                for i in (1..slice.len()).rev() {
+                    let j = rng.below(i as u64 + 1) as usize;
+                    slice.swap(i, j);
+                }
+            }
+        }
         Some((t, batch))
     }
 
@@ -726,10 +839,9 @@ impl Sim {
         self.events_handled += 1;
         if let Some(limit) = self.event_limit {
             if self.events_handled > limit {
-                #[allow(deprecated)]
                 let tail: Vec<String> = self
                     .trace
-                    .events()
+                    .recorded()
                     .iter()
                     .rev()
                     .filter(|(_, e)| !matches!(e, TraceEvent::TimerFired { .. }))
@@ -1616,6 +1728,48 @@ mod drain_tests {
             let want: Vec<u32> = (0..50).chain([999]).collect();
             assert_eq!(log.borrow().as_slice(), want.as_slice(), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn explore_identity_plan_matches_batched_and_heap() {
+        let heap = storm(DrainMode::Heap);
+        let batched = storm(DrainMode::Batched);
+        let explore = storm(DrainMode::Explore(ExplorePlan::new(0)));
+        assert_eq!(heap, batched);
+        assert_eq!(batched, explore);
+    }
+
+    #[test]
+    fn explore_same_plan_is_deterministic() {
+        let plan = ExplorePlan::new(7).with_timer_skew_us(300);
+        let a = storm(DrainMode::Explore(plan));
+        let b = storm(DrainMode::Explore(plan));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explore_seeds_reach_distinct_legal_schedules() {
+        let base = storm(DrainMode::Batched);
+        let mut saw_different = false;
+        for seed in 1..=8u64 {
+            let p = storm(DrainMode::Explore(ExplorePlan::new(seed)));
+            // Permutation alone reorders same-timestamp handling; it can
+            // never change what happens or when the run ends.
+            assert_eq!(p.1, base.1, "seed {seed} changed the end time");
+            assert_eq!(p.2, base.2, "seed {seed} changed the event count");
+            saw_different |= p.0 != base.0;
+        }
+        assert!(saw_different, "no seed in 1..=8 perturbed the schedule");
+    }
+
+    #[test]
+    fn explore_timer_skew_moves_fires_off_the_grid() {
+        let plan = ExplorePlan::new(3).with_timer_skew_us(500);
+        let (log, _, _) = storm(DrainMode::Explore(plan));
+        assert!(
+            log.iter().any(|(t, _, _)| t.as_us() % 10_000 != 0),
+            "500us skew left every fire on the 10 ms grid"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod trace;
 pub use accounting::{Accounting, Dir, Snapshot, Transfer};
 pub use actor::{Action, Actor, ActorId, HostId};
 pub use fault::{DropReason, FaultError, FaultPlan};
-pub use kernel::{Ctx, DrainMode, Sim};
+pub use kernel::{Ctx, DrainMode, ExplorePlan, Sim};
 pub use link::{FlowSched, Link, LinkMode};
 pub use message::{DecodeError, Message};
 pub use time::{dur, SimTime};
@@ -77,7 +77,7 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::actor::{Action, Actor, ActorId, HostId};
     pub use crate::fault::{DropReason, FaultError, FaultPlan};
-    pub use crate::kernel::{Ctx, DrainMode, Sim};
+    pub use crate::kernel::{Ctx, DrainMode, ExplorePlan, Sim};
     pub use crate::link::LinkMode;
     pub use crate::message::Message;
     pub use crate::time::{dur, SimTime};

@@ -223,6 +223,12 @@ impl Trace {
         self.obs.as_ref()
     }
 
+    /// Kernel-internal view of the legacy log (diagnostics on runaway
+    /// loops); the supported external surface is the obs bus.
+    pub(crate) fn recorded(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
     pub(crate) fn emit(&mut self, t: SimTime, ev: TraceEvent) {
         if let Some(obs) = &self.obs {
             obs.publish(ev.to_obs(t));

@@ -270,6 +270,10 @@ impl ClientOpts {
 struct PendingRound {
     wire_bytes: u64,
     raw_bytes: usize,
+    /// Round number from the reply's wire header (for the round record's
+    /// `wire_round`; diverges from the sequential counter only if a
+    /// duplicate reply is ever applied).
+    reply_round: u64,
 }
 
 /// The client actor.
@@ -464,10 +468,7 @@ impl Client {
             self.done = true;
             self.stats.record_finished(now);
             if let Some(a) = &self.adapt {
-                #[allow(deprecated)]
-                let events = a.runtime.events().to_vec();
-                let estimate = a.runtime.monitor.estimate();
-                self.stats.record_adapt_summary(events, estimate);
+                self.stats.record_adapt_summary(a.runtime.monitor.estimate());
             }
             ctx.send(self.opts.server, Message::signal(protocol::TAG_DISCONNECT, 32));
         }
@@ -505,20 +506,31 @@ impl Actor for Client {
             return;
         }
         let Ok(reply) = msg.decode::<Reply>() else { return };
-        if reply.image_id != self.image_idx
+        // Stale or duplicate replies (e.g. a retransmission race) must be
+        // dropped, never applied twice.
+        #[cfg(not(dst_canary))]
+        let stale = reply.image_id != self.image_idx
             || reply.round != self.round_no
-            || self.pending.is_some()
-        {
-            // Stale or duplicate reply (e.g. a retransmission race):
-            // dropped, never applied twice.
-            self.stats.record_dup_reply();
+            || self.pending.is_some();
+        // Canary bug for the simulation-test explorer (`adapt-dst`): a
+        // plausible off-by-one in the dedup guard that only rejects
+        // *future* rounds, so a late duplicate of an already-applied round
+        // slips through and is applied twice. Compiled in solely under
+        // `--cfg dst_canary`; the explorer must find it, shrink it, and
+        // the committed repro replays it.
+        #[cfg(dst_canary)]
+        let stale = reply.image_id != self.image_idx
+            || reply.round > self.round_no
+            || self.pending.is_some();
+        if stale {
+            self.stats.record_dup_reply(ctx.now());
             return;
         }
         // A live reply: the path works again.
         self.attempt = 0;
         if let Some(b) = self.breaker.as_mut() {
             if b.on_success() {
-                self.stats.record_breaker_close();
+                self.stats.record_breaker_close(ctx.now());
                 if let Some(saved) = self.saved_cfg.take() {
                     self.cfg = saved;
                     let now = ctx.now();
@@ -535,8 +547,11 @@ impl Actor for Client {
                 re.apply(&chunk);
             }
         }
-        self.pending =
-            Some(PendingRound { wire_bytes: msg.wire_bytes, raw_bytes: reply.raw_bytes });
+        self.pending = Some(PendingRound {
+            wire_bytes: msg.wire_bytes,
+            raw_bytes: reply.raw_bytes,
+            reply_round: reply.round,
+        });
         // Display repaints the requested square at the *viewing* scale of
         // the requested level: degrading resolution shrinks both the data
         // and the repaint cost (one quarter per level).
@@ -560,6 +575,7 @@ impl Actor for Client {
         self.stats.record_round(RoundRecord {
             image_id: self.image_idx,
             round: self.round_no,
+            wire_round: pending.reply_round,
             started: self.round_started,
             finished: now,
             wire_bytes: pending.wire_bytes,
@@ -595,7 +611,7 @@ impl Actor for Client {
                     blocked = !b.can_attempt(now);
                 }
                 if opened {
-                    self.stats.record_breaker_open();
+                    self.stats.record_breaker_open(now);
                     if self.saved_cfg.is_none() {
                         // Degrade: ride out the outage in the cheapest
                         // configuration so the half-open probes (and the

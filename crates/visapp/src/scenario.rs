@@ -17,7 +17,7 @@ use adapt_core::{
 use compress::Method;
 use obs::Obs;
 use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
-use simnet::{FaultPlan, HostId, LinkMode, Sim, SimTime};
+use simnet::{DrainMode, FaultPlan, HostId, LinkMode, Sim, SimTime};
 
 use crate::client::{AdaptSetup, Client, ClientOpts, VizConfig};
 use crate::resilience::{BreakerOpts, RetryPolicy};
@@ -110,6 +110,11 @@ pub struct Scenario {
     pub fault_plan: Option<FaultPlan>,
     /// How concurrent messages share the client-server link.
     pub link_mode: LinkMode,
+    /// Kernel event-queue drain strategy. The default
+    /// ([`DrainMode::Batched`]) is what every experiment uses; the
+    /// simulation-test explorer (`adapt-dst`) sets
+    /// [`DrainMode::Explore`] to perturb the schedule per trial.
+    pub drain_mode: DrainMode,
 }
 
 /// The client host in every scenario-assembled simulation (added first).
@@ -140,6 +145,7 @@ impl Default for Scenario {
             breaker: None,
             fault_plan: None,
             link_mode: LinkMode::Fifo,
+            drain_mode: DrainMode::Batched,
         }
     }
 }
@@ -316,6 +322,7 @@ fn assemble(
     sc.validate().expect("invalid scenario");
     stats_handle.attach_obs(obs);
     let mut sim = Sim::new();
+    sim.set_drain_mode(sc.drain_mode);
     sim.attach_obs(obs);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
@@ -409,6 +416,34 @@ pub fn run_adaptive(
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
 ) -> RunOutcome {
+    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None)
+}
+
+/// Like [`run_adaptive`] but stops the simulation at `horizon` even when
+/// events remain. The simulation-test explorer needs this for crash
+/// trials: against a peer that never restarts, breaker probes re-arm
+/// forever and the queue never drains on its own.
+pub fn run_adaptive_until(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    db: PerfDb,
+    prefs: PreferenceList,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+    horizon: SimTime,
+) -> RunOutcome {
+    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, Some(horizon))
+}
+
+fn run_adaptive_inner(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    db: PerfDb,
+    prefs: PreferenceList,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+    horizon: Option<SimTime>,
+) -> RunOutcome {
     assert!(!sc.verify, "verification requires a fixed configuration");
     sc.validate().expect("invalid scenario");
     let obs = Obs::new();
@@ -438,6 +473,7 @@ pub fn run_adaptive(
     stats_handle.attach_obs(&obs);
     let limits = LimitsHandle::new(l);
     let mut sim = Sim::new();
+    sim.set_drain_mode(sc.drain_mode);
     sim.attach_obs(&obs);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
@@ -460,7 +496,10 @@ pub fn run_adaptive(
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
     }
-    sim.run_until_idle();
+    match horizon {
+        Some(h) => sim.run_until(h),
+        None => sim.run_until_idle(),
+    }
     RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
 }
 
@@ -475,6 +514,7 @@ pub fn run_competing(
 ) -> Vec<RunStats> {
     sc.validate().expect("invalid scenario");
     let mut sim = Sim::new();
+    sim.set_drain_mode(sc.drain_mode);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);
     sim.set_link(hc, hs, sc.link_bps, sc.link_latency_us);

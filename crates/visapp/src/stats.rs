@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use adapt_core::{AdaptationEvent, Configuration, ResourceVector};
+use adapt_core::{Configuration, ResourceVector};
 use simnet::SimTime;
 
 /// One request/reply/display round.
@@ -17,6 +17,11 @@ use simnet::SimTime;
 pub struct RoundRecord {
     pub image_id: usize,
     pub round: u64,
+    /// The round number the *reply* claimed to answer (wire protocol
+    /// field). Equal to `round` in a correct run; the no-duplicate-applied
+    /// oracle keys on `(image_id, wire_round)`, which a re-applied
+    /// duplicate repeats even though `round` keeps incrementing.
+    pub wire_round: u64,
     pub started: SimTime,
     pub finished: SimTime,
     pub wire_bytes: u64,
@@ -55,14 +60,6 @@ pub struct RunStats {
     pub images: Vec<ImageRecord>,
     /// `(time, configuration)` history, including the initial one.
     pub config_history: Vec<(SimTime, Configuration)>,
-    /// The adaptation runtime's event log (triggers, decisions, switches,
-    /// NAKs), copied out when the run completes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read adaptation events off the obs bus (`RunOutcome::obs`, \
-                sources Monitor/Scheduler/Steering) instead"
-    )]
-    pub adapt_events: Vec<AdaptationEvent>,
     /// Set when every requested image has been delivered.
     pub finished_at: Option<SimTime>,
     /// Request retransmissions (lossy-link runs).
@@ -206,8 +203,19 @@ impl StatsHandle {
     // ---- typed record path (keeps the raw log and obs in lock-step) ----
 
     pub fn record_round(&self, rec: RoundRecord) {
-        self.inc(|h| h.rounds, 1);
-        self.inc(|h| h.wire_bytes, rec.wire_bytes);
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(h.rounds, 1);
+            h.obs.inc(h.wire_bytes, rec.wire_bytes);
+            // One "round" event per *applied* reply: the no-duplicate
+            // oracle asserts each (image, wire_round) pair appears at most
+            // once in this stream.
+            h.obs.publish(
+                obs::Event::new(rec.finished.as_us(), obs::Source::App, "round")
+                    .with("image", rec.image_id)
+                    .with("round", rec.round)
+                    .with("wire_round", rec.wire_round),
+            );
+        }
         self.stats.borrow_mut().rounds.push(rec);
     }
 
@@ -251,18 +259,31 @@ impl StatsHandle {
         self.stats.borrow_mut().timeouts += 1;
     }
 
-    pub fn record_breaker_open(&self) {
-        self.inc(|h| h.breaker_opens, 1);
+    /// Record the breaker tripping open at `t` (counter + ordered bus
+    /// event; the breaker-legality oracle replays the event sequence).
+    pub fn record_breaker_open(&self, t: SimTime) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(h.breaker_opens, 1);
+            h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "breaker_open"));
+        }
         self.stats.borrow_mut().breaker_opens += 1;
     }
 
-    pub fn record_breaker_close(&self) {
-        self.inc(|h| h.breaker_closes, 1);
+    /// Record a success re-closing the breaker at `t`.
+    pub fn record_breaker_close(&self, t: SimTime) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(h.breaker_closes, 1);
+            h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "breaker_close"));
+        }
         self.stats.borrow_mut().breaker_closes += 1;
     }
 
-    pub fn record_dup_reply(&self) {
-        self.inc(|h| h.dup_replies, 1);
+    /// Record a stale or duplicate reply being discarded at `t`.
+    pub fn record_dup_reply(&self, t: SimTime) {
+        if let Some(h) = self.obs.borrow().as_ref() {
+            h.obs.inc(h.dup_replies, 1);
+            h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "dup_reply"));
+        }
         self.stats.borrow_mut().dup_replies_dropped += 1;
     }
 
@@ -274,16 +295,12 @@ impl StatsHandle {
         self.stats.borrow_mut().finished_at = Some(t);
     }
 
-    /// Copy the runtime's legacy event log and final estimate into the raw
-    /// record when a run completes (the bus receives these live via
-    /// `AdaptiveRuntime::set_obs`).
-    pub fn record_adapt_summary(&self, events: Vec<AdaptationEvent>, estimate: ResourceVector) {
-        let mut s = self.stats.borrow_mut();
-        #[allow(deprecated)]
-        {
-            s.adapt_events = events;
-        }
-        s.final_estimate = Some(estimate);
+    /// Record the monitoring agent's final resource estimate when a run
+    /// completes. Adaptation *events* are not copied here: the obs bus
+    /// receives them live via `AdaptiveRuntime::set_obs` (sources
+    /// Monitor/Scheduler/Steering).
+    pub fn record_adapt_summary(&self, estimate: ResourceVector) {
+        self.stats.borrow_mut().final_estimate = Some(estimate);
     }
 }
 
@@ -301,6 +318,7 @@ mod tests {
         s.rounds.push(RoundRecord {
             image_id: 0,
             round: 0,
+            wire_round: 0,
             started: t(0.0),
             finished: t(0.5),
             wire_bytes: 100,
@@ -311,6 +329,7 @@ mod tests {
         s.rounds.push(RoundRecord {
             image_id: 0,
             round: 1,
+            wire_round: 1,
             started: t(0.5),
             finished: t(2.0),
             wire_bytes: 300,
@@ -357,6 +376,7 @@ mod tests {
         h.record_round(RoundRecord {
             image_id: 0,
             round: 0,
+            wire_round: 0,
             started: t(0.0),
             finished: t(0.5),
             wire_bytes: 123,
@@ -367,7 +387,7 @@ mod tests {
         h.record_image(ImageRecord { image_id: 0, started: t(0.0), finished: t(2.0), rounds: 1 });
         h.record_retry();
         h.record_timeout();
-        h.record_dup_reply();
+        h.record_dup_reply(t(1.5));
         h.record_finished(t(2.0));
         let c = |name: &str| obs.counter_value(obs.lookup(name).unwrap());
         assert_eq!(c("visapp.switches"), 1, "initial config is not a switch");
@@ -379,7 +399,9 @@ mod tests {
         assert_eq!(c("visapp.dup_replies_dropped"), 1);
         assert_eq!(obs.gauge_value(obs.lookup("visapp.finished_secs").unwrap()), 2.0);
         let kinds: Vec<&str> = obs.events().iter().map(|e| e.kind).collect();
-        assert_eq!(kinds, vec!["config", "config", "image", "finished"]);
+        assert_eq!(kinds, vec!["config", "config", "round", "image", "dup_reply", "finished"]);
+        let integrity = obs.events_filtered(&obs::EventFilter::app_integrity());
+        assert_eq!(integrity.len(), 2, "round + dup_reply pass the integrity preset");
         // The raw log saw the same facts.
         assert_eq!(h.with(|s| s.switch_count()), 1);
         assert_eq!(h.with(|s| s.total_wire_bytes()), 123);

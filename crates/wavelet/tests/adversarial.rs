@@ -1,0 +1,93 @@
+//! Adversarial inputs for the wavelet layer: degenerate images through
+//! the full pyramid round trip, and chunk-codec payloads at the edges of
+//! the format (empty set, empty-data chunks, extreme coefficients,
+//! malformed bytes).
+
+use wavelet::{
+    decode_chunks, encode_chunks, Band, Image, Pyramid, Reassembler, Rect, SubbandChunk,
+};
+
+/// Build → full-region chunks → encode → decode → reassemble → compare
+/// at every resolution level.
+fn round_trip(img: &Image, levels: usize) {
+    let pyr = Pyramid::build(img, levels);
+    let full = Rect::new(0, 0, img.width, img.height);
+    let mut re = Reassembler::new(img.width, img.height, levels);
+    let chunks = pyr.chunks_for_region(full, levels, None);
+    let decoded = decode_chunks(&encode_chunks(&chunks)).expect("wire format round-trips");
+    assert_eq!(decoded, chunks, "chunk codec must be lossless");
+    for c in &decoded {
+        re.apply(c);
+    }
+    for level in 0..=levels {
+        assert_eq!(
+            re.reconstruct(level),
+            pyr.reconstruct(level),
+            "{}x{} image diverged at level {level}",
+            img.width,
+            img.height
+        );
+    }
+}
+
+#[test]
+fn degenerate_images_survive_the_full_pipeline() {
+    // All-black, all-white, single-pixel checker, hard step edge, and the
+    // minimum size a 3-level pyramid accepts (8x8).
+    let cases: Vec<(&str, Image)> = vec![
+        ("all black", Image::blank(16, 16)),
+        ("all white", Image::from_fn(16, 16, |_, _| 255)),
+        ("checkerboard", Image::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 })),
+        ("step edge", Image::from_fn(32, 32, |x, _| if x < 16 { 0 } else { 255 })),
+        ("minimum 8x8", Image::from_fn(8, 8, |x, y| (x * 31 + y * 7) as u8)),
+        ("non-square", Image::from_fn(32, 8, |x, y| (x ^ y) as u8)),
+    ];
+    for (name, img) in cases {
+        for levels in 1..=3 {
+            if img.width % (1 << levels) != 0 || img.height % (1 << levels) != 0 {
+                continue;
+            }
+            round_trip(&img, levels);
+        }
+        let _ = name;
+    }
+}
+
+#[test]
+fn chunk_codec_edge_payloads() {
+    // Empty chunk set.
+    assert_eq!(decode_chunks(&encode_chunks(&[])).expect("empty set"), Vec::new());
+
+    // A chunk with an empty data vector and one with extreme coefficient
+    // values (Haar coefficients are signed; the zigzag varint must cover
+    // the full i32 range).
+    let empty_data =
+        SubbandChunk { band: Band::LL, level: 0, rect: Rect::new(0, 0, 0, 0), data: vec![] };
+    let extremes = SubbandChunk {
+        band: Band::HH,
+        level: 2,
+        rect: Rect::new(3, 5, 2, 2),
+        data: vec![i32::MAX, i32::MIN, 0, -1],
+    };
+    let chunks = vec![empty_data, extremes];
+    assert_eq!(decode_chunks(&encode_chunks(&chunks)).expect("edge chunks"), chunks);
+}
+
+#[test]
+fn chunk_decoder_rejects_malformed_bytes() {
+    // Truncations at every prefix of a valid payload must error, never
+    // panic or fabricate chunks.
+    let chunks = vec![SubbandChunk {
+        band: Band::LH,
+        level: 1,
+        rect: Rect::new(1, 2, 3, 4),
+        data: (0..12).map(|i| i * 17 - 100).collect(),
+    }];
+    let good = encode_chunks(&chunks);
+    for cut in 1..good.len() {
+        assert!(decode_chunks(&good[..cut]).is_err(), "truncation at {cut} must be rejected");
+    }
+    // A bogus band code and an absurd declared count are rejected.
+    assert!(decode_chunks(&[1, 9]).is_err(), "bad band code");
+    assert!(decode_chunks(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).is_err(), "absurd chunk count");
+}

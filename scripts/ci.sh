@@ -11,13 +11,23 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 # The workspace's own code must not call the deprecated pre-obs entry
 # points (Trace::events/take/render, AdaptiveRuntime::configure/events,
-# RunStats::adapt_events, StatsHandle::with_mut, FaultPlan::loss/...);
-# external callers still get the soft deprecation warning only.
+# StatsHandle::with_mut, FaultPlan::loss/...); external callers still
+# get the soft deprecation warning only.
 cargo clippy --workspace --all-targets -- -D deprecated
 # Rustdoc is part of the API surface: broken intra-doc links and bad
 # doc examples fail the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo fmt --check
+# Simulation-test canary: the adapt-dst suite compiled with the planted
+# dedup bug must find it, shrink it, and replay the committed repro.
+# Opt-in because it rebuilds the workspace under a different cfg.
+if [ "${CI_DST_CANARY:-0}" = "1" ]; then
+    RUSTFLAGS="--cfg dst_canary" cargo test -q --release -p adapt-dst
+fi
+# Coverage floor: opt-in, requires cargo-llvm-cov.
+if [ "${CI_COV:-0}" = "1" ]; then
+    cargo llvm-cov --workspace -q --fail-under-lines "$(cat scripts/coverage_floor.txt)"
+fi
 # Benchmark regression gate: opt-in because it rebuilds and re-runs
 # every BENCH_*.json generator (~a minute of wall time).
 if [ "${CI_BENCH:-0}" = "1" ]; then

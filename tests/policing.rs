@@ -1,27 +1,35 @@
 //! Integration: admission control plus sandbox policing (paper §6.2) —
 //! multiple sandboxed applications on one host must not interfere beyond
 //! their reservations, which is what makes reservations meaningful.
+//!
+//! Completion times are read off the shared obs event bus (the kernel
+//! publishes a `compute_end` event per finished computation) instead of
+//! instrumenting the workers, so the assertions exercise the same
+//! observability path production consumers use.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use adaptive_framework::sandbox::{
-    HostVmm, Limits, LimitsHandle, Reservation, SandboxStats, Sandboxed,
-};
-use adaptive_framework::simnet::{Actor, Ctx, Sim, SimTime};
+use adaptive_framework::prelude::*;
 
 struct Worker {
     work: f64,
-    done: Rc<RefCell<Option<SimTime>>>,
 }
+
 impl Actor for Worker {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.compute(self.work);
         ctx.continue_with(0);
     }
-    fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-        *self.done.borrow_mut() = Some(ctx.now());
-    }
+}
+
+/// When `actor` finished its computation, in simulated seconds, read off
+/// the obs bus.
+fn finished_secs(obs: &Obs, actor: ActorId) -> f64 {
+    let ends = EventFilter::any().source(Source::Simnet).kind("compute_end");
+    obs.events_filtered(&ends)
+        .iter()
+        .filter(|e| e.u64_field("actor") == Some(actor.0 as u64))
+        .map(|e| SimTime::from_us(e.at_us).as_secs_f64())
+        .next_back()
+        .expect("actor completed a computation")
 }
 
 #[test]
@@ -37,25 +45,30 @@ fn admitted_reservations_are_delivered_despite_competition() {
 
     // Both admitted applications run concurrently, each policed to its
     // share; each takes work/share wall time as if alone.
+    let obs = Obs::new();
     let mut sim = Sim::new();
+    sim.attach_obs(&obs);
     let h = sim.add_host("shared", 1.0, 1 << 30);
-    let done_a = Rc::new(RefCell::new(None));
-    let done_b = Rc::new(RefCell::new(None));
     let stats_a = SandboxStats::new(60_000_000);
-    for (done, stats) in [(done_a.clone(), Some(stats_a.clone())), (done_b.clone(), None)] {
-        let lh = LimitsHandle::new(Limits::cpu(0.4));
-        sim.spawn(
-            h,
-            Box::new(Sandboxed::new(
-                Worker { work: 1_000_000.0, done },
-                lh,
-                stats.unwrap_or_default(),
-            )),
-        );
-    }
+    let a = sim.spawn(
+        h,
+        Box::new(Sandboxed::new(
+            Worker { work: 1_000_000.0 },
+            LimitsHandle::new(Limits::cpu(0.4)),
+            stats_a.clone(),
+        )),
+    );
+    let b = sim.spawn(
+        h,
+        Box::new(Sandboxed::new(
+            Worker { work: 1_000_000.0 },
+            LimitsHandle::new(Limits::cpu(0.4)),
+            SandboxStats::default(),
+        )),
+    );
     sim.run_until_idle();
-    let ta = done_a.borrow().unwrap().as_secs_f64();
-    let tb = done_b.borrow().unwrap().as_secs_f64();
+    let ta = finished_secs(&obs, a);
+    let tb = finished_secs(&obs, b);
     // 1s of work at a guaranteed 40% share -> ~2.5s, regardless of the
     // other tenant.
     assert!((ta - 2.5).abs() < 0.1, "app_a took {ta}");
@@ -69,14 +82,14 @@ fn admitted_reservations_are_delivered_despite_competition() {
 fn overcommitted_unpoliced_load_would_have_interfered() {
     // The counterfactual: without sandbox policing, two greedy apps on one
     // host each get ~50%, so a "reservation" of 80% would be violated.
+    let obs = Obs::new();
     let mut sim = Sim::new();
+    sim.attach_obs(&obs);
     let h = sim.add_host("shared", 1.0, 1 << 30);
-    let done_a = Rc::new(RefCell::new(None));
-    let done_b = Rc::new(RefCell::new(None));
-    sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: done_a.clone() }));
-    sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: done_b.clone() }));
+    let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0 }));
+    sim.spawn(h, Box::new(Worker { work: 1_000_000.0 }));
     sim.run_until_idle();
-    let ta = done_a.borrow().unwrap().as_secs_f64();
+    let ta = finished_secs(&obs, a);
     assert!(ta > 1.9, "unpoliced contention halves throughput: {ta}");
 }
 
@@ -84,22 +97,21 @@ fn overcommitted_unpoliced_load_would_have_interfered() {
 fn policing_caps_a_greedy_tenant_protecting_the_other() {
     // app_a reserved 30% and polices at 30%; app_b is unconstrained.
     // app_b must observe at least its fair remainder (70%).
+    let obs = Obs::new();
     let mut sim = Sim::new();
+    sim.attach_obs(&obs);
     let h = sim.add_host("shared", 1.0, 1 << 30);
-    let done_a = Rc::new(RefCell::new(None));
-    let done_b = Rc::new(RefCell::new(None));
-    let lh = LimitsHandle::new(Limits::cpu(0.3));
     sim.spawn(
         h,
         Box::new(Sandboxed::new(
-            Worker { work: 3_000_000.0, done: done_a.clone() },
-            lh,
+            Worker { work: 3_000_000.0 },
+            LimitsHandle::new(Limits::cpu(0.3)),
             SandboxStats::default(),
         )),
     );
-    sim.spawn(h, Box::new(Worker { work: 1_400_000.0, done: done_b.clone() }));
+    let b = sim.spawn(h, Box::new(Worker { work: 1_400_000.0 }));
     sim.run_until_idle();
-    let tb = done_b.borrow().unwrap().as_secs_f64();
+    let tb = finished_secs(&obs, b);
     // 1.4s of work at >= 70% -> at most ~2s.
     assert!(tb < 2.1, "unconstrained tenant slowed to {tb}s by a policed one");
 }
