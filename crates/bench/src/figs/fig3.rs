@@ -84,7 +84,7 @@ pub fn fig3b(work_secs: f64) -> Vec<ShareTiming> {
         let limits = LimitsHandle::new(Limits::cpu(share));
         sim.spawn(h, Box::new(Sandboxed::new(task, limits, SandboxStats::default())));
         sim.run_until_idle();
-        let measured = done.borrow().expect("task must finish").as_secs_f64();
+        let measured = done.lock().unwrap().expect("task must finish").as_secs_f64();
         out.push(ShareTiming { share, measured_secs: measured, expected_secs: work_secs / share });
     }
     out

@@ -48,7 +48,7 @@ pub fn fig4a(work_secs: f64) -> Vec<EmulationRow> {
         let (task, done) = FixedWork::new(work_secs * 1e6);
         sim.spawn(h, Box::new(task));
         sim.run_until_idle();
-        let t = *done.borrow();
+        let t = *done.lock().unwrap();
         t.unwrap().as_secs_f64()
     };
     let run_testbed = |share: f64| -> f64 {
@@ -58,7 +58,7 @@ pub fn fig4a(work_secs: f64) -> Vec<EmulationRow> {
         let limits = LimitsHandle::new(Limits::cpu(share));
         sim.spawn(h, Box::new(Sandboxed::new(task, limits, SandboxStats::default())));
         sim.run_until_idle();
-        let t = *done.borrow();
+        let t = *done.lock().unwrap();
         t.unwrap().as_secs_f64()
     };
     let base = run_native(1.0);

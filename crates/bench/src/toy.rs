@@ -1,21 +1,19 @@
 //! The "simple toy application" of §5.1: a CPU-bound tight loop, used to
 //! evaluate the testbed's CPU control (Figures 3 and 4a).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use simnet::{Actor, Ctx, SimTime};
+use std::sync::{Arc, Mutex};
 
 /// Computes a fixed amount of work, recording when it finishes.
 pub struct FixedWork {
     work: f64,
-    done_at: Rc<RefCell<Option<SimTime>>>,
+    done_at: Arc<Mutex<Option<SimTime>>>,
 }
 
 impl FixedWork {
     /// `work` in reference-machine microseconds.
-    pub fn new(work: f64) -> (FixedWork, Rc<RefCell<Option<SimTime>>>) {
-        let done = Rc::new(RefCell::new(None));
+    pub fn new(work: f64) -> (FixedWork, Arc<Mutex<Option<SimTime>>>) {
+        let done = Arc::new(Mutex::new(None));
         (FixedWork { work, done_at: done.clone() }, done)
     }
 }
@@ -27,7 +25,7 @@ impl Actor for FixedWork {
     }
 
     fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
-        *self.done_at.borrow_mut() = Some(ctx.now());
+        *self.done_at.lock().unwrap() = Some(ctx.now());
     }
 }
 
@@ -52,6 +50,6 @@ mod tests {
         let (w, done) = FixedWork::new(500_000.0);
         sim.spawn(h, Box::new(w));
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_ms(500)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_ms(500)));
     }
 }

@@ -31,6 +31,9 @@ pub enum Violation {
     /// The same trial produced different digests under heap vs batched
     /// drain order.
     DrainDivergence { heap: u64, batched: u64 },
+    /// The same trial produced different digests under the sharded
+    /// parallel drain vs the sequential batched drain.
+    ShardDivergence { sharded: u64, batched: u64 },
 }
 
 impl Violation {
@@ -42,6 +45,7 @@ impl Violation {
             Violation::DegradeOrder { .. } => "degrade_order",
             Violation::InvalidDecision { .. } => "invalid_decision",
             Violation::DrainDivergence { .. } => "drain_divergence",
+            Violation::ShardDivergence { .. } => "shard_divergence",
         }
     }
 }
@@ -64,6 +68,9 @@ impl fmt::Display for Violation {
             }
             Violation::DrainDivergence { heap, batched } => {
                 write!(f, "drain_divergence: heap digest {heap:#x} != batched {batched:#x}")
+            }
+            Violation::ShardDivergence { sharded, batched } => {
+                write!(f, "shard_divergence: sharded digest {sharded:#x} != batched {batched:#x}")
             }
         }
     }

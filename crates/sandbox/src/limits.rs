@@ -7,10 +7,8 @@
 //! take effect within one quantum, matching the paper's testbed where the
 //! interception layer re-reads its configuration every few milliseconds.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use simnet::{Sim, SimTime};
+use std::sync::{Arc, Mutex};
 
 /// Resource caps enforced by the virtual execution environment.
 /// `None` always means "unconstrained".
@@ -69,38 +67,38 @@ impl Limits {
 
 /// Shared, mutable handle to a sandbox's limits.
 #[derive(Debug, Clone, Default)]
-pub struct LimitsHandle(Rc<RefCell<Limits>>);
+pub struct LimitsHandle(Arc<Mutex<Limits>>);
 
 impl LimitsHandle {
     pub fn new(limits: Limits) -> Self {
-        LimitsHandle(Rc::new(RefCell::new(limits)))
+        LimitsHandle(Arc::new(Mutex::new(limits)))
     }
 
     /// Current limits (copied out).
     pub fn get(&self) -> Limits {
-        *self.0.borrow()
+        *self.0.lock().unwrap()
     }
 
     /// Replace the limits wholesale.
     pub fn set(&self, limits: Limits) {
-        *self.0.borrow_mut() = limits;
+        *self.0.lock().unwrap() = limits;
     }
 
     pub fn set_cpu_share(&self, share: Option<f64>) {
         if let Some(s) = share {
             assert!(s > 0.0 && s <= 1.0, "cpu share must be in (0,1], got {s}");
         }
-        self.0.borrow_mut().cpu_share = share;
+        self.0.lock().unwrap().cpu_share = share;
     }
 
     pub fn set_net_bps(&self, bps: Option<f64>) {
-        let mut l = self.0.borrow_mut();
+        let mut l = self.0.lock().unwrap();
         l.net_recv_bps = bps;
         l.net_send_bps = bps;
     }
 
     pub fn set_mem_bytes(&self, bytes: Option<u64>) {
-        self.0.borrow_mut().mem_bytes = bytes;
+        self.0.lock().unwrap().mem_bytes = bytes;
     }
 }
 

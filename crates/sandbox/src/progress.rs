@@ -8,9 +8,8 @@
 //! windows of CPU and network observations; [`SandboxStats`] is the shared
 //! handle the sandbox wrapper feeds and monitors read.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use simnet::SimTime;
 
@@ -131,27 +130,27 @@ impl ProgressEstimator {
 
 /// Shared statistics handle connecting a sandbox wrapper to monitors.
 #[derive(Debug, Clone)]
-pub struct SandboxStats(Rc<RefCell<ProgressEstimator>>);
+pub struct SandboxStats(Arc<Mutex<ProgressEstimator>>);
 
 impl SandboxStats {
     pub fn new(window_us: u64) -> Self {
-        SandboxStats(Rc::new(RefCell::new(ProgressEstimator::new(window_us))))
+        SandboxStats(Arc::new(Mutex::new(ProgressEstimator::new(window_us))))
     }
 
     pub fn push_cpu(&self, s: CpuSample) {
-        self.0.borrow_mut().push_cpu(s);
+        self.0.lock().unwrap().push_cpu(s);
     }
 
     pub fn push_net(&self, s: NetSample) {
-        self.0.borrow_mut().push_net(s);
+        self.0.lock().unwrap().push_net(s);
     }
 
     pub fn cpu_share(&self) -> Option<f64> {
-        self.0.borrow().cpu_share()
+        self.0.lock().unwrap().cpu_share()
     }
 
     pub fn bandwidth_bps(&self, inbound: bool) -> Option<f64> {
-        self.0.borrow().bandwidth_bps(inbound)
+        self.0.lock().unwrap().bandwidth_bps(inbound)
     }
 }
 

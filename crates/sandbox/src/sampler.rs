@@ -6,14 +6,12 @@
 //! target actor's accounting every interval and records the observed CPU
 //! share (CPU time received / interval) into a shared time series.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use simnet::{Actor, ActorId, Ctx, SimTime};
+use std::sync::{Arc, Mutex};
 
 /// A shared, append-only `(time, value)` series.
 #[derive(Debug, Clone, Default)]
-pub struct SeriesHandle(Rc<RefCell<Vec<(SimTime, f64)>>>);
+pub struct SeriesHandle(Arc<Mutex<Vec<(SimTime, f64)>>>);
 
 impl SeriesHandle {
     pub fn new() -> Self {
@@ -21,25 +19,25 @@ impl SeriesHandle {
     }
 
     pub fn push(&self, t: SimTime, v: f64) {
-        self.0.borrow_mut().push((t, v));
+        self.0.lock().unwrap().push((t, v));
     }
 
     /// Copy the collected points out.
     pub fn points(&self) -> Vec<(SimTime, f64)> {
-        self.0.borrow().clone()
+        self.0.lock().unwrap().clone()
     }
 
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.0.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.0.lock().unwrap().is_empty()
     }
 
     /// Mean value over points with `t` in `[from, to)`.
     pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
-        let pts = self.0.borrow();
+        let pts = self.0.lock().unwrap();
         let vals: Vec<f64> =
             pts.iter().filter(|(t, _)| *t >= from && *t < to).map(|(_, v)| *v).collect();
         if vals.is_empty() {

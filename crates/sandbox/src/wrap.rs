@@ -361,12 +361,12 @@ mod tests {
     use super::*;
     use crate::limits::{LimitSchedule, Limits};
     use simnet::{dur, Sim};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     struct Worker {
         work: f64,
-        done_at: Rc<RefCell<Option<SimTime>>>,
+        done_at: Arc<Mutex<Option<SimTime>>>,
     }
     impl Actor for Worker {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -374,17 +374,17 @@ mod tests {
             ctx.continue_with(1);
         }
         fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
-            *self.done_at.borrow_mut() = Some(ctx.now());
+            *self.done_at.lock().unwrap() = Some(ctx.now());
         }
     }
 
     fn sandboxed_worker(
         work: f64,
         limits: Limits,
-    ) -> (Sim, Rc<RefCell<Option<SimTime>>>, LimitsHandle, SandboxStats) {
+    ) -> (Sim, Arc<Mutex<Option<SimTime>>>, LimitsHandle, SandboxStats) {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(limits);
         let stats = SandboxStats::default();
         let sb = Sandboxed::new(Worker { work, done_at: done.clone() }, lh.clone(), stats.clone());
@@ -396,14 +396,14 @@ mod tests {
     fn unconstrained_runs_at_full_speed() {
         let (mut sim, done, _, _) = sandboxed_worker(1_000_000.0, Limits::unconstrained());
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_secs(1)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_secs(1)));
     }
 
     #[test]
     fn half_share_doubles_wall_time() {
         let (mut sim, done, _, stats) = sandboxed_worker(1_000_000.0, Limits::cpu(0.5));
         sim.run_until_idle();
-        let t = done.borrow().unwrap().as_secs_f64();
+        let t = done.lock().unwrap().unwrap().as_secs_f64();
         assert!((t - 2.0).abs() < 0.02, "expected ~2s, got {t}");
         let share = stats.cpu_share().unwrap();
         assert!((share - 0.5).abs() < 0.02, "estimated share {share}");
@@ -413,7 +413,7 @@ mod tests {
     fn ten_percent_share() {
         let (mut sim, done, _, stats) = sandboxed_worker(500_000.0, Limits::cpu(0.1));
         sim.run_until_idle();
-        let t = done.borrow().unwrap().as_secs_f64();
+        let t = done.lock().unwrap().unwrap().as_secs_f64();
         assert!((t - 5.0).abs() < 0.05, "expected ~5s, got {t}");
         assert!((stats.cpu_share().unwrap() - 0.1).abs() < 0.01);
     }
@@ -425,7 +425,7 @@ mod tests {
         let (mut sim, done, lh, _) = sandboxed_worker(1_000_000.0, Limits::unconstrained());
         LimitSchedule::new().at(SimTime::from_ms(500), Limits::cpu(0.4)).install(&mut sim, &lh);
         sim.run_until_idle();
-        let t = done.borrow().unwrap().as_secs_f64();
+        let t = done.lock().unwrap().unwrap().as_secs_f64();
         assert!((t - 1.75).abs() < 0.03, "expected ~1.75s, got {t}");
     }
 
@@ -436,15 +436,15 @@ mod tests {
         for share in [0.2, 0.5, 0.8] {
             let (mut sim, done, _, _) = sandboxed_worker(1_000_000.0, Limits::cpu(share));
             sim.run_until_idle();
-            let sandbox_t = done.borrow().unwrap().as_secs_f64();
+            let sandbox_t = done.lock().unwrap().unwrap().as_secs_f64();
 
             let mut sim2 = Sim::new();
             let h = sim2.add_host("ref", 1.0, 1 << 30);
-            let done2 = Rc::new(RefCell::new(None));
+            let done2 = Arc::new(Mutex::new(None));
             let a = sim2.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done2.clone() }));
             sim2.set_cpu_cap(a, Some(share));
             sim2.run_until_idle();
-            let kernel_t = done2.borrow().unwrap().as_secs_f64();
+            let kernel_t = done2.lock().unwrap().unwrap().as_secs_f64();
 
             let rel = (sandbox_t - kernel_t).abs() / kernel_t;
             assert!(rel < 0.02, "share {share}: sandbox {sandbox_t} vs kernel {kernel_t}");
@@ -465,7 +465,7 @@ mod tests {
     struct Downloader {
         server: ActorId,
         remaining: u32,
-        finished: Rc<RefCell<Option<SimTime>>>,
+        finished: Arc<Mutex<Option<SimTime>>>,
     }
     impl Actor for Downloader {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -474,7 +474,7 @@ mod tests {
         fn on_message(&mut self, _f: ActorId, _m: Message, ctx: &mut Ctx<'_>) {
             self.remaining -= 1;
             if self.remaining == 0 {
-                *self.finished.borrow_mut() = Some(ctx.now());
+                *self.finished.lock().unwrap() = Some(ctx.now());
             } else {
                 ctx.send(self.server, Message::signal(0, 64));
             }
@@ -489,13 +489,13 @@ mod tests {
         // Fast physical link: 12.5 MB/s.
         sim.set_link(hc, hs, 12_500_000.0, 100);
         let server = sim.spawn(hs, Box::new(BlobServer { reply_bytes: 100_000 }));
-        let finished = Rc::new(RefCell::new(None));
+        let finished = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::net(100_000.0)); // 100 KB/s
         let stats = SandboxStats::new(60_000_000);
         let dl = Downloader { server, remaining: 10, finished: finished.clone() };
         sim.spawn(hc, Box::new(Sandboxed::new(dl, lh, stats.clone())));
         sim.run_until_idle();
-        let t = finished.borrow().unwrap().as_secs_f64();
+        let t = finished.lock().unwrap().unwrap().as_secs_f64();
         // 10 x 100 KB = 1 MB at 100 KB/s ~ 10s (burst credit shaves a bit).
         assert!(t > 8.5 && t < 11.0, "shaped download took {t}s");
         let bw = stats.bandwidth_bps(true).unwrap();
@@ -509,7 +509,7 @@ mod tests {
     fn send_shaping_delays_uploads() {
         struct Uploader {
             dst: ActorId,
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for Uploader {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -519,7 +519,7 @@ mod tests {
                 ctx.continue_with(9);
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         struct Sink;
@@ -530,19 +530,19 @@ mod tests {
         let hs = sim.add_host("server", 1.0, 1 << 30);
         sim.set_link(hc, hs, 12_500_000.0, 100);
         let sink = sim.spawn(hs, Box::new(Sink));
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits { net_send_bps: Some(100_000.0), ..Limits::default() });
         let up = Uploader { dst: sink, done: done.clone() };
         sim.spawn(hc, Box::new(Sandboxed::new(up, lh, SandboxStats::default())));
         sim.run_until_idle();
-        let t = done.borrow().unwrap().as_secs_f64();
+        let t = done.lock().unwrap().unwrap().as_secs_f64();
         assert!(t > 8.5, "1 MB at 100 KB/s should take ~10s, got {t}");
     }
 
     #[test]
     fn memory_limit_inflates_compute() {
         struct Hog {
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for Hog {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -551,12 +551,12 @@ mod tests {
                 ctx.continue_with(0);
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::unconstrained().with_mem(1_000_000));
         sim.spawn(
             h,
@@ -564,7 +564,7 @@ mod tests {
         );
         sim.run_until_idle();
         // Overcommit 1.0, K=4 -> 5x slowdown.
-        let t = done.borrow().unwrap().as_secs_f64();
+        let t = done.lock().unwrap().unwrap().as_secs_f64();
         assert!((t - 5.0).abs() < 0.05, "expected ~5s, got {t}");
     }
 
@@ -574,7 +574,7 @@ mod tests {
         // used to steal the wrapper's own continuation from the kernel
         // queue, deadlocking the sandbox.
         struct Periodic {
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
             ticks: u32,
         }
         impl Actor for Periodic {
@@ -590,12 +590,12 @@ mod tests {
                 }
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::cpu(0.5));
         sim.spawn(
             h,
@@ -607,7 +607,7 @@ mod tests {
         );
         sim.set_event_limit(Some(1_000_000));
         sim.run_until_idle();
-        let t = done.borrow().expect("work must complete despite timers").as_secs_f64();
+        let t = done.lock().unwrap().expect("work must complete despite timers").as_secs_f64();
         assert!((t - 1.0).abs() < 0.05, "0.5s at 50% share ~ 1s, got {t}");
     }
 
@@ -615,7 +615,7 @@ mod tests {
     fn timer_handler_work_is_interposed() {
         // Work enqueued from a timer handler must still be throttled.
         struct TimerWorker {
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for TimerWorker {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -626,12 +626,12 @@ mod tests {
                 ctx.continue_with(0);
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::cpu(0.25));
         sim.spawn(
             h,
@@ -642,14 +642,14 @@ mod tests {
             )),
         );
         sim.run_until_idle();
-        let t = done.borrow().expect("must finish").as_secs_f64();
+        let t = done.lock().unwrap().expect("must finish").as_secs_f64();
         assert!((t - 0.401).abs() < 0.02, "0.1s at 25% share ~ 0.4s, got {t}");
     }
 
     #[test]
     fn timers_pass_through_to_inner() {
         struct Timed {
-            fired: Rc<RefCell<u32>>,
+            fired: Arc<Mutex<u32>>,
         }
         impl Actor for Timed {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -658,25 +658,25 @@ mod tests {
             }
             fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_>) {
                 assert_eq!(tag, 3);
-                *self.fired.borrow_mut() += 1;
+                *self.fired.lock().unwrap() += 1;
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let fired = Rc::new(RefCell::new(0));
+        let fired = Arc::new(Mutex::new(0));
         let lh = LimitsHandle::new(Limits::cpu(0.5));
         sim.spawn(
             h,
             Box::new(Sandboxed::new(Timed { fired: fired.clone() }, lh, SandboxStats::default())),
         );
         sim.run_until_idle();
-        assert_eq!(*fired.borrow(), 1);
+        assert_eq!(*fired.lock().unwrap(), 1);
     }
 
     #[test]
     fn inner_continuations_preserve_order() {
         struct Seq {
-            log: Rc<RefCell<Vec<u64>>>,
+            log: Arc<Mutex<Vec<u64>>>,
         }
         impl Actor for Seq {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -686,7 +686,7 @@ mod tests {
                 ctx.continue_with(2);
             }
             fn on_continue(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
-                self.log.borrow_mut().push(tag);
+                self.log.lock().unwrap().push(tag);
                 if tag == 1 {
                     // Enqueue more work mid-stream; must run before tag 2?
                     // No: FIFO semantics — it runs after already-queued
@@ -697,13 +697,13 @@ mod tests {
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let lh = LimitsHandle::new(Limits::cpu(0.5));
         sim.spawn(
             h,
             Box::new(Sandboxed::new(Seq { log: log.clone() }, lh, SandboxStats::default())),
         );
         sim.run_until_idle();
-        assert_eq!(log.borrow().as_slice(), &[1, 2, 3]);
+        assert_eq!(log.lock().unwrap().as_slice(), &[1, 2, 3]);
     }
 }

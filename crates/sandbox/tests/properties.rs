@@ -1,8 +1,8 @@
 //! Property-based tests of the virtual execution environment: enforced
 //! shares hold for arbitrary limits and workloads.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use proptest::prelude::*;
 
@@ -11,7 +11,7 @@ use simnet::{Actor, Ctx, Sim, SimTime};
 
 struct Worker {
     work: f64,
-    done: Rc<RefCell<Option<SimTime>>>,
+    done: Arc<Mutex<Option<SimTime>>>,
 }
 impl Actor for Worker {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -19,7 +19,7 @@ impl Actor for Worker {
         ctx.continue_with(0);
     }
     fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-        *self.done.borrow_mut() = Some(ctx.now());
+        *self.done.lock().unwrap() = Some(ctx.now());
     }
 }
 
@@ -31,7 +31,7 @@ proptest! {
         let work = work_ms * 1000.0;
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::cpu(share));
         sim.spawn(
             h,
@@ -43,7 +43,7 @@ proptest! {
         );
         sim.set_event_limit(Some(10_000_000));
         sim.run_until_idle();
-        let measured = done.borrow().expect("completes").as_secs_f64();
+        let measured = done.lock().unwrap().expect("completes").as_secs_f64();
         let expected = work / share / 1e6;
         // Within one quantum of the ideal.
         prop_assert!(
@@ -57,7 +57,7 @@ proptest! {
     fn achieved_share_never_exceeds_cap(share in 0.05f64..0.95) {
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let lh = LimitsHandle::new(Limits::cpu(share));
         let stats = SandboxStats::new(60_000_000);
         sim.spawn(
@@ -107,24 +107,24 @@ proptest! {
         let run_sandbox = |share: f64| {
             let mut sim = Sim::new();
             let h = sim.add_host("h", 1.0, 1 << 30);
-            let done = Rc::new(RefCell::new(None));
+            let done = Arc::new(Mutex::new(None));
             let lh = LimitsHandle::new(Limits::cpu(share));
             sim.spawn(
                 h,
                 Box::new(Sandboxed::new(Worker { work, done: done.clone() }, lh, SandboxStats::default())),
             );
             sim.run_until_idle();
-            let t = *done.borrow();
+            let t = *done.lock().unwrap();
             t.unwrap().as_secs_f64()
         };
         let run_kernel = |share: f64| {
             let mut sim = Sim::new();
             let h = sim.add_host("h", 1.0, 1 << 30);
-            let done = Rc::new(RefCell::new(None));
+            let done = Arc::new(Mutex::new(None));
             let a = sim.spawn(h, Box::new(Worker { work, done: done.clone() }));
             sim.set_cpu_cap(a, Some(share));
             sim.run_until_idle();
-            let t = *done.borrow();
+            let t = *done.lock().unwrap();
             t.unwrap().as_secs_f64()
         };
         let (sb, k) = (run_sandbox(share), run_kernel(share));

@@ -35,7 +35,13 @@ impl std::fmt::Display for HostId {
 
 /// A simulated process. All methods have empty default bodies so actors
 /// implement only the events they care about.
-pub trait Actor {
+///
+/// Actors are `Send`: under [`DrainMode::Sharded`](crate::kernel::DrainMode)
+/// each host group's actors are moved onto a worker thread for the length
+/// of an epoch, so actor state must not contain thread-bound types
+/// (`Rc`, `RefCell`, raw pointers). Use `Arc<Mutex<..>>` for shared
+/// handles instead.
+pub trait Actor: Send {
     /// Invoked once when the simulation starts (time zero) or, for actors
     /// spawned later, at spawn time.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}

@@ -76,21 +76,100 @@ pub(crate) struct ActorState {
     incarnation: u64,
 }
 
-enum Ev {
+impl ActorState {
+    /// A placeholder standing in for an actor owned by another shard (or
+    /// by the parent during a sharded run): correct host for routing, not
+    /// alive, empty queues. Cross-shard `Sent` accounting accumulates here
+    /// and is merged into the real actor by [`Sim::absorb_shards`].
+    fn skeleton(host: HostId) -> Self {
+        ActorState {
+            host,
+            fifo: VecDeque::new(),
+            inbox: VecDeque::new(),
+            running: Running::Idle,
+            weight: 1.0,
+            cpu_cap: None,
+            mem_limit: None,
+            mem_penalty_k: 4.0,
+            compute_started: SimTime::ZERO,
+            sleep_started: SimTime::ZERO,
+            acct: Accounting::default(),
+            alive: false,
+            crashed: false,
+            incarnation: 0,
+        }
+    }
+}
+
+pub(crate) enum Ev {
     Start(ActorId),
     Restart(ActorId),
-    CpuNext { host: usize, epoch: u64 },
-    FlowNext { src: usize, dst: usize, epoch: u64 },
-    Deliver { src: ActorId, dst: ActorId, msg: Message, queued: SimTime },
-    Timer { actor: ActorId, tag: u64, incarnation: u64 },
-    Wake { actor: ActorId },
-    Script(Box<dyn FnOnce(&mut Sim)>),
+    CpuNext {
+        host: usize,
+        epoch: u64,
+    },
+    FlowNext {
+        src: usize,
+        dst: usize,
+        epoch: u64,
+    },
+    Deliver {
+        src: ActorId,
+        dst: ActorId,
+        msg: Message,
+        queued: SimTime,
+    },
+    Timer {
+        actor: ActorId,
+        tag: u64,
+        incarnation: u64,
+    },
+    Wake {
+        actor: ActorId,
+    },
+    /// A scheduled script. The optional host pins the script to a shard in
+    /// [`DrainMode::Sharded`] runs (see [`Sim::at_on`]); plain [`Sim::at`]
+    /// scripts carry `None` and cannot be partitioned across shards.
+    Script(Option<HostId>, Box<dyn FnOnce(&mut Sim) + Send>),
 }
 
 struct HeapEntry {
     t: SimTime,
     seq: u64,
     ev: Ev,
+}
+
+/// A bucketed event plus the time it was pushed. The push time is what a
+/// sequential run's global sequence number encodes (pushes happen in
+/// nondecreasing time order), so carrying it lets a sharded run splice
+/// cross-shard deliveries into a destination bucket at the position the
+/// sequential run would have given them.
+pub(crate) struct Queued {
+    pub(crate) push_t: SimTime,
+    pub(crate) ev: Ev,
+}
+
+/// Sharding state carried by a shard's sub-simulation during a
+/// [`DrainMode::Sharded`] run (see `crate::shard`).
+pub(crate) struct ShardCtx {
+    pub(crate) my_shard: usize,
+    pub(crate) shard_of_host: std::sync::Arc<Vec<usize>>,
+    /// Minimum latency over explicit cross-shard links (the conservative
+    /// lookahead); `None` when no explicit link crosses a shard boundary,
+    /// in which case any cross-shard send is an error.
+    pub(crate) l_cross: Option<u64>,
+    /// Deliveries destined to other shards, exchanged at epoch barriers.
+    pub(crate) outbox: Vec<OutEntry>,
+    pub(crate) out_seq: u64,
+}
+
+/// One cross-shard delivery awaiting injection at the next barrier.
+pub(crate) struct OutEntry {
+    pub(crate) dst_shard: usize,
+    pub(crate) deliver_t: SimTime,
+    pub(crate) push_t: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) ev: Ev,
 }
 
 /// Schedule-perturbation budget for [`DrainMode::Explore`].
@@ -158,6 +237,23 @@ pub enum DrainMode {
     /// `(time, insertion)` schedule of *some* execution — the exploration
     /// never invents impossible interleavings, only reachable ones.
     Explore(ExplorePlan),
+    /// Partition the simulation into per-host-group shards, each drained
+    /// by its own batched loop on a worker thread, with conservative
+    /// lookahead: the safe horizon is the minimum latency of any explicit
+    /// cross-shard link, and cross-shard deliveries are exchanged at
+    /// barrier epochs in a deterministic `(push time, shard, sequence)`
+    /// merge order so the run reproduces the sequential [`Batched`]
+    /// schedule bit-for-bit (see `DESIGN.md` §14).
+    ///
+    /// `threads == 0` resolves from the `SIMNET_THREADS` environment
+    /// variable (falling back to the machine's available parallelism);
+    /// `shards == 0` auto-shards by link-topology components. A run that
+    /// resolves to one shard or one thread falls back to the sequential
+    /// batched drain, which by construction produces the same schedule.
+    /// Multi-shard runs support [`Sim::run_until_idle`] only.
+    ///
+    /// [`Batched`]: DrainMode::Batched
+    Sharded { threads: usize, shards: usize },
 }
 
 /// How many drained buckets to keep for reuse. Matches the number of
@@ -258,9 +354,9 @@ pub struct Sim {
     /// `times` iff it has a bucket; a bucket is removed exactly when its
     /// `times` entry is popped, so neither duplicates nor stale entries
     /// can accumulate.
-    buckets: HashMap<SimTime, VecDeque<Ev>, TimeHasherBuilder>,
+    buckets: HashMap<SimTime, VecDeque<Queued>, TimeHasherBuilder>,
     /// Drained, empty buckets kept for reuse (capacity recycling).
-    spare_buckets: Vec<VecDeque<Ev>>,
+    spare_buckets: Vec<VecDeque<Queued>>,
     /// Explore-mode timer-skew stream (advanced once per timer push).
     explore_rng: Mix64,
     /// Explore-mode batches drained so far (salts per-batch permutation).
@@ -289,6 +385,14 @@ pub struct Sim {
     pub trace: Trace,
     events_handled: u64,
     event_limit: Option<u64>,
+    /// Hosts whose shard runs in the second phase of every sharded epoch,
+    /// after all worker shards reach the barrier (see [`Sim::mark_observer`]).
+    observer_hosts: HashSet<usize>,
+    /// Set while this `Sim` is one shard of a [`DrainMode::Sharded`] run.
+    shard_ctx: Option<ShardCtx>,
+    /// Same-instant cross-shard collisions observed while splicing barrier
+    /// deliveries (see [`Sim::ambiguous_ties`]).
+    ambiguous_ties: u64,
 }
 
 impl Default for Sim {
@@ -329,6 +433,9 @@ impl Sim {
             trace: Trace::default(),
             events_handled: 0,
             event_limit: None,
+            observer_hosts: HashSet::new(),
+            shard_ctx: None,
+            ambiguous_ties: 0,
         }
     }
 
@@ -344,8 +451,20 @@ impl Sim {
     }
 
     /// Spawn an actor on `host`. Its `on_start` runs at the current time.
+    ///
+    /// During a sharded run, scripts may only spawn on hosts of their own
+    /// shard; actors spawned mid-run are shard-local and are not retained
+    /// in the parent simulation after the run (cross-shard sends must
+    /// target actors spawned before the run).
     pub fn spawn(&mut self, host: HostId, actor: Box<dyn Actor>) -> ActorId {
         assert!(host.0 < self.hosts.len(), "unknown host {host}");
+        if let Some(ctx) = self.shard_ctx.as_ref() {
+            assert!(
+                ctx.shard_of_host[host.0] == ctx.my_shard,
+                "sharded run: cannot spawn on foreign host {host} from shard {}",
+                ctx.my_shard
+            );
+        }
         let id = ActorId(self.actors.len());
         self.actors.push(Some(actor));
         self.states.push(ActorState {
@@ -383,6 +502,16 @@ impl Sim {
         bw_bytes_per_sec: f64,
         latency_us: u64,
     ) {
+        if let Some(ctx) = self.shard_ctx.as_ref() {
+            if ctx.shard_of_host[src.0] != ctx.shard_of_host[dst.0] {
+                assert!(
+                    ctx.l_cross.is_some_and(|l| latency_us >= l),
+                    "sharded run: cannot add cross-shard link {src}->{dst} with latency \
+                     {latency_us}us below the lookahead horizon {:?}us",
+                    ctx.l_cross
+                );
+            }
+        }
         self.links.insert((src.0, dst.0), Link::new(bw_bytes_per_sec, latency_us));
     }
 
@@ -544,6 +673,7 @@ impl Sim {
     /// [`Sim::kill`], crashed actors can be revived by
     /// [`Sim::restart_host`]. Traced as [`TraceEvent::HostCrash`].
     pub fn crash_host(&mut self, host: HostId) {
+        self.assert_host_local(host, "crash_host");
         let mut any = false;
         for i in 0..self.states.len() {
             if self.states[i].host != host || !self.states[i].alive {
@@ -574,6 +704,7 @@ impl Sim {
     /// re-runs `on_start`, modeling a process restart). Actors removed with
     /// [`Sim::kill`] stay dead. Traced as [`TraceEvent::HostRestart`].
     pub fn restart_host(&mut self, host: HostId) {
+        self.assert_host_local(host, "restart_host");
         let mut any = false;
         for i in 0..self.states.len() {
             let st = &mut self.states[i];
@@ -663,9 +794,42 @@ impl Sim {
 
     /// Schedule `f` to run at absolute time `t` with full control of the
     /// simulation (used by experiment scripts to vary resources).
-    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+    ///
+    /// Scripts scheduled this way carry no host affinity, so a
+    /// [`DrainMode::Sharded`] run that resolves to more than one shard
+    /// cannot partition them and panics at run start — use [`Sim::at_on`]
+    /// there.
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut Sim) + Send + 'static) {
         assert!(t >= self.now, "cannot schedule in the past ({t} < {})", self.now);
-        self.push(t, Ev::Script(Box::new(f)));
+        self.push(t, Ev::Script(None, Box::new(f)));
+    }
+
+    /// Schedule `f` at absolute time `t`, pinned to `host`: in a sharded
+    /// run the script executes on (and must only touch the resources of)
+    /// the shard owning `host`. Equivalent to [`Sim::at`] otherwise.
+    pub fn at_on(&mut self, host: HostId, t: SimTime, f: impl FnOnce(&mut Sim) + Send + 'static) {
+        assert!(t >= self.now, "cannot schedule in the past ({t} < {})", self.now);
+        assert!(host.0 < self.hosts.len(), "unknown host {host}");
+        self.push(t, Ev::Script(Some(host), Box::new(f)));
+    }
+
+    /// Mark `host`'s shard as an observer: in a [`DrainMode::Sharded`] run
+    /// it executes in a second phase of each epoch, after every worker
+    /// shard has reached the barrier. Use this for monitoring components
+    /// that read other actors' state through shared memory (e.g. the load
+    /// generator's watcher), so their reads see a deterministic snapshot.
+    pub fn mark_observer(&mut self, host: HostId) {
+        assert!(host.0 < self.hosts.len(), "unknown host {host}");
+        self.observer_hosts.insert(host.0);
+    }
+
+    /// Same-instant cross-shard collisions seen by the last sharded run:
+    /// barrier deliveries whose push time exactly equalled that of another
+    /// event in the destination bucket. The sequential order of such pairs
+    /// is ambiguous (either order is a legal batched schedule); a run with
+    /// zero ties is guaranteed bit-for-bit equal to the sequential run.
+    pub fn ambiguous_ties(&self) -> u64 {
+        self.ambiguous_ties
     }
 
     /// Process events until the queue is exhausted.
@@ -679,17 +843,18 @@ impl Sim {
                     self.handle(entry.ev);
                 }
             }
-            DrainMode::Batched | DrainMode::Explore(_) => {
-                while let Some((t, batch)) = self.pop_batch() {
-                    debug_assert!(t >= self.now);
-                    self.now = t;
-                    self.drain_batch(batch);
-                }
+            DrainMode::Batched | DrainMode::Explore(_) => self.drain_batched_until_idle(),
+            DrainMode::Sharded { threads, shards } => {
+                crate::shard::run_sharded_until_idle(self, threads, shards);
             }
         }
     }
 
     /// Process events up to and including time `t`; the clock ends at `t`.
+    ///
+    /// In [`DrainMode::Sharded`], only runs that resolve to a single shard
+    /// (or one thread) support bounded driving; multi-shard runs panic —
+    /// they support [`Sim::run_until_idle`] only.
     pub fn run_until(&mut self, t: SimTime) {
         match self.mode {
             DrainMode::Heap => {
@@ -703,20 +868,59 @@ impl Sim {
                     self.handle(entry.ev);
                 }
             }
-            DrainMode::Batched | DrainMode::Explore(_) => {
-                while let Some(&Reverse(bt)) = self.times.peek() {
-                    if bt > t {
-                        break;
-                    }
-                    let (bt, batch) = self.pop_batch().unwrap();
-                    self.now = bt;
-                    self.drain_batch(batch);
-                }
+            DrainMode::Batched | DrainMode::Explore(_) => self.drain_batched_until(t),
+            DrainMode::Sharded { threads, shards } => {
+                assert!(
+                    crate::shard::resolves_sequential(self, threads, shards),
+                    "DrainMode::Sharded supports run_until_idle only when the run \
+                     partitions into multiple shards"
+                );
+                self.drain_batched_until(t);
             }
         }
         if t > self.now {
             self.now = t;
         }
+    }
+
+    /// Sequential batched drain to idle (shared by [`DrainMode::Batched`],
+    /// [`DrainMode::Explore`], sharded sub-simulations, and sharded runs
+    /// that resolve to a single shard).
+    pub(crate) fn drain_batched_until_idle(&mut self) {
+        while let Some((t, batch)) = self.pop_batch() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.drain_batch(batch);
+        }
+    }
+
+    fn drain_batched_until(&mut self, t: SimTime) {
+        while let Some(&Reverse(bt)) = self.times.peek() {
+            if bt > t {
+                break;
+            }
+            let (bt, batch) = self.pop_batch().unwrap();
+            self.now = bt;
+            self.drain_batch(batch);
+        }
+    }
+
+    /// Process every batch strictly before `h` (the epoch horizon), leaving
+    /// the clock at the last processed batch.
+    pub(crate) fn drain_batched_before(&mut self, h: SimTime) {
+        while let Some(&Reverse(bt)) = self.times.peek() {
+            if bt >= h {
+                break;
+            }
+            let (bt, batch) = self.pop_batch().unwrap();
+            self.now = bt;
+            self.drain_batch(batch);
+        }
+    }
+
+    /// Earliest pending event time (bucketed modes).
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.times.peek().map(|&Reverse(t)| t)
     }
 
     /// Process events for `dur_us` more microseconds of simulated time.
@@ -773,6 +977,27 @@ impl Sim {
             }
             _ => t,
         };
+        // Sharded sub-run: deliveries addressed to a foreign shard go to
+        // the outbox (exchanged at the next barrier) instead of the local
+        // queue. Only `Deliver` can cross shards: timers, wakes, and CPU
+        // events are host-local by construction.
+        if let Some(ctx) = self.shard_ctx.as_mut() {
+            if let Ev::Deliver { dst, .. } = &ev {
+                let dst_shard = ctx.shard_of_host[self.states[dst.0].host.0];
+                if dst_shard != ctx.my_shard {
+                    let seq = ctx.out_seq;
+                    ctx.out_seq += 1;
+                    ctx.outbox.push(OutEntry {
+                        dst_shard,
+                        deliver_t: t,
+                        push_t: self.now,
+                        seq,
+                        ev,
+                    });
+                    return;
+                }
+            }
+        }
         self.queue_len += 1;
         if self.queue_len > self.peak_queue_depth {
             self.peak_queue_depth = self.queue_len;
@@ -783,23 +1008,26 @@ impl Sim {
                 self.seq += 1;
                 self.heap.push(HeapEntry { t, seq, ev });
             }
-            DrainMode::Batched | DrainMode::Explore(_) => match self.buckets.entry(t) {
-                Entry::Occupied(mut e) => e.get_mut().push_back(ev),
-                Entry::Vacant(e) => {
-                    // Reuse a drained bucket so a storm of same-time
-                    // events pays its deque growth only once.
-                    let bucket = self.spare_buckets.pop().unwrap_or_default();
-                    e.insert(bucket).push_back(ev);
-                    self.times.push(Reverse(t));
+            DrainMode::Batched | DrainMode::Explore(_) | DrainMode::Sharded { .. } => {
+                let push_t = self.now;
+                match self.buckets.entry(t) {
+                    Entry::Occupied(mut e) => e.get_mut().push_back(Queued { push_t, ev }),
+                    Entry::Vacant(e) => {
+                        // Reuse a drained bucket so a storm of same-time
+                        // events pays its deque growth only once.
+                        let bucket = self.spare_buckets.pop().unwrap_or_default();
+                        e.insert(bucket).push_back(Queued { push_t, ev });
+                        self.times.push(Reverse(t));
+                    }
                 }
-            },
+            }
         }
     }
 
     /// Remove and return the whole bucket at the earliest pending time. In
     /// explore mode the bucket is permuted first, so same-timestamp events
     /// are handled in a seeded order instead of insertion order.
-    fn pop_batch(&mut self) -> Option<(SimTime, VecDeque<Ev>)> {
+    fn pop_batch(&mut self) -> Option<(SimTime, VecDeque<Queued>)> {
         let Reverse(t) = self.times.pop()?;
         let mut batch = self.buckets.remove(&t).expect("times entry without bucket");
         if let DrainMode::Explore(plan) = self.mode {
@@ -825,10 +1053,10 @@ impl Sim {
     /// Handlers that push new events at the current time create a fresh
     /// bucket, drained after this one — exactly the heap-mode order, where
     /// newly pushed events always carry a higher sequence number.
-    fn drain_batch(&mut self, mut batch: VecDeque<Ev>) {
-        while let Some(ev) = batch.pop_front() {
+    fn drain_batch(&mut self, mut batch: VecDeque<Queued>) {
+        while let Some(q) = batch.pop_front() {
             self.queue_len -= 1;
-            self.handle(ev);
+            self.handle(q.ev);
         }
         if self.spare_buckets.len() < SPARE_BUCKETS {
             self.spare_buckets.push(batch);
@@ -928,7 +1156,7 @@ impl Sim {
                     self.pump(actor);
                 }
             }
-            Ev::Script(f) => f(self),
+            Ev::Script(_, f) => f(self),
         }
     }
 
@@ -1065,6 +1293,19 @@ impl Sim {
         let hs = self.states[src.0].host.0;
         let hd = self.states[dst.0].host.0;
         let bytes = msg.wire_bytes;
+        if let Some(ctx) = self.shard_ctx.as_ref() {
+            // Cross-shard traffic must ride an explicit link: the link's
+            // latency is what makes the conservative lookahead safe. A
+            // send over an implicit default link would undermine the
+            // horizon, so it is an error rather than a silent hazard.
+            if ctx.shard_of_host[hd] != ctx.my_shard && !self.links.contains_key(&(hs, hd)) {
+                panic!(
+                    "sharded run: {src} ({}) sent to {dst} ({}) across shards without an \
+                     explicit link — add one with set_link, or co-shard the hosts",
+                    self.hosts[hs].name, self.hosts[hd].name
+                );
+            }
+        }
         self.trace.emit(self.now, TraceEvent::MsgSent { src, dst, bytes });
         if hs != hd && self.down_links.contains(&(hs, hd)) {
             // The link is inside a scheduled down window: nothing gets
@@ -1132,6 +1373,244 @@ impl Sim {
             f(&mut actor, &mut ctx);
         }
         self.actors[a.0] = Some(actor);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-run machinery (see `crate::shard` for the epoch engine)
+    // ------------------------------------------------------------------
+
+    fn assert_host_local(&self, host: HostId, what: &str) {
+        if let Some(ctx) = self.shard_ctx.as_ref() {
+            assert!(
+                ctx.shard_of_host[host.0] == ctx.my_shard,
+                "sharded run: {what}({host}) targets a foreign shard — schedule it with \
+                 at_on({host}, ..) so it runs on the owning shard"
+            );
+        }
+    }
+
+    pub(crate) fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Every explicit directed link as `(src, dst, latency_us)`.
+    pub(crate) fn link_edges(&self) -> Vec<(usize, usize, u64)> {
+        self.links.iter().map(|(&(a, b), l)| (a, b, l.latency_us)).collect()
+    }
+
+    pub(crate) fn observer_set(&self) -> &HashSet<usize> {
+        &self.observer_hosts
+    }
+
+    /// Split this simulation into `plan.n_shards` sub-simulations, one per
+    /// shard: each takes its hosts, actors, per-src-host link state, and
+    /// the pending events routed to it; foreign hosts and actor states are
+    /// replaced by skeletons (correct host/topology info, empty queues) so
+    /// actor indices stay globally aligned. The parent keeps skeletons and
+    /// is restored by [`Sim::absorb_shards`].
+    pub(crate) fn partition_into(&mut self, plan: &crate::shard::ShardPlan) -> Vec<Sim> {
+        debug_assert!(self.heap.is_empty(), "sharded mode queues into buckets");
+        let n = plan.n_shards;
+        let host_of: Vec<usize> = self.states.iter().map(|s| s.host.0).collect();
+        let mut subs: Vec<Sim> = (0..n)
+            .map(|i| {
+                let mut s = Sim::new();
+                s.now = self.now;
+                s.event_limit = self.event_limit;
+                s.default_bw_bps = self.default_bw_bps;
+                s.default_latency_us = self.default_latency_us;
+                s.local_latency_us = self.local_latency_us;
+                s.next_flow_id = self.next_flow_id;
+                s.trace.set_enabled(self.trace.is_enabled());
+                if let Some(o) = self.trace.obs() {
+                    let o = o.clone();
+                    s.trace.attach_obs(&o);
+                }
+                s.shard_ctx = Some(ShardCtx {
+                    my_shard: i,
+                    shard_of_host: plan.shard_of_host.clone(),
+                    l_cross: plan.l_cross,
+                    outbox: Vec::new(),
+                    out_seq: 0,
+                });
+                s
+            })
+            .collect();
+        for h in 0..self.hosts.len() {
+            let owner = plan.shard_of_host[h];
+            let speed = self.hosts[h].sched.speed();
+            let mem = self.hosts[h].mem_capacity;
+            let name = self.hosts[h].name.clone();
+            for (i, sub) in subs.iter_mut().enumerate() {
+                if i == owner {
+                    let placeholder =
+                        Host { name: name.clone(), sched: CpuSched::new(speed), mem_capacity: mem };
+                    sub.hosts.push(std::mem::replace(&mut self.hosts[h], placeholder));
+                } else {
+                    sub.hosts.push(Host {
+                        name: name.clone(),
+                        sched: CpuSched::new(speed),
+                        mem_capacity: mem,
+                    });
+                }
+            }
+        }
+        for a in 0..self.states.len() {
+            let host = self.states[a].host;
+            let owner = plan.shard_of_host[host.0];
+            for (i, sub) in subs.iter_mut().enumerate() {
+                if i == owner {
+                    sub.actors.push(self.actors[a].take());
+                    sub.states
+                        .push(std::mem::replace(&mut self.states[a], ActorState::skeleton(host)));
+                } else {
+                    sub.actors.push(None);
+                    sub.states.push(ActorState::skeleton(host));
+                }
+            }
+        }
+        // Per-src-host link state moves to the shard owning the source.
+        for (key, link) in std::mem::take(&mut self.links) {
+            subs[plan.shard_of_host[key.0]].links.insert(key, link);
+        }
+        for (key, fs) in std::mem::take(&mut self.flow_scheds) {
+            subs[plan.shard_of_host[key.0]].flow_scheds.insert(key, fs);
+        }
+        for (id, fl) in std::mem::take(&mut self.inflight) {
+            subs[plan.shard_of_host[host_of[fl.0 .0]]].inflight.insert(id, fl);
+        }
+        for (key, l) in std::mem::take(&mut self.loss) {
+            subs[plan.shard_of_host[key.0]].loss.insert(key, l);
+        }
+        for (key, j) in std::mem::take(&mut self.jitter) {
+            subs[plan.shard_of_host[key.0]].jitter.insert(key, j);
+        }
+        for key in std::mem::take(&mut self.down_links) {
+            subs[plan.shard_of_host[key.0]].down_links.insert(key);
+        }
+        // Route pending events to their owning shard, preserving order.
+        while let Some((t, mut batch)) = self.pop_batch() {
+            while let Some(q) = batch.pop_front() {
+                self.queue_len -= 1;
+                let host = match &q.ev {
+                    Ev::Start(a) | Ev::Restart(a) => host_of[a.0],
+                    Ev::CpuNext { host, .. } => *host,
+                    Ev::FlowNext { src, .. } => *src,
+                    Ev::Deliver { dst, .. } => host_of[dst.0],
+                    Ev::Timer { actor, .. } | Ev::Wake { actor } => host_of[actor.0],
+                    Ev::Script(Some(h), _) => h.0,
+                    Ev::Script(None, _) => panic!(
+                        "sharded run: a script scheduled with Sim::at has no host affinity \
+                         and cannot be partitioned — schedule it with Sim::at_on"
+                    ),
+                };
+                subs[plan.shard_of_host[host]].enqueue_partitioned(t, q);
+            }
+        }
+        debug_assert_eq!(self.queue_len, 0);
+        subs
+    }
+
+    /// Append a routed event during partitioning (no interception, no
+    /// explore skew — order within each shard is the parent's order).
+    fn enqueue_partitioned(&mut self, t: SimTime, q: Queued) {
+        self.queue_len += 1;
+        if self.queue_len > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue_len;
+        }
+        match self.buckets.entry(t) {
+            Entry::Occupied(mut e) => e.get_mut().push_back(q),
+            Entry::Vacant(e) => {
+                e.insert(VecDeque::new()).push_back(q);
+                self.times.push(Reverse(t));
+            }
+        }
+    }
+
+    /// Splice one barrier delivery into the bucket at `deliver_t`, at the
+    /// position its push time gives it relative to the local events the
+    /// sequential run interleaves it with. Bucket entries are pushed in
+    /// nondecreasing push-time order, so a binary search finds the slot; an
+    /// exact push-time collision means the sequential order was ambiguous
+    /// and is counted in [`Sim::ambiguous_ties`].
+    pub(crate) fn inject_barrier(&mut self, deliver_t: SimTime, push_t: SimTime, ev: Ev) {
+        debug_assert!(deliver_t >= self.now, "barrier delivery in the past");
+        self.queue_len += 1;
+        if self.queue_len > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue_len;
+        }
+        let spare = self.spare_buckets.pop().unwrap_or_default();
+        let bucket = match self.buckets.entry(deliver_t) {
+            Entry::Occupied(e) => {
+                self.spare_buckets.push(spare);
+                e.into_mut()
+            }
+            Entry::Vacant(e) => {
+                self.times.push(Reverse(deliver_t));
+                e.insert(spare)
+            }
+        };
+        let pos = bucket.partition_point(|q| q.push_t <= push_t);
+        if pos > 0 && bucket[pos - 1].push_t == push_t {
+            self.ambiguous_ties += 1;
+        }
+        bucket.insert(pos, Queued { push_t, ev });
+    }
+
+    /// Take the cross-shard deliveries accumulated since the last barrier.
+    pub(crate) fn take_outbox(&mut self) -> Vec<OutEntry> {
+        self.shard_ctx.as_mut().map(|c| std::mem::take(&mut c.outbox)).unwrap_or_default()
+    }
+
+    /// Fold the sub-simulations of a completed sharded run back into the
+    /// parent: hosts, pre-run actors and their state, link state, traces
+    /// (merged in `(time, shard)` order), and accounting recorded for
+    /// foreign actors (cross-shard `Sent` transfers land on skeletons and
+    /// are merged into the real actor here). Actors spawned during the run
+    /// are shard-local and are dropped.
+    pub(crate) fn absorb_shards(&mut self, mut subs: Vec<Sim>, plan: &crate::shard::ShardPlan) {
+        let n_pre = self.states.len();
+        let mut merged_trace: Vec<(SimTime, usize, TraceEvent)> = Vec::new();
+        let mut peak_sum = 0usize;
+        for (si, sub) in subs.iter_mut().enumerate() {
+            debug_assert_eq!(sub.queue_len, 0, "absorbing a shard with pending events");
+            self.events_handled += sub.events_handled;
+            self.seq += sub.seq;
+            self.ambiguous_ties += sub.ambiguous_ties;
+            peak_sum += sub.peak_queue_depth;
+            if sub.now > self.now {
+                self.now = sub.now;
+            }
+            for (t, ev) in sub.trace.take_recorded() {
+                merged_trace.push((t, si, ev));
+            }
+            self.links.extend(std::mem::take(&mut sub.links));
+            self.flow_scheds.extend(std::mem::take(&mut sub.flow_scheds));
+            self.inflight.extend(std::mem::take(&mut sub.inflight));
+            self.loss.extend(std::mem::take(&mut sub.loss));
+            self.jitter.extend(std::mem::take(&mut sub.jitter));
+            self.down_links.extend(std::mem::take(&mut sub.down_links));
+            self.next_flow_id = self.next_flow_id.max(sub.next_flow_id);
+        }
+        self.peak_queue_depth = self.peak_queue_depth.max(peak_sum);
+        for h in 0..self.hosts.len() {
+            let owner = plan.shard_of_host[h];
+            std::mem::swap(&mut self.hosts[h], &mut subs[owner].hosts[h]);
+        }
+        for a in 0..n_pre {
+            let owner = plan.shard_of_host[self.states[a].host.0];
+            self.actors[a] = subs[owner].actors[a].take();
+            std::mem::swap(&mut self.states[a], &mut subs[owner].states[a]);
+            for (si, sub) in subs.iter_mut().enumerate() {
+                if si != owner {
+                    self.states[a].acct.merge_foreign(&mut sub.states[a].acct);
+                }
+            }
+        }
+        merged_trace.sort_by_key(|&(t, si, _)| (t, si));
+        for (t, _, ev) in merged_trace {
+            self.trace.append_recorded(t, ev);
+        }
     }
 }
 
@@ -1266,13 +1745,13 @@ impl Ctx<'_> {
 mod tests {
     use super::*;
     use crate::time::dur;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Computes `work` on start, then records its completion time.
     struct Worker {
         work: f64,
-        done_at: Rc<RefCell<Option<SimTime>>>,
+        done_at: Arc<Mutex<Option<SimTime>>>,
     }
     impl Actor for Worker {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1280,7 +1759,7 @@ mod tests {
             ctx.continue_with(1);
         }
         fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
-            *self.done_at.borrow_mut() = Some(ctx.now());
+            *self.done_at.lock().unwrap() = Some(ctx.now());
         }
     }
 
@@ -1288,35 +1767,35 @@ mod tests {
     fn single_worker_runs_at_full_speed() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_secs(1)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_secs(1)));
     }
 
     #[test]
     fn two_workers_share_the_cpu() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let d1 = Rc::new(RefCell::new(None));
-        let d2 = Rc::new(RefCell::new(None));
+        let d1 = Arc::new(Mutex::new(None));
+        let d2 = Arc::new(Mutex::new(None));
         sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: d1.clone() }));
         sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: d2.clone() }));
         sim.run_until_idle();
         // Both run at 50% until t=2s.
-        assert_eq!(*d1.borrow(), Some(SimTime::from_secs(2)));
-        assert_eq!(*d2.borrow(), Some(SimTime::from_secs(2)));
+        assert_eq!(*d1.lock().unwrap(), Some(SimTime::from_secs(2)));
+        assert_eq!(*d2.lock().unwrap(), Some(SimTime::from_secs(2)));
     }
 
     #[test]
     fn cpu_cap_slows_a_worker() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
         sim.set_cpu_cap(a, Some(0.5));
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_secs(2)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_secs(2)));
         let snap = sim.snapshot(a);
         assert!((snap.cpu_time_us - 1_000_000.0).abs() < 1.0);
         assert!((snap.compute_wall_us - 2_000_000.0).abs() < 1.0);
@@ -1326,13 +1805,13 @@ mod tests {
     fn cap_change_mid_run_takes_effect() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done_at: done.clone() }));
         // Full speed for 0.5s (half the work), then capped to 25%:
         // remaining 0.5s of work takes 2s -> finish at 2.5s.
         sim.at(SimTime::from_ms(500), move |s| s.set_cpu_cap(a, Some(0.25)));
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_ms(2500)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_ms(2500)));
     }
 
     /// Echo server: replies to each message with the same wire size.
@@ -1346,7 +1825,7 @@ mod tests {
     struct Pinger {
         server: ActorId,
         bytes: u64,
-        rtt: Rc<RefCell<Option<u64>>>,
+        rtt: Arc<Mutex<Option<u64>>>,
         sent_at: SimTime,
     }
     impl Actor for Pinger {
@@ -1355,7 +1834,7 @@ mod tests {
             ctx.send(self.server, Message::signal(1, self.bytes));
         }
         fn on_message(&mut self, _from: ActorId, _msg: Message, ctx: &mut Ctx<'_>) {
-            *self.rtt.borrow_mut() = Some(ctx.now().since(self.sent_at));
+            *self.rtt.lock().unwrap() = Some(ctx.now().since(self.sent_at));
         }
     }
 
@@ -1367,14 +1846,14 @@ mod tests {
         // 1 MB/s, 1000us latency each way.
         sim.set_link(hc, hs, 1_000_000.0, 1000);
         let server = sim.spawn(hs, Box::new(Echo));
-        let rtt = Rc::new(RefCell::new(None));
+        let rtt = Arc::new(Mutex::new(None));
         sim.spawn(
             hc,
             Box::new(Pinger { server, bytes: 500_000, rtt: rtt.clone(), sent_at: SimTime::ZERO }),
         );
         sim.run_until_idle();
         // Each direction: 0.5s serialization + 1ms latency.
-        assert_eq!(*rtt.borrow(), Some(2 * (500_000 + 1000)));
+        assert_eq!(*rtt.lock().unwrap(), Some(2 * (500_000 + 1000)));
     }
 
     #[test]
@@ -1382,28 +1861,28 @@ mod tests {
         let mut sim = Sim::new();
         let h = sim.add_host("one", 1.0, 1 << 30);
         let server = sim.spawn(h, Box::new(Echo));
-        let rtt = Rc::new(RefCell::new(None));
+        let rtt = Arc::new(Mutex::new(None));
         sim.spawn(
             h,
             Box::new(Pinger { server, bytes: 500_000, rtt: rtt.clone(), sent_at: SimTime::ZERO }),
         );
         sim.run_until_idle();
-        assert_eq!(*rtt.borrow(), Some(2 * DEFAULT_LOCAL_LATENCY_US));
+        assert_eq!(*rtt.lock().unwrap(), Some(2 * DEFAULT_LOCAL_LATENCY_US));
     }
 
     /// Sets a periodic timer and counts firings.
     struct Ticker {
         period: u64,
         limit: u32,
-        count: Rc<RefCell<u32>>,
+        count: Arc<Mutex<u32>>,
     }
     impl Actor for Ticker {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.set_timer(self.period, 0);
         }
         fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
-            *self.count.borrow_mut() += 1;
-            if *self.count.borrow() < self.limit {
+            *self.count.lock().unwrap() += 1;
+            if *self.count.lock().unwrap() < self.limit {
                 ctx.set_timer(self.period, 0);
             }
         }
@@ -1413,17 +1892,17 @@ mod tests {
     fn timers_fire_periodically() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let count = Rc::new(RefCell::new(0));
+        let count = Arc::new(Mutex::new(0));
         sim.spawn(h, Box::new(Ticker { period: dur::ms(10), limit: 5, count: count.clone() }));
         sim.run_until_idle();
-        assert_eq!(*count.borrow(), 5);
+        assert_eq!(*count.lock().unwrap(), 5);
         assert_eq!(sim.now(), SimTime::from_ms(50));
     }
 
     #[test]
     fn timer_fires_while_computing() {
         struct Busy {
-            fired_at: Rc<RefCell<Option<SimTime>>>,
+            fired_at: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for Busy {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1432,29 +1911,29 @@ mod tests {
             }
             fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
                 assert_eq!(tag, 7);
-                *self.fired_at.borrow_mut() = Some(ctx.now());
+                *self.fired_at.lock().unwrap() = Some(ctx.now());
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let fired = Rc::new(RefCell::new(None));
+        let fired = Arc::new(Mutex::new(None));
         sim.spawn(h, Box::new(Busy { fired_at: fired.clone() }));
         sim.run_until_idle();
         // The timer fired mid-compute, not after it.
-        assert_eq!(*fired.borrow(), Some(SimTime::from_ms(100)));
+        assert_eq!(*fired.lock().unwrap(), Some(SimTime::from_ms(100)));
     }
 
     #[test]
     fn messages_wait_for_busy_actor() {
         struct SlowReceiver {
-            got_at: Rc<RefCell<Vec<SimTime>>>,
+            got_at: Arc<Mutex<Vec<SimTime>>>,
         }
         impl Actor for SlowReceiver {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.compute(1_000_000.0); // busy until t=1s
             }
             fn on_message(&mut self, _f: ActorId, _m: Message, ctx: &mut Ctx<'_>) {
-                self.got_at.borrow_mut().push(ctx.now());
+                self.got_at.lock().unwrap().push(ctx.now());
             }
         }
         struct Sender {
@@ -1467,11 +1946,11 @@ mod tests {
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let rcv = sim.spawn(h, Box::new(SlowReceiver { got_at: got.clone() }));
         sim.spawn(h, Box::new(Sender { dst: rcv }));
         sim.run_until_idle();
-        assert_eq!(got.borrow().as_slice(), &[SimTime::from_secs(1)]);
+        assert_eq!(got.lock().unwrap().as_slice(), &[SimTime::from_secs(1)]);
     }
 
     #[test]
@@ -1493,7 +1972,7 @@ mod tests {
     #[test]
     fn memory_overcommit_inflates_compute() {
         struct Hog {
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for Hog {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1502,50 +1981,50 @@ mod tests {
                 ctx.continue_with(0);
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let a = sim.spawn(h, Box::new(Hog { done: done.clone() }));
         sim.set_mem_limit(a, Some(1_000_000));
         sim.run_until_idle();
         // Overcommit fraction 1.0, k=4 -> 5x slowdown -> 5s.
-        assert_eq!(*done.borrow(), Some(SimTime::from_secs(5)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_secs(5)));
     }
 
     #[test]
     fn scripted_events_run_at_their_time() {
         let mut sim = Sim::new();
         let _h = sim.add_host("ref", 1.0, 1 << 30);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let l1 = log.clone();
         let l2 = log.clone();
-        sim.at(SimTime::from_secs(2), move |s| l2.borrow_mut().push(s.now()));
-        sim.at(SimTime::from_secs(1), move |s| l1.borrow_mut().push(s.now()));
+        sim.at(SimTime::from_secs(2), move |s| l2.lock().unwrap().push(s.now()));
+        sim.at(SimTime::from_secs(1), move |s| l1.lock().unwrap().push(s.now()));
         sim.run_until_idle();
-        assert_eq!(log.borrow().as_slice(), &[SimTime::from_secs(1), SimTime::from_secs(2)]);
+        assert_eq!(log.lock().unwrap().as_slice(), &[SimTime::from_secs(1), SimTime::from_secs(2)]);
     }
 
     #[test]
     fn run_until_stops_at_time() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         sim.spawn(h, Box::new(Worker { work: 10_000_000.0, done_at: done.clone() }));
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(sim.now(), SimTime::from_secs(5));
-        assert!(done.borrow().is_none());
+        assert!(done.lock().unwrap().is_none());
         sim.run_until_idle();
-        assert_eq!(*done.borrow(), Some(SimTime::from_secs(10)));
+        assert_eq!(*done.lock().unwrap(), Some(SimTime::from_secs(10)));
     }
 
     #[test]
     fn snapshot_is_accurate_mid_run() {
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         let a = sim.spawn(h, Box::new(Worker { work: 10_000_000.0, done_at: done }));
         sim.set_cpu_cap(a, Some(0.5));
         sim.run_until(SimTime::from_secs(2));
@@ -1562,7 +2041,7 @@ mod tests {
             let hs = sim.add_host("srv", 0.7, 1 << 30);
             sim.set_link(h, hs, 2_000_000.0, 500);
             let server = sim.spawn(hs, Box::new(Echo));
-            let rtt = Rc::new(RefCell::new(None));
+            let rtt = Arc::new(Mutex::new(None));
             let a = sim
                 .spawn(h, Box::new(Pinger { server, bytes: 123_456, rtt, sent_at: SimTime::ZERO }));
             sim.run_until_idle();
@@ -1583,13 +2062,13 @@ mod tests {
         }
         struct Interposer {
             inner: Inner,
-            seen: Rc<RefCell<usize>>,
+            seen: Arc<Mutex<usize>>,
         }
         impl Actor for Interposer {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 self.inner.on_start(ctx);
                 let actions = ctx.drain_actions();
-                *self.seen.borrow_mut() = actions.len();
+                *self.seen.lock().unwrap() = actions.len();
                 for a in actions {
                     ctx.push_action(a);
                 }
@@ -1597,10 +2076,10 @@ mod tests {
         }
         let mut sim = Sim::new();
         let h = sim.add_host("ref", 1.0, 1 << 30);
-        let seen = Rc::new(RefCell::new(0));
+        let seen = Arc::new(Mutex::new(0));
         sim.spawn(h, Box::new(Interposer { inner: Inner, seen: seen.clone() }));
         sim.run_until_idle();
-        assert_eq!(*seen.borrow(), 2);
+        assert_eq!(*seen.lock().unwrap(), 2);
         assert_eq!(sim.now(), SimTime::from_us(150));
     }
 }
@@ -1609,8 +2088,8 @@ mod tests {
 mod drain_tests {
     use super::*;
     use crate::time::dur;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Pings a peer every `period`, logging (time, tick#) on each fire.
     /// Many of these with the same period produce timestamp-aligned storms
@@ -1620,7 +2099,7 @@ mod drain_tests {
         period: u64,
         limit: u32,
         ticks: u32,
-        log: Rc<RefCell<Vec<(SimTime, usize, u64)>>>,
+        log: Arc<Mutex<Vec<(SimTime, usize, u64)>>>,
         me: usize,
     }
     impl Actor for AlignedTicker {
@@ -1629,7 +2108,7 @@ mod drain_tests {
         }
         fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
             self.ticks += 1;
-            self.log.borrow_mut().push((ctx.now(), self.me, tag));
+            self.log.lock().unwrap().push((ctx.now(), self.me, tag));
             if let Some(peer) = self.peer {
                 ctx.send_now(peer, Message::signal(tag, 64));
             }
@@ -1638,7 +2117,7 @@ mod drain_tests {
             }
         }
         fn on_message(&mut self, from: ActorId, _m: Message, ctx: &mut Ctx<'_>) {
-            self.log.borrow_mut().push((ctx.now(), self.me, u64::MAX - from.0 as u64));
+            self.log.lock().unwrap().push((ctx.now(), self.me, u64::MAX - from.0 as u64));
         }
     }
 
@@ -1648,7 +2127,7 @@ mod drain_tests {
         let h = sim.add_host("h", 1.0, 1 << 30);
         let h2 = sim.add_host("h2", 1.0, 1 << 30);
         sim.set_link(h, h2, 1_000_000.0, 100);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         // Each ticker pings the previously spawned one, so timer storms
         // interleave with message deliveries across both hosts.
         let mut prev: Option<ActorId> = None;
@@ -1667,7 +2146,7 @@ mod drain_tests {
             ));
         }
         sim.run_until_idle();
-        let l = log.borrow().clone();
+        let l = log.lock().unwrap().clone();
         (l, sim.now(), sim.events_handled())
     }
 
@@ -1711,22 +2190,22 @@ mod drain_tests {
             let mut sim = Sim::new();
             sim.set_drain_mode(mode);
             let _h = sim.add_host("h", 1.0, 1 << 30);
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             let t = SimTime::from_ms(5);
             for i in 0..50u32 {
                 let l = log.clone();
-                sim.at(t, move |_s| l.borrow_mut().push(i));
+                sim.at(t, move |_s| l.lock().unwrap().push(i));
             }
             // An event scheduled *during* the batch at the same time must
             // run after the whole batch, as it would with higher seq.
             let l = log.clone();
             sim.at(t, move |s| {
                 let l2 = l.clone();
-                s.at(t, move |_s| l2.borrow_mut().push(999));
+                s.at(t, move |_s| l2.lock().unwrap().push(999));
             });
             sim.run_until_idle();
             let want: Vec<u32> = (0..50).chain([999]).collect();
-            assert_eq!(log.borrow().as_slice(), want.as_slice(), "{mode:?}");
+            assert_eq!(log.lock().unwrap().as_slice(), want.as_slice(), "{mode:?}");
         }
     }
 
@@ -1785,12 +2264,12 @@ mod drain_tests {
 #[cfg(test)]
 mod kill_tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     struct Worker {
         work: f64,
-        done: Rc<RefCell<Option<SimTime>>>,
+        done: Arc<Mutex<Option<SimTime>>>,
     }
     impl Actor for Worker {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1798,7 +2277,7 @@ mod kill_tests {
             ctx.continue_with(0);
         }
         fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-            *self.done.borrow_mut() = Some(ctx.now());
+            *self.done.lock().unwrap() = Some(ctx.now());
         }
     }
 
@@ -1806,16 +2285,16 @@ mod kill_tests {
     fn killed_actor_stops_and_frees_the_cpu() {
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
-        let d1 = Rc::new(RefCell::new(None));
-        let d2 = Rc::new(RefCell::new(None));
+        let d1 = Arc::new(Mutex::new(None));
+        let d2 = Arc::new(Mutex::new(None));
         let a = sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: d1.clone() }));
         sim.spawn(h, Box::new(Worker { work: 1_000_000.0, done: d2.clone() }));
         // Both at 50% until the kill at 0.5s (0.25s of work each done);
         // the survivor then runs at 100% and finishes at 0.5 + 0.75 = 1.25s.
         sim.at(SimTime::from_ms(500), move |s| s.kill(a));
         sim.run_until_idle();
-        assert!(d1.borrow().is_none(), "killed actor never completes");
-        assert_eq!(*d2.borrow(), Some(SimTime::from_ms(1250)));
+        assert!(d1.lock().unwrap().is_none(), "killed actor never completes");
+        assert_eq!(*d2.lock().unwrap(), Some(SimTime::from_ms(1250)));
         assert!(!sim.is_alive(a));
     }
 
@@ -1831,27 +2310,27 @@ mod kill_tests {
             }
         }
         struct Receiver {
-            got: Rc<RefCell<u32>>,
+            got: Arc<Mutex<u32>>,
         }
         impl Actor for Receiver {
             fn on_message(&mut self, _f: ActorId, _m: Message, _ctx: &mut Ctx<'_>) {
-                *self.got.borrow_mut() += 1;
+                *self.got.lock().unwrap() += 1;
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
-        let got = Rc::new(RefCell::new(0));
+        let got = Arc::new(Mutex::new(0));
         let r = sim.spawn(h, Box::new(Receiver { got: got.clone() }));
         sim.spawn(h, Box::new(Sender { dst: r }));
         sim.at(SimTime::from_us(500), move |s| s.kill(r));
         sim.run_until_idle();
-        assert_eq!(*got.borrow(), 0);
+        assert_eq!(*got.lock().unwrap(), 0);
     }
 
     #[test]
     fn kill_is_idempotent_and_timers_ignored() {
         struct Timed {
-            fired: Rc<RefCell<u32>>,
+            fired: Arc<Mutex<u32>>,
         }
         impl Actor for Timed {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1859,19 +2338,19 @@ mod kill_tests {
                 ctx.set_timer(10_000, 0);
             }
             fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {
-                *self.fired.borrow_mut() += 1;
+                *self.fired.lock().unwrap() += 1;
             }
         }
         let mut sim = Sim::new();
         let h = sim.add_host("h", 1.0, 1 << 30);
-        let fired = Rc::new(RefCell::new(0));
+        let fired = Arc::new(Mutex::new(0));
         let a = sim.spawn(h, Box::new(Timed { fired: fired.clone() }));
         sim.at(SimTime::from_us(5_000), move |s| {
             s.kill(a);
             s.kill(a); // idempotent
         });
         sim.run_until_idle();
-        assert_eq!(*fired.borrow(), 1, "only the pre-kill timer fires");
+        assert_eq!(*fired.lock().unwrap(), 1, "only the pre-kill timer fires");
     }
 }
 
@@ -1879,8 +2358,8 @@ mod kill_tests {
 mod fairshare_tests {
     use super::*;
     use crate::link::LinkMode;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     struct Blast {
         dst: ActorId,
@@ -1895,11 +2374,11 @@ mod fairshare_tests {
     }
 
     struct Sink {
-        got: Rc<RefCell<Vec<(SimTime, u64)>>>,
+        got: Arc<Mutex<Vec<(SimTime, u64)>>>,
     }
     impl Actor for Sink {
         fn on_message(&mut self, _f: ActorId, m: Message, ctx: &mut Ctx<'_>) {
-            self.got.borrow_mut().push((ctx.now(), m.wire_bytes));
+            self.got.lock().unwrap().push((ctx.now(), m.wire_bytes));
         }
     }
 
@@ -1909,12 +2388,12 @@ mod fairshare_tests {
         let h2 = sim.add_host("b", 1.0, 1 << 30);
         sim.set_link(h1, h2, 1_000_000.0, 0);
         sim.set_link_mode(h1, h2, mode);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
         sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
         sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
         sim.run_until_idle();
-        let v = got.borrow().clone();
+        let v = got.lock().unwrap().clone();
         v
     }
 
@@ -1936,11 +2415,11 @@ mod fairshare_tests {
             let h2 = sim.add_host("b", 1.0, 1 << 30);
             sim.set_link(h1, h2, 2_000_000.0, 500);
             sim.set_link_mode(h1, h2, mode);
-            let got = Rc::new(RefCell::new(Vec::new()));
+            let got = Arc::new(Mutex::new(Vec::new()));
             let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
             sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
             sim.run_until_idle();
-            assert_eq!(got.borrow()[0].0, SimTime::from_us(500_500), "{mode:?}");
+            assert_eq!(got.lock().unwrap()[0].0, SimTime::from_us(500_500), "{mode:?}");
         }
     }
 
@@ -1951,12 +2430,12 @@ mod fairshare_tests {
         let h2 = sim.add_host("b", 1.0, 1 << 30);
         sim.set_link(h1, h2, 1_000_000.0, 0);
         sim.set_link_mode(h1, h2, LinkMode::FairShare);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
         sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
         sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 250_000, at_us: 500_000 }));
         sim.run_until_idle();
-        let got = got.borrow();
+        let got = got.lock().unwrap();
         // Joiner (250K at half rate from 0.5s) finishes at 1.0s; the big
         // flow's remaining 250K then runs alone: 1.25s.
         assert_eq!(got[0], (SimTime::from_secs(1), 250_000));
@@ -1970,7 +2449,7 @@ mod fairshare_tests {
         let h2 = sim.add_host("b", 1.0, 1 << 30);
         sim.set_link(h1, h2, 1_000_000.0, 0);
         sim.set_link_mode(h1, h2, LinkMode::FairShare);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.spawn(h2, Box::new(Sink { got: got.clone() }));
         sim.spawn(h1, Box::new(Blast { dst: sink, bytes: 1_000_000, at_us: 0 }));
         // Halve the bandwidth halfway through: 0.5s at 1 MB/s, then
@@ -1979,6 +2458,6 @@ mod fairshare_tests {
             s.set_link_bandwidth(HostId(0), HostId(1), 500_000.0)
         });
         sim.run_until_idle();
-        assert_eq!(got.borrow()[0].0, SimTime::from_us(1_500_000));
+        assert_eq!(got.lock().unwrap()[0].0, SimTime::from_us(1_500_000));
     }
 }

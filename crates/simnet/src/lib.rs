@@ -21,8 +21,14 @@
 //!   simulation analog of the paper's Win32 API interception, used by the
 //!   `sandbox` crate to build the virtual execution environment.
 //!
-//! Everything is single-threaded and deterministic: events are ordered by
-//! `(time, sequence-number)` and no wall-clock or OS randomness is consulted.
+//! Everything is deterministic: events are ordered by
+//! `(time, sequence-number)` and no wall-clock or OS randomness is
+//! consulted. The drain is single-threaded by default;
+//! [`DrainMode::Sharded`] partitions the event queue into
+//! per-host-group shards drained on a scoped thread pool with
+//! conservative lookahead and a deterministic barrier merge, and is
+//! required to reproduce the sequential run bit for bit (see
+//! `DESIGN.md` §14).
 //!
 //! ## Quick example
 //!
@@ -61,6 +67,7 @@ pub mod fault;
 pub mod kernel;
 pub mod link;
 pub mod message;
+pub(crate) mod shard;
 pub mod time;
 pub mod trace;
 

@@ -2,12 +2,13 @@
 //!
 //! A [`Message`] separates the *simulated* wire size (which determines link
 //! transmission time) from the actual Rust payload carried for the benefit of
-//! the receiving actor. The payload is an `Rc<dyn Any>` so the simulator core
-//! stays application-agnostic; applications downcast with
+//! the receiving actor. The payload is an `Arc<dyn Any + Send + Sync>` so the
+//! simulator core stays application-agnostic while messages remain portable
+//! across shard worker threads; applications downcast with
 //! [`Message::body`].
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A message in flight between two actors.
 #[derive(Clone)]
@@ -17,7 +18,7 @@ pub struct Message {
     /// Number of bytes this message occupies on the (simulated) wire.
     pub wire_bytes: u64,
     /// The payload, if any.
-    pub payload: Option<Rc<dyn Any>>,
+    pub payload: Option<Arc<dyn Any + Send + Sync>>,
 }
 
 impl Message {
@@ -28,8 +29,8 @@ impl Message {
     }
 
     /// A message carrying `body` and occupying `wire_bytes` on the wire.
-    pub fn new<T: Any>(tag: u64, wire_bytes: u64, body: T) -> Self {
-        Message { tag, wire_bytes, payload: Some(Rc::new(body)) }
+    pub fn new<T: Any + Send + Sync>(tag: u64, wire_bytes: u64, body: T) -> Self {
+        Message { tag, wire_bytes, payload: Some(Arc::new(body)) }
     }
 
     /// Downcast the payload to `T`. Returns `None` when there is no payload

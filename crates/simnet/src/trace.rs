@@ -229,6 +229,20 @@ impl Trace {
         &self.events
     }
 
+    /// Take the legacy log for merging a sharded run's per-shard traces
+    /// (the merged events re-enter via [`Trace::append_recorded`], which
+    /// must not re-publish to the bus — shards publish live).
+    pub(crate) fn take_recorded(&mut self) -> Vec<(SimTime, TraceEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Append an already-published event to the legacy log only.
+    pub(crate) fn append_recorded(&mut self, t: SimTime, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push((t, ev));
+        }
+    }
+
     pub(crate) fn emit(&mut self, t: SimTime, ev: TraceEvent) {
         if let Some(obs) = &self.obs {
             obs.publish(ev.to_obs(t));

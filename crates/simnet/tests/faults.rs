@@ -2,8 +2,8 @@
 //! windows, partitions, and host crash/restart, all visible on the obs
 //! event bus.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use obs::Obs;
 use simnet::{
@@ -19,8 +19,8 @@ fn simnet_events(obs: &Obs) -> Vec<(SimTime, TraceEvent)> {
 struct Pinger {
     dst: ActorId,
     period_us: u64,
-    sent: Rc<RefCell<u32>>,
-    got: Rc<RefCell<u32>>,
+    sent: Arc<Mutex<u32>>,
+    got: Arc<Mutex<u32>>,
     rounds: u32,
 }
 
@@ -29,14 +29,14 @@ impl Actor for Pinger {
         ctx.set_timer(self.period_us, 1);
     }
     fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
-        if *self.sent.borrow() < self.rounds {
-            *self.sent.borrow_mut() += 1;
+        if *self.sent.lock().unwrap() < self.rounds {
+            *self.sent.lock().unwrap() += 1;
             ctx.send_now(self.dst, Message::signal(7, 1000));
             ctx.set_timer(self.period_us, 1);
         }
     }
     fn on_message(&mut self, _from: ActorId, _msg: Message, _ctx: &mut Ctx<'_>) {
-        *self.got.borrow_mut() += 1;
+        *self.got.lock().unwrap() += 1;
     }
 }
 
@@ -48,14 +48,14 @@ impl Actor for Echo {
     }
 }
 
-fn ping_setup(rounds: u32) -> (Sim, HostId, HostId, Rc<RefCell<u32>>, Rc<RefCell<u32>>) {
+fn ping_setup(rounds: u32) -> (Sim, HostId, HostId, Arc<Mutex<u32>>, Arc<Mutex<u32>>) {
     let mut sim = Sim::new();
     let ha = sim.add_host("a", 1.0, 1 << 30);
     let hb = sim.add_host("b", 1.0, 1 << 30);
     sim.set_link(ha, hb, 1_000_000.0, 100);
     let echo = sim.spawn(hb, Box::new(Echo));
-    let sent = Rc::new(RefCell::new(0));
-    let got = Rc::new(RefCell::new(0));
+    let sent = Arc::new(Mutex::new(0));
+    let got = Arc::new(Mutex::new(0));
     sim.spawn(
         ha,
         Box::new(Pinger {
@@ -78,9 +78,9 @@ fn down_window_drops_and_recovers() {
         .with_link_down(ha, hb, SimTime::from_ms(45), SimTime::from_ms(105))
         .install(&mut sim);
     sim.run_until_idle();
-    assert_eq!(*sent.borrow(), 20);
+    assert_eq!(*sent.lock().unwrap(), 20);
     // Pings at 50..=100 ms fall in the window: 6 of 20 lost.
-    assert_eq!(*got.borrow(), 14);
+    assert_eq!(*got.lock().unwrap(), 14);
     let evs = simnet_events(&obs);
     let drops = evs
         .iter()
@@ -103,7 +103,7 @@ fn loss_is_traced_and_deterministic() {
         sim.attach_obs(&obs);
         FaultPlan::new(42).with_loss(ha, hb, 0.5).install(&mut sim);
         sim.run_until_idle();
-        let g = *got.borrow();
+        let g = *got.lock().unwrap();
         (g, simnet_events(&obs))
     };
     let (got1, trace1) = run();
@@ -126,7 +126,7 @@ fn jitter_delays_but_delivers_everything() {
         sim.attach_obs(&obs);
         FaultPlan::new(seed).with_jitter(ha, hb, 5_000).install(&mut sim);
         sim.run_until_idle();
-        assert_eq!(*got.borrow(), 20, "jitter must not lose messages");
+        assert_eq!(*got.lock().unwrap(), 20, "jitter must not lose messages");
         simnet_events(&obs)
             .into_iter()
             .filter(|(_, e)| matches!(e, TraceEvent::MsgDelivered { .. }))
@@ -160,21 +160,21 @@ fn partition_cuts_cross_links_only() {
 
 /// Counts restarts; sets a timer that must NOT survive the crash.
 struct CrashDummy {
-    starts: Rc<RefCell<u32>>,
-    stale_fired: Rc<RefCell<bool>>,
+    starts: Arc<Mutex<u32>>,
+    stale_fired: Arc<Mutex<bool>>,
 }
 
 impl Actor for CrashDummy {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        *self.starts.borrow_mut() += 1;
-        if *self.starts.borrow() == 1 {
+        *self.starts.lock().unwrap() += 1;
+        if *self.starts.lock().unwrap() == 1 {
             // Armed pre-crash; would fire post-restart if not cancelled.
             ctx.set_timer(dur::ms(500), 99);
         }
     }
     fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_>) {
         if tag == 99 {
-            *self.stale_fired.borrow_mut() = true;
+            *self.stale_fired.lock().unwrap() = true;
         }
     }
 }
@@ -185,8 +185,8 @@ fn crash_restart_rehydrates_and_cancels_stale_timers() {
     let h = sim.add_host("srv", 1.0, 1 << 30);
     let obs = Obs::new();
     sim.attach_obs(&obs);
-    let starts = Rc::new(RefCell::new(0));
-    let stale = Rc::new(RefCell::new(false));
+    let starts = Arc::new(Mutex::new(0));
+    let stale = Arc::new(Mutex::new(false));
     let a =
         sim.spawn(h, Box::new(CrashDummy { starts: starts.clone(), stale_fired: stale.clone() }));
     FaultPlan::new(0)
@@ -196,8 +196,8 @@ fn crash_restart_rehydrates_and_cancels_stale_timers() {
     assert!(!sim.is_alive(a), "actor dead during the outage");
     sim.run_until_idle();
     assert!(sim.is_alive(a), "actor restarted");
-    assert_eq!(*starts.borrow(), 2, "on_start re-ran on restart");
-    assert!(!*stale.borrow(), "pre-crash timer must not fire post-restart");
+    assert_eq!(*starts.lock().unwrap(), 2, "on_start re-ran on restart");
+    assert!(!*stale.lock().unwrap(), "pre-crash timer must not fire post-restart");
     let evs = simnet_events(&obs);
     assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostCrash { .. })));
     assert!(evs.iter().any(|(_, e)| matches!(e, TraceEvent::HostRestart { .. })));
@@ -211,8 +211,8 @@ fn messages_to_crashed_host_are_dropped_as_receiver_dead() {
     let obs = Obs::new();
     sim.attach_obs(&obs);
     let echo = sim.spawn(hb, Box::new(Echo));
-    let sent = Rc::new(RefCell::new(0));
-    let got = Rc::new(RefCell::new(0));
+    let sent = Arc::new(Mutex::new(0));
+    let got = Arc::new(Mutex::new(0));
     sim.spawn(
         ha,
         Box::new(Pinger {
@@ -226,7 +226,7 @@ fn messages_to_crashed_host_are_dropped_as_receiver_dead() {
     // Crash covers pings 5..10 (at 50..100 ms); no restart.
     FaultPlan::new(0).with_crash(hb, SimTime::from_ms(45), None).install(&mut sim);
     sim.run_until_idle();
-    assert_eq!(*got.borrow(), 4);
+    assert_eq!(*got.lock().unwrap(), 4);
     let evs = simnet_events(&obs);
     let dead_drops = evs
         .iter()

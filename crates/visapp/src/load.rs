@@ -346,7 +346,9 @@ impl LoadReport {
     /// FNV-1a hash over every simulation-derived observable: per-session
     /// rounds/images/switches/bytes/finish times plus kernel totals. Two
     /// same-seed runs must agree on this digest exactly; wall-clock
-    /// measurements are deliberately excluded.
+    /// measurements are deliberately excluded, and so is
+    /// `peak_queue_depth` — it describes the drain strategy (a sharded
+    /// run's peak is the sum of per-shard peaks), not the computation.
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -369,7 +371,6 @@ impl LoadReport {
         }
         mix(self.end.as_us());
         mix(self.events_handled);
-        mix(self.peak_queue_depth as u64);
         h
     }
 }
@@ -394,7 +395,17 @@ impl LoadWatcher {
         let mut finished = 0usize;
         let mut rounds = 0u64;
         for (i, h) in self.handles.iter().enumerate() {
-            let (done_at, n_rounds) = h.with(|s| (s.finished_at, s.rounds.len() as u64));
+            // Only observations strictly before the sample time count: the
+            // shared-memory stats are written by other actors, and events
+            // at exactly `now` race with this timer in the sequential
+            // `(time, seq)` order. The strict filter makes each sample a
+            // pure function of simulated time, so a sharded run (where the
+            // watcher samples after whole worker epochs) folds the exact
+            // same series.
+            let (done_at, n_rounds) = h.with(|s| {
+                let done = s.finished_at.filter(|&t| t < now);
+                (done, s.rounds.partition_point(|r| r.finished < now) as u64)
+            });
             rounds += n_rounds;
             if let Some(t) = done_at {
                 finished += 1;
@@ -493,7 +504,9 @@ pub fn run_load(opts: &LoadGenOpts, db: &Arc<PerfDb>) -> LoadReport {
         let (think_us, window, gap, period) =
             (think[i], opts.monitor_window_us, opts.trigger_gap_us, opts.period_us);
         let (n_images, img_size, link_bps) = (opts.n_images, opts.img_size, opts.link_bps);
-        sim.at(SimTime::from_us(arrivals[i]), move |s| {
+        // Pinned to the client host so a sharded run builds the session on
+        // the shard that owns it.
+        sim.at_on(hc, SimTime::from_us(arrivals[i]), move |s| {
             let scheduler = ResourceScheduler::new_shared(db, prefs, PROFILE_INPUT);
             let mut start = ResourceVector::default();
             start.set(client_cpu_key(), 1.0);
@@ -533,6 +546,10 @@ pub fn run_load(opts: &LoadGenOpts, db: &Arc<PerfDb>) -> LoadReport {
     }
 
     let watcher_host = sim.add_host("loadgen", 1.0, 1 << 30);
+    // The watcher only reads shared memory; marking its host as an
+    // observer lets a sharded run give it a shard of its own, sampled
+    // after the worker shards each epoch.
+    sim.mark_observer(watcher_host);
     sim.spawn(
         watcher_host,
         Box::new(LoadWatcher {
@@ -632,6 +649,26 @@ mod tests {
         let batched = run_load(&opts.clone().with_drain_mode(DrainMode::Batched), &db);
         let heap = run_load(&opts.clone().with_drain_mode(DrainMode::Heap), &db);
         assert_eq!(batched.digest(), heap.digest(), "drain mode must not change semantics");
+    }
+
+    #[test]
+    fn sharded_matches_batched_across_thread_counts() {
+        let opts = tiny(8);
+        let db = Arc::new(model_db(&opts));
+        let batched = run_load(&opts.clone().with_drain_mode(DrainMode::Batched), &db);
+        for threads in [1usize, 2, 4, 8] {
+            let sharded = run_load(
+                &opts.clone().with_drain_mode(DrainMode::Sharded { threads, shards: 0 }),
+                &db,
+            );
+            assert_eq!(
+                batched.digest(),
+                sharded.digest(),
+                "sharded drain diverged at threads={threads}"
+            );
+            assert_eq!(batched.end, sharded.end, "threads={threads}");
+            assert_eq!(batched.events_handled, sharded.events_handled, "threads={threads}");
+        }
     }
 
     #[test]

@@ -266,13 +266,13 @@ impl Actor for Server {
 mod tests {
     use super::*;
     use simnet::{Sim, SimTime};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Scripted client driving the server directly.
     struct Probe {
         server: ActorId,
-        log: Rc<RefCell<Vec<(u64, u64, usize)>>>, // (round, wire, raw)
+        log: Arc<Mutex<Vec<(u64, u64, usize)>>>, // (round, wire, raw)
         step: usize,
     }
     impl Actor for Probe {
@@ -293,7 +293,7 @@ mod tests {
         }
         fn on_message(&mut self, _from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
             let reply = msg.expect_body::<Reply>();
-            self.log.borrow_mut().push((reply.round, msg.wire_bytes, reply.raw_bytes));
+            self.log.lock().unwrap().push((reply.round, msg.wire_bytes, reply.raw_bytes));
             self.step += 1;
             match self.step {
                 1 => {
@@ -340,10 +340,10 @@ mod tests {
         sim.set_link(hs, hc, 1_000_000.0, 100);
         let store = Arc::new(ImageStore::generate(2, 64, 3, 7));
         let server = sim.spawn(hs, Box::new(Server::new(store.clone())));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         sim.spawn(hc, Box::new(Probe { server, log: log.clone(), step: 0 }));
         sim.run_until_idle();
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(log.len(), 3);
         // Reply sizes are exactly what the store prepares for each method;
         // the third reply (after the switch to Raw) is raw + header.
@@ -374,7 +374,7 @@ mod tests {
         let server = sim.spawn(h, Box::new(Server::new(store)));
         struct Bad {
             server: ActorId,
-            got_reply: Rc<RefCell<bool>>,
+            got_reply: Arc<Mutex<bool>>,
         }
         impl Actor for Bad {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -395,14 +395,17 @@ mod tests {
             }
             fn on_message(&mut self, _from: ActorId, msg: Message, _ctx: &mut Ctx<'_>) {
                 if msg.tag == protocol::TAG_REPLY {
-                    *self.got_reply.borrow_mut() = true;
+                    *self.got_reply.lock().unwrap() = true;
                 }
             }
         }
-        let got_reply = Rc::new(RefCell::new(false));
+        let got_reply = Arc::new(Mutex::new(false));
         sim.spawn(h, Box::new(Bad { server, got_reply: got_reply.clone() }));
         sim.run_until_idle();
-        assert!(*got_reply.borrow(), "server survived the unknown tag and served the request");
+        assert!(
+            *got_reply.lock().unwrap(),
+            "server survived the unknown tag and served the request"
+        );
     }
 
     #[test]
@@ -417,7 +420,7 @@ mod tests {
         let server = sim.spawn(hs, Box::new(Server::new(store)));
         struct Retry {
             server: ActorId,
-            replies: Rc<RefCell<Vec<(u64, u64)>>>, // (round, wire_bytes)
+            replies: Arc<Mutex<Vec<(u64, u64)>>>, // (round, wire_bytes)
             sent_dup: bool,
         }
         fn the_request() -> Request {
@@ -430,7 +433,7 @@ mod tests {
             }
             fn on_message(&mut self, _from: ActorId, msg: Message, ctx: &mut Ctx<'_>) {
                 let reply = msg.expect_body::<Reply>();
-                self.replies.borrow_mut().push((reply.round, msg.wire_bytes));
+                self.replies.lock().unwrap().push((reply.round, msg.wire_bytes));
                 if !self.sent_dup {
                     self.sent_dup = true;
                     // Pretend the first reply was lost: retransmit.
@@ -438,10 +441,10 @@ mod tests {
                 }
             }
         }
-        let replies = Rc::new(RefCell::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(Vec::new()));
         sim.spawn(hc, Box::new(Retry { server, replies: replies.clone(), sent_dup: false }));
         sim.run_until_idle();
-        let replies = replies.borrow();
+        let replies = replies.lock().unwrap();
         assert_eq!(replies.len(), 2, "both the request and its retransmission were answered");
         assert_eq!(replies[0], replies[1], "cached reply is byte-identical");
     }

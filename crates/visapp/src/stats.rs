@@ -6,8 +6,7 @@
 //! cumulative progress) and behind the QoS metrics stored in the
 //! performance database (`transmit_time`, `response_time`, `resolution`).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use adapt_core::{Configuration, ResourceVector};
 use simnet::SimTime;
@@ -148,8 +147,8 @@ struct StatsObs {
 /// Shared handle, cloned into the client actor.
 #[derive(Debug, Clone, Default)]
 pub struct StatsHandle {
-    stats: Rc<RefCell<RunStats>>,
-    obs: Rc<RefCell<Option<StatsObs>>>,
+    stats: Arc<Mutex<RunStats>>,
+    obs: Arc<Mutex<Option<StatsObs>>>,
 }
 
 impl StatsHandle {
@@ -161,7 +160,7 @@ impl StatsHandle {
     /// `visapp.finished_secs` gauge, and [`Source::App`](obs::Source::App)
     /// events for configuration changes, image completions, and run end.
     pub fn attach_obs(&self, obs: &obs::Obs) {
-        *self.obs.borrow_mut() = Some(StatsObs {
+        *self.obs.lock().unwrap() = Some(StatsObs {
             obs: obs.clone(),
             images: obs.counter("visapp.images"),
             rounds: obs.counter("visapp.rounds"),
@@ -177,7 +176,7 @@ impl StatsHandle {
     }
 
     pub fn with<R>(&self, f: impl FnOnce(&RunStats) -> R) -> R {
-        f(&self.stats.borrow())
+        f(&self.stats.lock().unwrap())
     }
 
     /// Mutate the raw record directly, bypassing the obs mirror.
@@ -186,16 +185,16 @@ impl StatsHandle {
         note = "use the typed `record_*` methods so attached obs sinks stay consistent"
     )]
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut RunStats) -> R) -> R {
-        f(&mut self.stats.borrow_mut())
+        f(&mut self.stats.lock().unwrap())
     }
 
     /// Extract the final stats (clones the records).
     pub fn take(&self) -> RunStats {
-        std::mem::take(&mut self.stats.borrow_mut())
+        std::mem::take(&mut self.stats.lock().unwrap())
     }
 
     fn inc(&self, pick: impl Fn(&StatsObs) -> obs::MetricId, by: u64) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(pick(h), by);
         }
     }
@@ -203,7 +202,7 @@ impl StatsHandle {
     // ---- typed record path (keeps the raw log and obs in lock-step) ----
 
     pub fn record_round(&self, rec: RoundRecord) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(h.rounds, 1);
             h.obs.inc(h.wire_bytes, rec.wire_bytes);
             // One "round" event per *applied* reply: the no-duplicate
@@ -216,11 +215,11 @@ impl StatsHandle {
                     .with("wire_round", rec.wire_round),
             );
         }
-        self.stats.borrow_mut().rounds.push(rec);
+        self.stats.lock().unwrap().rounds.push(rec);
     }
 
     pub fn record_image(&self, rec: ImageRecord) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(h.images, 1);
             h.obs.publish(
                 obs::Event::new(rec.finished.as_us(), obs::Source::App, "image")
@@ -229,14 +228,14 @@ impl StatsHandle {
                     .with("transmit_secs", rec.transmit_secs()),
             );
         }
-        self.stats.borrow_mut().images.push(rec);
+        self.stats.lock().unwrap().images.push(rec);
     }
 
     /// Record the active configuration changing at `t` (the initial entry
     /// included; only subsequent entries count as switches).
     pub fn record_config(&self, t: SimTime, config: Configuration) {
-        let first = self.stats.borrow().config_history.is_empty();
-        if let Some(h) = self.obs.borrow().as_ref() {
+        let first = self.stats.lock().unwrap().config_history.is_empty();
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             if !first {
                 h.obs.inc(h.switches, 1);
             }
@@ -246,53 +245,53 @@ impl StatsHandle {
                     .with("initial", first),
             );
         }
-        self.stats.borrow_mut().config_history.push((t, config));
+        self.stats.lock().unwrap().config_history.push((t, config));
     }
 
     pub fn record_retry(&self) {
         self.inc(|h| h.retries, 1);
-        self.stats.borrow_mut().retries += 1;
+        self.stats.lock().unwrap().retries += 1;
     }
 
     pub fn record_timeout(&self) {
         self.inc(|h| h.timeouts, 1);
-        self.stats.borrow_mut().timeouts += 1;
+        self.stats.lock().unwrap().timeouts += 1;
     }
 
     /// Record the breaker tripping open at `t` (counter + ordered bus
     /// event; the breaker-legality oracle replays the event sequence).
     pub fn record_breaker_open(&self, t: SimTime) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(h.breaker_opens, 1);
             h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "breaker_open"));
         }
-        self.stats.borrow_mut().breaker_opens += 1;
+        self.stats.lock().unwrap().breaker_opens += 1;
     }
 
     /// Record a success re-closing the breaker at `t`.
     pub fn record_breaker_close(&self, t: SimTime) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(h.breaker_closes, 1);
             h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "breaker_close"));
         }
-        self.stats.borrow_mut().breaker_closes += 1;
+        self.stats.lock().unwrap().breaker_closes += 1;
     }
 
     /// Record a stale or duplicate reply being discarded at `t`.
     pub fn record_dup_reply(&self, t: SimTime) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.inc(h.dup_replies, 1);
             h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "dup_reply"));
         }
-        self.stats.borrow_mut().dup_replies_dropped += 1;
+        self.stats.lock().unwrap().dup_replies_dropped += 1;
     }
 
     pub fn record_finished(&self, t: SimTime) {
-        if let Some(h) = self.obs.borrow().as_ref() {
+        if let Some(h) = self.obs.lock().unwrap().as_ref() {
             h.obs.set(h.finished_secs, t.as_secs_f64());
             h.obs.publish(obs::Event::new(t.as_us(), obs::Source::App, "finished"));
         }
-        self.stats.borrow_mut().finished_at = Some(t);
+        self.stats.lock().unwrap().finished_at = Some(t);
     }
 
     /// Record the monitoring agent's final resource estimate when a run
@@ -300,7 +299,7 @@ impl StatsHandle {
     /// receives them live via `AdaptiveRuntime::set_obs` (sources
     /// Monitor/Scheduler/Steering).
     pub fn record_adapt_summary(&self, estimate: ResourceVector) {
-        self.stats.borrow_mut().final_estimate = Some(estimate);
+        self.stats.lock().unwrap().final_estimate = Some(estimate);
     }
 }
 

@@ -11,8 +11,8 @@
 //! cargo run --example adaptive_worker
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use adaptive_framework::prelude::*;
 
@@ -57,7 +57,7 @@ struct Worker {
     cpu_key: ResourceKey,
     batches_left: u32,
     batch_started: SimTime,
-    log: Rc<RefCell<Vec<(f64, String, f64)>>>, // (t, config, latency)
+    log: Arc<Mutex<Vec<(f64, String, f64)>>>, // (t, config, latency)
 }
 
 impl Worker {
@@ -87,7 +87,7 @@ impl Actor for Worker {
 
     fn on_continue(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
         let latency = ctx.now().since(self.batch_started) as f64 / 1e6;
-        self.log.borrow_mut().push((
+        self.log.lock().unwrap().push((
             ctx.now().as_secs_f64(),
             self.runtime.current().key(),
             latency,
@@ -112,10 +112,10 @@ fn main() {
         let share = res.get(&cpu_key).unwrap();
         let mut sim = Sim::new();
         let h = sim.add_host("node", 1.0, 1 << 30);
-        let done = Rc::new(RefCell::new(None));
+        let done = Arc::new(Mutex::new(None));
         struct OneBatch {
             work: f64,
-            done: Rc<RefCell<Option<SimTime>>>,
+            done: Arc<Mutex<Option<SimTime>>>,
         }
         impl Actor for OneBatch {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -123,7 +123,7 @@ fn main() {
                 ctx.continue_with(0);
             }
             fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-                *self.done.borrow_mut() = Some(ctx.now());
+                *self.done.lock().unwrap() = Some(ctx.now());
             }
         }
         let lh = LimitsHandle::new(Limits::cpu(share.clamp(0.01, 1.0)));
@@ -136,7 +136,7 @@ fn main() {
             )),
         );
         sim.run_until_idle();
-        let latency = done.borrow().expect("batch finishes").as_secs_f64();
+        let latency = done.lock().unwrap().expect("batch finishes").as_secs_f64();
         QosReport::new(&[("batch_latency", latency), ("accuracy", batch_accuracy(config))])
     };
     let profiler = Profiler::new(spec.configurations(), grid, vec!["batches".into()]);
@@ -165,7 +165,7 @@ fn main() {
     let h = sim.add_host("node", 1.0, 1 << 30);
     let limits = LimitsHandle::new(Limits::cpu(1.0));
     let stats = SandboxStats::new(400_000);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let worker = Worker {
         runtime,
         stats: stats.clone(),
@@ -179,7 +179,7 @@ fn main() {
     sim.run_until_idle();
 
     println!("\nbatch log (time, configuration, latency):");
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     for (t, cfg, latency) in log.iter() {
         println!("  {t:>7.2}s  {cfg:<24} {latency:>6.3}s");
     }

@@ -19,7 +19,7 @@ impl Actor for Grinder {
 /// A fixed-work task recording its completion time.
 struct Task {
     work: f64,
-    done: std::rc::Rc<std::cell::RefCell<Option<SimTime>>>,
+    done: std::sync::Arc<std::sync::Mutex<Option<SimTime>>>,
 }
 impl Actor for Task {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -27,7 +27,7 @@ impl Actor for Task {
         ctx.continue_with(0);
     }
     fn on_continue(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
-        *self.done.borrow_mut() = Some(ctx.now());
+        *self.done.lock().unwrap() = Some(ctx.now());
     }
 }
 
@@ -61,7 +61,7 @@ fn main() {
         let share = pct as f64 / 100.0;
         let mut sim = Sim::new();
         let h = sim.add_host("pii450", 1.0, 1 << 30);
-        let done = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let done = std::sync::Arc::new(std::sync::Mutex::new(None));
         let lh = LimitsHandle::new(Limits::cpu(share));
         sim.spawn(
             h,
@@ -72,7 +72,7 @@ fn main() {
             )),
         );
         sim.run_until_idle();
-        let measured = done.borrow().expect("finishes").as_secs_f64();
+        let measured = done.lock().unwrap().expect("finishes").as_secs_f64();
         println!("  share {pct:>3}%: measured {measured:>6.3}s expected {:>6.3}s", 2.0 / share);
     }
 

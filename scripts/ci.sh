@@ -4,7 +4,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+# Tier-1 tests run under both thread settings: SIMNET_THREADS feeds
+# `DrainMode::Sharded { threads: 0, .. }` resolution, so =1 exercises
+# the sequential fallback and =4 the parallel epoch loop. Digest
+# equality between the two is what the sharded determinism tests check.
+for t in 1 4; do
+    SIMNET_THREADS=$t cargo test -q
+done
 # Note: the chaos fault-injection scenarios (visapp `chaos_*` tests) run
 # as part of `cargo test -q` above; they used to be a dedicated stage,
 # which ran the whole visapp suite a second time for nothing.
@@ -22,14 +28,22 @@ cargo fmt --check
 # dedup bug must find it, shrink it, and replay the committed repro.
 # Opt-in because it rebuilds the workspace under a different cfg.
 if [ "${CI_DST_CANARY:-0}" = "1" ]; then
-    RUSTFLAGS="--cfg dst_canary" cargo test -q --release -p adapt-dst
+    # Same two-point SIMNET_THREADS matrix as the tier-1 tests: the
+    # explorer's every-16th-trial cross-check replays under the sharded
+    # drain, so the canary must stay green whichever way `threads: 0`
+    # resolves.
+    for t in 1 4; do
+        SIMNET_THREADS=$t RUSTFLAGS="--cfg dst_canary" cargo test -q --release -p adapt-dst
+    done
 fi
 # Coverage floor: opt-in, requires cargo-llvm-cov.
 if [ "${CI_COV:-0}" = "1" ]; then
     cargo llvm-cov --workspace -q --fail-under-lines "$(cat scripts/coverage_floor.txt)"
 fi
 # Benchmark regression gate: opt-in because it rebuilds and re-runs
-# every BENCH_*.json generator (~a minute of wall time).
+# every BENCH_*.json generator (several minutes of wall time — the
+# load sweep now climbs to 100k sessions and runs a sharded
+# threads-vs-throughput curve; see DESIGN.md §14).
 if [ "${CI_BENCH:-0}" = "1" ]; then
     scripts/bench_gate.sh
 fi

@@ -1,0 +1,173 @@
+//! Offline stub of `criterion`. Benchmarks compile and run: each
+//! `bench_function` executes a handful of timed iterations and prints
+//! a single mean-time line. There is no statistical analysis, no
+//! warm-up tuning, and no HTML report — enough to keep `cargo test`
+//! and ad-hoc `cargo bench` runs working without the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const STUB_ITERS: u64 = 10;
+
+/// Measurement routine handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = STUB_ITERS;
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = STUB_ITERS;
+    }
+
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, F: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..STUB_ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = STUB_ITERS;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, group: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.group, name.as_ref()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+    f(&mut b);
+    let mean_ns = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+    println!("bench {name}: {mean_ns:.0} ns/iter (stub, {} iters)", b.iters);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn stub_group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stub of `serde`: marker traits plus no-op derives. Types
+//! deriving these compile and link, but cannot actually round-trip —
+//! `serde_json::to_string*` renders a placeholder for them and
+//! `serde_json::from_str` always errors. The one real serializer lives
+//! in the `serde_json` stub's `Value`, which overrides
+//! [`Serialize::stub_render`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait emitted by the stub derive. `stub_render` returns the
+/// JSON text for the few types that can really serialize (the
+/// `serde_json::Value` tree); everything else falls back to `None` and
+/// callers substitute a placeholder document.
+pub trait Serialize {
+    fn stub_render(&self, _pretty: bool) -> Option<String> {
+        None
+    }
+}
+
+/// Marker trait emitted by the stub derive; no stub type can actually
+/// deserialize.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, String, char);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}

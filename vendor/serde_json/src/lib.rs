@@ -1,0 +1,285 @@
+//! Offline stub of `serde_json`. The [`Value`] tree, the [`json!`]
+//! macro, and the (pretty-)printers are real — report writers that
+//! build a `Value` produce genuine JSON. The *typed* paths are
+//! placeholders: `to_string*` of a derived type renders a stub
+//! document, and [`from_str`] always errors (callers must tolerate
+//! that; see `vendor/README.md`).
+
+use std::fmt;
+
+pub use serde::Serialize;
+
+/// A JSON document. Object keys keep insertion order (like serde_json
+/// with `preserve_order`), which keeps hand-built reports readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn object(entries: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(entries.into_iter().collect())
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => write_seq(out, pretty, indent, '[', ']', items, |v, o, i| {
+                v.write(o, pretty, i);
+            }),
+            Value::Object(entries) => {
+                write_seq(out, pretty, indent, '{', '}', entries, |(k, v), o, i| {
+                    write_escaped(o, k);
+                    o.push(':');
+                    if pretty {
+                        o.push(' ');
+                    }
+                    v.write(o, pretty, i);
+                })
+            }
+        }
+    }
+
+    fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write(&mut out, pretty, 0);
+        out
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    pretty: bool,
+    indent: usize,
+    open: char,
+    close: char,
+    items: &[T],
+    mut each: impl FnMut(&T, &mut String, usize),
+) {
+    out.push(open);
+    if items.is_empty() {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent + 1));
+        }
+        each(item, out, indent + 1);
+    }
+    if pretty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent));
+    }
+    out.push(close);
+}
+
+impl serde::Serialize for Value {
+    fn stub_render(&self, pretty: bool) -> Option<String> {
+        Some(self.render(pretty))
+    }
+}
+
+impl serde::Deserialize for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+impl_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value`] with JSON-ish syntax. Supports nested objects and
+/// arrays, literals, and arbitrary Rust expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut entries: Vec<(String, $crate::Value)> = Vec::new();
+        #[allow(clippy::vec_init_then_push)]
+        {
+            $crate::json_object_entries!(entries; $($body)*);
+        }
+        $crate::Value::Object(entries)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut items: Vec<$crate::Value> = Vec::new();
+        #[allow(clippy::vec_init_then_push)]
+        {
+            $crate::json_array_items!(items; $($body)*);
+        }
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($out:ident;) => {};
+    ($out:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $out.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $($crate::json_object_entries!($out; $($rest)*);)?
+    };
+    ($out:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $out.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $($crate::json_object_entries!($out; $($rest)*);)?
+    };
+    ($out:ident; $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $out.push(($key.to_string(), $crate::Value::from($val)));
+        $($crate::json_object_entries!($out; $($rest)*);)?
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($out:ident;) => {};
+    ($out:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $out.push($crate::json!({ $($inner)* }));
+        $($crate::json_array_items!($out; $($rest)*);)?
+    };
+    ($out:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $out.push($crate::json!([ $($inner)* ]));
+        $($crate::json_array_items!($out; $($rest)*);)?
+    };
+    ($out:ident; $val:expr $(, $($rest:tt)*)?) => {
+        $out.push($crate::Value::from($val));
+        $($crate::json_array_items!($out; $($rest)*);)?
+    };
+}
+
+/// The placeholder emitted for types the stub cannot serialize.
+pub const STUB_PLACEHOLDER: &str =
+    "{\"__serde_stub__\":\"offline stub build: typed serialization unavailable\"}";
+
+/// Error type for the stub's always-failing typed paths.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.stub_render(false).unwrap_or_else(|| STUB_PLACEHOLDER.to_string()))
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.stub_render(true).unwrap_or_else(|| STUB_PLACEHOLDER.to_string()))
+}
+
+pub fn from_str<T: serde::Deserialize>(_s: &str) -> Result<T, Error> {
+    Err(Error { msg: "offline serde_json stub cannot deserialize".to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_renders_real_documents() {
+        let count = 3u64;
+        let v = json!({
+            "name": "storm",
+            "nested": { "ratio": 2.5, "ok": true },
+            "items": [1, 2, count],
+            "derived": count * 2,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"storm","nested":{"ratio":2.5,"ok":true},"items":[1,2,3],"derived":6}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"storm\""));
+    }
+
+    #[test]
+    fn typed_paths_are_placeholders() {
+        #[derive(serde::Serialize, serde::Deserialize)]
+        struct Thing {
+            _x: u32,
+        }
+        let rendered = to_string_pretty(&Thing { _x: 1 }).unwrap();
+        assert_eq!(rendered, STUB_PLACEHOLDER);
+        assert!(from_str::<Thing>(&rendered).is_err());
+    }
+}
