@@ -161,6 +161,18 @@ impl ResourceVector {
         sum.sqrt()
     }
 
+    /// This vector with every value multiplied by `factor` — a degraded
+    /// (or inflated) resource grant. Admission control uses this to price
+    /// fractional offers when a full-demand grant does not fit.
+    pub fn scaled(&self, factor: f64) -> ResourceVector {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale factor {factor}");
+        let mut out = ResourceVector::default();
+        for (k, v) in self.iter() {
+            out.set(k.clone(), v * factor);
+        }
+        out
+    }
+
     /// True when every resource in `self` is at least `other`'s value
     /// (componentwise adequacy).
     pub fn covers(&self, other: &ResourceVector) -> bool {
@@ -237,6 +249,20 @@ impl ExecutionEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaled_multiplies_every_axis() {
+        let v = ResourceVector::new(&[
+            (ResourceKey::cpu("client"), 0.5),
+            (ResourceKey::net("client"), 10_000.0),
+        ]);
+        let half = v.scaled(0.5);
+        assert_eq!(half.get(&ResourceKey::cpu("client")), Some(0.25));
+        assert_eq!(half.get(&ResourceKey::net("client")), Some(5_000.0));
+        assert!(v.covers(&half));
+        assert!(!half.covers(&v));
+        assert!(v.scaled(0.0).iter().all(|(_, x)| x == 0.0));
+    }
 
     #[test]
     fn key_parsing() {

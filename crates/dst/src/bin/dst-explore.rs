@@ -38,11 +38,12 @@ fn parse_args() -> Result<Args, String> {
                 opts.max_failures = val("--max-failures")?.parse().map_err(|e| format!("{e}"))?
             }
             "--no-shrink" => opts.shrink = false,
+            "--overload" => opts.space = adapt_dst::FaultSpace::overload(),
             "--out" => out = Some(PathBuf::from(val("--out")?)),
             "--expect-violation" => expect_violation = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: dst-explore [--trials N] [--seed S] [--no-shrink] \
+                    "usage: dst-explore [--trials N] [--seed S] [--no-shrink] [--overload] \
                      [--cross-check N] [--max-failures N] [--out DIR] [--expect-violation]"
                 );
                 std::process::exit(0);

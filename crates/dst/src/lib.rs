@@ -45,7 +45,10 @@ pub mod space;
 pub mod trial;
 
 pub use explorer::{ExploreReport, Explorer, ExplorerOpts, Failure};
-pub use oracle::{DecisionContext, Violation};
+pub use oracle::{
+    check_arbiter, no_evict_without_violation, shed_order_respects_tiers, DecisionContext,
+    Violation,
+};
 pub use repro::Repro;
 pub use shrink::{shrink as shrink_plan, ShrinkResult};
 pub use space::{FaultSpace, Span, TrialPlan};

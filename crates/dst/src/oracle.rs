@@ -34,6 +34,14 @@ pub enum Violation {
     /// The same trial produced different digests under the sharded
     /// parallel drain vs the sequential batched drain.
     ShardDivergence { sharded: u64, batched: u64 },
+    /// Overload shedding took a victim from a tier more important than
+    /// the least-important tier still running — shedding must drain the
+    /// lowest-priority (numerically highest) occupied tier first.
+    ShedOrder { at_us: u64, app: u64, tier: u64, running_tier: u64 },
+    /// The arbiter evicted an app that was never flagged for a contract
+    /// violation — eviction is the end of the policing ladder, never a
+    /// first resort.
+    EvictWithoutViolation { at_us: u64, app: u64 },
 }
 
 impl Violation {
@@ -46,6 +54,8 @@ impl Violation {
             Violation::InvalidDecision { .. } => "invalid_decision",
             Violation::DrainDivergence { .. } => "drain_divergence",
             Violation::ShardDivergence { .. } => "shard_divergence",
+            Violation::ShedOrder { .. } => "shed_order",
+            Violation::EvictWithoutViolation { .. } => "evict_without_violation",
         }
     }
 }
@@ -71,6 +81,14 @@ impl fmt::Display for Violation {
             }
             Violation::ShardDivergence { sharded, batched } => {
                 write!(f, "shard_divergence: sharded digest {sharded:#x} != batched {batched:#x}")
+            }
+            Violation::ShedOrder { at_us, app, tier, running_tier } => write!(
+                f,
+                "shed_order: app {app} (tier {tier}) shed at t={at_us}us while tier \
+                 {running_tier} was still running"
+            ),
+            Violation::EvictWithoutViolation { at_us, app } => {
+                write!(f, "evict_without_violation: app {app} evicted at t={at_us}us clean")
             }
         }
     }
@@ -166,6 +184,76 @@ pub fn decisions_valid(obs: &Obs, ctx: &DecisionContext) -> Option<Violation> {
     None
 }
 
+/// Overload shedding drains the least-important occupied tier first:
+/// replaying the arbiter event stream (admit/demote/recover grow the
+/// running set, done/evict/shed remove from it), every `shed` victim's
+/// tier must be >= every tier still running at that instant. Tiers are
+/// numeric priority — 0 (gold) is most important and shed last.
+pub fn shed_order_respects_tiers(obs: &Obs) -> Option<Violation> {
+    let filter = EventFilter::any().source(obs::Source::Arbiter);
+    let mut running: std::collections::BTreeMap<u64, u64> = Default::default();
+    for ev in obs.events_filtered(&filter) {
+        let app = || ev.u64_field("app");
+        match ev.kind {
+            "admit" | "demote" | "recover" => {
+                if let (Some(app), Some(tier)) = (app(), ev.u64_field("tier")) {
+                    running.insert(app, tier);
+                }
+            }
+            "done" | "evict" => {
+                if let Some(app) = app() {
+                    running.remove(&app);
+                }
+            }
+            "shed" => {
+                let app = app()?;
+                let tier = ev.u64_field("tier")?;
+                let running_tier = running.values().copied().max().unwrap_or(tier);
+                if tier < running_tier {
+                    return Some(Violation::ShedOrder { at_us: ev.at_us, app, tier, running_tier });
+                }
+                running.remove(&app);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Eviction is the end of the policing ladder: every `evict` event must
+/// be preceded by at least one `violation` event for the same app.
+pub fn no_evict_without_violation(obs: &Obs) -> Option<Violation> {
+    let filter = EventFilter::any().source(obs::Source::Arbiter);
+    let mut flagged = HashSet::new();
+    for ev in obs.events_filtered(&filter) {
+        match ev.kind {
+            "violation" => {
+                if let Some(app) = ev.u64_field("app") {
+                    flagged.insert(app);
+                }
+            }
+            "evict" => {
+                let app = ev.u64_field("app")?;
+                if !flagged.contains(&app) {
+                    return Some(Violation::EvictWithoutViolation { at_us: ev.at_us, app });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Run the arbiter-storm oracles, collecting the first violation of each
+/// kind. Used by overload trials, whose event stream lives on
+/// `Source::Arbiter` rather than the single-app sources.
+pub fn check_arbiter(obs: &Obs) -> Vec<Violation> {
+    [shed_order_respects_tiers(obs), no_evict_without_violation(obs)]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Run every bus oracle, collecting the first violation of each kind.
 pub fn check_all(obs: &Obs, ctx: &DecisionContext) -> Vec<Violation> {
     [
@@ -248,6 +336,63 @@ mod tests {
         obs.publish(Event::new(5, Source::Steering, "degrade"));
         obs.publish(Event::new(6, Source::Steering, "degrade"));
         assert_eq!(degrade_recover_order(&obs).expect("must flag").kind(), "degrade_order");
+    }
+
+    fn arb(obs: &Obs, at: u64, kind: &'static str, app: u64, tier: u64) {
+        obs.publish(Event::new(at, Source::Arbiter, kind).with("app", app).with("tier", tier));
+    }
+
+    #[test]
+    fn tier_ordered_shedding_passes() {
+        let obs = Obs::new();
+        arb(&obs, 1, "admit", 0, 0);
+        arb(&obs, 2, "admit", 1, 2);
+        arb(&obs, 3, "admit", 2, 1);
+        // Bronze first, then silver, then gold: legal.
+        arb(&obs, 10, "shed", 1, 2);
+        arb(&obs, 11, "shed", 2, 1);
+        arb(&obs, 12, "shed", 0, 0);
+        arb(&obs, 20, "recover", 0, 0);
+        arb(&obs, 30, "done", 0, 0);
+        assert!(check_arbiter(&obs).is_empty());
+    }
+
+    #[test]
+    fn shedding_gold_past_running_bronze_is_flagged() {
+        let obs = Obs::new();
+        arb(&obs, 1, "admit", 0, 0);
+        arb(&obs, 2, "admit", 1, 2);
+        arb(&obs, 10, "shed", 0, 0);
+        let v = shed_order_respects_tiers(&obs).expect("must flag");
+        assert_eq!(v.kind(), "shed_order");
+        assert!(matches!(v, Violation::ShedOrder { app: 0, tier: 0, running_tier: 2, .. }));
+    }
+
+    #[test]
+    fn demotion_moves_an_app_into_the_shed_frontier() {
+        let obs = Obs::new();
+        arb(&obs, 1, "admit", 0, 0);
+        arb(&obs, 2, "admit", 1, 1);
+        // App 0 is demoted to bronze; shedding it before the silver app
+        // is now legal.
+        arb(&obs, 5, "demote", 0, 2);
+        arb(&obs, 10, "shed", 0, 2);
+        assert!(shed_order_respects_tiers(&obs).is_none());
+    }
+
+    #[test]
+    fn clean_evict_is_flagged_and_policed_evict_passes() {
+        let obs = Obs::new();
+        arb(&obs, 1, "admit", 3, 1);
+        arb(&obs, 9, "evict", 3, 1);
+        let v = no_evict_without_violation(&obs).expect("must flag");
+        assert_eq!(v.kind(), "evict_without_violation");
+
+        let obs = Obs::new();
+        arb(&obs, 1, "admit", 3, 1);
+        obs.publish(Event::new(5, Source::Arbiter, "violation").with("app", 3u64));
+        arb(&obs, 9, "evict", 3, 1);
+        assert!(no_evict_without_violation(&obs).is_none());
     }
 
     #[test]

@@ -39,6 +39,16 @@ impl Repro {
             }
             let _ = write!(down, "[{a}, {b}]");
         }
+        let triples = |list: &[(u64, u64, u64)]| {
+            let mut s = String::new();
+            for (i, (a, b, c)) in list.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{a}, {b}, {c}]");
+            }
+            s
+        };
         let _ = write!(
             s,
             "{{\n  \"version\": {},\n  \"violation\": {},\n  \"detail\": {},\n  \"plan\": {{\n",
@@ -55,7 +65,9 @@ impl Repro {
         let _ = writeln!(s, "    \"crash_at_ms\": {},", p.crash_at_ms);
         let _ = writeln!(s, "    \"restart_at_ms\": {},", p.restart_at_ms);
         let _ = writeln!(s, "    \"n_images\": {},", p.n_images);
-        let _ = writeln!(s, "    \"timeout_ms\": {}", p.timeout_ms);
+        let _ = writeln!(s, "    \"timeout_ms\": {},", p.timeout_ms);
+        let _ = writeln!(s, "    \"surges\": [{}],", triples(&p.surges));
+        let _ = writeln!(s, "    \"dips\": [{}]", triples(&p.dips));
         s.push_str("  }\n}\n");
         s
     }
@@ -231,6 +243,29 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// `[[a, b, c], ...]` — surge / dip window lists.
+    fn triple_array(&mut self) -> Result<Vec<(u64, u64, u64)>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.expect(b'[')?;
+            let a = self.u64()?;
+            self.expect(b',')?;
+            let b = self.u64()?;
+            self.expect(b',')?;
+            let c = self.u64()?;
+            self.expect(b']')?;
+            out.push((a, b, c));
+            if !self.comma_or(b']')? {
+                return Ok(out);
+            }
+        }
+    }
+
     fn plan(&mut self) -> Result<TrialPlan, String> {
         self.expect(b'{')?;
         let mut plan = TrialPlan {
@@ -244,6 +279,10 @@ impl<'a> Parser<'a> {
             restart_at_ms: 0,
             n_images: 2,
             timeout_ms: 250,
+            // Overload axes default empty so pre-overload repro files
+            // (which lack the keys) keep parsing.
+            surges: Vec::new(),
+            dips: Vec::new(),
         };
         loop {
             let key = self.string()?;
@@ -259,6 +298,8 @@ impl<'a> Parser<'a> {
                 "restart_at_ms" => plan.restart_at_ms = self.u64()?,
                 "n_images" => plan.n_images = self.u64()?,
                 "timeout_ms" => plan.timeout_ms = self.u64()?,
+                "surges" => plan.surges = self.triple_array()?,
+                "dips" => plan.dips = self.triple_array()?,
                 other => return Err(format!("unknown plan key '{other}'")),
             }
             if !self.comma_or(b'}')? {
@@ -290,6 +331,29 @@ mod tests {
             let parsed = Repro::from_json(&repro.to_json()).expect("parses");
             assert_eq!(parsed, repro);
         }
+    }
+
+    #[test]
+    fn overload_plans_round_trip() {
+        for seed in [3, 9, 0xCAFE] {
+            let plan = FaultSpace::overload().sample(seed);
+            assert!(plan.has_overload());
+            let repro = Repro::new(plan, "shed_order", "tier 0 shed while tier 2 ran");
+            let parsed = Repro::from_json(&repro.to_json()).expect("parses");
+            assert_eq!(parsed, repro);
+        }
+    }
+
+    #[test]
+    fn pre_overload_repro_files_still_parse() {
+        // A repro written before the overload axis existed has no
+        // surges/dips keys; they must default to empty.
+        let text = "{\"version\": 1, \"violation\": \"duplicate_apply\", \"detail\": \"d\", \
+                    \"plan\": {\"trial_seed\": 5, \"schedule_seed\": 1, \"timer_skew_us\": 0, \
+                    \"loss_pct\": 0, \"jitter_us\": 0, \"down\": [], \"crash_at_ms\": 0, \
+                    \"restart_at_ms\": 0, \"n_images\": 2, \"timeout_ms\": 250}}";
+        let r = Repro::from_json(text).expect("legacy format parses");
+        assert!(r.plan.surges.is_empty() && r.plan.dips.is_empty());
     }
 
     #[test]

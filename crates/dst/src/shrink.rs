@@ -54,6 +54,21 @@ fn reductions(plan: &TrialPlan) -> Vec<TrialPlan> {
             push(TrialPlan { loss_pct: plan.loss_pct / 2, ..plan.clone() });
         }
     }
+    if !plan.surges.is_empty() {
+        push(TrialPlan { surges: Vec::new(), ..plan.clone() });
+        if plan.surges.len() > 1 {
+            push(TrialPlan {
+                surges: plan.surges[..plan.surges.len() / 2].to_vec(),
+                ..plan.clone()
+            });
+        }
+    }
+    if !plan.dips.is_empty() {
+        push(TrialPlan { dips: Vec::new(), ..plan.clone() });
+        if plan.dips.len() > 1 {
+            push(TrialPlan { dips: plan.dips[..plan.dips.len() / 2].to_vec(), ..plan.clone() });
+        }
+    }
     if plan.n_images > 2 {
         push(TrialPlan { n_images: 2, ..plan.clone() });
     }

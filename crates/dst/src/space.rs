@@ -67,6 +67,24 @@ pub struct FaultSpace {
     /// retransmissions against merely-late replies — the regime the
     /// reply dedup guard exists for.
     pub timeout_ms: Span,
+    /// Overload axis: how many arrival-rate surge windows to inject.
+    /// Non-zero windows route the trial through the cluster-arbiter
+    /// storm instead of the single-app scenario.
+    pub surge_windows: Span,
+    /// Surge window start, milliseconds.
+    pub surge_start_ms: Span,
+    /// Surge window length, milliseconds.
+    pub surge_len_ms: Span,
+    /// Arrival-rate multiplier during a surge, tenths (30 = 3×).
+    pub surge_factor_x10: Span,
+    /// Overload axis: how many host-capacity dip windows to inject.
+    pub dip_windows: Span,
+    /// Dip window start, milliseconds.
+    pub dip_start_ms: Span,
+    /// Dip window length, milliseconds.
+    pub dip_len_ms: Span,
+    /// Capacity remaining during the dip, percent of nominal.
+    pub dip_floor_pct: Span,
 }
 
 impl Default for FaultSpace {
@@ -85,6 +103,18 @@ impl Default for FaultSpace {
             restart_after_ms: Span::new(200, 1_500),
             n_images: Span::new(2, 4),
             timeout_ms: Span::new(10, 250),
+            // The overload axis is off by default. A zero-width span
+            // consumes no RNG state (`range(0, 0)` short-circuits), so
+            // plans sampled from the default space are byte-identical to
+            // plans sampled before the axis existed.
+            surge_windows: Span::fixed(0),
+            surge_start_ms: Span::fixed(0),
+            surge_len_ms: Span::fixed(0),
+            surge_factor_x10: Span::fixed(0),
+            dip_windows: Span::fixed(0),
+            dip_start_ms: Span::fixed(0),
+            dip_len_ms: Span::fixed(0),
+            dip_floor_pct: Span::fixed(0),
         }
     }
 }
@@ -107,6 +137,32 @@ impl FaultSpace {
             restart_after_ms: Span::fixed(0),
             n_images: Span::fixed(2),
             timeout_ms: Span::fixed(250),
+            surge_windows: Span::fixed(0),
+            surge_start_ms: Span::fixed(0),
+            surge_len_ms: Span::fixed(0),
+            surge_factor_x10: Span::fixed(0),
+            dip_windows: Span::fixed(0),
+            dip_start_ms: Span::fixed(0),
+            dip_len_ms: Span::fixed(0),
+            dip_floor_pct: Span::fixed(0),
+        }
+    }
+
+    /// The overload space: no network faults, only saturating load —
+    /// arrival-rate surges and host-capacity dips — driven through the
+    /// cluster-arbiter storm. Every trial sampled from this space runs
+    /// the multi-application path ([`TrialPlan::has_overload`]).
+    pub fn overload() -> Self {
+        FaultSpace {
+            surge_windows: Span::new(1, 2),
+            surge_start_ms: Span::new(50, 500),
+            surge_len_ms: Span::new(100, 400),
+            surge_factor_x10: Span::new(20, 50),
+            dip_windows: Span::new(0, 1),
+            dip_start_ms: Span::new(200, 700),
+            dip_len_ms: Span::new(200, 500),
+            dip_floor_pct: Span::new(30, 70),
+            ..FaultSpace::quiet()
         }
     }
 
@@ -140,6 +196,22 @@ impl FaultSpace {
         }
         let n_images = self.n_images.sample(&mut rng).max(2);
         let timeout_ms = self.timeout_ms.sample(&mut rng).max(1);
+        // Overload draws come last so older spaces (all spans fixed at
+        // zero, consuming no state) sample bit-identical plans.
+        let mut surges = Vec::new();
+        for _ in 0..self.surge_windows.sample(&mut rng) {
+            let start = self.surge_start_ms.sample(&mut rng);
+            let len = self.surge_len_ms.sample(&mut rng).max(1);
+            let factor = self.surge_factor_x10.sample(&mut rng).max(11);
+            surges.push((start, start + len, factor));
+        }
+        let mut dips = Vec::new();
+        for _ in 0..self.dip_windows.sample(&mut rng) {
+            let start = self.dip_start_ms.sample(&mut rng);
+            let len = self.dip_len_ms.sample(&mut rng).max(1);
+            let floor = self.dip_floor_pct.sample(&mut rng).clamp(5, 95);
+            dips.push((start, start + len, floor));
+        }
         TrialPlan {
             trial_seed,
             schedule_seed,
@@ -151,6 +223,8 @@ impl FaultSpace {
             restart_at_ms,
             n_images,
             timeout_ms,
+            surges,
+            dips,
         }
     }
 }
@@ -179,9 +253,22 @@ pub struct TrialPlan {
     pub n_images: u64,
     /// Client request timeout, milliseconds.
     pub timeout_ms: u64,
+    /// Arrival-rate surge windows `(start_ms, end_ms, factor_x10)`.
+    /// Non-empty surges or dips route the trial through the arbiter
+    /// storm.
+    pub surges: Vec<(u64, u64, u64)>,
+    /// Host-capacity dip windows `(start_ms, end_ms, floor_pct)`.
+    pub dips: Vec<(u64, u64, u64)>,
 }
 
 impl TrialPlan {
+    /// Whether this plan exercises the overload axis (and therefore runs
+    /// the multi-application arbiter storm instead of the single-app
+    /// adaptive scenario).
+    pub fn has_overload(&self) -> bool {
+        !self.surges.is_empty() || !self.dips.is_empty()
+    }
+
     /// The simnet fault plan this trial installs, or `None` when the plan
     /// carries no network/host faults at all.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
@@ -226,6 +313,8 @@ impl TrialPlan {
             + 10 * (self.crash_at_ms != 0) as u64
             + (self.n_images - 2)
             + 250u64.saturating_sub(self.timeout_ms)
+            + 10 * self.surges.len() as u64
+            + 10 * self.dips.len() as u64
     }
 }
 
@@ -267,5 +356,34 @@ mod tests {
         let p = FaultSpace::quiet().sample(99);
         assert_eq!(p.weight(), 0);
         assert!(p.fault_plan().is_none());
+        assert!(!p.has_overload());
+    }
+
+    #[test]
+    fn default_space_never_draws_overload() {
+        for seed in 0..100 {
+            let p = FaultSpace::default().sample(seed);
+            assert!(p.surges.is_empty() && p.dips.is_empty());
+        }
+    }
+
+    #[test]
+    fn overload_space_samples_respect_ranges() {
+        let space = FaultSpace::overload();
+        for seed in 0..200 {
+            let p = space.sample(seed);
+            assert!(p.has_overload(), "overload space always injects at least one surge");
+            assert!(p.fault_plan().is_none(), "overload space carries no network faults");
+            assert!((1..=2).contains(&p.surges.len()));
+            for &(s, e, f) in &p.surges {
+                assert!(e > s, "surge window must be non-empty");
+                assert!((11..=50).contains(&f), "surge factor stays a genuine multiplier");
+            }
+            for &(s, e, floor) in &p.dips {
+                assert!(e > s, "dip window must be non-empty");
+                assert!((5..=95).contains(&floor));
+            }
+            assert!(p.weight() >= 10, "overload windows weigh in for the shrinker");
+        }
     }
 }

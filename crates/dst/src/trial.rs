@@ -11,10 +11,12 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use adapt_core::{Constraint, Objective, PerfDb, Preference, PreferenceList};
+use arbiter::{AppState, StormOpts};
 use sandbox::{LimitSchedule, Limits};
 use simnet::{DrainMode, ExplorePlan, SimTime};
 use visapp::{
-    build_db, run_adaptive_until, BreakerOpts, ImageStore, RunOutcome, Scenario, PROFILE_INPUT,
+    build_db, model_db, run_adaptive_until, BreakerOpts, ImageStore, RunOutcome, Scenario,
+    PROFILE_INPUT,
 };
 
 use crate::oracle::{self, DecisionContext, Violation};
@@ -41,6 +43,12 @@ pub struct TrialOutcome {
     pub end_us: u64,
 }
 
+/// Applications per overload-axis storm trial.
+const STORM_APPS: usize = 16;
+
+/// Cluster hosts per overload-axis storm trial.
+const STORM_HOSTS: usize = 2;
+
 /// Shared, plan-independent trial infrastructure.
 pub struct TrialContext {
     base: Scenario,
@@ -48,6 +56,9 @@ pub struct TrialContext {
     db: PerfDb,
     prefs: PreferenceList,
     decisions: DecisionContext,
+    /// Shared pricing database for overload-axis storm trials (analytic
+    /// model over the storm's link geometry; plan-independent).
+    storm_db: Arc<PerfDb>,
 }
 
 impl TrialContext {
@@ -84,13 +95,21 @@ impl TrialContext {
         let valid_configs: BTreeSet<String> =
             db.configs(PROFILE_INPUT).iter().map(|c| c.key()).collect();
         let preference_depth = 2;
+        let storm_db = Arc::new(model_db(&Self::base_storm_opts(0).load_opts()));
         TrialContext {
             base,
             store,
             db,
             prefs,
             decisions: DecisionContext { valid_configs, preference_depth },
+            storm_db,
         }
+    }
+
+    /// The fixed storm geometry overload trials run under (the seed is
+    /// the only per-plan parameter besides the injected windows).
+    fn base_storm_opts(seed: u64) -> StormOpts {
+        StormOpts::new(STORM_APPS).with_seed(seed).with_cluster_hosts(STORM_HOSTS)
     }
 
     /// The decision-validity oracle's context (database keys, preference
@@ -120,8 +139,12 @@ impl TrialContext {
 
     /// Run one trial under an explicit drain mode (the cross-drain oracle
     /// replays the same plan under `Heap` and `Batched` and compares
-    /// digests).
+    /// digests). Plans carrying overload windows run the multi-app
+    /// arbiter storm; everything else runs the single-app scenario.
     pub fn run_with_drain(&self, plan: &TrialPlan, drain_mode: DrainMode) -> TrialOutcome {
+        if plan.has_overload() {
+            return self.run_storm_trial(plan, drain_mode);
+        }
         let sc = self.scenario(plan, drain_mode);
         // Bandwidth collapses mid-run and later recovers: the adaptation
         // loop must react (decisions, switches), and the collapse itself
@@ -148,6 +171,34 @@ impl TrialContext {
             images_done: out.stats.images.len() as u64,
             rounds: out.stats.rounds.len() as u64,
             end_us: out.end.as_us(),
+        }
+    }
+
+    /// Run one overload-axis trial: a saturating multi-application storm
+    /// with the plan's arrival surges and capacity dips, checked by the
+    /// arbiter oracles (tier-ordered shedding, no clean evictions).
+    fn run_storm_trial(&self, plan: &TrialPlan, drain_mode: DrainMode) -> TrialOutcome {
+        let opts = Self::base_storm_opts(plan.trial_seed)
+            .with_surges(
+                plan.surges
+                    .iter()
+                    .map(|&(s, e, fx10)| (s * 1_000, (e - s) * 1_000, fx10 as f64 / 10.0))
+                    .collect(),
+            )
+            .with_dips(
+                plan.dips
+                    .iter()
+                    .map(|&(s, e, pct)| (s * 1_000, (e - s) * 1_000, pct as f64 / 100.0))
+                    .collect(),
+            )
+            .with_drain_mode(drain_mode);
+        let report = arbiter::run_storm(&opts, &self.storm_db);
+        TrialOutcome {
+            digest: report.digest(),
+            violations: oracle::check_arbiter(&report.obs),
+            images_done: report.count(AppState::Done) as u64,
+            rounds: report.events_handled,
+            end_us: report.end.as_us(),
         }
     }
 }

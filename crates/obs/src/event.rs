@@ -16,6 +16,9 @@ pub enum Source {
     /// The load-generation harness (session arrivals, completions,
     /// aggregate throughput — see `visapp::load`).
     Load,
+    /// The cluster arbiter (admission, policing, overload shedding —
+    /// see the `arbiter` crate).
+    Arbiter,
 }
 
 impl Source {
@@ -28,6 +31,7 @@ impl Source {
             Source::Steering => "steering",
             Source::App => "app",
             Source::Load => "load",
+            Source::Arbiter => "arbiter",
         }
     }
 }
@@ -218,6 +222,13 @@ impl EventFilter {
             .kind("breaker_open")
             .kind("breaker_close")
             .kind("dup_reply")
+    }
+
+    /// Preset: cluster-arbiter lifecycle events — admission outcomes,
+    /// policing actions, and overload shed/recover transitions. The
+    /// working set of the arbiter oracles in `adapt-dst`.
+    pub fn arbiter_lifecycle() -> Self {
+        Self::any().source(Source::Arbiter)
     }
 
     /// Does `ev` pass this filter?

@@ -363,6 +363,9 @@ pub struct Sim {
     explore_batches: u64,
     queue_len: usize,
     peak_queue_depth: usize,
+    /// Largest single-shard peak seen while absorbing a sharded drain
+    /// (0 until a sharded run completes).
+    peak_shard_queue_depth: usize,
     hosts: Vec<Host>,
     links: HashMap<(usize, usize), Link>,
     /// Links operating in fluid fair-share mode.
@@ -417,6 +420,7 @@ impl Sim {
             explore_batches: 0,
             queue_len: 0,
             peak_queue_depth: 0,
+            peak_shard_queue_depth: 0,
             hosts: Vec::new(),
             links: HashMap::new(),
             flow_scheds: HashMap::new(),
@@ -940,8 +944,24 @@ impl Sim {
     }
 
     /// Deepest the event queue has ever been in this simulation.
+    ///
+    /// Under [`DrainMode::Sharded`] this is the *sum* of the per-shard
+    /// peaks — an upper bound inflated by shard count. For saturation
+    /// diagnostics prefer [`Sim::peak_shard_queue_depth`].
     pub fn peak_queue_depth(&self) -> usize {
         self.peak_queue_depth
+    }
+
+    /// Deepest any *single* shard's event queue got during a sharded
+    /// drain, or the plain peak when no sharded drain has run. Unlike
+    /// [`Sim::peak_queue_depth`] (which sums per-shard peaks after a
+    /// sharded run), this does not grow with shard count.
+    pub fn peak_shard_queue_depth(&self) -> usize {
+        if self.peak_shard_queue_depth == 0 {
+            self.peak_queue_depth
+        } else {
+            self.peak_shard_queue_depth
+        }
     }
 
     /// The active [`DrainMode`].
@@ -1578,6 +1598,7 @@ impl Sim {
             self.seq += sub.seq;
             self.ambiguous_ties += sub.ambiguous_ties;
             peak_sum += sub.peak_queue_depth;
+            self.peak_shard_queue_depth = self.peak_shard_queue_depth.max(sub.peak_queue_depth);
             if sub.now > self.now {
                 self.now = sub.now;
             }

@@ -339,3 +339,58 @@ proptest! {
         prop_assert_eq!(seq, sharded.unwrap());
     }
 }
+
+/// Regression: `peak_queue_depth` under a sharded drain is the *sum* of
+/// per-shard peaks (inflated by shard count), while
+/// `peak_shard_queue_depth` must report the deepest single shard —
+/// bounded by the sequential peak — so saturation diagnostics don't
+/// scale with how many shards the run happened to use.
+#[test]
+fn sharded_peak_depth_reports_per_shard_maximum() {
+    fn run(mode: DrainMode) -> Sim {
+        let mut sim = Sim::new();
+        sim.set_drain_mode(mode);
+        // Two independent cells (no cross links) -> two shard components.
+        let logs: Vec<MsgLog> = (0..4).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for c in 0..2usize {
+            let hd = sim.add_host(&format!("drv{c}"), 1.0, 1 << 30);
+            let he = sim.add_host(&format!("echo{c}"), 1.0, 1 << 30);
+            sim.set_link(hd, he, 5_000_000.0, 50 + c as u64);
+            let echo = sim.spawn(he, Box::new(EchoLog { log: logs[2 * c].clone() }));
+            sim.spawn(
+                hd,
+                Box::new(DriverLog {
+                    dst: echo,
+                    period_us: dur::ms(2) + c as u64,
+                    rounds: 20,
+                    bytes: 800,
+                    log: logs[2 * c + 1].clone(),
+                }),
+            );
+        }
+        sim.run_until_idle();
+        sim
+    }
+
+    let seq = run(DrainMode::Batched);
+    // Sequential runs: the per-shard view degrades to the plain peak.
+    assert_eq!(seq.peak_shard_queue_depth(), seq.peak_queue_depth());
+
+    let sharded = run(DrainMode::Sharded { threads: 2, shards: 0 });
+    let per_shard = sharded.peak_shard_queue_depth();
+    let summed = sharded.peak_queue_depth();
+    assert!(per_shard > 0, "sharded run must record a per-shard peak");
+    assert!(
+        per_shard <= summed,
+        "per-shard max ({per_shard}) cannot exceed the summed peak ({summed})"
+    );
+    assert!(
+        per_shard < summed,
+        "two equally busy shards must show summed inflation: max {per_shard} vs sum {summed}"
+    );
+    assert!(
+        per_shard <= seq.peak_queue_depth(),
+        "a single shard's peak ({per_shard}) must not exceed the sequential peak ({})",
+        seq.peak_queue_depth()
+    );
+}

@@ -644,6 +644,12 @@ impl Actor for Client {
             if self.done || self.pending.is_some() {
                 return;
             }
+            if self.breaker.as_ref().is_none_or(|b| b.state() == BreakerState::Closed) {
+                // Stale probe timer: the breaker already re-closed (or was
+                // never armed) and normal rounds resumed — a probe now
+                // would inject a duplicate request.
+                return;
+            }
             let now = ctx.now();
             let can = self.breaker.as_mut().is_none_or(|b| b.can_attempt(now));
             if can {

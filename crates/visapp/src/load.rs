@@ -333,8 +333,13 @@ pub struct LoadReport {
     pub end: SimTime,
     /// Events the kernel processed.
     pub events_handled: u64,
-    /// High-water mark of the pending-event queue.
+    /// High-water mark of the pending-event queue. Under a sharded drain
+    /// this is the sum of per-shard peaks (inflated by shard count).
     pub peak_queue_depth: usize,
+    /// Deepest any single shard's queue got (equals `peak_queue_depth`
+    /// for sequential drains) — the shard-count-independent saturation
+    /// diagnostic.
+    pub peak_shard_queue_depth: usize,
     pub requests_total: u64,
     pub images_total: u64,
     pub switches_total: u64,
@@ -347,8 +352,9 @@ impl LoadReport {
     /// rounds/images/switches/bytes/finish times plus kernel totals. Two
     /// same-seed runs must agree on this digest exactly; wall-clock
     /// measurements are deliberately excluded, and so is
-    /// `peak_queue_depth` — it describes the drain strategy (a sharded
-    /// run's peak is the sum of per-shard peaks), not the computation.
+    /// `peak_queue_depth`/`peak_shard_queue_depth` — they describe the
+    /// drain strategy (a sharded run's peak is the sum of per-shard
+    /// peaks), not the computation.
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -591,6 +597,7 @@ pub fn run_load(opts: &LoadGenOpts, db: &Arc<PerfDb>) -> LoadReport {
         end: sim.now(),
         events_handled: sim.events_handled(),
         peak_queue_depth: sim.peak_queue_depth(),
+        peak_shard_queue_depth: sim.peak_shard_queue_depth(),
         requests_total: requests,
         images_total: images,
         switches_total: switches,

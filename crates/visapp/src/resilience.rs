@@ -91,6 +91,11 @@ pub struct CircuitBreaker {
     state: BreakerState,
     consecutive_failures: u32,
     opened_at: SimTime,
+    /// A half-open probe has been admitted and not yet resolved. While
+    /// set, further [`CircuitBreaker::can_attempt`] calls answer `false`
+    /// so concurrent timers cannot launch duplicate probes (which would
+    /// each count toward reopening on failure).
+    probe_inflight: bool,
     pub failure_threshold: u32,
     pub recovery_timeout_us: u64,
 }
@@ -101,6 +106,7 @@ impl CircuitBreaker {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             opened_at: SimTime::ZERO,
+            probe_inflight: false,
             failure_threshold: opts.failure_threshold.max(1),
             recovery_timeout_us: opts.recovery_timeout_us,
         }
@@ -114,10 +120,16 @@ impl CircuitBreaker {
         self.consecutive_failures
     }
 
+    /// Is an admitted half-open probe still awaiting its outcome?
+    pub fn probe_inflight(&self) -> bool {
+        self.probe_inflight
+    }
+
     /// Record a success. Returns `true` when this closed a non-closed
     /// breaker (the "re-close" event the client logs and acts on).
     pub fn on_success(&mut self) -> bool {
         self.consecutive_failures = 0;
+        self.probe_inflight = false;
         let reclosed = self.state != BreakerState::Closed;
         self.state = BreakerState::Closed;
         reclosed
@@ -128,6 +140,7 @@ impl CircuitBreaker {
     /// half-open probe).
     pub fn on_failure(&mut self, now: SimTime) -> bool {
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.probe_inflight = false;
         match self.state {
             BreakerState::Closed => {
                 if self.consecutive_failures >= self.failure_threshold {
@@ -152,12 +165,21 @@ impl CircuitBreaker {
 
     /// May the client transmit at `now`? An open breaker transitions to
     /// half-open (and answers yes) once the recovery timeout has elapsed.
+    ///
+    /// Exactly one probe is admitted per half-open episode: the call
+    /// that performs the Open → HalfOpen transition. Until that probe
+    /// resolves through [`CircuitBreaker::on_success`] or
+    /// [`CircuitBreaker::on_failure`], subsequent calls answer `false` —
+    /// overlapping retry timers (common when several requests timed out
+    /// before the breaker tripped) must not stack duplicate probes.
     pub fn can_attempt(&mut self, now: SimTime) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => !self.probe_inflight,
             BreakerState::Open => {
                 if now.since(self.opened_at) >= self.recovery_timeout_us {
                     self.state = BreakerState::HalfOpen;
+                    self.probe_inflight = true;
                     true
                 } else {
                     false
@@ -242,6 +264,36 @@ mod tests {
         // The open window restarts from the probe failure.
         assert!(!b.can_attempt(t(200)));
         assert!(b.can_attempt(t(260)));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 1,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        assert!(b.on_failure(t(0)));
+        // The transitioning call admits the probe; overlapping retry
+        // timers asking again are refused until the probe resolves.
+        assert!(b.can_attempt(t(150)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.probe_inflight());
+        assert!(!b.can_attempt(t(151)), "duplicate probe must be refused");
+        assert!(!b.can_attempt(t(199)), "still refused while unresolved");
+        assert_eq!(b.state(), BreakerState::HalfOpen, "refusal does not change state");
+        // Probe succeeds: breaker closes and attempts flow freely again.
+        assert!(b.on_success());
+        assert!(!b.probe_inflight());
+        assert!(b.can_attempt(t(200)));
+        // Next episode: a failed probe clears the in-flight flag too, so
+        // the following half-open window admits a fresh probe.
+        assert!(b.on_failure(t(210)));
+        assert!(b.can_attempt(t(320)));
+        assert!(b.on_failure(t(330)), "failed probe re-opens");
+        assert!(!b.probe_inflight());
+        assert!(b.can_attempt(t(440)), "new window admits a new probe");
+        assert!(b.probe_inflight());
     }
 
     #[test]

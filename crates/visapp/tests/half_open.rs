@@ -1,0 +1,160 @@
+//! Circuit-breaker HalfOpen coverage under concurrent sessions sharing
+//! one server (satellite of the cluster-arbiter issue): after a server
+//! crash/restart, every client must recover through the half-open path
+//! with exactly one admitted probe per recovery window — duplicate
+//! probes are refused at the breaker, and duplicate *requests* (from
+//! retransmission under loss) are deduped by the server's idempotency
+//! cache rather than double-counted toward reopening the breaker.
+
+use compress::Method;
+use sandbox::Limits;
+use simnet::{FaultPlan, SimTime};
+use visapp::{
+    run_competing, BreakerOpts, RetryPolicy, RunStats, Scenario, VizConfig, CLIENT_HOST,
+    SERVER_HOST,
+};
+
+const N_CLIENTS: usize = 3;
+
+/// Concurrent sessions against one server that crashes and restarts.
+fn crash_scenario(loss: f64) -> Scenario {
+    Scenario {
+        n_images: 4,
+        img_size: 64,
+        levels: 3,
+        seed: 11,
+        // Generous link and timeout so three sessions sharing the pipe
+        // never time out from contention alone — every timeout below
+        // comes from the crash window.
+        link_bps: 1_000_000.0,
+        link_latency_us: 2_000,
+        request_timeout_us: Some(400_000),
+        retry: RetryPolicy {
+            multiplier: 2.0,
+            max_timeout_us: 800_000,
+            jitter_frac: 0.1,
+            seed: 0xbead,
+        },
+        breaker: Some(BreakerOpts {
+            failure_threshold: 3,
+            recovery_timeout_us: 300_000,
+            degraded: None,
+        }),
+        fault_plan: Some({
+            let plan = FaultPlan::new(0x11a1f).with_crash(
+                SERVER_HOST,
+                SimTime::from_ms(500),
+                Some(SimTime::from_ms(3_000)),
+            );
+            if loss > 0.0 {
+                plan.with_loss(CLIENT_HOST, SERVER_HOST, loss)
+            } else {
+                plan
+            }
+        }),
+        ..Scenario::default()
+    }
+}
+
+fn run(sc: &Scenario) -> Vec<RunStats> {
+    let store = sc.build_store();
+    let cfg = VizConfig { dr: 16, level: 3, method: Method::Lzw };
+    let clients: Vec<(VizConfig, Limits)> =
+        (0..N_CLIENTS).map(|_| (cfg, Limits::unconstrained())).collect();
+    run_competing(sc, &store, &clients)
+}
+
+fn assert_rounds_exactly_once(stats: &RunStats, who: usize) {
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &stats.rounds {
+        assert!(
+            seen.insert((r.image_id, r.round)),
+            "client {who}: round {:?} applied twice",
+            (r.image_id, r.round)
+        );
+    }
+}
+
+/// Lossless leg: the only disturbance is the crash/restart, so the only
+/// requests a client ever has outstanding are its normal round chain and
+/// the single admitted half-open probe. Any duplicate probe (or a stale
+/// probe timer firing after re-close) would produce a duplicate
+/// idempotent reply — so `dup_replies_dropped == 0` pins "exactly one
+/// probe admitted per recovery window" end to end.
+#[test]
+fn concurrent_sessions_recover_with_single_probe_each() {
+    let sc = crash_scenario(0.0);
+    for (i, s) in run(&sc).iter().enumerate() {
+        assert!(s.finished_at.is_some(), "client {i} did not finish");
+        assert_eq!(s.images.len(), sc.n_images, "client {i} lost images");
+        assert_rounds_exactly_once(s, i);
+        assert!(s.timeouts > 0, "client {i}: crash produced no timeouts");
+        assert!(s.breaker_opens >= 1, "client {i}: breaker never opened");
+        assert!(s.breaker_closes >= 1, "client {i}: breaker never re-closed");
+        // Failed probes against the still-down server legitimately
+        // re-open (each one is a fresh admitted probe, counted once);
+        // the run must still end with a single terminal re-close.
+        assert!(
+            s.breaker_opens >= s.breaker_closes,
+            "client {i}: more closes ({}) than opens ({})?",
+            s.breaker_closes,
+            s.breaker_opens
+        );
+        assert_eq!(
+            s.dup_replies_dropped, 0,
+            "client {i}: a duplicate reply means a duplicate probe was sent"
+        );
+    }
+}
+
+/// Lossy leg: retransmissions now genuinely duplicate requests at the
+/// shared server. The server's idempotency cache must serve them without
+/// re-applying (rounds stay exactly-once; the client drops the extras as
+/// `dup_replies_dropped`), and the duplicates must not double-count
+/// toward reopening: the run still ends with every open matched by a
+/// re-close and all clients complete.
+#[test]
+fn duplicate_requests_are_deduped_not_double_counted() {
+    let mut sc = crash_scenario(0.25);
+    // Aggressive timeout: retransmissions race slow in-flight replies, so
+    // the shared server genuinely sees duplicate requests and its
+    // idempotency cache serves them again — the client must drop the
+    // extras, never apply a round twice, and never let the duplicates
+    // stack probes.
+    sc.request_timeout_us = Some(60_000);
+    sc.retry.max_timeout_us = 240_000;
+    let all = run(&sc);
+    for (i, s) in all.iter().enumerate() {
+        assert!(s.finished_at.is_some(), "client {i} did not finish");
+        assert_eq!(s.images.len(), sc.n_images, "client {i} lost images");
+        assert_rounds_exactly_once(s, i);
+        assert!(s.breaker_opens >= 1, "client {i}: breaker never opened");
+        assert!(s.breaker_closes >= 1, "client {i}: breaker never re-closed");
+        assert!(
+            s.breaker_opens >= s.breaker_closes,
+            "client {i}: more closes ({}) than opens ({})?",
+            s.breaker_closes,
+            s.breaker_opens
+        );
+    }
+    let dups: u64 = all.iter().map(|s| s.dup_replies_dropped).sum();
+    assert!(dups > 0, "loss leg should exercise the idempotency cache at least once");
+}
+
+/// Same-seed runs of the shared-server recovery must be bit-identical —
+/// probe admission is part of the deterministic schedule, not a race.
+#[test]
+fn shared_server_recovery_is_deterministic() {
+    let sc = crash_scenario(0.25);
+    let a = run(&sc);
+    let b = run(&sc);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.rounds.len(), y.rounds.len(), "client {i} round count differs");
+        assert_eq!(x.timeouts, y.timeouts, "client {i} timeouts differ");
+        assert_eq!(x.retries, y.retries, "client {i} retries differ");
+        assert_eq!(x.breaker_opens, y.breaker_opens, "client {i} opens differ");
+        assert_eq!(x.breaker_closes, y.breaker_closes, "client {i} closes differ");
+        assert_eq!(x.dup_replies_dropped, y.dup_replies_dropped, "client {i} dups differ");
+        assert_eq!(x.finished_at, y.finished_at, "client {i} finish differs");
+    }
+}

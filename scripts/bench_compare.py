@@ -87,10 +87,27 @@ def main() -> int:
         return 2
     tol = float(os.environ.get("BENCH_GATE_TOL", "0.20"))
     abs_floor = float(os.environ.get("BENCH_GATE_ABS", "5"))
-    with open(sys.argv[1]) as fh:
-        base = json.load(fh)
-    with open(sys.argv[2]) as fh:
-        fresh = json.load(fh)
+    try:
+        with open(sys.argv[1]) as fh:
+            base = json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"{os.path.basename(sys.argv[1])}: committed baseline not found at "
+            f"{sys.argv[1]!r} — generate it with the matching bench binary "
+            f"(e.g. ./target/release/<name>_bench) and commit it to the repo root",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(sys.argv[2]) as fh:
+            fresh = json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"fresh benchmark output not found at {sys.argv[2]!r} — did the "
+            f"bench binary fail before writing it?",
+            file=sys.stderr,
+        )
+        return 2
     failures: list = []
     infos: list = []
     name = os.path.basename(sys.argv[1])

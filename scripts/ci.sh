@@ -14,6 +14,18 @@ done
 # Note: the chaos fault-injection scenarios (visapp `chaos_*` tests) run
 # as part of `cargo test -q` above; they used to be a dedicated stage,
 # which ran the whole visapp suite a second time for nothing.
+# Saturation smoke: a 200-application arbiter storm must hold the
+# arbiter invariant oracles (tier-ordered shedding, no eviction without
+# a policing violation) and digest identically whichever way the
+# sharded drain's `threads: 0` resolves.
+cargo build --release -q -p adapt-bench
+d1="$(SIMNET_THREADS=1 ./target/release/arbiter_smoke)"
+d4="$(SIMNET_THREADS=4 ./target/release/arbiter_smoke)"
+if [ "$d1" != "$d4" ]; then
+    echo "arbiter_smoke: digest diverged: threads=1 $d1 != threads=4 $d4" >&2
+    exit 1
+fi
+echo "arbiter_smoke: digest $d1 stable across SIMNET_THREADS={1,4}"
 cargo clippy --workspace --all-targets -- -D warnings
 # The workspace's own code must not call the deprecated pre-obs entry
 # points (Trace::events/take/render, AdaptiveRuntime::configure/events,

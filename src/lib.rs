@@ -14,7 +14,11 @@
 //!   tunability specs and DSL, performance database, profiling driver,
 //!   monitoring agent, resource scheduler, steering agent;
 //! - [`visapp`]: the active visualization application used for every
-//!   experiment in the paper.
+//!   experiment in the paper;
+//! - [`arbiter`]: the cluster arbiter — multi-application admission
+//!   control priced against the shared performance database, envelope
+//!   policing, and graceful overload shedding with tier-ordered
+//!   recovery.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-figure reproduction record.
@@ -24,6 +28,7 @@
 //! every layer (plus the [`obs`] observability handle) in one line.
 
 pub use adapt_core as adapt;
+pub use arbiter;
 pub use compress;
 pub use obs;
 pub use sandbox;
