@@ -27,7 +27,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use obs::{Event, MetricId, Obs, Source};
+use obs::{Adaptive, ConfigRegistry, Event, MetricId, Obs, Source};
 use sandbox::{HostVmm, Limits, Reservation};
 use simnet::{Actor, ActorId, Ctx, Message, SimTime};
 use visapp::{BreakerOpts, BreakerState, CircuitBreaker};
@@ -251,6 +251,12 @@ pub struct Arbiter {
     base_threshold: f64,
     dips: Vec<CapacityDip>,
     opts: ArbiterOpts,
+    /// Live-tunable recovery headroom (see [`ArbiterOpts::recover_margin`]);
+    /// seeded from `opts`, retunable mid-run via `arbiter.recover_margin`.
+    recover_margin: Adaptive<f64>,
+    /// Live-tunable backfill scan bound (see [`ArbiterOpts::backfill_depth`]);
+    /// seeded from `opts`, retunable mid-run via `arbiter.backfill_depth`.
+    backfill_depth: Adaptive<u64>,
     obs: Obs,
     m: Metrics,
     recs: BTreeMap<AppId, Rec>,
@@ -302,6 +308,8 @@ impl Arbiter {
             vmms,
             base_threshold,
             dips,
+            recover_margin: Adaptive::new(opts.recover_margin),
+            backfill_depth: Adaptive::new(opts.backfill_depth as u64),
             opts,
             obs,
             m,
@@ -318,6 +326,13 @@ impl Arbiter {
             terminal: 0,
             ledger,
         }
+    }
+
+    /// Register the arbiter's live-tunable knobs on a control registry:
+    /// `arbiter.recover_margin` (f64) and `arbiter.backfill_depth` (u64).
+    pub fn register_knobs(&self, registry: &ConfigRegistry) {
+        registry.register_knob("arbiter.recover_margin", self.recover_margin.clone());
+        registry.register_knob("arbiter.backfill_depth", self.backfill_depth.clone());
     }
 
     fn ledger(&self) -> MutexGuard<'_, Ledger> {
@@ -675,11 +690,12 @@ impl Arbiter {
                 self.hol_head = Some(id);
                 self.hol_skips = 0;
             }
-            if self.hol_skips < self.opts.backfill_depth {
+            let backfill_depth = self.backfill_depth.load().min(usize::MAX as u64) as usize;
+            if self.hol_skips < backfill_depth {
                 let behind: Vec<_> =
-                    self.queue.iter().skip(1).take(self.opts.backfill_depth).copied().collect();
+                    self.queue.iter().skip(1).take(backfill_depth).copied().collect();
                 for k in behind {
-                    if self.hol_skips >= self.opts.backfill_depth {
+                    if self.hol_skips >= backfill_depth {
                         break;
                     }
                     let bspec = self.spec(k.3).clone();
@@ -938,7 +954,7 @@ impl Arbiter {
     fn try_recover_top(&mut self, now: SimTime, ctx: &mut Ctx<'_>) -> bool {
         let Some(&id) = self.shed_stack.last() else { return true };
         let res = self.recs[&id].base_grant;
-        if self.committed() + res.cpu_share * self.opts.recover_margin > self.capacity() + EPS {
+        if self.committed() + res.cpu_share * self.recover_margin.load() > self.capacity() + EPS {
             return false;
         }
         let name = Self::res_name(id);
@@ -974,7 +990,7 @@ impl Arbiter {
             (r.base_grant, r.grant, r.host)
         };
         let extra = (base.cpu_share - grant.cpu_share).max(0.0);
-        if self.committed() + extra * self.opts.recover_margin > self.capacity() + EPS {
+        if self.committed() + extra * self.recover_margin.load() > self.capacity() + EPS {
             return;
         }
         let name = Self::res_name(id);

@@ -149,7 +149,7 @@ fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler_choose", |b| b.iter(|| sched.choose(&q).unwrap()));
     let d = sched.choose(&q).unwrap();
     c.bench_function("validity_region", |b| {
-        b.iter(|| sched.validity_region(&d.config, &sched.prefs.prefs[0], &q))
+        b.iter(|| sched.validity_region(&d.config, &sched.prefs().prefs[0], &q))
     });
 }
 

@@ -1,0 +1,110 @@
+//! Control-plane overhead measurement, written as machine-readable JSON
+//! (BENCH_control.json).
+//!
+//! Three sections:
+//!
+//! * **adaptive_get** — `Adaptive<u64>::get()` against a plain field
+//!   read over the same loop. `get()` is a single acquire load, so the
+//!   throughput ratio (adaptive / plain) must stay well above the gate's
+//!   one-sided floor; the design target is within 2x of a plain read.
+//! * **never_mutated** — the same read loop on a handle that was never
+//!   `set()` versus one mutated once: an idle control plane costs the
+//!   hot path nothing, so the ratio sits at ~1.
+//! * **router** — full `CommandRouter::dispatch` round-trips (typed
+//!   command, registry lookup, knob write, audit event) per second, plus
+//!   the deterministic audit count (one per mutation, gated exactly).
+//!
+//! Ratios gate one-sided against the committed baseline
+//! (scripts/bench_compare.py); raw reads/sec are machine-dependent and
+//! reported only.
+//!
+//! Usage: `control_bench [output.json]` (default `BENCH_control.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use obs::{Adaptive, Command, CommandRouter, ConfigRegistry, EventFilter, Obs};
+
+const READS: u64 = 20_000_000;
+const DISPATCHES: u64 = 50_000;
+
+/// Sum `READS` values through `f`, timed; returns (reads/sec, checksum).
+fn read_loop(mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..READS {
+        acc = acc.wrapping_add(black_box(f()));
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (READS as f64 / secs.max(1e-9), acc)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_control.json".into());
+
+    // -- adaptive_get: one acquire load vs a plain memory read ----------
+    let plain = black_box(7u64);
+    let (plain_rps, plain_acc) = read_loop(|| *black_box(&plain));
+    let handle = Adaptive::new(7u64);
+    handle.set(7); // mutated once: the realistic steady state
+    let (get_rps, get_acc) = read_loop(|| *black_box(&handle).get());
+    assert_eq!(plain_acc, get_acc, "both loops read the same value");
+    let get_ratio = get_rps / plain_rps;
+
+    // -- never_mutated: an idle control plane is free -------------------
+    let idle = Adaptive::new(7u64);
+    let (idle_rps, idle_acc) = read_loop(|| *black_box(&idle).get());
+    assert_eq!(idle_acc, get_acc);
+    assert_eq!(idle.version(), 0, "the idle handle was never mutated");
+    let idle_ratio = idle_rps / get_rps;
+
+    // -- router: typed dispatch end to end ------------------------------
+    let obs = Obs::new();
+    let registry = ConfigRegistry::new();
+    let knob = Adaptive::new(0u64);
+    registry.register_knob("bench.counter", knob.clone());
+    let router = CommandRouter::new(registry).with_obs(&obs);
+    let t = Instant::now();
+    for i in 0..DISPATCHES {
+        router
+            .dispatch(i, "bench", Command::set("bench.counter", i + 1))
+            .expect("set on a registered u64 knob");
+    }
+    let disp_secs = t.elapsed().as_secs_f64();
+    let disp_per_sec = DISPATCHES as f64 / disp_secs.max(1e-9);
+    assert_eq!(knob.load(), DISPATCHES, "every dispatch landed");
+    assert_eq!(knob.version(), DISPATCHES, "one version per mutation");
+    let audit_events = obs.events_filtered(&EventFilter::control_audit()).len() as u64;
+    assert_eq!(audit_events, DISPATCHES, "one audit event per mutation");
+    assert_eq!(obs.events_dropped(), 0, "the audit ring kept every event");
+
+    println!("{READS} reads per loop");
+    println!("  plain field:     {plain_rps:>12.0} reads/s");
+    println!("  Adaptive::get(): {get_rps:>12.0} reads/s  (ratio {get_ratio:.3})");
+    println!("  never-mutated:   {idle_rps:>12.0} reads/s  (ratio {idle_ratio:.3})");
+    println!("{DISPATCHES} router dispatches");
+    println!("  dispatch:        {disp_per_sec:>12.0} cmds/s  ({audit_events} audit events)");
+
+    let json = format!(
+        "{{\n\
+         \"bench\": \"control\",\n\
+         \"adaptive_get\": {{\n\
+         \x20 \"reads\": {READS},\n\
+         \x20 \"plain_reads_per_sec\": {plain_rps:.0},\n\
+         \x20 \"adaptive_reads_per_sec\": {get_rps:.0},\n\
+         \x20 \"ratio\": {get_ratio:.4}\n\
+         }},\n\
+         \"never_mutated\": {{\n\
+         \x20 \"reads_per_sec\": {idle_rps:.0},\n\
+         \x20 \"ratio\": {idle_ratio:.4}\n\
+         }},\n\
+         \"router\": {{\n\
+         \x20 \"dispatches\": {DISPATCHES},\n\
+         \x20 \"audit_events\": {audit_events},\n\
+         \x20 \"dispatch_per_sec\": {disp_per_sec:.0}\n\
+         }}\n\
+         }}\n"
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -11,6 +11,10 @@
 //!   hashes). On a correct build the violation count is zero; a canary
 //!   build (`RUSTFLAGS="--cfg dst_canary"`) is expected to find some and
 //!   prints them per invariant kind.
+//! * **knob_axis** — the same contract over `FaultSpace::knobs()`:
+//!   trials that additionally dispatch seeded live control-plane
+//!   commands (preference flips, retry/breaker retuning, breaker
+//!   resets), checked by every oracle including audit completeness.
 //! * **timing** — wall-clock trials/second, exempt from gating.
 //!
 //! Usage: `dst_bench [output.json]` (default `BENCH_dst.json`).
@@ -20,7 +24,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use adapt_dst::{Explorer, ExplorerOpts, TrialContext};
+use adapt_dst::{Explorer, ExplorerOpts, FaultSpace, TrialContext};
 
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_dst.json".into());
@@ -56,6 +60,30 @@ fn main() {
         println!("    {kind}: {n}");
     }
 
+    // Knob-mutation axis: the same trial count over FaultSpace::knobs(),
+    // racing seeded operator-command schedules against the faults.
+    let knob_opts = ExplorerOpts {
+        trials,
+        space: FaultSpace::knobs(),
+        shrink: false,
+        max_failures: usize::MAX,
+        ..ExplorerOpts::default()
+    };
+    println!("exploring {trials} knob-axis trials (seed {:#x})...", knob_opts.master_seed);
+    let t = Instant::now();
+    let knob_report = Explorer::new(knob_opts).run(&ctx);
+    let knob_wall = t.elapsed().as_secs_f64();
+    let knob_per_sec = knob_report.trials_run as f64 / knob_wall.max(1e-9);
+    println!(
+        "  trials: {} in {knob_wall:.2}s ({knob_per_sec:.1} trials/s)",
+        knob_report.trials_run
+    );
+    println!("  digest: {:#018x}", knob_report.digest);
+    println!("  violations: {}", knob_report.failures.len());
+    for f in knob_report.failures.iter().take(8) {
+        println!("    {}", f.violation);
+    }
+
     let mut kinds = String::new();
     for (i, (kind, n)) in by_kind.iter().enumerate() {
         if i > 0 {
@@ -72,14 +100,24 @@ fn main() {
          \x20 \"violations_by_kind\": {{{kinds}}},\n\
          \x20 \"digest\": \"{:016x}\"\n\
          }},\n\
+         \"knob_axis\": {{\n\
+         \x20 \"trials\": {},\n\
+         \x20 \"violations\": {},\n\
+         \x20 \"digest\": \"{:016x}\"\n\
+         }},\n\
          \"timing\": {{\n\
          \x20 \"wall_secs\": {wall:.4},\n\
-         \x20 \"trials_per_sec\": {per_sec:.1}\n\
+         \x20 \"trials_per_sec\": {per_sec:.1},\n\
+         \x20 \"knob_wall_secs\": {knob_wall:.4},\n\
+         \x20 \"knob_trials_per_sec\": {knob_per_sec:.1}\n\
          }}\n\
          }}\n",
         report.trials_run,
         report.failures.len(),
         report.digest,
+        knob_report.trials_run,
+        knob_report.failures.len(),
+        knob_report.digest,
     );
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");

@@ -238,7 +238,7 @@ fn main() {
         black_box(choose_unindexed(&db, &prefs, "img", &q));
     });
     let region_after = ops_per_sec(|| {
-        black_box(sched.validity_region(&d_after.config, &sched.prefs.prefs[0], &q));
+        black_box(sched.validity_region(&d_after.config, &sched.prefs().prefs[0], &q));
     });
     let region_before = ops_per_sec(|| {
         black_box(validity_region_unindexed(&db, "img", &d_after.config, &prefs.prefs[0], &q));

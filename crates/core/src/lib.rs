@@ -60,7 +60,9 @@ pub use monitor::{MonitoringAgent, Trigger, ValidityRegion, Violation, MONITOR_P
 pub use param::{Configuration, ControlParam, ControlSpace, ParamDomain};
 pub use perfdb::{PerfDb, PerfRecord, PredictMode};
 pub use profiler::{ProfileRunner, Profiler, ResourceGrid, SensitivityOpts};
-pub use qos::{Constraint, Objective, Preference, PreferenceList, QosMetricDef, QosReport, Sense};
+pub use qos::{
+    Constraint, Objective, Preference, PreferenceList, PrefsKnob, QosMetricDef, QosReport, Sense,
+};
 pub use runtime::{AdaptationEvent, AdaptiveRuntime};
 pub use scheduler::{Decision, ResourceScheduler};
 pub use spec::{PerfDbTemplate, TunableSpec};
@@ -77,7 +79,7 @@ pub mod prelude {
     pub use crate::param::Configuration;
     pub use crate::perfdb::{PerfDb, PerfRecord, PredictMode};
     pub use crate::profiler::{Profiler, ResourceGrid};
-    pub use crate::qos::{Constraint, Objective, Preference, PreferenceList, QosReport};
+    pub use crate::qos::{Constraint, Objective, Preference, PreferenceList, PrefsKnob, QosReport};
     pub use crate::runtime::{AdaptationEvent, AdaptiveRuntime};
     pub use crate::scheduler::{Decision, ResourceScheduler};
     pub use crate::spec::TunableSpec;

@@ -230,6 +230,141 @@ impl PreferenceList {
         self.prefs.push(pref);
         self
     }
+
+    /// Parse the control plane's textual preference grammar:
+    ///
+    /// ```text
+    /// list       = pref (" then " pref)*
+    /// pref       = item ("," item)*          -- exactly one objective
+    /// item       = constraint | objective
+    /// constraint = metric ">=" num | metric "<=" num
+    /// objective  = ("minimize" | "maximize") ":" metric
+    /// ```
+    ///
+    /// e.g. `resolution>=3,minimize:response_time then minimize:response_time`.
+    /// This is how a live `Command::Set` on the `scheduler.prefs` knob
+    /// expresses a mid-run user-preference flip.
+    pub fn parse_directive(s: &str) -> Result<PreferenceList, String> {
+        let mut prefs = Vec::new();
+        for seg in s.split(" then ") {
+            let seg = seg.trim();
+            if seg.is_empty() {
+                return Err("empty preference segment".into());
+            }
+            let mut constraints = Vec::new();
+            let mut objective: Option<Objective> = None;
+            for item in seg.split(',') {
+                let item = item.trim();
+                if let Some(metric) = item.strip_prefix("minimize:") {
+                    let metric = metric.trim();
+                    if metric.is_empty() {
+                        return Err(format!("objective `{item}` names no metric"));
+                    }
+                    if objective.replace(Objective::minimize(metric)).is_some() {
+                        return Err(format!("multiple objectives in `{seg}`"));
+                    }
+                } else if let Some(metric) = item.strip_prefix("maximize:") {
+                    let metric = metric.trim();
+                    if metric.is_empty() {
+                        return Err(format!("objective `{item}` names no metric"));
+                    }
+                    if objective.replace(Objective::maximize(metric)).is_some() {
+                        return Err(format!("multiple objectives in `{seg}`"));
+                    }
+                } else if let Some((metric, bound)) = item.split_once(">=") {
+                    let v: f64 = bound
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad bound in constraint `{item}`"))?;
+                    constraints.push(Constraint::at_least(metric.trim(), v));
+                } else if let Some((metric, bound)) = item.split_once("<=") {
+                    let v: f64 = bound
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad bound in constraint `{item}`"))?;
+                    constraints.push(Constraint::at_most(metric.trim(), v));
+                } else {
+                    return Err(format!(
+                        "unrecognized preference item `{item}` (want `metric>=n`, \
+                         `metric<=n`, `minimize:metric`, or `maximize:metric`)"
+                    ));
+                }
+            }
+            let Some(objective) = objective else {
+                return Err(format!("preference `{seg}` has no objective"));
+            };
+            prefs.push(Preference::new(constraints, objective));
+        }
+        if prefs.is_empty() {
+            return Err("empty preference list".into());
+        }
+        Ok(PreferenceList { prefs })
+    }
+
+    /// Render in the grammar [`parse_directive`](Self::parse_directive)
+    /// accepts; `parse_directive(list.to_directive())` round-trips.
+    pub fn to_directive(&self) -> String {
+        self.prefs
+            .iter()
+            .map(|p| {
+                let mut items: Vec<String> = Vec::new();
+                for c in &p.constraints {
+                    if let Some(min) = c.min {
+                        items.push(format!("{}>={}", c.metric, min));
+                    }
+                    if let Some(max) = c.max {
+                        items.push(format!("{}<={}", c.metric, max));
+                    }
+                }
+                let verb = match p.objective.sense {
+                    Sense::LowerIsBetter => "minimize",
+                    Sense::HigherIsBetter => "maximize",
+                };
+                items.push(format!("{verb}:{}", p.objective.metric));
+                items.join(",")
+            })
+            .collect::<Vec<_>>()
+            .join(" then ")
+    }
+}
+
+/// Live-tunable preference lists: wraps an [`obs::Adaptive`] handle as a
+/// `scheduler.prefs` registry knob that reads and writes the textual
+/// directive grammar, so a typed `Command::Set` can flip user preferences
+/// mid-run. (A newtype because the orphan rule forbids implementing the
+/// foreign `Knob` trait directly on the foreign `Adaptive` type.)
+#[derive(Debug, Clone)]
+pub struct PrefsKnob(obs::Adaptive<PreferenceList>);
+
+impl PrefsKnob {
+    pub fn new(handle: obs::Adaptive<PreferenceList>) -> Self {
+        PrefsKnob(handle)
+    }
+}
+
+impl obs::Knob for PrefsKnob {
+    fn read(&self) -> obs::ConfigValue {
+        obs::ConfigValue::Str(self.0.get().to_directive())
+    }
+
+    fn write(&self, value: obs::ConfigValue) -> Result<obs::ConfigValue, obs::KnobError> {
+        let Some(directive) = value.as_str() else {
+            return Err(obs::KnobError::TypeMismatch { expected: "prefs", got: value.type_name() });
+        };
+        let parsed =
+            PreferenceList::parse_directive(directive).map_err(obs::KnobError::BadValue)?;
+        let old = self.0.get().to_directive();
+        self.0.set(parsed);
+        Ok(obs::ConfigValue::Str(old))
+    }
+
+    fn type_name(&self) -> &'static str {
+        "prefs"
+    }
+
+    fn version(&self) -> u64 {
+        self.0.version()
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +450,66 @@ mod tests {
         let c = QosReport::new(&[("t", 10.0)]);
         assert_eq!(a.max_rel_diff(&c), f64::INFINITY);
         assert_eq!(a.max_rel_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn directive_grammar_round_trips() {
+        let p = PreferenceList::single(Preference::new(
+            vec![Constraint::at_least("resolution", 3.0)],
+            Objective::minimize("response_time"),
+        ))
+        .then(Preference::new(vec![], Objective::minimize("response_time")));
+        let s = p.to_directive();
+        assert_eq!(s, "resolution>=3,minimize:response_time then minimize:response_time");
+        assert_eq!(PreferenceList::parse_directive(&s).unwrap(), p);
+
+        let both = PreferenceList::single(Preference::new(
+            vec![Constraint::between("t", 2.0, 10.0)],
+            Objective::maximize("q"),
+        ));
+        let s = both.to_directive();
+        assert_eq!(s, "t>=2,t<=10,maximize:q");
+        // `between` renders as two one-sided constraints; semantics match.
+        let back = PreferenceList::parse_directive(&s).unwrap();
+        assert_eq!(back.prefs[0].objective, both.prefs[0].objective);
+        let r = QosReport::new(&[("t", 5.0), ("q", 1.0)]);
+        assert_eq!(back.prefs[0].satisfied_by(&r), both.prefs[0].satisfied_by(&r));
+    }
+
+    #[test]
+    fn directive_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "minimize:",
+            "resolution>=3",              // no objective
+            "minimize:t,maximize:q",      // two objectives
+            "resolution>=abc,minimize:t", // bad bound
+            "garbage,minimize:t",         // unrecognized item
+            "minimize:t then ",           // empty segment
+        ] {
+            assert!(PreferenceList::parse_directive(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn prefs_knob_reads_and_writes_directives() {
+        use obs::Knob;
+        let handle = obs::Adaptive::new(PreferenceList::single(Preference::new(
+            vec![],
+            Objective::minimize("transmit_time"),
+        )));
+        let knob = PrefsKnob::new(handle.clone());
+        assert_eq!(knob.read(), obs::ConfigValue::Str("minimize:transmit_time".into()));
+        let old =
+            knob.write(obs::ConfigValue::Str("resolution>=3,maximize:resolution".into())).unwrap();
+        assert_eq!(old, obs::ConfigValue::Str("minimize:transmit_time".into()));
+        assert_eq!(handle.get().prefs[0].objective, Objective::maximize("resolution"));
+        assert_eq!(Knob::version(&knob), 1);
+
+        // Wrong type and unparseable directives are rejected without mutating.
+        assert!(knob.write(obs::ConfigValue::U64(3)).is_err());
+        assert!(knob.write(obs::ConfigValue::Str("nonsense".into())).is_err());
+        assert_eq!(Knob::version(&knob), 1);
     }
 
     #[test]

@@ -30,8 +30,17 @@ use crate::steering::{BoundaryOutcome, ReconfigureRequest, SteeringAgent, Switch
 pub enum AdaptationEvent {
     /// The monitor detected the validity region was violated.
     Triggered { at: SimTime, estimate: ResourceVector },
-    /// The scheduler proposed a new configuration.
-    Decided { at: SimTime, config: Configuration, predicted: QosReport, rank: usize },
+    /// The scheduler proposed a new configuration. `pref_version` is the
+    /// preference-list version the decision was computed under (0 = the
+    /// preferences were never mutated); it correlates decisions with the
+    /// control plane's `config_set` audit events after a mid-run flip.
+    Decided {
+        at: SimTime,
+        config: Configuration,
+        predicted: QosReport,
+        rank: usize,
+        pref_version: u64,
+    },
     /// The scheduler found no satisfying configuration.
     NoCandidate { at: SimTime },
     /// No configuration satisfied any preference: the runtime fell back to
@@ -43,6 +52,12 @@ pub enum AdaptationEvent {
     Switched { at: SimTime, old: Configuration, new: Configuration },
     /// A proposed configuration was rejected by a guard (negotiation).
     Nak { at: SimTime, config: Configuration, reason: String },
+    /// A pending switch was deferred by the anti-oscillation dwell guard;
+    /// it stays queued and applies at the first boundary past `until`.
+    /// Also the audit record for a config change commanded during a dwell
+    /// window: the control plane's `Set` takes effect immediately on the
+    /// scheduler, but the resulting switch waits for the dwell.
+    Deferred { at: SimTime, until: SimTime },
 }
 
 impl AdaptationEvent {
@@ -55,10 +70,17 @@ impl AdaptationEvent {
                 obs::Event::new(at.as_us(), Source::Monitor, "trigger")
                     .with("estimate", estimate.to_string())
             }
-            AdaptationEvent::Decided { at, config, rank, .. } => {
-                obs::Event::new(at.as_us(), Source::Scheduler, "decide")
+            AdaptationEvent::Decided { at, config, rank, pref_version, .. } => {
+                let ev = obs::Event::new(at.as_us(), Source::Scheduler, "decide")
                     .with("config", config.key())
-                    .with("rank", *rank)
+                    .with("rank", *rank);
+                // Only annotate decisions made after a live preference
+                // flip: never-mutated runs keep byte-identical streams.
+                if *pref_version > 0 {
+                    ev.with("pref_version", *pref_version)
+                } else {
+                    ev
+                }
             }
             AdaptationEvent::NoCandidate { at } => {
                 obs::Event::new(at.as_us(), Source::Scheduler, "no_candidate")
@@ -80,6 +102,10 @@ impl AdaptationEvent {
                     .with("config", config.key())
                     .with("reason", reason.as_str())
             }
+            AdaptationEvent::Deferred { at, until } => {
+                obs::Event::new(at.as_us(), Source::Steering, "defer")
+                    .with("until_us", until.as_us())
+            }
         }
     }
 }
@@ -98,6 +124,9 @@ pub struct AdaptiveRuntime {
     pub recovery_probe_gap_us: u64,
     degraded: bool,
     last_probe: Option<SimTime>,
+    /// Deadline of the last emitted `Deferred` event, so a dwell window
+    /// logs one deferral instead of one per boundary.
+    last_defer_until: Option<SimTime>,
     obs_ctx: Option<RuntimeObs>,
 }
 
@@ -139,6 +168,7 @@ impl AdaptiveRuntime {
             recovery_probe_gap_us: 500_000,
             degraded: false,
             last_probe: None,
+            last_defer_until: None,
             obs_ctx: None,
         };
         rt.push_event(AdaptationEvent::Decided {
@@ -146,22 +176,9 @@ impl AdaptiveRuntime {
             config: decision.config,
             predicted: decision.predicted,
             rank: decision.preference_rank,
+            pref_version: decision.pref_version,
         });
         Ok(rt)
-    }
-
-    /// Deprecated shim over [`try_configure`](AdaptiveRuntime::try_configure).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_configure`, which reports *why* configuration failed"
-    )]
-    pub fn configure(
-        spec: TunableSpec,
-        scheduler: ResourceScheduler,
-        window_us: u64,
-        initial_resources: &ResourceVector,
-    ) -> Option<AdaptiveRuntime> {
-        Self::try_configure(spec, scheduler, window_us, initial_resources).ok()
     }
 
     /// Publish all adaptation telemetry into `obs`: every
@@ -198,15 +215,6 @@ impl AdaptiveRuntime {
         self.steering.current()
     }
 
-    /// Borrow the legacy in-memory adaptation log.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach an `obs::Obs` via `set_obs` and read the event bus instead"
-    )]
-    pub fn events(&self) -> &[AdaptationEvent] {
-        &self.events
-    }
-
     pub fn history(&self) -> &[(SimTime, Configuration)] {
         self.steering.history()
     }
@@ -232,11 +240,24 @@ impl AdaptiveRuntime {
 
     /// Minimum time between applied switches (anti-oscillation dwell).
     pub fn set_min_dwell(&mut self, us: u64) {
-        self.steering.min_dwell_us = us;
+        self.steering.set_min_dwell_us(us);
     }
 
     pub fn min_dwell(&self) -> u64 {
-        self.steering.min_dwell_us
+        self.steering.min_dwell_us()
+    }
+
+    /// Register this runtime's live-tunable knobs on a control-plane
+    /// registry: `steering.min_dwell_us` (the anti-oscillation dwell) and
+    /// `scheduler.prefs` (the user preference list, in the textual
+    /// directive grammar). A `Command::Set` dispatched to either takes
+    /// effect at the next tick/boundary without pausing the run.
+    pub fn register_knobs(&self, registry: &obs::ConfigRegistry) {
+        registry.register_knob("steering.min_dwell_us", self.steering.min_dwell_handle());
+        registry.register_knob(
+            "scheduler.prefs",
+            crate::qos::PrefsKnob::new(self.scheduler.prefs_handle()),
+        );
     }
 
     /// Feed one resource observation into the monitoring agent.
@@ -326,6 +347,7 @@ impl AdaptiveRuntime {
             config: d.config.clone(),
             predicted: d.predicted,
             rank: d.preference_rank,
+            pref_version: d.pref_version,
         });
         if same {
             // Same choice under the new conditions: refresh the validity
@@ -344,7 +366,14 @@ impl AdaptiveRuntime {
         for _ in 0..=self.max_negotiations {
             match self.steering.at_boundary(t, &self.spec) {
                 BoundaryOutcome::NoChange => return None,
-                BoundaryOutcome::Deferred { .. } => return None,
+                BoundaryOutcome::Deferred { until } => {
+                    // One audit record per dwell window, not per boundary.
+                    if self.last_defer_until != Some(until) {
+                        self.last_defer_until = Some(until);
+                        self.push_event(AdaptationEvent::Deferred { at: t, until });
+                    }
+                    return None;
+                }
                 BoundaryOutcome::Switched(ev) => {
                     self.monitor.set_validity(ev.validity.clone());
                     let watched = self.spec.tasks.monitored_resources(&ev.new);
@@ -371,6 +400,7 @@ impl AdaptiveRuntime {
                                 config: d.config.clone(),
                                 predicted: d.predicted,
                                 rank: d.preference_rank,
+                                pref_version: d.pref_version,
                             });
                             self.steering.request(ReconfigureRequest {
                                 config: d.config,
@@ -556,10 +586,81 @@ mod tests {
         rt.at_boundary(SimTime::from_secs(28));
         let kinds: Vec<&'static str> = obs.events().iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["decide", "trigger", "decide", "switch"]);
-        // The legacy log tells the same story through the deprecated shim.
-        #[allow(deprecated)]
-        let from_shim: Vec<&'static str> = rt.events().iter().map(|e| e.to_obs().kind).collect();
-        assert_eq!(kinds, from_shim);
+        // Never-mutated preferences: no decide event carries a
+        // pref_version field, so legacy event streams stay byte-identical.
+        for ev in obs.events_filtered(&obs::EventFilter::decisions()) {
+            assert_eq!(ev.u64_field("pref_version"), None);
+        }
+    }
+
+    #[test]
+    fn live_preference_flip_changes_the_next_decision() {
+        use crate::qos::Constraint;
+        let obs = Obs::new();
+        let mut rt = runtime().with_obs(&obs);
+        // Transmit-time minimization picks low resolution (l=3).
+        assert_eq!(rt.current().get("l"), Some(3));
+
+        // Mid-run, the control plane rewrites the preference list through
+        // the registered knob: now maximize resolution (bounded transmit
+        // time), as an operator would via `Command::Set`.
+        let registry = obs::ConfigRegistry::new();
+        rt.register_knobs(&registry);
+        let (_old, version) = registry
+            .set(
+                "scheduler.prefs",
+                obs::ConfigValue::Str(
+                    "transmit_time<=60,maximize:resolution then minimize:transmit_time".into(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(version, 1);
+
+        // Nudge conditions so the monitor re-triggers, then let the
+        // runtime decide under the flipped preferences.
+        for i in 0..200 {
+            rt.observe(SimTime::from_secs(25) + i * 10_000, &cpu(), 1.0);
+            rt.observe(SimTime::from_secs(25) + i * 10_000, &net(), 50_000.0);
+        }
+        rt.tick(SimTime::from_secs(28));
+        rt.at_boundary(SimTime::from_secs(28));
+        assert_eq!(rt.current().get("l"), Some(4), "flip re-ranked resolution above speed");
+        // The post-flip decide event is version-stamped for correlation
+        // with the control plane's config_set audit record.
+        let decides = obs.events_filtered(&obs::EventFilter::decisions());
+        assert_eq!(decides.last().unwrap().u64_field("pref_version"), Some(1));
+        // Sanity: the directive grammar expressed a real constraint.
+        assert_eq!(
+            rt.scheduler.prefs().prefs[0].constraints,
+            vec![Constraint::at_most("transmit_time", 60.0)]
+        );
+    }
+
+    #[test]
+    fn dwell_deferral_is_audited_once_per_window() {
+        let obs = Obs::new();
+        let mut rt = runtime().with_obs(&obs);
+        rt.set_min_dwell(5_000_000);
+        // First switch: bandwidth collapse.
+        for i in 0..200 {
+            rt.observe(SimTime::from_secs(2) + i * 10_000, &cpu(), 1.0);
+            rt.observe(SimTime::from_secs(2) + i * 10_000, &net(), 50_000.0);
+        }
+        rt.tick(SimTime::from_secs(5));
+        assert!(rt.at_boundary(SimTime::from_secs(5)).is_some());
+        // Flap back immediately: the queued switch is dwell-deferred.
+        for i in 0..200 {
+            rt.observe(SimTime::from_secs(5) + i * 10_000, &cpu(), 1.0);
+            rt.observe(SimTime::from_secs(5) + i * 10_000, &net(), 1_000_000.0);
+        }
+        rt.tick(SimTime::from_secs(7));
+        assert!(rt.at_boundary(SimTime::from_secs(7)).is_none());
+        assert!(rt.at_boundary(SimTime::from_ms(7_100)).is_none());
+        let defers = obs.events_filtered(&obs::EventFilter::any().kind("defer"));
+        assert_eq!(defers.len(), 1, "one audit record per dwell window");
+        assert_eq!(defers[0].u64_field("until_us"), Some(10_000_000));
+        // Past the dwell the deferred switch applies.
+        assert!(rt.at_boundary(SimTime::from_secs(11)).is_some());
     }
 
     #[test]

@@ -27,6 +27,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use obs::Adaptive;
+
 use crate::env::ResourceVector;
 use crate::monitor::ValidityRegion;
 use crate::param::Configuration;
@@ -50,6 +52,11 @@ pub struct Decision {
     /// [`ResourceScheduler::choose_least_violating`]). The runtime treats
     /// such decisions as *degraded* and keeps probing for recovery.
     pub best_effort: bool,
+    /// Version of the preference list this decision was computed under
+    /// (0 = the preferences have never been mutated). Lets audit tooling
+    /// correlate a decision with the `config_set` event that re-ranked the
+    /// preferences mid-run.
+    pub pref_version: u64,
 }
 
 /// The resource scheduler.
@@ -64,7 +71,12 @@ pub struct Decision {
 #[derive(Debug)]
 pub struct ResourceScheduler {
     pub db: Arc<PerfDb>,
-    pub prefs: PreferenceList,
+    /// User preferences behind a live-tunable handle: register it (via
+    /// [`prefs_handle`](Self::prefs_handle)) as the `scheduler.prefs`
+    /// config knob and a `Command::Set` re-ranks preferences mid-run.
+    /// Decisions snapshot the list once per `choose`, so a racing flip
+    /// yields either wholly-old or wholly-new rankings, never a mix.
+    prefs: Adaptive<PreferenceList>,
     pub mode: PredictMode,
     /// Workload key to consult in the database.
     pub input: String,
@@ -131,11 +143,35 @@ impl ResourceScheduler {
     pub fn new_shared(db: Arc<PerfDb>, prefs: PreferenceList, input: &str) -> Self {
         ResourceScheduler {
             db,
-            prefs,
+            prefs: Adaptive::new(prefs),
             mode: PredictMode::Interpolate,
             input: input.into(),
             obs: None,
         }
+    }
+
+    /// Snapshot of the current preference list. The reference stays valid
+    /// (pointing at the snapshot it was read from) even across a
+    /// concurrent [`set_prefs`](Self::set_prefs).
+    pub fn prefs(&self) -> &PreferenceList {
+        self.prefs.get()
+    }
+
+    /// Replace the preference list mid-run; takes effect atomically at the
+    /// next decision. Returns the new preference version.
+    pub fn set_prefs(&self, prefs: PreferenceList) -> u64 {
+        self.prefs.set(prefs)
+    }
+
+    /// The live-tunable preference handle, for registering as the
+    /// `scheduler.prefs` config knob.
+    pub fn prefs_handle(&self) -> Adaptive<PreferenceList> {
+        self.prefs.clone()
+    }
+
+    /// How many times the preference list has been mutated (0 = never).
+    pub fn prefs_version(&self) -> u64 {
+        self.prefs.version()
     }
 
     /// Checked constructor: rejects inputs on which every
@@ -171,7 +207,7 @@ impl ResourceScheduler {
     /// Oracle accessor: how many preference levels this scheduler ranks
     /// over. `decide` events carry `rank < preference_depth()`.
     pub fn preference_depth(&self) -> usize {
-        self.prefs.prefs.len()
+        self.prefs.get().prefs.len()
     }
 
     pub fn with_mode(mut self, mode: PredictMode) -> Self {
@@ -213,13 +249,18 @@ impl ResourceScheduler {
         excluded: &[Configuration],
     ) -> Option<Decision> {
         let _span = self.obs.as_ref().map(|h| h.obs.span(h.choose_span));
+        // Snapshot version before the list: if a concurrent flip lands in
+        // between, we report the older version with the older list rather
+        // than a new version number against stale preferences.
+        let pref_version = self.prefs.version();
+        let prefs = self.prefs.get();
         let configs = self.db.configs(&self.input);
         let eligible: Vec<bool> = configs.iter().map(|c| !excluded.contains(c)).collect();
         if !eligible.contains(&true) {
             return None;
         }
         let mut ctx = DecisionCtx { configs, eligible, memo: HashMap::new() };
-        for (rank, pref) in self.prefs.prefs.iter().enumerate() {
+        for (rank, pref) in prefs.prefs.iter().enumerate() {
             let preds =
                 memoized(&mut ctx.memo, &ctx.configs, &self.db, &self.input, self.mode, resources);
             let mut best: Option<usize> = None;
@@ -248,6 +289,7 @@ impl ResourceScheduler {
                     preference_rank: rank,
                     validity,
                     best_effort: false,
+                    pref_version,
                 });
             }
         }
@@ -278,7 +320,9 @@ impl ResourceScheduler {
         resources: &ResourceVector,
         excluded: &[Configuration],
     ) -> Option<Decision> {
-        let pref = self.prefs.prefs.last()?;
+        let pref_version = self.prefs.version();
+        let prefs = self.prefs.get();
+        let pref = prefs.prefs.last()?;
         let configs = self.db.configs(&self.input);
         let mut best: Option<(usize, f64, QosReport)> = None;
         for (i, c) in configs.iter().enumerate() {
@@ -304,9 +348,10 @@ impl ResourceScheduler {
         Some(Decision {
             config: configs[bi].clone(),
             predicted,
-            preference_rank: self.prefs.prefs.len().saturating_sub(1),
+            preference_rank: prefs.prefs.len().saturating_sub(1),
             validity: ValidityRegion::unbounded(),
             best_effort: true,
+            pref_version,
         })
     }
 
@@ -614,11 +659,11 @@ mod tests {
         let s = ResourceScheduler::new(crossover_db(), min_time_prefs(), "img");
         let r = ResourceVector::new(&[(cpu(), 1.0), (net(), 1_000_000.0)]);
         let d = s.choose(&r).unwrap();
-        let standalone = s.validity_region(&d.config, &s.prefs.prefs[0], &r);
+        let standalone = s.validity_region(&d.config, &s.prefs().prefs[0], &r);
         assert_eq!(d.validity.ranges, standalone.ranges);
         // A config absent from the database yields an empty region.
         let ghost = Configuration::new(&[("c", 99)]);
-        let empty = s.validity_region(&ghost, &s.prefs.prefs[0], &r);
+        let empty = s.validity_region(&ghost, &s.prefs().prefs[0], &r);
         assert!(empty.ranges.is_empty());
     }
 }

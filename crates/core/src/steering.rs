@@ -10,6 +10,7 @@
 //! acknowledgement to the resource scheduler; because of guards associated
 //! with these transitions, additional negotiation may be required."
 
+use obs::Adaptive;
 use simnet::SimTime;
 
 use crate::monitor::ValidityRegion;
@@ -65,7 +66,9 @@ pub struct SteeringAgent {
     /// Minimum time a configuration must stay active before the next
     /// switch is applied (0 disables). Damps oscillation when a resource
     /// flaps across a validity boundary faster than switches settle.
-    pub min_dwell_us: u64,
+    /// Live-tunable: the handle can be registered as the
+    /// `steering.min_dwell_us` config knob and mutated mid-run.
+    min_dwell: Adaptive<u64>,
 }
 
 impl SteeringAgent {
@@ -74,8 +77,23 @@ impl SteeringAgent {
             current: initial.clone(),
             pending: None,
             history: vec![(SimTime::ZERO, initial)],
-            min_dwell_us: 0,
+            min_dwell: Adaptive::new(0),
         }
+    }
+
+    /// Current minimum dwell time in microseconds (0 = disabled).
+    pub fn min_dwell_us(&self) -> u64 {
+        self.min_dwell.load()
+    }
+
+    /// Set the minimum dwell time (takes effect at the next boundary).
+    pub fn set_min_dwell_us(&self, us: u64) {
+        self.min_dwell.set(us);
+    }
+
+    /// The live-tunable dwell handle, for registering as a config knob.
+    pub fn min_dwell_handle(&self) -> Adaptive<u64> {
+        self.min_dwell.clone()
     }
 
     pub fn current(&self) -> &Configuration {
@@ -103,12 +121,13 @@ impl SteeringAgent {
         // configuration) pins the current config for `min_dwell_us`. The
         // request stays pending — later, possibly superseded, it applies
         // at the first boundary past the dwell.
-        if self.min_dwell_us > 0 && self.history.len() > 1 {
+        let dwell = self.min_dwell.load();
+        if dwell > 0 && self.history.len() > 1 {
             if let Some(req) = &self.pending {
                 if req.config != self.current {
                     let last = self.history[self.history.len() - 1].0;
-                    if t.since(last) < self.min_dwell_us {
-                        return BoundaryOutcome::Deferred { until: last + self.min_dwell_us };
+                    if t.since(last) < dwell {
+                        return BoundaryOutcome::Deferred { until: last + dwell };
                     }
                 }
             }
@@ -275,7 +294,8 @@ mod tests {
     #[test]
     fn dwell_defers_rapid_second_switch() {
         let mut s = SteeringAgent::new(cfg(80, 1, 4));
-        s.min_dwell_us = 1_000_000;
+        s.set_min_dwell_us(1_000_000);
+        assert_eq!(s.min_dwell_us(), 1_000_000);
         s.request(req(cfg(80, 2, 4)));
         // First switch is never dwell-blocked (only the initial config is
         // in history).

@@ -9,12 +9,16 @@
 //!    PRNG, so one binary explores many legal event interleavings.
 //! 2. **Fault-space search** — a declarative [`FaultSpace`] grammar
 //!    (loss / jitter / link-down / crash-restart ranges) collapses per
-//!    trial into a concrete [`TrialPlan`] from a single seed.
+//!    trial into a concrete [`TrialPlan`] from a single seed. The
+//!    knob-mutation axis ([`FaultSpace::knobs`]) additionally draws
+//!    seeded live control-plane `Command` schedules — operator retuning
+//!    raced against the faults.
 //! 3. **Invariant oracles** — after each trial, [`oracle`] functions
 //!    replay the observability bus: no duplicate reply is ever applied,
 //!    circuit-breaker transitions are legal, degrade/recover alternate,
-//!    scheduler decisions stay inside the performance database, and
-//!    (periodically) heap vs batched drain digests agree.
+//!    scheduler decisions stay inside the performance database, every
+//!    control-plane mutation is audited ([`oracle::config_audit_complete`]),
+//!    and (periodically) heap vs batched drain digests agree.
 //! 4. **Shrinking** — a failing trial is delta-debugged ([`shrink`])
 //!    toward the minimal plan that still violates the same invariant,
 //!    and emitted as a self-contained JSON [`Repro`] that replays
@@ -46,10 +50,10 @@ pub mod trial;
 
 pub use explorer::{ExploreReport, Explorer, ExplorerOpts, Failure};
 pub use oracle::{
-    check_arbiter, no_evict_without_violation, shed_order_respects_tiers, DecisionContext,
-    Violation,
+    check_arbiter, config_audit_complete, no_evict_without_violation, shed_order_respects_tiers,
+    DecisionContext, Violation,
 };
 pub use repro::Repro;
 pub use shrink::{shrink as shrink_plan, ShrinkResult};
 pub use space::{FaultSpace, Span, TrialPlan};
-pub use trial::{TrialContext, TrialOutcome, TRIAL_HORIZON_SECS};
+pub use trial::{knob_commands, TrialContext, TrialOutcome, KNOB_MENU_LEN, TRIAL_HORIZON_SECS};

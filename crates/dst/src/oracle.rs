@@ -42,6 +42,11 @@ pub enum Violation {
     /// violation — eviction is the end of the policing ladder, never a
     /// first resort.
     EvictWithoutViolation { at_us: u64, app: u64 },
+    /// The control plane's audit trail is incomplete or malformed: an
+    /// audit event is missing a required field, a per-key config version
+    /// failed to increase, or a decision was stamped with a preference
+    /// version no audited mutation ever produced.
+    ConfigAuditIncomplete { at_us: u64, detail: String },
 }
 
 impl Violation {
@@ -56,6 +61,7 @@ impl Violation {
             Violation::ShardDivergence { .. } => "shard_divergence",
             Violation::ShedOrder { .. } => "shed_order",
             Violation::EvictWithoutViolation { .. } => "evict_without_violation",
+            Violation::ConfigAuditIncomplete { .. } => "config_audit_incomplete",
         }
     }
 }
@@ -89,6 +95,9 @@ impl fmt::Display for Violation {
             ),
             Violation::EvictWithoutViolation { at_us, app } => {
                 write!(f, "evict_without_violation: app {app} evicted at t={at_us}us clean")
+            }
+            Violation::ConfigAuditIncomplete { at_us, detail } => {
+                write!(f, "config_audit_incomplete: {detail} at t={at_us}us")
             }
         }
     }
@@ -244,6 +253,71 @@ pub fn no_evict_without_violation(obs: &Obs) -> Option<Violation> {
     None
 }
 
+/// The control plane's audit contract holds end to end:
+///
+/// 1. every `config_set` audit carries `key` and a `version` that
+///    strictly increases per key (versions come from the underlying
+///    `Adaptive` cell, so a repeat or regression means a lost mutation);
+/// 2. every `config_reject` audit names the `key` and a `reason`;
+/// 3. every scheduler decision stamped with a non-zero `pref_version`
+///    traces back to an *earlier* audited `config_set` of
+///    `scheduler.prefs` that produced exactly that version — a decision
+///    influenced by an unaudited mutation is the violation this oracle
+///    exists to catch.
+///
+/// On runs with an empty command schedule the stream holds no control
+/// events and no version-stamped decisions, so the oracle passes
+/// vacuously. Skipped (conservatively) if the event ring overflowed,
+/// since an audit may then have been evicted rather than never emitted.
+pub fn config_audit_complete(obs: &Obs) -> Option<Violation> {
+    if obs.events_dropped() > 0 {
+        return None;
+    }
+    let mut versions: std::collections::HashMap<String, u64> = Default::default();
+    let mut prefs_versions = HashSet::new();
+    let bad = |at_us: u64, detail: String| Some(Violation::ConfigAuditIncomplete { at_us, detail });
+    for ev in obs.events() {
+        match (ev.source, ev.kind) {
+            (obs::Source::Control, "config_set") => {
+                let Some(key) = ev.str_field("key") else {
+                    return bad(ev.at_us, "config_set audit without a key".into());
+                };
+                let Some(version) = ev.u64_field("version") else {
+                    return bad(ev.at_us, format!("config_set of '{key}' without a version"));
+                };
+                let last = versions.get(key).copied().unwrap_or(0);
+                if version <= last {
+                    return bad(
+                        ev.at_us,
+                        format!("config_set of '{key}' version {version} after {last}"),
+                    );
+                }
+                versions.insert(key.to_string(), version);
+                if key == "scheduler.prefs" {
+                    prefs_versions.insert(version);
+                }
+            }
+            (obs::Source::Control, "config_reject")
+                if ev.str_field("key").is_none() || ev.str_field("reason").is_none() =>
+            {
+                return bad(ev.at_us, "config_reject audit without key/reason".into());
+            }
+            (obs::Source::Scheduler, "decide") => {
+                if let Some(v) = ev.u64_field("pref_version") {
+                    if v > 0 && !prefs_versions.contains(&v) {
+                        return bad(
+                            ev.at_us,
+                            format!("decision under unaudited preference version {v}"),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Run the arbiter-storm oracles, collecting the first violation of each
 /// kind. Used by overload trials, whose event stream lives on
 /// `Source::Arbiter` rather than the single-app sources.
@@ -261,6 +335,7 @@ pub fn check_all(obs: &Obs, ctx: &DecisionContext) -> Vec<Violation> {
         breaker_legal(obs),
         degrade_recover_order(obs),
         decisions_valid(obs, ctx),
+        config_audit_complete(obs),
     ]
     .into_iter()
     .flatten()
@@ -393,6 +468,68 @@ mod tests {
         obs.publish(Event::new(5, Source::Arbiter, "violation").with("app", 3u64));
         arb(&obs, 9, "evict", 3, 1);
         assert!(no_evict_without_violation(&obs).is_none());
+    }
+
+    fn set_audit(obs: &Obs, at: u64, key: &'static str, version: u64) {
+        obs.publish(
+            Event::new(at, Source::Control, "config_set").with("key", key).with("version", version),
+        );
+    }
+
+    #[test]
+    fn complete_audit_trail_passes() {
+        let obs = Obs::new();
+        set_audit(&obs, 10, "scheduler.prefs", 1);
+        set_audit(&obs, 20, "client.retry.multiplier", 1);
+        set_audit(&obs, 30, "scheduler.prefs", 2);
+        obs.publish(
+            Event::new(15, Source::Control, "config_reject")
+                .with("key", "no.such.knob")
+                .with("reason", "unknown_key"),
+        );
+        obs.publish(Event::new(40, Source::Scheduler, "decide").with("pref_version", 2u64));
+        assert!(config_audit_complete(&obs).is_none());
+        // Unstamped decisions (version 0 is never emitted) are fine too.
+        obs.publish(Event::new(50, Source::Scheduler, "decide"));
+        assert!(config_audit_complete(&obs).is_none());
+    }
+
+    #[test]
+    fn version_regression_is_flagged() {
+        let obs = Obs::new();
+        set_audit(&obs, 10, "scheduler.prefs", 2);
+        set_audit(&obs, 20, "scheduler.prefs", 2);
+        let v = config_audit_complete(&obs).expect("must flag");
+        assert_eq!(v.kind(), "config_audit_incomplete");
+    }
+
+    #[test]
+    fn unaudited_preference_version_is_flagged() {
+        // A decision stamped with a version no audit produced: the
+        // mutation bypassed the router.
+        let obs = Obs::new();
+        set_audit(&obs, 10, "scheduler.prefs", 1);
+        obs.publish(Event::new(40, Source::Scheduler, "decide").with("pref_version", 2u64));
+        let v = config_audit_complete(&obs).expect("must flag");
+        assert!(matches!(v, Violation::ConfigAuditIncomplete { at_us: 40, .. }));
+        // The audit arriving only *after* the decision is equally a gap.
+        let obs = Obs::new();
+        obs.publish(Event::new(40, Source::Scheduler, "decide").with("pref_version", 1u64));
+        set_audit(&obs, 50, "scheduler.prefs", 1);
+        assert!(config_audit_complete(&obs).is_some());
+    }
+
+    #[test]
+    fn malformed_audit_events_are_flagged() {
+        let obs = Obs::new();
+        obs.publish(Event::new(10, Source::Control, "config_set").with("version", 1u64));
+        assert_eq!(
+            config_audit_complete(&obs).expect("must flag").kind(),
+            "config_audit_incomplete"
+        );
+        let obs = Obs::new();
+        obs.publish(Event::new(10, Source::Control, "config_reject").with("key", "k"));
+        assert!(config_audit_complete(&obs).is_some());
     }
 
     #[test]

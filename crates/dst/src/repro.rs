@@ -67,7 +67,8 @@ impl Repro {
         let _ = writeln!(s, "    \"n_images\": {},", p.n_images);
         let _ = writeln!(s, "    \"timeout_ms\": {},", p.timeout_ms);
         let _ = writeln!(s, "    \"surges\": [{}],", triples(&p.surges));
-        let _ = writeln!(s, "    \"dips\": [{}]", triples(&p.dips));
+        let _ = writeln!(s, "    \"dips\": [{}],", triples(&p.dips));
+        let _ = writeln!(s, "    \"knobs\": [{}]", triples(&p.knobs));
         s.push_str("  }\n}\n");
         s
     }
@@ -279,10 +280,11 @@ impl<'a> Parser<'a> {
             restart_at_ms: 0,
             n_images: 2,
             timeout_ms: 250,
-            // Overload axes default empty so pre-overload repro files
+            // Overload and knob axes default empty so older repro files
             // (which lack the keys) keep parsing.
             surges: Vec::new(),
             dips: Vec::new(),
+            knobs: Vec::new(),
         };
         loop {
             let key = self.string()?;
@@ -300,6 +302,7 @@ impl<'a> Parser<'a> {
                 "timeout_ms" => plan.timeout_ms = self.u64()?,
                 "surges" => plan.surges = self.triple_array()?,
                 "dips" => plan.dips = self.triple_array()?,
+                "knobs" => plan.knobs = self.triple_array()?,
                 other => return Err(format!("unknown plan key '{other}'")),
             }
             if !self.comma_or(b'}')? {
@@ -345,6 +348,17 @@ mod tests {
     }
 
     #[test]
+    fn knob_plans_round_trip() {
+        for seed in [2, 11, 0xB0B] {
+            let plan = FaultSpace::knobs().sample(seed);
+            assert!(!plan.knobs.is_empty());
+            let repro = Repro::new(plan, "config_audit_incomplete", "unaudited version 2");
+            let parsed = Repro::from_json(&repro.to_json()).expect("parses");
+            assert_eq!(parsed, repro);
+        }
+    }
+
+    #[test]
     fn pre_overload_repro_files_still_parse() {
         // A repro written before the overload axis existed has no
         // surges/dips keys; they must default to empty.
@@ -353,7 +367,7 @@ mod tests {
                     \"loss_pct\": 0, \"jitter_us\": 0, \"down\": [], \"crash_at_ms\": 0, \
                     \"restart_at_ms\": 0, \"n_images\": 2, \"timeout_ms\": 250}}";
         let r = Repro::from_json(text).expect("legacy format parses");
-        assert!(r.plan.surges.is_empty() && r.plan.dips.is_empty());
+        assert!(r.plan.surges.is_empty() && r.plan.dips.is_empty() && r.plan.knobs.is_empty());
     }
 
     #[test]

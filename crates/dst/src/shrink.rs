@@ -69,6 +69,12 @@ fn reductions(plan: &TrialPlan) -> Vec<TrialPlan> {
             push(TrialPlan { dips: plan.dips[..plan.dips.len() / 2].to_vec(), ..plan.clone() });
         }
     }
+    if !plan.knobs.is_empty() {
+        push(TrialPlan { knobs: Vec::new(), ..plan.clone() });
+        if plan.knobs.len() > 1 {
+            push(TrialPlan { knobs: plan.knobs[..plan.knobs.len() / 2].to_vec(), ..plan.clone() });
+        }
+    }
     if plan.n_images > 2 {
         push(TrialPlan { n_images: 2, ..plan.clone() });
     }

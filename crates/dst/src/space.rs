@@ -85,6 +85,18 @@ pub struct FaultSpace {
     pub dip_len_ms: Span,
     /// Capacity remaining during the dip, percent of nominal.
     pub dip_floor_pct: Span,
+    /// Knob-mutation axis: how many live control-plane commands to
+    /// dispatch mid-trial (drawn from the menu in
+    /// [`crate::trial::knob_commands`]).
+    pub knob_cmds: Span,
+    /// Command dispatch time, milliseconds.
+    pub knob_at_ms: Span,
+    /// Which menu entry the command exercises (interpreted modulo the
+    /// menu length, so any integer is a valid draw).
+    pub knob_kind: Span,
+    /// Command magnitude, percent — each menu entry scales this into its
+    /// knob's safe range.
+    pub knob_mag_pct: Span,
 }
 
 impl Default for FaultSpace {
@@ -115,6 +127,12 @@ impl Default for FaultSpace {
             dip_start_ms: Span::fixed(0),
             dip_len_ms: Span::fixed(0),
             dip_floor_pct: Span::fixed(0),
+            // The knob-mutation axis is likewise off by default (and
+            // RNG-neutral when off): legacy plans stay byte-identical.
+            knob_cmds: Span::fixed(0),
+            knob_at_ms: Span::fixed(0),
+            knob_kind: Span::fixed(0),
+            knob_mag_pct: Span::fixed(0),
         }
     }
 }
@@ -145,6 +163,10 @@ impl FaultSpace {
             dip_start_ms: Span::fixed(0),
             dip_len_ms: Span::fixed(0),
             dip_floor_pct: Span::fixed(0),
+            knob_cmds: Span::fixed(0),
+            knob_at_ms: Span::fixed(0),
+            knob_kind: Span::fixed(0),
+            knob_mag_pct: Span::fixed(0),
         }
     }
 
@@ -163,6 +185,24 @@ impl FaultSpace {
             dip_len_ms: Span::new(200, 500),
             dip_floor_pct: Span::new(30, 70),
             ..FaultSpace::quiet()
+        }
+    }
+
+    /// The knob-mutation space: the default fault grammar plus live
+    /// control-plane commands — seeded `Command` schedules that retune
+    /// steering dwell, scheduler preferences, retry backoff, and breaker
+    /// thresholds (or reset the breaker outright) while the faults play
+    /// out. Every mutation must surface as an audit event
+    /// ([`crate::oracle::config_audit_complete`]).
+    pub fn knobs() -> Self {
+        FaultSpace {
+            knob_cmds: Span::new(1, 4),
+            knob_at_ms: Span::new(100, 4_000),
+            // Interpreted modulo the menu length; spanning two full
+            // cycles keeps every entry reachable whatever the menu size.
+            knob_kind: Span::new(0, 2 * crate::trial::KNOB_MENU_LEN - 1),
+            knob_mag_pct: Span::new(0, 100),
+            ..FaultSpace::default()
         }
     }
 
@@ -212,6 +252,15 @@ impl FaultSpace {
             let floor = self.dip_floor_pct.sample(&mut rng).clamp(5, 95);
             dips.push((start, start + len, floor));
         }
+        // Knob draws come last, after the overload axis, for the same
+        // reason: spaces without the axis consume no RNG state here.
+        let mut knobs = Vec::new();
+        for _ in 0..self.knob_cmds.sample(&mut rng) {
+            let at = self.knob_at_ms.sample(&mut rng).max(1);
+            let kind = self.knob_kind.sample(&mut rng);
+            let mag = self.knob_mag_pct.sample(&mut rng).min(100);
+            knobs.push((at, kind, mag));
+        }
         TrialPlan {
             trial_seed,
             schedule_seed,
@@ -225,6 +274,7 @@ impl FaultSpace {
             timeout_ms,
             surges,
             dips,
+            knobs,
         }
     }
 }
@@ -259,6 +309,9 @@ pub struct TrialPlan {
     pub surges: Vec<(u64, u64, u64)>,
     /// Host-capacity dip windows `(start_ms, end_ms, floor_pct)`.
     pub dips: Vec<(u64, u64, u64)>,
+    /// Live control-plane commands `(at_ms, menu_kind, magnitude_pct)`,
+    /// decoded by [`crate::trial::knob_commands`].
+    pub knobs: Vec<(u64, u64, u64)>,
 }
 
 impl TrialPlan {
@@ -315,6 +368,7 @@ impl TrialPlan {
             + 250u64.saturating_sub(self.timeout_ms)
             + 10 * self.surges.len() as u64
             + 10 * self.dips.len() as u64
+            + 5 * self.knobs.len() as u64
     }
 }
 
@@ -364,6 +418,36 @@ mod tests {
         for seed in 0..100 {
             let p = FaultSpace::default().sample(seed);
             assert!(p.surges.is_empty() && p.dips.is_empty());
+            assert!(p.knobs.is_empty(), "the knob axis is opt-in");
+        }
+    }
+
+    #[test]
+    fn knob_space_samples_respect_ranges() {
+        let space = FaultSpace::knobs();
+        for seed in 0..200 {
+            let p = space.sample(seed);
+            assert!((1..=4).contains(&p.knobs.len()), "knob space always injects a command");
+            for &(at, kind, mag) in &p.knobs {
+                assert!((100..=4_000).contains(&at));
+                assert!(kind < 2 * crate::trial::KNOB_MENU_LEN);
+                assert!(mag <= 100);
+            }
+            assert!(p.weight() >= 5, "knob commands weigh in for the shrinker");
+        }
+    }
+
+    #[test]
+    fn knob_axis_is_rng_neutral_for_legacy_plans() {
+        // The knob draws come last and a zero-width span consumes no RNG
+        // state, so the default space samples exactly what the knob space
+        // samples minus the commands — the shared fault prefix is
+        // untouched by the axis existing.
+        for seed in 0..100 {
+            let legacy = FaultSpace::default().sample(seed);
+            let knobbed = FaultSpace::knobs().sample(seed);
+            let stripped = TrialPlan { knobs: Vec::new(), ..knobbed };
+            assert_eq!(legacy, stripped, "knob draws must not perturb the fault prefix");
         }
     }
 

@@ -27,6 +27,53 @@ use crate::space::TrialPlan;
 /// forever), so every trial runs under a horizon.
 pub const TRIAL_HORIZON_SECS: u64 = 60;
 
+/// Entries in the knob-mutation command menu ([`knob_commands`]).
+pub const KNOB_MENU_LEN: u64 = 7;
+
+/// Decode a plan's knob triples `(at_ms, kind, magnitude_pct)` into the
+/// operator-command schedule the trial scenario dispatches. The menu
+/// covers every control surface the single-app trial registers —
+/// steering dwell, scheduler preferences, retry backoff, breaker
+/// thresholds, a breaker reset — plus one deliberately-unknown key whose
+/// rejection must still be audited. `kind` is taken modulo the menu
+/// length and every magnitude maps into the knob's accepted range, so
+/// any integer triple decodes to a command the registry admits (only the
+/// unknown-key entry is refused, by design).
+pub fn knob_commands(plan: &TrialPlan) -> Vec<visapp::CommandAt> {
+    use obs::Command;
+    plan.knobs
+        .iter()
+        .map(|&(at_ms, kind, mag)| {
+            let mag = mag.min(100);
+            let cmd = match kind % KNOB_MENU_LEN {
+                // Steering dwell: 0..=1s. Zero disables the dwell floor.
+                0 => Command::set("steering.min_dwell_us", mag * 10_000),
+                // Preference flip; both shapes keep an unconstrained
+                // objective reachable so the scheduler always decides
+                // within the preference depth the oracle allows.
+                1 => Command::set(
+                    "scheduler.prefs",
+                    if mag < 50 {
+                        "minimize:transmit_time"
+                    } else {
+                        "resolution>=3,minimize:transmit_time then minimize:transmit_time"
+                    },
+                ),
+                // Retry multiplier: 1.0..=4.0 (the knob rejects < 1).
+                2 => Command::set("client.retry.multiplier", 1.0 + mag as f64 * 0.03),
+                // Breaker trip threshold: 1..=11 consecutive failures.
+                3 => Command::set("client.breaker.failure_threshold", 1 + mag / 10),
+                // Breaker recovery window: 10ms..=1.01s.
+                4 => Command::set("client.breaker.recovery_timeout_us", (mag + 1) * 10_000),
+                5 => Command::ResetBreaker { key: "client.breaker".into() },
+                // Unknown key: must be refused and audited, never panic.
+                _ => Command::set("no.such.knob", mag),
+            };
+            (at_ms.max(1) * 1_000, "dst".to_string(), cmd)
+        })
+        .collect()
+}
+
 /// Everything a trial run produced that the explorer cares about.
 #[derive(Debug, Clone)]
 pub struct TrialOutcome {
@@ -125,6 +172,7 @@ impl TrialContext {
             request_timeout_us: Some(plan.timeout_ms.max(1) * 1_000),
             fault_plan: plan.fault_plan(),
             drain_mode,
+            commands: knob_commands(plan),
             ..self.base.clone()
         }
     }

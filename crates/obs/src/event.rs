@@ -19,6 +19,9 @@ pub enum Source {
     /// The cluster arbiter (admission, policing, overload shedding —
     /// see the `arbiter` crate).
     Arbiter,
+    /// The live control plane (config mutations, pins, breaker resets —
+    /// see [`crate::control`]).
+    Control,
 }
 
 impl Source {
@@ -32,6 +35,7 @@ impl Source {
             Source::App => "app",
             Source::Load => "load",
             Source::Arbiter => "arbiter",
+            Source::Control => "control",
         }
     }
 }
@@ -229,6 +233,13 @@ impl EventFilter {
     /// working set of the arbiter oracles in `adapt-dst`.
     pub fn arbiter_lifecycle() -> Self {
         Self::any().source(Source::Arbiter)
+    }
+
+    /// Preset: the control plane's audit trail — config mutations,
+    /// rejections, pins, and breaker resets, in dispatch order. The
+    /// working set of the `config_audit_complete` oracle in `adapt-dst`.
+    pub fn control_audit() -> Self {
+        Self::any().source(Source::Control)
     }
 
     /// Does `ev` pass this filter?

@@ -40,12 +40,17 @@
 //! ```
 
 pub mod bus;
+pub mod control;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod span;
 
 pub use bus::{EventBus, Subscription};
+pub use control::{
+    Adaptive, Command, CommandOutcome, CommandRouter, ConfigEntry, ConfigRegistry, ConfigValue,
+    ControlError, FnKnob, Knob, KnobError, ResetSignal,
+};
 pub use event::{Event, EventFilter, Source, Value};
 pub use metrics::{HistStats, MetricId};
 pub use span::SpanGuard;
@@ -222,7 +227,10 @@ impl Obs {
 
 /// Common imports for obs users.
 pub mod prelude {
-    pub use crate::{Event, EventFilter, HistStats, MetricId, Obs, Source, Value};
+    pub use crate::{
+        Adaptive, Command, CommandRouter, ConfigRegistry, ConfigValue, Event, EventFilter,
+        HistStats, MetricId, Obs, Source, Value,
+    };
 }
 
 #[cfg(test)]

@@ -283,48 +283,6 @@ impl FaultPlan {
         Ok(self)
     }
 
-    /// Deprecated alias of [`with_loss`](FaultPlan::with_loss).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_loss` (builder convention)")]
-    pub fn loss(self, a: HostId, b: HostId, p: f64) -> Self {
-        self.with_loss(a, b, p)
-    }
-
-    /// Deprecated alias of [`with_loss_directed`](FaultPlan::with_loss_directed).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_loss_directed` (builder convention)")]
-    pub fn loss_directed(self, src: HostId, dst: HostId, p: f64) -> Self {
-        self.with_loss_directed(src, dst, p)
-    }
-
-    /// Deprecated alias of [`with_jitter`](FaultPlan::with_jitter).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_jitter` (builder convention)")]
-    pub fn jitter(self, a: HostId, b: HostId, max_us: u64) -> Self {
-        self.with_jitter(a, b, max_us)
-    }
-
-    /// Deprecated alias of [`with_link_down`](FaultPlan::with_link_down).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_link_down` (builder convention)")]
-    pub fn link_down(self, a: HostId, b: HostId, from: SimTime, until: SimTime) -> Self {
-        self.with_link_down(a, b, from, until)
-    }
-
-    /// Deprecated alias of [`with_partition`](FaultPlan::with_partition).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_partition` (builder convention)")]
-    pub fn partition(
-        self,
-        group_a: &[HostId],
-        group_b: &[HostId],
-        from: SimTime,
-        until: SimTime,
-    ) -> Self {
-        self.with_partition(group_a, group_b, from, until)
-    }
-
-    /// Deprecated alias of [`with_crash`](FaultPlan::with_crash).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_crash` (builder convention)")]
-    pub fn crash_host(self, host: HostId, at: SimTime, restart_at: Option<SimTime>) -> Self {
-        self.with_crash(host, at, restart_at)
-    }
-
     /// Arm every fault in the plan on `sim`. Probabilistic faults take
     /// effect immediately; scheduled faults are queued as kernel events.
     pub fn install(&self, sim: &mut Sim) {
@@ -410,16 +368,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_build() {
+    fn consuming_builders_chain() {
+        // Regression for the PR that removed the deprecated non-`with_`
+        // aliases: the canonical consuming builders cover the same plans.
         let plan = FaultPlan::new(3)
-            .loss(HostId(0), HostId(1), 0.1)
-            .jitter(HostId(0), HostId(1), 50)
-            .link_down(HostId(0), HostId(1), SimTime::from_ms(1), SimTime::from_ms(2))
-            .crash_host(HostId(1), SimTime::from_ms(3), None);
+            .with_loss(HostId(0), HostId(1), 0.1)
+            .with_jitter(HostId(0), HostId(1), 50)
+            .with_link_down(HostId(0), HostId(1), SimTime::from_ms(1), SimTime::from_ms(2))
+            .with_crash(HostId(1), SimTime::from_ms(3), None);
         assert_eq!(plan.seed(), 3);
-        assert_eq!(plan.losses.len(), 2);
-        assert_eq!(plan.windows.len(), 2);
+        assert_eq!(plan.losses.len(), 2, "symmetric loss covers both directions");
+        assert_eq!(plan.windows.len(), 2, "symmetric down-window covers both directions");
         assert_eq!(plan.crashes.len(), 1);
     }
 }

@@ -779,7 +779,11 @@ impl Sim {
     }
 
     /// Run `f` against the full (synced) accounting record of `a`.
-    pub fn with_accounting<R>(&mut self, a: ActorId, f: impl FnOnce(&Accounting) -> R) -> R {
+    ///
+    /// Named `read_*`, not `with_*`: the `with_*` prefix is reserved for
+    /// consuming builder steps (`mut self -> Self`); this is a scoped
+    /// accessor.
+    pub fn read_accounting<R>(&mut self, a: ActorId, f: impl FnOnce(&Accounting) -> R) -> R {
         let host = self.states[a.0].host.0;
         self.sync_host(host);
         f(&self.states[a.0].acct)
@@ -787,7 +791,7 @@ impl Sim {
 
     /// Transfers of `a` delivered at or after `since` (most recent last).
     pub fn transfers_since(&mut self, a: ActorId, since: SimTime) -> Vec<Transfer> {
-        self.with_accounting(a, |acct| {
+        self.read_accounting(a, |acct| {
             acct.transfers.iter().filter(|t| t.delivered >= since).copied().collect()
         })
     }

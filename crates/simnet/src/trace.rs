@@ -251,36 +251,9 @@ impl Trace {
             self.events.push((t, ev));
         }
     }
-
-    /// Borrow all recorded events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach an `obs::Obs` and use `obs.events_filtered(&EventFilter::any().source(Source::Simnet))`"
-    )]
-    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
-        &self.events
-    }
-
-    /// Take ownership of the recorded events, clearing the log.
-    #[deprecated(since = "0.1.0", note = "attach an `obs::Obs` and drain a subscription instead")]
-    pub fn take(&mut self) -> Vec<(SimTime, TraceEvent)> {
-        std::mem::take(&mut self.events)
-    }
-
-    /// Render the trace as one line per event (for test debugging).
-    #[deprecated(since = "0.1.0", note = "use `obs::Obs::render`, which covers all sources")]
-    pub fn render(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        for (t, ev) in &self.events {
-            let _ = writeln!(out, "{t} {ev:?}");
-        }
-        out
-    }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use obs::EventFilter;
@@ -289,7 +262,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut tr = Trace::default();
         tr.emit(SimTime::ZERO, TraceEvent::ComputeEnd { actor: ActorId(0) });
-        assert!(tr.events().is_empty());
+        assert!(tr.take_recorded().is_empty());
     }
 
     #[test]
@@ -297,22 +270,22 @@ mod tests {
         let mut tr = Trace::default();
         tr.set_enabled(true);
         tr.emit(SimTime::from_us(1), TraceEvent::ComputeEnd { actor: ActorId(0) });
-        assert_eq!(tr.events().len(), 1);
-        let evs = tr.take();
+        let evs = tr.take_recorded();
         assert_eq!(evs.len(), 1);
-        assert!(tr.events().is_empty());
+        assert!(tr.take_recorded().is_empty(), "take clears the shard-merge log");
     }
 
     #[test]
-    fn render_is_line_per_event() {
+    fn bus_render_is_line_per_event() {
+        let obs = Obs::new();
         let mut tr = Trace::default();
-        tr.set_enabled(true);
+        tr.attach_obs(&obs);
         tr.emit(
             SimTime::from_us(1),
             TraceEvent::MsgSent { src: ActorId(0), dst: ActorId(1), bytes: 5 },
         );
         tr.emit(SimTime::from_us(2), TraceEvent::ComputeEnd { actor: ActorId(0) });
-        assert_eq!(tr.render().lines().count(), 2);
+        assert_eq!(obs.render().lines().count(), 2);
     }
 
     #[test]
@@ -321,7 +294,7 @@ mod tests {
         let mut tr = Trace::default();
         tr.attach_obs(&obs);
         tr.emit(SimTime::from_us(3), TraceEvent::HostCrash { host: HostId(1) });
-        assert!(tr.events().is_empty());
+        assert!(tr.take_recorded().is_empty());
         let evs = obs.events_filtered(&EventFilter::any().source(Source::Simnet));
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].kind, "host_crash");

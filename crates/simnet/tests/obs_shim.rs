@@ -1,5 +1,8 @@
-//! Regression: the deprecated `Trace::events` shim and the obs bus see
-//! exactly the same kernel event stream — byte-identical after decoding.
+//! Regression for the removal of the legacy `Trace` shims
+//! (`Trace::events`/`take`/`render`): the obs bus alone carries the full
+//! kernel event stream, every simnet event decodes back into a typed
+//! [`TraceEvent`], and re-running the same seeded workload reproduces the
+//! stream byte-for-byte.
 
 use obs::{EventFilter, Obs, Source};
 use simnet::{dur, Actor, ActorId, Ctx, FaultPlan, Message, Sim, SimTime, TraceEvent};
@@ -29,9 +32,7 @@ impl Actor for Burst {
     }
 }
 
-#[test]
-#[allow(deprecated)]
-fn legacy_trace_log_and_bus_agree_byte_for_byte() {
+fn run_workload() -> Vec<(SimTime, TraceEvent)> {
     let obs = Obs::new();
     let mut sim = Sim::new();
     let ha = sim.add_host("a", 1.0, 1 << 30);
@@ -40,8 +41,6 @@ fn legacy_trace_log_and_bus_agree_byte_for_byte() {
     let echo = sim.spawn(hb, Box::new(Echo));
     sim.spawn(ha, Box::new(Burst { dst: echo, left: 25 }));
 
-    // Both sinks armed: the legacy log and the bus.
-    sim.trace.set_enabled(true);
     sim.attach_obs(&obs);
     FaultPlan::new(5)
         .with_loss(ha, hb, 0.2)
@@ -50,18 +49,31 @@ fn legacy_trace_log_and_bus_agree_byte_for_byte() {
         .install(&mut sim);
     sim.run_until_idle();
 
-    let legacy: &[(SimTime, TraceEvent)] = sim.trace.events();
-    assert!(!legacy.is_empty(), "workload must produce events");
-
-    let from_bus: Vec<(SimTime, TraceEvent)> = obs
-        .events_filtered(&EventFilter::any().source(Source::Simnet))
+    obs.events_filtered(&EventFilter::any().source(Source::Simnet))
         .iter()
         .map(|e| TraceEvent::from_obs(e).expect("every simnet bus event decodes"))
-        .collect();
-    assert_eq!(legacy, from_bus.as_slice());
+        .collect()
+}
 
-    // The rendered debug forms agree too (same order, same payloads).
-    let legacy_bytes: Vec<String> = legacy.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
-    let bus_bytes: Vec<String> = from_bus.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
-    assert_eq!(legacy_bytes, bus_bytes);
+#[test]
+fn bus_is_the_sole_source_of_kernel_events_and_is_deterministic() {
+    let first = run_workload();
+    assert!(!first.is_empty(), "workload must produce events");
+    assert!(
+        first.iter().any(|(_, e)| matches!(e, TraceEvent::MsgDropped { .. })),
+        "faulted run must drop messages"
+    );
+    assert!(
+        first.iter().any(|(_, e)| matches!(e, TraceEvent::HostCrash { .. })),
+        "crash schedule must land on the bus"
+    );
+
+    // Same seeds, same workload: the decoded stream is byte-identical —
+    // the determinism the deleted legacy log used to double-check.
+    let second = run_workload();
+    assert_eq!(first, second);
+
+    let first_bytes: Vec<String> = first.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
+    let second_bytes: Vec<String> = second.iter().map(|(t, e)| format!("{t} {e:?}")).collect();
+    assert_eq!(first_bytes, second_bytes);
 }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use adapt_core::{AdaptiveRuntime, Configuration, ResourceKey};
 use compress::Method;
+use obs::{Adaptive, CommandRouter, ConfigValue, FnKnob, KnobError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sandbox::SandboxStats;
@@ -299,6 +300,9 @@ pub struct Client {
     attempt: u32,
     /// Deterministic jitter source for retry timeouts.
     retry_rng: StdRng,
+    /// Live retransmission schedule: the control plane can retune the
+    /// backoff of a running client through `client.retry.*` knobs.
+    retry: Adaptive<RetryPolicy>,
     breaker: Option<CircuitBreaker>,
     /// The configuration to restore when an open breaker re-closes.
     saved_cfg: Option<VizConfig>,
@@ -311,6 +315,7 @@ impl Client {
             None => opts.initial,
         };
         let retry_rng = StdRng::seed_from_u64(opts.retry.seed);
+        let retry = Adaptive::new(opts.retry);
         let breaker = opts.breaker.as_ref().map(CircuitBreaker::new);
         Client {
             cfg,
@@ -330,6 +335,7 @@ impl Client {
             done: false,
             attempt: 0,
             retry_rng,
+            retry,
             breaker,
             saved_cfg: None,
         }
@@ -349,6 +355,86 @@ impl Client {
 
     pub fn current_config(&self) -> VizConfig {
         self.cfg
+    }
+
+    /// Register this client's live-tunable knobs (and its breaker reset
+    /// target) on a control router, namespaced under `prefix`:
+    ///
+    /// - `<prefix>.retry.multiplier` (f64), `<prefix>.retry.max_timeout_us`
+    ///   (u64), `<prefix>.retry.jitter_frac` (f64) — field projections of
+    ///   the retransmission schedule
+    /// - `<prefix>.breaker.failure_threshold`, `<prefix>.breaker.recovery_timeout_us`
+    ///   (u64) plus a `ResetBreaker` target at `<prefix>.breaker` — only
+    ///   when a breaker is armed
+    pub fn register_control(&self, prefix: &str, router: &CommandRouter) {
+        let reg = router.registry();
+        reg.register_knob(
+            format!("{prefix}.retry.multiplier"),
+            FnKnob::new(
+                self.retry.clone(),
+                "f64",
+                |p: &RetryPolicy| ConfigValue::F64(p.multiplier),
+                |p, v| {
+                    let m = v
+                        .as_f64()
+                        .ok_or(KnobError::TypeMismatch { expected: "f64", got: v.type_name() })?;
+                    if !m.is_finite() || m < 1.0 {
+                        return Err(KnobError::BadValue(format!("multiplier {m} must be >= 1")));
+                    }
+                    p.multiplier = m;
+                    Ok(())
+                },
+            ),
+        );
+        reg.register_knob(
+            format!("{prefix}.retry.max_timeout_us"),
+            FnKnob::new(
+                self.retry.clone(),
+                "u64",
+                |p: &RetryPolicy| ConfigValue::U64(p.max_timeout_us),
+                |p, v| {
+                    let t = v
+                        .as_u64()
+                        .ok_or(KnobError::TypeMismatch { expected: "u64", got: v.type_name() })?;
+                    if t == 0 {
+                        return Err(KnobError::BadValue("max_timeout_us must be > 0".into()));
+                    }
+                    p.max_timeout_us = t;
+                    Ok(())
+                },
+            ),
+        );
+        reg.register_knob(
+            format!("{prefix}.retry.jitter_frac"),
+            FnKnob::new(
+                self.retry.clone(),
+                "f64",
+                |p: &RetryPolicy| ConfigValue::F64(p.jitter_frac),
+                |p, v| {
+                    let j = v
+                        .as_f64()
+                        .ok_or(KnobError::TypeMismatch { expected: "f64", got: v.type_name() })?;
+                    if !j.is_finite() || !(0.0..1.0).contains(&j) {
+                        return Err(KnobError::BadValue(format!(
+                            "jitter_frac {j} must be in [0, 1)"
+                        )));
+                    }
+                    p.jitter_frac = j;
+                    Ok(())
+                },
+            ),
+        );
+        if let Some(b) = &self.breaker {
+            reg.register_knob(
+                format!("{prefix}.breaker.failure_threshold"),
+                b.failure_threshold_handle(),
+            );
+            reg.register_knob(
+                format!("{prefix}.breaker.recovery_timeout_us"),
+                b.recovery_timeout_handle(),
+            );
+            router.register_reset(format!("{prefix}.breaker"), b.reset_signal());
+        }
     }
 
     fn begin_image(&mut self, ctx: &mut Ctx<'_>) {
@@ -394,14 +480,34 @@ impl Client {
             }),
         );
         if let Some(base) = self.opts.request_timeout_us {
-            let timeout = self.opts.retry.timeout_us(base, self.attempt, &mut self.retry_rng);
+            let policy = self.retry.load();
+            let timeout = policy.timeout_us(base, self.attempt, &mut self.retry_rng);
             ctx.set_timer(timeout, TAG_RETRY_BASE + self.round_no);
         }
+    }
+
+    /// Apply any pending operator `ResetBreaker` command at a
+    /// deterministic point. Returns `true` when the reset re-closed a
+    /// tripped breaker (the degraded configuration is restored and the
+    /// close recorded, exactly as for an organic probe success).
+    fn poll_breaker_reset(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let Some(b) = self.breaker.as_mut() else { return false };
+        if !b.poll_reset() {
+            return false;
+        }
+        let now = ctx.now();
+        self.stats.record_breaker_close(now);
+        if let Some(saved) = self.saved_cfg.take() {
+            self.cfg = saved;
+            self.stats.record_config(now, self.cfg.to_configuration());
+        }
+        true
     }
 
     /// The task boundary: apply any pending reconfiguration and execute
     /// transition actions.
     fn boundary(&mut self, ctx: &mut Ctx<'_>) {
+        self.poll_breaker_reset(ctx);
         // While the breaker is non-closed the client is pinned to its
         // degraded configuration; scheduler decisions resume on re-close.
         if self.breaker.as_ref().is_some_and(|b| b.state() != BreakerState::Closed) {
@@ -603,6 +709,7 @@ impl Actor for Client {
             if !self.done && self.pending.is_none() && self.round_no == awaited {
                 self.stats.record_timeout();
                 self.attempt += 1;
+                self.poll_breaker_reset(ctx);
                 let now = ctx.now();
                 let mut blocked = false;
                 let mut opened = false;
@@ -631,7 +738,7 @@ impl Actor for Client {
                 if blocked {
                     // Breaker open: stop retransmitting; probe when the
                     // recovery window elapses.
-                    let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);
+                    let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us()).max(1);
                     ctx.set_timer(wait, TAG_BREAKER_PROBE);
                     return;
                 }
@@ -644,7 +751,13 @@ impl Actor for Client {
             if self.done || self.pending.is_some() {
                 return;
             }
-            if self.breaker.as_ref().is_none_or(|b| b.state() == BreakerState::Closed) {
+            // An operator reset closes the breaker here, at the probe
+            // timer — the only timer still pending during a full outage.
+            // When that happens the client must resume transmitting
+            // immediately (the early-return below would otherwise strand
+            // it with no timer armed), so fall through to the send path.
+            let reset = self.poll_breaker_reset(ctx);
+            if !reset && self.breaker.as_ref().is_none_or(|b| b.state() == BreakerState::Closed) {
                 // Stale probe timer: the breaker already re-closed (or was
                 // never armed) and normal rounds resumed — a probe now
                 // would inject a duplicate request.
@@ -653,14 +766,15 @@ impl Actor for Client {
             let now = ctx.now();
             let can = self.breaker.as_mut().is_none_or(|b| b.can_attempt(now));
             if can {
-                // Half-open probe. The server may have crashed and lost
-                // our session since we last spoke: re-announce the
-                // compression method before re-asking for the round.
+                // Half-open probe (or post-reset resumption). The server
+                // may have crashed and lost our session since we last
+                // spoke: re-announce the compression method before
+                // re-asking for the round.
                 ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
                 self.stats.record_retry();
                 self.send_request(ctx);
             } else {
-                let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us).max(1);
+                let wait = self.breaker.as_ref().map_or(1, |b| b.recovery_timeout_us()).max(1);
                 ctx.set_timer(wait, TAG_BREAKER_PROBE);
             }
             return;

@@ -40,7 +40,7 @@ pub use resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 pub use scenario::{
     build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
     run_adaptive, run_adaptive_until, run_competing, run_static, run_static_until, viz_spec,
-    LoadSpec, RunOutcome, Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
+    CommandAt, LoadSpec, RunOutcome, Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
 };
 pub use server::{Reporter, Server};
 pub use stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
@@ -56,11 +56,12 @@ pub mod prelude {
     pub use crate::resilience::{BreakerOpts, BreakerState, RetryPolicy};
     pub use crate::scenario::{
         build_db, client_cpu_key, client_net_key, profile_point, run_adaptive, run_adaptive_until,
-        run_competing, run_static, run_static_until, LoadSpec, RunOutcome, Scenario, CLIENT_HOST,
-        PROFILE_INPUT, SERVER_HOST,
+        run_competing, run_static, run_static_until, CommandAt, LoadSpec, RunOutcome, Scenario,
+        CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
     };
     pub use crate::server::Server;
     pub use crate::stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
     pub use crate::store::ImageStore;
     pub use crate::user_model::UserModel;
+    pub use obs::{Adaptive, Command, CommandOutcome, CommandRouter, ConfigRegistry, ConfigValue};
 }

@@ -9,6 +9,7 @@
 //! retransmitting (the link or server is presumed dead), degrades to its
 //! lowest-cost configuration, and probes again after `recovery_timeout_us`.
 
+use obs::{Adaptive, ResetSignal};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::SimTime;
@@ -86,6 +87,12 @@ pub enum BreakerState {
 
 /// The circuit breaker proper (state machine only — the client owns the
 /// timers and the degraded-configuration swap).
+///
+/// Both thresholds live behind [`Adaptive`] handles so the control plane
+/// can retune a running breaker (`Command::Set` on
+/// `client.breaker.failure_threshold` / `client.breaker.recovery_timeout_us`),
+/// and a [`ResetSignal`] lets a `Command::ResetBreaker` force the breaker
+/// closed at the client's next deterministic poll point.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     state: BreakerState,
@@ -96,8 +103,10 @@ pub struct CircuitBreaker {
     /// so concurrent timers cannot launch duplicate probes (which would
     /// each count toward reopening on failure).
     probe_inflight: bool,
-    pub failure_threshold: u32,
-    pub recovery_timeout_us: u64,
+    failure_threshold: Adaptive<u64>,
+    recovery_timeout: Adaptive<u64>,
+    reset: ResetSignal,
+    reset_seen: u64,
 }
 
 impl CircuitBreaker {
@@ -107,13 +116,55 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             opened_at: SimTime::ZERO,
             probe_inflight: false,
-            failure_threshold: opts.failure_threshold.max(1),
-            recovery_timeout_us: opts.recovery_timeout_us,
+            failure_threshold: Adaptive::new(opts.failure_threshold.max(1) as u64),
+            recovery_timeout: Adaptive::new(opts.recovery_timeout_us),
+            reset: ResetSignal::new(),
+            reset_seen: 0,
         }
     }
 
     pub fn state(&self) -> BreakerState {
         self.state
+    }
+
+    /// Live failure threshold (consecutive failures that trip the breaker).
+    pub fn failure_threshold(&self) -> u32 {
+        self.failure_threshold.load().clamp(1, u32::MAX as u64) as u32
+    }
+
+    /// Live recovery timeout (open-window length before a half-open probe).
+    pub fn recovery_timeout_us(&self) -> u64 {
+        self.recovery_timeout.load()
+    }
+
+    /// Handle for registering `failure_threshold` as a config knob.
+    pub fn failure_threshold_handle(&self) -> Adaptive<u64> {
+        self.failure_threshold.clone()
+    }
+
+    /// Handle for registering `recovery_timeout_us` as a config knob.
+    pub fn recovery_timeout_handle(&self) -> Adaptive<u64> {
+        self.recovery_timeout.clone()
+    }
+
+    /// The reset signal a `CommandRouter` pokes on `ResetBreaker`.
+    pub fn reset_signal(&self) -> ResetSignal {
+        self.reset.clone()
+    }
+
+    /// Poll for an operator reset. When one arrived since the last poll,
+    /// force the breaker closed (clearing the failure streak and any
+    /// in-flight probe) and return `true`. Deterministic: the reset takes
+    /// effect here, at the owner's chosen poll point, not asynchronously.
+    pub fn poll_reset(&mut self) -> bool {
+        if !self.reset.take(&mut self.reset_seen) {
+            return false;
+        }
+        self.consecutive_failures = 0;
+        self.probe_inflight = false;
+        let reopened = self.state != BreakerState::Closed;
+        self.state = BreakerState::Closed;
+        reopened
     }
 
     pub fn consecutive_failures(&self) -> u32 {
@@ -143,7 +194,7 @@ impl CircuitBreaker {
         self.probe_inflight = false;
         match self.state {
             BreakerState::Closed => {
-                if self.consecutive_failures >= self.failure_threshold {
+                if u64::from(self.consecutive_failures) >= self.failure_threshold.load().max(1) {
                     self.state = BreakerState::Open;
                     self.opened_at = now;
                     true
@@ -177,7 +228,7 @@ impl CircuitBreaker {
             BreakerState::Closed => true,
             BreakerState::HalfOpen => !self.probe_inflight,
             BreakerState::Open => {
-                if now.since(self.opened_at) >= self.recovery_timeout_us {
+                if now.since(self.opened_at) >= self.recovery_timeout.load() {
                     self.state = BreakerState::HalfOpen;
                     self.probe_inflight = true;
                     true
@@ -294,6 +345,53 @@ mod tests {
         assert!(!b.probe_inflight());
         assert!(b.can_attempt(t(440)), "new window admits a new probe");
         assert!(b.probe_inflight());
+    }
+
+    #[test]
+    fn reset_signal_forces_breaker_closed_at_poll() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 1,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        assert!(!b.poll_reset(), "no pending reset at start");
+        assert!(b.on_failure(t(0)));
+        assert_eq!(b.state(), BreakerState::Open);
+        let signal = b.reset_signal();
+        signal.request();
+        assert!(b.poll_reset(), "pending reset closes an open breaker");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(b.can_attempt(t(1)), "closed breaker admits traffic immediately");
+        assert!(!b.poll_reset(), "reset is edge-triggered: consumed once");
+        // A reset while half-open clears the in-flight probe too.
+        assert!(b.on_failure(t(10)));
+        assert!(b.can_attempt(t(120)));
+        assert!(b.probe_inflight());
+        signal.request();
+        assert!(b.poll_reset());
+        assert!(!b.probe_inflight());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn thresholds_are_live_tunable_through_handles() {
+        let mut b = CircuitBreaker::new(&BreakerOpts {
+            failure_threshold: 5,
+            recovery_timeout_us: 100_000,
+            degraded: None,
+        });
+        // Tighten the threshold mid-streak: the next failure trips.
+        b.on_failure(t(0));
+        b.failure_threshold_handle().set(2);
+        assert_eq!(b.failure_threshold(), 2);
+        assert!(b.on_failure(t(10)), "new lower threshold trips on second failure");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Stretch the recovery window mid-open: the old window no longer probes.
+        b.recovery_timeout_handle().set(500_000);
+        assert_eq!(b.recovery_timeout_us(), 500_000);
+        assert!(!b.can_attempt(t(150)), "old 100ms window no longer admits a probe");
+        assert!(b.can_attempt(t(520)), "new 500ms window does");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use adapt_core::{
     TunableSpec, MONITOR_PERIOD_US,
 };
 use compress::Method;
-use obs::Obs;
+use obs::{Command, CommandRouter, ConfigRegistry, Obs};
 use sandbox::{LimitSchedule, Limits, LimitsHandle, SandboxStats, Sandboxed};
 use simnet::{DrainMode, FaultPlan, HostId, LinkMode, Sim, SimTime};
 
@@ -115,7 +115,15 @@ pub struct Scenario {
     /// simulation-test explorer (`adapt-dst`) sets
     /// [`DrainMode::Explore`] to perturb the schedule per trial.
     pub drain_mode: DrainMode,
+    /// Scheduled control-plane commands, each dispatched through the run's
+    /// [`CommandRouter`] at its simulation time on behalf of the named
+    /// operator. Empty (the default) leaves every run byte-identical to a
+    /// run with no control plane at all.
+    pub commands: Vec<CommandAt>,
 }
+
+/// One scheduled control-plane command: `(at_us, who, command)`.
+pub type CommandAt = (u64, String, Command);
 
 /// The client host in every scenario-assembled simulation (added first).
 pub const CLIENT_HOST: HostId = HostId(0);
@@ -146,6 +154,7 @@ impl Default for Scenario {
             fault_plan: None,
             link_mode: LinkMode::Fifo,
             drain_mode: DrainMode::Batched,
+            commands: Vec::new(),
         }
     }
 }
@@ -278,6 +287,10 @@ pub struct RunOutcome {
     /// The run's observability sink: every kernel trace event, adaptation
     /// event, and `visapp.*` metric, queryable after the fact.
     pub obs: Obs,
+    /// The run's control plane: the router (and its registry of live
+    /// knobs) that [`Scenario::commands`] dispatched through. Still live
+    /// after the run — `ListConfig` shows the final knob state.
+    pub control: CommandRouter,
 }
 
 /// Debug hooks: `VISAPP_EVENT_LIMIT=<n>` installs a runaway-loop backstop,
@@ -310,6 +323,18 @@ fn client_opts(
         .with_breaker(sc.breaker)
 }
 
+/// Install the scenario's scheduled control commands: each dispatches
+/// through `router` at its simulation time. Rejections still publish
+/// `config_reject` audit events, so a bad schedule is visible post-run.
+fn install_commands(sim: &mut Sim, router: &CommandRouter, commands: &[CommandAt]) {
+    for (at_us, who, cmd) in commands.iter().cloned() {
+        let router = router.clone();
+        sim.at(SimTime::from_us(at_us), move |_| {
+            let _ = router.dispatch(at_us, &who, cmd);
+        });
+    }
+}
+
 fn assemble(
     sc: &Scenario,
     store: &Arc<ImageStore>,
@@ -318,7 +343,7 @@ fn assemble(
     stats_handle: &StatsHandle,
     adapt: Option<AdaptSetup>,
     obs: &Obs,
-) -> Sim {
+) -> (Sim, CommandRouter) {
     sc.validate().expect("invalid scenario");
     stats_handle.attach_obs(obs);
     let mut sim = Sim::new();
@@ -352,13 +377,19 @@ fn assemble(
     } else {
         None
     });
+    let router = CommandRouter::new(ConfigRegistry::new()).with_obs(obs);
+    if let Some(a) = &adapt {
+        a.runtime.register_knobs(router.registry());
+    }
     let client = Client::new(opts, stats_handle.clone(), adapt);
+    client.register_control("client", &router);
     sim.spawn(
         hc,
         Box::new(Sandboxed::new(client, limits, SandboxStats::new(sc.monitor_window_us))),
     );
     install_loads(&mut sim, hc, &sc.competing_load);
-    sim
+    install_commands(&mut sim, &router, &sc.commands);
+    (sim, router)
 }
 
 /// Run a fixed (non-adaptive) configuration. `schedule` varies the
@@ -373,13 +404,13 @@ pub fn run_static(
     let obs = Obs::new();
     let stats_handle = StatsHandle::new();
     let limits = LimitsHandle::new(initial_limits);
-    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
+    let (mut sim, control) = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
     apply_debug_env(&mut sim);
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
     }
     sim.run_until_idle();
-    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs, control }
 }
 
 /// Like [`run_static`] but stops the simulation at `horizon` even when
@@ -397,13 +428,13 @@ pub fn run_static_until(
     let obs = Obs::new();
     let stats_handle = StatsHandle::new();
     let limits = LimitsHandle::new(initial_limits);
-    let mut sim = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
+    let (mut sim, control) = assemble(sc, store, config, limits.clone(), &stats_handle, None, &obs);
     apply_debug_env(&mut sim);
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
     }
     sim.run_until(horizon);
-    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs, control }
 }
 
 /// Run the adaptive application: performance database + preferences drive
@@ -459,6 +490,8 @@ fn run_adaptive_inner(
         .unwrap_or_else(|e| panic!("initial configuration failed: {e}"));
     runtime.set_obs(&obs);
     runtime.monitor.min_trigger_gap_us = sc.trigger_gap_us;
+    let control = CommandRouter::new(ConfigRegistry::new()).with_obs(&obs);
+    runtime.register_knobs(control.registry());
     let initial_cfg = VizConfig::from_configuration(runtime.current());
     let sandbox_stats = SandboxStats::new(sc.monitor_window_us);
     let adapt = AdaptSetup {
@@ -490,8 +523,10 @@ fn run_adaptive_inner(
     let server_id = sim.spawn(hs, Box::new(Server::new(store.clone()).with_obs(&obs)));
     let opts = client_opts(sc, store, server_id, initial_cfg);
     let client = Client::new(opts, stats_handle.clone(), Some(adapt));
+    client.register_control("client", &control);
     sim.spawn(hc, Box::new(Sandboxed::new(client, limits.clone(), sandbox_stats)));
     install_loads(&mut sim, hc, &sc.competing_load);
+    install_commands(&mut sim, &control, &sc.commands);
     apply_debug_env(&mut sim);
     if let Some(sched) = schedule {
         sched.install(&mut sim, &limits);
@@ -500,7 +535,7 @@ fn run_adaptive_inner(
         Some(h) => sim.run_until(h),
         None => sim.run_until_idle(),
     }
-    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs }
+    RunOutcome { stats: stats_handle.take(), end: sim.now(), obs, control }
 }
 
 /// Run several independent clients concurrently against one server, each

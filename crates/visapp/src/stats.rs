@@ -179,15 +179,6 @@ impl StatsHandle {
         f(&self.stats.lock().unwrap())
     }
 
-    /// Mutate the raw record directly, bypassing the obs mirror.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the typed `record_*` methods so attached obs sinks stay consistent"
-    )]
-    pub fn with_mut<R>(&self, f: impl FnOnce(&mut RunStats) -> R) -> R {
-        f(&mut self.stats.lock().unwrap())
-    }
-
     /// Extract the final stats (clones the records).
     pub fn take(&self) -> RunStats {
         std::mem::take(&mut self.stats.lock().unwrap())

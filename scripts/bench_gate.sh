@@ -21,10 +21,12 @@ cargo build --release -q -p adapt-bench
 ./target/release/load_bench "$fresh/BENCH_load.json"
 ./target/release/dst_bench "$fresh/BENCH_dst.json"
 ./target/release/arbiter_bench "$fresh/BENCH_arbiter.json"
+./target/release/control_bench "$fresh/BENCH_control.json"
 
 echo "== bench gate: comparing against committed baselines =="
 status=0
-for name in BENCH_perfdb.json BENCH_obs.json BENCH_load.json BENCH_dst.json BENCH_arbiter.json; do
+for name in BENCH_perfdb.json BENCH_obs.json BENCH_load.json BENCH_dst.json BENCH_arbiter.json \
+            BENCH_control.json; do
     python3 scripts/bench_compare.py "$name" "$fresh/$name" || status=1
 done
 exit "$status"

@@ -26,11 +26,17 @@ if [ "$d1" != "$d4" ]; then
     exit 1
 fi
 echo "arbiter_smoke: digest $d1 stable across SIMNET_THREADS={1,4}"
+# Live-reconfiguration smoke: the preference_flip example asserts the
+# control plane end to end — an empty command schedule leaves the event
+# stream byte-identical across reruns, a mid-run Command::Set flips the
+# scheduler's choice in the same run with a matching audit event, and a
+# pinned knob refuses the Set.
+cargo run --release -q --example preference_flip
+# The pre-obs shims (Trace::events/take/render, StatsHandle::with_mut,
+# AdaptiveRuntime::configure/events, FaultPlan::loss/...) are deleted;
+# -D deprecated keeps any future soft-deprecated entry point out of the
+# workspace's own code from day one.
 cargo clippy --workspace --all-targets -- -D warnings
-# The workspace's own code must not call the deprecated pre-obs entry
-# points (Trace::events/take/render, AdaptiveRuntime::configure/events,
-# StatsHandle::with_mut, FaultPlan::loss/...); external callers still
-# get the soft deprecation warning only.
 cargo clippy --workspace --all-targets -- -D deprecated
 # Rustdoc is part of the API surface: broken intra-doc links and bad
 # doc examples fail the gate.
