@@ -1,0 +1,141 @@
+//! Exporter overhead measurement, written as machine-readable JSON
+//! (BENCH_export.json).
+//!
+//! The Prometheus renderer and the OTLP span exporter are pull-based:
+//! they cost nothing until someone calls them. The only per-operation
+//! cost they add is the `obs.export.spans` knob check at span open — one
+//! atomic load. This bench pins that claim:
+//!
+//! * **span_hot_path** — spans/sec on a fresh handle that never touched
+//!   any export API (the no-exporter baseline), on a handle whose
+//!   exporters were exercised and then *disabled* (the gated case:
+//!   `disabled_ratio` must stay >= 0.95 of baseline, enforced by
+//!   scripts/bench_gate.sh on the fresh run), and with span retention
+//!   *enabled* (reported, not gated — retention buys a trace and pays an
+//!   allocation).
+//! * **render** — one-shot exporter costs on a populated registry:
+//!   Prometheus renders/sec and OTLP exports/sec, plus deterministic
+//!   output sizes which gate symmetrically.
+//!
+//! Usage: `export_bench [output.json]` (default `BENCH_export.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use obs::{Command, CommandRouter, ConfigRegistry, Obs};
+
+const SPANS: u64 = 2_000_000;
+const METRICS: u64 = 64;
+const TRACE_SPANS: u64 = 10_000;
+const RENDERS: u64 = 200;
+
+/// Open/close `SPANS` spans against `obs`; returns spans/sec.
+fn span_loop(obs: &Obs) -> f64 {
+    let h = obs.histogram("bench.span");
+    let t = Instant::now();
+    for _ in 0..SPANS {
+        let _g = black_box(obs.span(h));
+    }
+    SPANS as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_export.json".into());
+
+    // -- baseline: exporters never touched ------------------------------
+    let baseline = Obs::new();
+    let base_sps = span_loop(&baseline);
+
+    // -- disabled: exporters exercised, then switched off through the
+    //    control plane — the steady state of a production run that is
+    //    not currently being scraped.
+    let obs = Obs::new();
+    let registry = ConfigRegistry::new();
+    obs.register_export_knobs(&registry);
+    let router = CommandRouter::new(registry).with_obs(&obs);
+    router.dispatch(0, "bench", Command::set("obs.export.spans", true)).expect("knob on");
+    {
+        let _warm = obs.span_named("bench.span");
+    }
+    let _ = obs.export_prometheus();
+    let _ = obs.export_otlp_spans();
+    router.dispatch(1, "bench", Command::set("obs.export.spans", false)).expect("knob off");
+    obs.clear_spans();
+    let disabled_sps = span_loop(&obs);
+    let disabled_ratio = disabled_sps / base_sps;
+
+    // -- enabled: full span retention (reported only) --------------------
+    obs.set_span_export(true);
+    let enabled_sps = span_loop(&obs);
+    let enabled_ratio = enabled_sps / base_sps;
+    obs.set_span_export(false);
+    obs.clear_spans();
+
+    // -- render costs on a populated registry ----------------------------
+    let popd = Obs::new();
+    for i in 0..METRICS {
+        match i % 3 {
+            0 => popd.inc(popd.counter(&format!("bench.counter.{i}")), i),
+            1 => popd.set(popd.gauge(&format!("bench.gauge.{i}")), i as f64 * 0.5),
+            _ => {
+                let h = popd.histogram(&format!("bench.hist.{i}"));
+                for v in [1.0, 10.0, 100.0, 1000.0] {
+                    popd.observe(h, v * (i + 1) as f64);
+                }
+            }
+        }
+    }
+    popd.set_span_export(true);
+    let th = popd.histogram("bench.trace");
+    for _ in 0..TRACE_SPANS {
+        let _outer = popd.span(th);
+        let _inner = popd.span(th);
+    }
+    let prom_bytes = popd.export_prometheus().len() as u64;
+    let t = Instant::now();
+    for _ in 0..RENDERS {
+        black_box(popd.export_prometheus());
+    }
+    let prom_rps = RENDERS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    let otlp_bytes = popd.export_otlp_spans().len() as u64;
+    let retained = popd.spans_recorded() as u64;
+    let t = Instant::now();
+    for _ in 0..RENDERS {
+        black_box(popd.export_otlp_spans());
+    }
+    let otlp_rps = RENDERS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    println!("{SPANS} spans per loop");
+    println!("  baseline (no exporter):  {base_sps:>12.0} spans/s");
+    println!(
+        "  exporters disabled:      {disabled_sps:>12.0} spans/s  (ratio {disabled_ratio:.3})"
+    );
+    println!("  span retention enabled:  {enabled_sps:>12.0} spans/s  (ratio {enabled_ratio:.3})");
+    println!("{RENDERS} one-shot exports over {METRICS} metrics / {retained} spans");
+    println!("  prometheus: {prom_rps:>9.0} renders/s  ({prom_bytes} bytes)");
+    println!("  otlp spans: {otlp_rps:>9.0} exports/s  ({otlp_bytes} bytes)");
+
+    let json = format!(
+        "{{\n\
+         \"bench\": \"export\",\n\
+         \"span_hot_path\": {{\n\
+         \x20 \"spans\": {SPANS},\n\
+         \x20 \"baseline_spans_per_sec\": {base_sps:.0},\n\
+         \x20 \"disabled_spans_per_sec\": {disabled_sps:.0},\n\
+         \x20 \"disabled_ratio\": {disabled_ratio:.4},\n\
+         \x20 \"enabled_spans_per_sec\": {enabled_sps:.0},\n\
+         \x20 \"enabled_ratio\": {enabled_ratio:.4}\n\
+         }},\n\
+         \"render\": {{\n\
+         \x20 \"metrics\": {METRICS},\n\
+         \x20 \"trace_spans\": {retained},\n\
+         \x20 \"prometheus_bytes\": {prom_bytes},\n\
+         \x20 \"prometheus_renders_per_sec\": {prom_rps:.0},\n\
+         \x20 \"otlp_bytes\": {otlp_bytes},\n\
+         \x20 \"otlp_exports_per_sec\": {otlp_rps:.0}\n\
+         }}\n\
+         }}\n"
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -55,7 +55,9 @@ pub use event::{Event, EventFilter, Source, Value};
 pub use metrics::{HistStats, MetricId};
 pub use span::SpanGuard;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Shared observability handle: a metrics registry plus an event bus.
 ///
@@ -66,10 +68,30 @@ pub struct Obs {
     inner: Arc<Inner>,
 }
 
-#[derive(Default)]
 struct Inner {
     metrics: Mutex<metrics::Registry>,
     bus: Mutex<EventBus>,
+    /// Completed trace spans, retained only while `span_export` is on.
+    spans: Mutex<Vec<span::SpanRecord>>,
+    /// The `obs.export.spans` knob: off by default so span tracing costs
+    /// one atomic load per span until explicitly enabled.
+    span_export: Adaptive<bool>,
+    next_span_id: AtomicU64,
+    /// Wall-clock zero for span timestamps.
+    epoch: Instant,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            metrics: Mutex::default(),
+            bus: Mutex::default(),
+            spans: Mutex::default(),
+            span_export: Adaptive::new(false),
+            next_span_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Obs {
@@ -211,6 +233,55 @@ impl Obs {
         self.bus().dropped()
     }
 
+    // ---- span tracing (opt-in via the `obs.export.spans` knob) ----
+
+    /// Is span-trace retention currently on?
+    pub fn span_export_enabled(&self) -> bool {
+        self.inner.span_export.load()
+    }
+
+    /// Turn span-trace retention on or off. Spans opened while off leave
+    /// no trace record (their histogram timing is unaffected).
+    pub fn set_span_export(&self, on: bool) {
+        self.inner.span_export.set(on);
+    }
+
+    /// Register this handle's export knobs on a control-plane registry:
+    /// `obs.export.spans` (bool) toggles span-trace retention at run time.
+    pub fn register_export_knobs(&self, registry: &ConfigRegistry) {
+        registry.register_knob("obs.export.spans", self.inner.span_export.clone());
+    }
+
+    /// Number of trace spans retained so far.
+    pub fn spans_recorded(&self) -> usize {
+        self.spans().len()
+    }
+
+    /// Discard all retained trace spans.
+    pub fn clear_spans(&self) {
+        self.spans().clear();
+    }
+
+    fn spans(&self) -> MutexGuard<'_, Vec<span::SpanRecord>> {
+        self.inner.spans.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn spans_snapshot(&self) -> Vec<span::SpanRecord> {
+        self.spans().clone()
+    }
+
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        self.inner.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn epoch_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    pub(crate) fn record_span(&self, rec: span::SpanRecord) {
+        self.spans().push(rec);
+    }
+
     // ---- export ----
 
     /// Render retained events one line per event (for test debugging).
@@ -222,6 +293,22 @@ impl Obs {
     /// (`BENCH_obs.json`-compatible).
     pub fn export_json(&self) -> String {
         export::export_json(&self.metrics(), &self.bus())
+    }
+
+    /// Render the metric registry in Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket`/`_sum`/`_count` series plus a `<name>_quantiles` summary
+    /// with p50/p95/p99. Deterministic for deterministic inputs.
+    pub fn export_prometheus(&self) -> String {
+        export::render_prometheus(&self.metrics())
+    }
+
+    /// Export retained trace spans as OTLP-shaped JSON
+    /// (`resourceSpans` → `scopeSpans` → `spans`, hex trace/span ids,
+    /// `parentSpanId` from RAII nesting). Empty-but-valid when span
+    /// export was never enabled.
+    pub fn export_otlp_spans(&self) -> String {
+        export::export_otlp_spans(&self.metrics(), &self.spans_snapshot())
     }
 }
 

@@ -127,6 +127,11 @@ impl Registry {
         }
     }
 
+    /// Name of a registered metric (`None` for an id from another `Obs`).
+    pub(crate) fn name(&self, id: MetricId) -> Option<&str> {
+        self.metrics.get(id.0 as usize).map(|m| m.name.as_str())
+    }
+
     pub(crate) fn histogram_stats(&self, id: MetricId) -> HistStats {
         match self.metrics.get(id.0 as usize) {
             Some(Metric { data: Data::Histogram(h), .. }) => h.stats(),
@@ -190,6 +195,11 @@ impl Hist {
             }
         }
         self.max
+    }
+
+    /// Per-bucket observation counts (not cumulative), lowest bound first.
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
     }
 
     pub(crate) fn stats(&self) -> HistStats {

@@ -1,0 +1,168 @@
+//! Golden-file tests for the Prometheus text renderer and the
+//! OTLP-shaped span exporter.
+//!
+//! The Prometheus rendering of a fixed metric population is fully
+//! deterministic, so it is compared byte-for-byte against
+//! `tests/golden/prometheus.txt`. Span timestamps are wall-clock, so the
+//! OTLP golden comparison normalizes every `*TimeUnixNano` value to `0`
+//! first; ids, names, and parent/child nesting stay exact. Regenerate
+//! either file with `OBS_BLESS=1 cargo test -p obs --test export_golden`.
+
+use obs::Obs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with OBS_BLESS=1", path.display())
+    });
+    assert_eq!(actual, expected, "{name} drifted from its golden file; re-bless if intended");
+}
+
+/// A fixed metric population exercising every branch of the renderer:
+/// escaping, NaN, empty and multi-bucket histograms.
+fn populated() -> Obs {
+    let obs = Obs::new();
+    let c = obs.counter("viz.requests");
+    obs.inc(c, 3);
+    let weird = obs.counter("weird\"name\\with.specials");
+    obs.inc(weird, 1);
+    let g = obs.gauge("net.bw_kbps");
+    obs.set(g, 2.5);
+    let nan = obs.gauge("sched.score");
+    obs.set(nan, f64::NAN);
+    let h = obs.histogram("lat.us");
+    for v in [0.5, 1.0, 100.0, 100.0, 5_000.0] {
+        obs.observe(h, v);
+    }
+    let _empty = obs.histogram("never.observed");
+    obs
+}
+
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let obs = populated();
+    let text = obs.export_prometheus();
+    check_golden("prometheus.txt", &text);
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_and_capped_by_count() {
+    let obs = populated();
+    let text = obs.export_prometheus();
+    // Every lat_us bucket sample must be non-decreasing and end at the
+    // total count, with the +Inf bucket equal to _count.
+    let mut prev = 0u64;
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("lat_us_bucket{le=\"") {
+            let (le, val) = rest.split_once("\"} ").unwrap();
+            let v: u64 = val.parse().unwrap();
+            assert!(v >= prev, "bucket le={le} went backwards: {v} < {prev}");
+            prev = v;
+            if le == "+Inf" {
+                inf = Some(v);
+            }
+        } else if let Some(v) = line.strip_prefix("lat_us_count ") {
+            count = Some(v.parse::<u64>().unwrap());
+        }
+    }
+    assert_eq!(count, Some(5));
+    assert_eq!(inf, count, "+Inf bucket must equal the observation count");
+}
+
+#[test]
+fn prometheus_summary_quantiles_are_ordered() {
+    let obs = populated();
+    let text = obs.export_prometheus();
+    let q = |label: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("lat_us_quantiles{{quantile=\"{label}\"}} ")))
+            .unwrap_or_else(|| panic!("missing quantile {label}"))
+            .parse()
+            .unwrap()
+    };
+    let (p50, p95, p99) = (q("0.5"), q("0.95"), q("0.99"));
+    assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    assert!((0.5..=5_000.0).contains(&p50), "clamped to observed range");
+}
+
+fn normalize_times(json: &str) -> String {
+    json.lines()
+        .map(|l| {
+            if l.contains("TimeUnixNano") {
+                let key_end = l.find(": \"").unwrap() + 3;
+                let tail = if l.trim_end().ends_with(',') { "0\"," } else { "0\"" };
+                format!("{}{}", &l[..key_end], tail)
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn otlp_span_export_matches_golden_with_nesting() {
+    let obs = Obs::new();
+    obs.set_span_export(true);
+    let outer = obs.histogram("frame.render");
+    let inner = obs.histogram("frame.compress");
+    {
+        let _o = obs.span(outer);
+        {
+            let _i = obs.span(inner);
+        }
+        {
+            let _i = obs.span(inner);
+        }
+    }
+    {
+        let _root = obs.span(inner);
+    }
+    let json = obs.export_otlp_spans();
+    check_golden("otlp_spans.json", &normalize_times(&json));
+
+    // Structural nesting assertions independent of the golden bytes: the
+    // two inner spans carry the outer span's id as parentSpanId; roots
+    // have an empty parent.
+    let parents: Vec<&str> = json
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("\"parentSpanId\": \""))
+        .map(|r| r.trim_end_matches("\","))
+        .map(|r| r.trim_end_matches('"'))
+        .collect();
+    let spans: Vec<&str> = json
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("\"spanId\": \""))
+        .map(|r| r.trim_end_matches("\","))
+        .collect();
+    assert_eq!(spans.len(), 4);
+    // Spans are recorded in completion order: inner, inner, outer, root.
+    assert_eq!(parents[0], spans[2]);
+    assert_eq!(parents[1], spans[2]);
+    assert_eq!(parents[2], "");
+    assert_eq!(parents[3], "");
+}
+
+#[test]
+fn disabled_export_yields_empty_but_valid_payload() {
+    let obs = Obs::new();
+    let h = obs.histogram("h");
+    {
+        let _g = obs.span(h);
+    }
+    assert_eq!(obs.spans_recorded(), 0);
+    let json = obs.export_otlp_spans();
+    assert!(json.contains("\"spans\": ["), "shape intact when empty: {json}");
+}

@@ -24,6 +24,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -396,7 +397,22 @@ pub struct Sim {
     /// Same-instant cross-shard collisions observed while splicing barrier
     /// deliveries (see [`Sim::ambiguous_ties`]).
     ambiguous_ties: u64,
+    /// Optional wire interposition: every transmitted message passes
+    /// through this hook before entering the (simulated) network. `None`
+    /// (the default) costs one branch; see [`Sim::set_wire_hook`].
+    wire_hook: Option<WireHook>,
 }
+
+/// A wire interposition function: `(src, dst, msg) -> msg`.
+///
+/// Installed with [`Sim::set_wire_hook`]; called synchronously inside
+/// [`Ctx::send`]/[`Ctx::send_now`] delivery for every message, before any
+/// tracing or link modelling. The returned message continues through the
+/// normal path, so a hook that returns its input verbatim is invisible to
+/// the simulation. Harnesses use this to detour traffic through a real
+/// transport (encode → socket → decode) while the kernel keeps owning
+/// virtual time.
+pub type WireHook = Arc<dyn Fn(ActorId, ActorId, Message) -> Message + Send + Sync>;
 
 impl Default for Sim {
     fn default() -> Self {
@@ -440,7 +456,15 @@ impl Sim {
             observer_hosts: HashSet::new(),
             shard_ctx: None,
             ambiguous_ties: 0,
+            wire_hook: None,
         }
+    }
+
+    /// Interpose on every transmitted message (see [`WireHook`]). A
+    /// hook that returns the message unchanged leaves the simulation
+    /// bit-for-bit identical; `None` restores the direct path.
+    pub fn set_wire_hook(&mut self, hook: Option<WireHook>) {
+        self.wire_hook = hook;
     }
 
     // ------------------------------------------------------------------
@@ -1314,6 +1338,10 @@ impl Sim {
     /// Put a message on the wire from `src` to `dst`.
     fn transmit(&mut self, src: ActorId, dst: ActorId, msg: Message) {
         assert!(dst.0 < self.states.len(), "send to unknown actor {dst}");
+        let msg = match &self.wire_hook {
+            Some(hook) => hook(src, dst, msg),
+            None => msg,
+        };
         let hs = self.states[src.0].host.0;
         let hd = self.states[dst.0].host.0;
         let bytes = msg.wire_bytes;
@@ -1445,6 +1473,7 @@ impl Sim {
                 s.default_latency_us = self.default_latency_us;
                 s.local_latency_us = self.local_latency_us;
                 s.next_flow_id = self.next_flow_id;
+                s.wire_hook = self.wire_hook.clone();
                 s.trace.set_enabled(self.trace.is_enabled());
                 if let Some(o) = self.trace.obs() {
                     let o = o.clone();

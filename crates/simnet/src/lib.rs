@@ -74,7 +74,7 @@ pub mod trace;
 pub use accounting::{Accounting, Dir, Snapshot, Transfer};
 pub use actor::{Action, Actor, ActorId, HostId};
 pub use fault::{DropReason, FaultError, FaultPlan};
-pub use kernel::{Ctx, DrainMode, ExplorePlan, Sim};
+pub use kernel::{Ctx, DrainMode, ExplorePlan, Sim, WireHook};
 pub use link::{FlowSched, Link, LinkMode};
 pub use message::{DecodeError, Message};
 pub use time::{dur, SimTime};

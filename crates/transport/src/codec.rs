@@ -1,0 +1,226 @@
+//! Payload codecs: turning typed `simnet::Message` bodies into bytes and
+//! back.
+//!
+//! The simulator carries payloads as `Arc<dyn Any>` — free inside one
+//! process, meaningless on a wire. A [`WireCodec`] supplies the missing
+//! serialization: `encode` flattens a message's typed body to bytes and
+//! `decode` reconstructs the identical typed body on the far side, so
+//! receivers keep using `Message::decode::<T>()` unchanged regardless of
+//! backend. Each application defines one codec covering its protocol tags
+//! (visapp's lives in `visapp::wire`).
+//!
+//! [`ByteWriter`] / [`ByteReader`] are the little helpers codecs build on:
+//! little-endian scalars and length-prefixed byte strings with explicit
+//! truncation errors instead of panics.
+
+use simnet::Message;
+
+/// Why a payload could not be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The codec does not know this message tag.
+    UnknownTag(u64),
+    /// The payload bytes ended before the structure was complete.
+    Truncated,
+    /// The bytes decoded to an impossible value (bad enum discriminant,
+    /// non-UTF-8 string, trailing garbage, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnknownTag(t) => write!(f, "codec does not handle message tag {t}"),
+            CodecError::Truncated => write!(f, "payload truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Application-protocol serialization for socket transports.
+///
+/// Implementations must be inverse: for every message the application
+/// sends, `decode(tag, wire_bytes, &encode(msg)?)` must rebuild a message
+/// whose typed body compares equal. The frame layer carries `tag` and
+/// `wire_bytes` out of band, so codecs only handle the body bytes.
+pub trait WireCodec: Send + Sync {
+    /// Flatten `msg`'s payload to bytes (empty vec for signal messages).
+    fn encode(&self, msg: &Message) -> Result<Vec<u8>, CodecError>;
+
+    /// Rebuild the typed message from its framed parts.
+    fn decode(&self, tag: u64, wire_bytes: u64, payload: &[u8]) -> Result<Message, CodecError>;
+}
+
+/// Append-only little-endian byte sink for codec `encode` impls.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over codec payload bytes; every read checks bounds.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Malformed("non-utf8 string"))
+    }
+
+    /// Fail decoding if any input bytes remain unconsumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_string_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(1.5);
+        w.str("plasma");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.str().unwrap(), "plasma");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.u64(99);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+        // A string whose declared length exceeds the buffer is truncated too.
+        let mut w = ByteWriter::new();
+        w.u32(1000);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.bytes(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.finish(), Err(CodecError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn non_utf8_string_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str(), Err(CodecError::Malformed("non-utf8 string")));
+    }
+}

@@ -1,0 +1,155 @@
+//! # adapt-transport — pluggable message transport for the adaptation loop
+//!
+//! The paper's adaptation protocol is transport-agnostic: the monitor,
+//! scheduler, and steering agent negotiate configurations over whatever
+//! channel connects the components. This crate makes that explicit with a
+//! [`Transport`] trait over typed [`Envelope`]s (destination + payload +
+//! optional deadline) and two implementations:
+//!
+//! - [`SimTransport`] — an adapter over the deterministic simnet send
+//!   path. Every envelope flushed through it becomes exactly the
+//!   `Ctx::send` / `Ctx::send_now` call the application would have made
+//!   directly, at the same call site and in the same order, so committed
+//!   run digests stay bit-for-bit unchanged.
+//! - [`SocketTransport`] — real loopback I/O over TCP (or a Unix domain
+//!   socket where available) with length-prefixed [`frame`]s, a pluggable
+//!   [`WireCodec`] that reconstructs typed `simnet::Message` payloads so
+//!   `Message::decode` keeps working on the receiving side, per-connection
+//!   obs counters, and reconnect-with-backoff driven by [`RetryPolicy`].
+//!
+//! Everything is non-blocking: `send` queues and flushes what the kernel
+//! accepts, `try_recv` returns `Ok(None)` rather than waiting.
+
+pub mod codec;
+pub mod frame;
+pub mod retry;
+pub mod sim;
+pub mod socket;
+
+pub use codec::{ByteReader, ByteWriter, CodecError, WireCodec};
+pub use frame::{decode_frame, encode_frame, Frame, FrameError, HEADER_BYTES, MAX_FRAME_BYTES};
+pub use retry::RetryPolicy;
+pub use sim::SimTransport;
+pub use socket::{SocketAddrSpec, SocketListener, SocketTransport};
+
+use simnet::{ActorId, Message};
+
+/// A typed unit of transmission: where the message is going, the message
+/// itself, and an optional delivery deadline (simulation microseconds;
+/// advisory — carried on the wire so the receiving side can shed work that
+/// can no longer be useful).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Destination actor. Over a socket the connection itself selects the
+    /// peer; the id is carried in the frame header so the envelope
+    /// round-trips intact. On the receive side this is the *sender*.
+    pub to: ActorId,
+    /// The application message (tag, simulated wire size, typed payload).
+    pub msg: Message,
+    /// Optional deadline, microseconds of simulation time.
+    pub deadline_us: Option<u64>,
+    /// Bypass the sender's serial action queue (the simnet `send_now`
+    /// path, used for control-plane traffic such as monitoring reports).
+    pub immediate: bool,
+}
+
+impl Envelope {
+    /// An ordinary envelope: queued behind the sender's earlier actions.
+    pub fn to(dst: ActorId, msg: Message) -> Self {
+        Envelope { to: dst, msg, deadline_us: None, immediate: false }
+    }
+
+    /// A control-plane envelope delivered ahead of the action queue.
+    pub fn immediate(dst: ActorId, msg: Message) -> Self {
+        Envelope { to: dst, msg, deadline_us: None, immediate: true }
+    }
+
+    /// Attach a delivery deadline (simulation microseconds).
+    pub fn with_deadline(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+}
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The transport has no live connection (and reconnect is not due yet).
+    NotConnected,
+    /// The peer closed the connection cleanly.
+    Closed,
+    /// The operation would block; retry after making progress elsewhere.
+    WouldBlock,
+    /// A frame on the wire was malformed (framing layer).
+    Frame(FrameError),
+    /// A well-framed payload failed to decode into a typed message.
+    Codec(CodecError),
+    /// An underlying socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::NotConnected => write!(f, "transport is not connected"),
+            TransportError::Closed => write!(f, "peer closed the connection"),
+            TransportError::WouldBlock => write!(f, "operation would block"),
+            TransportError::Frame(e) => write!(f, "framing error: {e}"),
+            TransportError::Codec(e) => write!(f, "codec error: {e}"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Frame(e) => Some(e),
+            TransportError::Codec(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<CodecError> for TransportError {
+    fn from(e: CodecError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A connection-oriented, non-blocking message transport.
+///
+/// Implementations queue outbound envelopes and surface inbound ones;
+/// neither direction ever blocks the caller. Connection lifecycle is
+/// explicit: [`Transport::connect`] (re)establishes the link,
+/// [`Transport::close`] tears it down, and send/recv report
+/// [`TransportError::NotConnected`] in between.
+pub trait Transport {
+    /// Queue (and opportunistically flush) one envelope.
+    fn send(&mut self, env: Envelope) -> Result<(), TransportError>;
+
+    /// Poll for one inbound envelope; `Ok(None)` means nothing is ready.
+    fn try_recv(&mut self) -> Result<Option<Envelope>, TransportError>;
+
+    /// Is the underlying channel currently usable?
+    fn is_connected(&self) -> bool;
+
+    /// (Re)establish the underlying channel.
+    fn connect(&mut self) -> Result<(), TransportError>;
+
+    /// Tear the channel down; queued inbound envelopes are discarded.
+    fn close(&mut self);
+}

@@ -1,0 +1,124 @@
+//! [`SimTransport`]: the [`Transport`] adapter over the
+//! deterministic simnet send path.
+//!
+//! Actors keep their `on_message`/`on_timer` callback structure — the
+//! kernel still delivers inbound messages — but outbound traffic goes
+//! through the trait: the actor `send`s envelopes into this transport's
+//! outbox and calls [`SimTransport::flush_into`] with its `Ctx` before
+//! returning. Flushing replays each envelope as exactly the
+//! `ctx.send` / `ctx.send_now` call the actor would have made directly,
+//! in the same order at the same call site, so the kernel sees an
+//! identical action stream and every committed run digest stays
+//! bit-for-bit unchanged.
+//!
+//! The inbox side exists for symmetry (and for harnesses that drive a
+//! transport pair directly): the kernel dispatch loop can
+//! [`SimTransport::deliver`] a message and the actor can drain it with
+//! `try_recv` instead of pattern-matching in `on_message`.
+
+use std::collections::VecDeque;
+
+use simnet::{ActorId, Ctx, Message};
+
+use crate::{Envelope, Transport, TransportError};
+
+/// In-simulator transport: queues envelopes and replays them onto a
+/// `Ctx` verbatim. Always "connected" once constructed; `close` models a
+/// local shutdown (sends are refused, pending inbound traffic dropped).
+#[derive(Debug, Default)]
+pub struct SimTransport {
+    outbox: VecDeque<Envelope>,
+    inbox: VecDeque<Envelope>,
+    open: bool,
+}
+
+impl SimTransport {
+    pub fn new() -> Self {
+        SimTransport { outbox: VecDeque::new(), inbox: VecDeque::new(), open: true }
+    }
+
+    /// Replay every queued outbound envelope onto `ctx`, preserving order
+    /// and the queued/immediate distinction. Call this before returning
+    /// from the actor callback that produced the sends.
+    pub fn flush_into(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(env) = self.outbox.pop_front() {
+            if env.immediate {
+                ctx.send_now(env.to, env.msg);
+            } else {
+                ctx.send(env.to, env.msg);
+            }
+        }
+    }
+
+    /// Kernel-side injection: place an inbound message (from `from`) into
+    /// the inbox for a later `try_recv`.
+    pub fn deliver(&mut self, from: ActorId, msg: Message) {
+        self.inbox.push_back(Envelope::to(from, msg));
+    }
+
+    /// Number of envelopes waiting to be flushed.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, env: Envelope) -> Result<(), TransportError> {
+        if !self.open {
+            return Err(TransportError::NotConnected);
+        }
+        self.outbox.push_back(env);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Envelope>, TransportError> {
+        if !self.open {
+            return Err(TransportError::NotConnected);
+        }
+        Ok(self.inbox.pop_front())
+    }
+
+    fn is_connected(&self) -> bool {
+        self.open
+    }
+
+    fn connect(&mut self) -> Result<(), TransportError> {
+        self.open = true;
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.open = false;
+        self.outbox.clear();
+        self.inbox.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_preserve_order_and_lifecycle_gates_io() {
+        let mut t = SimTransport::new();
+        assert!(t.is_connected());
+        t.send(Envelope::to(ActorId(1), Message::signal(10, 64))).unwrap();
+        t.send(Envelope::immediate(ActorId(2), Message::signal(11, 64))).unwrap();
+        assert_eq!(t.pending(), 2);
+        t.deliver(ActorId(3), Message::signal(20, 32));
+        let got = t.try_recv().unwrap().unwrap();
+        assert_eq!(got.to, ActorId(3));
+        assert_eq!(got.msg.tag, 20);
+        assert!(t.try_recv().unwrap().is_none());
+        t.close();
+        assert!(!t.is_connected());
+        assert_eq!(t.pending(), 0, "close drops queued traffic");
+        assert!(matches!(
+            t.send(Envelope::to(ActorId(1), Message::signal(1, 1))),
+            Err(TransportError::NotConnected)
+        ));
+        assert!(matches!(t.try_recv(), Err(TransportError::NotConnected)));
+        t.connect().unwrap();
+        assert!(t.is_connected());
+    }
+}

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use adapt_core::{AdaptiveRuntime, Configuration, ResourceKey};
+use adapt_transport::{Envelope, SimTransport, Transport};
 use compress::Method;
 use obs::{Adaptive, CommandRouter, ConfigValue, FnKnob, KnobError};
 use rand::rngs::StdRng;
@@ -306,6 +307,10 @@ pub struct Client {
     breaker: Option<CircuitBreaker>,
     /// The configuration to restore when an open breaker re-closes.
     saved_cfg: Option<VizConfig>,
+    /// Outbound message path. All protocol traffic goes through the
+    /// transport trait; inside the simulator this is a [`SimTransport`]
+    /// flushed at each send site, which replays onto the kernel verbatim.
+    link: SimTransport,
 }
 
 impl Client {
@@ -338,7 +343,16 @@ impl Client {
             retry,
             breaker,
             saved_cfg: None,
+            link: SimTransport::new(),
         }
+    }
+
+    /// Queue one envelope on the transport and flush it onto the kernel.
+    /// Flushing at every send site keeps the action stream identical to
+    /// direct `ctx.send` calls (digest-preserving).
+    fn post(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        self.link.send(env).expect("sim transport is always open");
+        self.link.flush_into(ctx);
     }
 
     /// Working-set size for viewing one image at `level`: the coefficient
@@ -467,18 +481,17 @@ impl Client {
     }
 
     fn send_request(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send(
-            self.opts.server,
-            protocol::request_msg(Request {
-                image_id: self.image_idx,
-                cx: self.fovea.0,
-                cy: self.fovea.1,
-                r: self.r,
-                prev_r: self.prev_r,
-                level: self.cfg.level,
-                round: self.round_no,
-            }),
-        );
+        let msg = protocol::request_msg(Request {
+            image_id: self.image_idx,
+            cx: self.fovea.0,
+            cy: self.fovea.1,
+            r: self.r,
+            prev_r: self.prev_r,
+            level: self.cfg.level,
+            round: self.round_no,
+        });
+        let server = self.opts.server;
+        self.post(ctx, Envelope::to(server, msg));
         if let Some(base) = self.opts.request_timeout_us {
             let policy = self.retry.load();
             let timeout = policy.timeout_us(base, self.attempt, &mut self.retry_rng);
@@ -526,10 +539,9 @@ impl Client {
                 match action {
                     adapt_core::TransitionAction::NotifyHost { host, param } => {
                         if host == "server" && param == "c" && method_changed {
-                            ctx.send(
-                                self.opts.server,
-                                protocol::set_compression_msg(self.cfg.method),
-                            );
+                            let msg = protocol::set_compression_msg(self.cfg.method);
+                            let server = self.opts.server;
+                            self.post(ctx, Envelope::to(server, msg));
                         }
                     }
                     adapt_core::TransitionAction::SetLocal { .. } => {
@@ -576,7 +588,8 @@ impl Client {
             if let Some(a) = &self.adapt {
                 self.stats.record_adapt_summary(a.runtime.monitor.estimate());
             }
-            ctx.send(self.opts.server, Message::signal(protocol::TAG_DISCONNECT, 32));
+            let server = self.opts.server;
+            self.post(ctx, Envelope::to(server, Message::signal(protocol::TAG_DISCONNECT, 32)));
         }
     }
 }
@@ -585,7 +598,8 @@ impl Actor for Client {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let initial = self.cfg.to_configuration();
         self.stats.record_config(ctx.now(), initial);
-        ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
+        let (server, method) = (self.opts.server, self.cfg.method);
+        self.post(ctx, Envelope::to(server, protocol::connect_msg(method)));
         if let Some(a) = &self.adapt {
             ctx.set_timer(a.period_us, TAG_MONITOR);
         }
@@ -770,7 +784,8 @@ impl Actor for Client {
                 // may have crashed and lost our session since we last
                 // spoke: re-announce the compression method before
                 // re-asking for the round.
-                ctx.send(self.opts.server, protocol::connect_msg(self.cfg.method));
+                let (server, method) = (self.opts.server, self.cfg.method);
+                self.post(ctx, Envelope::to(server, protocol::connect_msg(method)));
                 self.stats.record_retry();
                 self.send_request(ctx);
             } else {

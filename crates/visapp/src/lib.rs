@@ -19,7 +19,10 @@
 //! - [`scenario`]: full deployments (static/adaptive), the profiling
 //!   runner, and performance-database construction — the basis of every
 //!   reproduced figure;
-//! - [`user_model`]: synthetic fovea behavior.
+//! - [`user_model`]: synthetic fovea behavior;
+//! - [`wire`], [`socket`]: the protocol's byte-level codec and the
+//!   socket-mirror harness that replays a session over real loopback
+//!   sockets via the pluggable `adapt-transport` layer.
 
 pub mod client;
 pub mod costs;
@@ -28,9 +31,11 @@ pub mod protocol;
 pub mod resilience;
 pub mod scenario;
 pub mod server;
+pub mod socket;
 pub mod stats;
 pub mod store;
 pub mod user_model;
+pub mod wire;
 
 pub use client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
 pub use load::{
@@ -39,13 +44,18 @@ pub use load::{
 pub use resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 pub use scenario::{
     build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
-    run_adaptive, run_adaptive_until, run_competing, run_static, run_static_until, viz_spec,
-    CommandAt, LoadSpec, RunOutcome, Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
+    run_adaptive, run_adaptive_until, run_adaptive_wired, run_competing, run_static,
+    run_static_until, viz_spec, CommandAt, LoadSpec, RunOutcome, Scenario, CLIENT_HOST,
+    PROFILE_INPUT, SERVER_HOST,
 };
 pub use server::{Reporter, Server};
+pub use socket::{
+    decision_sequence, socket_mirror_hook, MirrorBackend, MirrorHandle, MirrorReport,
+};
 pub use stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
 pub use store::ImageStore;
 pub use user_model::UserModel;
+pub use wire::{messages_equal, VizCodec};
 
 /// The application-layer vocabulary in one import: `use visapp::prelude::*;`.
 pub mod prelude {
@@ -56,12 +66,14 @@ pub mod prelude {
     pub use crate::resilience::{BreakerOpts, BreakerState, RetryPolicy};
     pub use crate::scenario::{
         build_db, client_cpu_key, client_net_key, profile_point, run_adaptive, run_adaptive_until,
-        run_competing, run_static, run_static_until, CommandAt, LoadSpec, RunOutcome, Scenario,
-        CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
+        run_adaptive_wired, run_competing, run_static, run_static_until, CommandAt, LoadSpec,
+        RunOutcome, Scenario, CLIENT_HOST, PROFILE_INPUT, SERVER_HOST,
     };
     pub use crate::server::Server;
+    pub use crate::socket::{decision_sequence, socket_mirror_hook, MirrorBackend};
     pub use crate::stats::{ImageRecord, RoundRecord, RunStats, StatsHandle};
     pub use crate::store::ImageStore;
     pub use crate::user_model::UserModel;
+    pub use crate::wire::{messages_equal, VizCodec};
     pub use obs::{Adaptive, Command, CommandOutcome, CommandRouter, ConfigRegistry, ConfigValue};
 }

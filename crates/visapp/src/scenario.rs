@@ -447,7 +447,24 @@ pub fn run_adaptive(
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
 ) -> RunOutcome {
-    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None)
+    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None, None)
+}
+
+/// Like [`run_adaptive`], but with a [`simnet::WireHook`] interposed on
+/// every transmitted message. A hook that returns its input verbatim
+/// reproduces [`run_adaptive`] exactly; the socket-mirror harness
+/// (`crate::socket`) uses this to detour each message through a real
+/// loopback connection and prove the decision sequence is unchanged.
+pub fn run_adaptive_wired(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    db: PerfDb,
+    prefs: PreferenceList,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+    wire: simnet::WireHook,
+) -> RunOutcome {
+    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None, Some(wire))
 }
 
 /// Like [`run_adaptive`] but stops the simulation at `horizon` even when
@@ -463,9 +480,10 @@ pub fn run_adaptive_until(
     schedule: Option<LimitSchedule>,
     horizon: SimTime,
 ) -> RunOutcome {
-    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, Some(horizon))
+    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, Some(horizon), None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_adaptive_inner(
     sc: &Scenario,
     store: &Arc<ImageStore>,
@@ -474,6 +492,7 @@ fn run_adaptive_inner(
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
     horizon: Option<SimTime>,
+    wire: Option<simnet::WireHook>,
 ) -> RunOutcome {
     assert!(!sc.verify, "verification requires a fixed configuration");
     sc.validate().expect("invalid scenario");
@@ -507,6 +526,7 @@ fn run_adaptive_inner(
     let limits = LimitsHandle::new(l);
     let mut sim = Sim::new();
     sim.set_drain_mode(sc.drain_mode);
+    sim.set_wire_hook(wire);
     sim.attach_obs(&obs);
     let hc = sim.add_host("client", sc.client_speed, 1 << 30);
     let hs = sim.add_host("server", sc.server_speed, 1 << 30);

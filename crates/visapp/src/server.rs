@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use adapt_transport::{Envelope, SimTransport, Transport};
 use compress::Method;
 use sandbox::SandboxStats;
 use simnet::{Actor, ActorId, Ctx, Message};
@@ -60,6 +61,10 @@ pub struct Server {
     reporter: Option<Reporter>,
     had_clients: bool,
     obs: Option<ServerObs>,
+    /// Outbound message path (see `Client::link`): a [`SimTransport`]
+    /// flushed at each send site so the kernel action stream — and hence
+    /// every committed digest — is identical to direct `ctx` sends.
+    link: SimTransport,
 }
 
 /// Pre-registered metric targets so the request path stays allocation-free.
@@ -82,7 +87,14 @@ impl Server {
             reporter: None,
             had_clients: false,
             obs: None,
+            link: SimTransport::new(),
         }
+    }
+
+    /// Queue one envelope on the transport and flush it onto the kernel.
+    fn post(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        self.link.send(env).expect("sim transport is always open");
+        self.link.flush_into(ctx);
     }
 
     /// Attach a monitoring reporter; estimates go to every connected client.
@@ -148,17 +160,21 @@ impl Actor for Server {
         }
         if let Some(rep) = &self.reporter {
             if let Some(share) = rep.stats.cpu_share() {
-                for &client in self.sessions.keys() {
-                    ctx.send_now(
-                        client,
-                        protocol::resource_report_msg(ResourceReport {
-                            component: rep.component.clone(),
-                            kind: 0,
-                            value: share,
-                        }),
-                    );
+                let component = rep.component.clone();
+                let clients: Vec<ActorId> = self.sessions.keys().copied().collect();
+                for client in clients {
+                    let msg = protocol::resource_report_msg(ResourceReport {
+                        component: component.clone(),
+                        kind: 0,
+                        value: share,
+                    });
+                    // Control-plane traffic: ahead of the action queue,
+                    // exactly as the former `ctx.send_now`.
+                    self.post(ctx, Envelope::immediate(client, msg));
                 }
             }
+        }
+        if let Some(rep) = &self.reporter {
             let period = rep.period_us;
             ctx.set_timer(period, TAG_REPORT);
         }
@@ -186,7 +202,10 @@ impl Actor for Server {
                 }
             }
             protocol::TAG_REQUEST => {
-                let _span = self.obs.as_ref().map(|h| h.obs.span(h.request_span));
+                // Clone the handle into a local so the RAII span borrows
+                // it rather than `self` (the reply path needs `&mut self`).
+                let span_obs = self.obs.as_ref().map(|h| (h.obs.clone(), h.request_span));
+                let _span = span_obs.as_ref().map(|(o, id)| o.span(*id));
                 let Ok(req) = msg.decode::<Request>() else {
                     self.dropped_msgs += 1;
                     self.count(|h| h.dropped);
@@ -208,7 +227,7 @@ impl Actor for Server {
                 if let Some(reply) = cached_hit {
                     self.duplicate_requests += 1;
                     self.count(|h| h.duplicates);
-                    ctx.send(from, protocol::reply_msg(reply));
+                    self.post(ctx, Envelope::to(from, protocol::reply_msg(reply)));
                     return;
                 }
                 self.requests_served += 1;
@@ -237,7 +256,7 @@ impl Actor for Server {
                 }
                 // Charge extraction + compression work, then transmit.
                 ctx.compute(costs::server_reply_work(prepared.ncoeffs, prepared.raw_bytes, method));
-                ctx.send(from, protocol::reply_msg(reply));
+                self.post(ctx, Envelope::to(from, protocol::reply_msg(reply)));
             }
             protocol::TAG_DISCONNECT => {
                 self.sessions.remove(&from);

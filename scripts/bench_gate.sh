@@ -22,11 +22,28 @@ cargo build --release -q -p adapt-bench
 ./target/release/dst_bench "$fresh/BENCH_dst.json"
 ./target/release/arbiter_bench "$fresh/BENCH_arbiter.json"
 ./target/release/control_bench "$fresh/BENCH_control.json"
+./target/release/export_bench "$fresh/BENCH_export.json"
 
 echo "== bench gate: comparing against committed baselines =="
 status=0
 for name in BENCH_perfdb.json BENCH_obs.json BENCH_load.json BENCH_dst.json BENCH_arbiter.json \
-            BENCH_control.json; do
+            BENCH_control.json BENCH_export.json; do
     python3 scripts/bench_compare.py "$name" "$fresh/$name" || status=1
 done
+
+# Absolute zero-overhead gate on the *fresh* run (independent of the
+# committed baseline): with exporters disabled, the span hot path must
+# keep >= 95% of the no-exporter throughput measured in the same
+# process. This is the "exporters are free until scraped" contract.
+python3 - "$fresh/BENCH_export.json" <<'EOF' || status=1
+import json, sys
+with open(sys.argv[1]) as fh:
+    fresh = json.load(fh)
+ratio = fresh["span_hot_path"]["disabled_ratio"]
+if ratio < 0.95:
+    print(f"BENCH_export.json: disabled-exporter span throughput ratio "
+          f"{ratio:.4f} < 0.95 of the no-exporter baseline", file=sys.stderr)
+    sys.exit(1)
+print(f"BENCH_export.json: disabled-exporter ratio {ratio:.4f} >= 0.95 (zero-overhead gate)")
+EOF
 exit "$status"
