@@ -15,6 +15,11 @@
 //!   trials that additionally dispatch seeded live control-plane
 //!   commands (preference flips, retry/breaker retuning, breaker
 //!   resets), checked by every oracle including audit completeness.
+//! * **drift_axis** — the same contract over `FaultSpace::drift()`:
+//!   trials whose runs are folded through the refine engine post-run,
+//!   with the `model_drift` oracle watching its alarms. Zero violations
+//!   on a correct build; the `--cfg dst_drift` canary plants the latency
+//!   spike that makes them fire.
 //! * **timing** — wall-clock trials/second, exempt from gating.
 //!
 //! Usage: `dst_bench [output.json]` (default `BENCH_dst.json`).
@@ -84,6 +89,30 @@ fn main() {
         println!("    {}", f.violation);
     }
 
+    // Drift axis: refine-armed trials over FaultSpace::drift(), the
+    // model_drift oracle scanning each trial's refine audit events.
+    let drift_opts = ExplorerOpts {
+        trials,
+        space: FaultSpace::drift(),
+        shrink: false,
+        max_failures: usize::MAX,
+        ..ExplorerOpts::default()
+    };
+    println!("exploring {trials} drift-axis trials (seed {:#x})...", drift_opts.master_seed);
+    let t = Instant::now();
+    let drift_report = Explorer::new(drift_opts).run(&ctx);
+    let drift_wall = t.elapsed().as_secs_f64();
+    let drift_per_sec = drift_report.trials_run as f64 / drift_wall.max(1e-9);
+    println!(
+        "  trials: {} in {drift_wall:.2}s ({drift_per_sec:.1} trials/s)",
+        drift_report.trials_run
+    );
+    println!("  digest: {:#018x}", drift_report.digest);
+    println!("  violations: {}", drift_report.failures.len());
+    for f in drift_report.failures.iter().take(8) {
+        println!("    {}", f.violation);
+    }
+
     let mut kinds = String::new();
     for (i, (kind, n)) in by_kind.iter().enumerate() {
         if i > 0 {
@@ -105,11 +134,18 @@ fn main() {
          \x20 \"violations\": {},\n\
          \x20 \"digest\": \"{:016x}\"\n\
          }},\n\
+         \"drift_axis\": {{\n\
+         \x20 \"trials\": {},\n\
+         \x20 \"violations\": {},\n\
+         \x20 \"digest\": \"{:016x}\"\n\
+         }},\n\
          \"timing\": {{\n\
          \x20 \"wall_secs\": {wall:.4},\n\
          \x20 \"trials_per_sec\": {per_sec:.1},\n\
          \x20 \"knob_wall_secs\": {knob_wall:.4},\n\
-         \x20 \"knob_trials_per_sec\": {knob_per_sec:.1}\n\
+         \x20 \"knob_trials_per_sec\": {knob_per_sec:.1},\n\
+         \x20 \"drift_wall_secs\": {drift_wall:.4},\n\
+         \x20 \"drift_trials_per_sec\": {drift_per_sec:.1}\n\
          }}\n\
          }}\n",
         report.trials_run,
@@ -118,6 +154,9 @@ fn main() {
         knob_report.trials_run,
         knob_report.failures.len(),
         knob_report.digest,
+        drift_report.trials_run,
+        drift_report.failures.len(),
+        drift_report.digest,
     );
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");

@@ -1,0 +1,118 @@
+//! Online-refinement loop benchmark, written as machine-readable JSON
+//! (BENCH_refine.json).
+//!
+//! Runs the deterministic drift storm (`visapp::drift::run_drift_storm`):
+//! a model profiled against the nominal link, epochs of the adaptive
+//! client against a live link that silently drops to 1/8th bandwidth,
+//! and the refine engine folding each epoch's bus — detecting the drift,
+//! re-profiling only the stale slices, and hot-swapping them. Reports:
+//!
+//! * **detection** — which epoch alarmed, the in-simulation alarm time,
+//!   and the detection latency in epochs after the skew began. Seeded
+//!   outputs, gated.
+//! * **reprofile** — database rebuilds, slices refreshed, grid points
+//!   re-profiled (the cost of targeted refinement vs a full rebuild),
+//!   and the worst residual before and after, in thousandths. Gated.
+//! * **recovery** — worst mean per-image transmit time across the
+//!   epochs where the model was still (partially) stale — the client
+//!   chases optimistic stale slices one refresh at a time — vs the
+//!   final fully-refined epoch, and their one-sided-gated speedup:
+//!   what closing the loop bought.
+//! * **timing** — wall clock, exempt from gating.
+//!
+//! Usage: `refine_bench [output.json]` (default `BENCH_refine.json`).
+
+use std::time::Instant;
+
+use visapp::drift::{run_drift_storm, DriftStormOpts};
+use visapp::Scenario;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_refine.json".into());
+    let sc = Scenario {
+        n_images: 8,
+        img_size: 64,
+        levels: 3,
+        // A slow-ish profiled link so the planted skew dominates noise.
+        link_bps: 200_000.0,
+        monitor_window_us: 500_000,
+        trigger_gap_us: 200_000,
+        ..Scenario::default()
+    };
+    let opts = DriftStormOpts::default();
+    println!(
+        "drift storm: {} epochs, {}x skew from epoch {}, threshold {}...",
+        opts.epochs, opts.skew, opts.from_epoch, opts.threshold
+    );
+    let t = Instant::now();
+    let report = run_drift_storm(&sc, &opts);
+    let wall = t.elapsed().as_secs_f64();
+
+    let (detected_epoch, detected_at_us) = report.detection.expect("storm must detect the skew");
+    let latency = report.detection_latency_epochs(&opts).unwrap();
+    let slices = report.epochs.iter().map(|e| e.swaps.len()).sum::<usize>();
+    let x1000 = |r: Option<f64>| (r.unwrap_or(0.0) * 1000.0).round() as u64;
+    // "Stale" epochs are the ones that still alarmed: the client was
+    // pricing against at least one slice the refresh hadn't caught up
+    // with yet. The worst of them is what an unrefined model costs.
+    let drifted = report
+        .epochs
+        .iter()
+        .filter(|e| !e.alarms.is_empty())
+        .map(|e| e.avg_transmit_secs)
+        .fold(0.0_f64, f64::max);
+    let recovered = report.epochs.last().unwrap().avg_transmit_secs;
+    let speedup = drifted / recovered.max(1e-9);
+
+    println!(
+        "  detected in epoch {detected_epoch} (latency {latency} epochs) at t={detected_at_us}us"
+    );
+    println!(
+        "  reprofiled {} points across {slices} slice swaps ({} rebuilds)",
+        report.points_reprofiled, report.rebuilds
+    );
+    println!(
+        "  residual {}/1000 at detection -> {}/1000 after refinement",
+        x1000(report.residual_at_detection),
+        x1000(report.residual_final)
+    );
+    println!("  avg transmit {drifted:.4}s stale -> {recovered:.4}s refined ({speedup:.2}x)");
+
+    let json = format!(
+        "{{\n\
+         \"bench\": \"refine\",\n\
+         \"detection\": {{\n\
+         \x20 \"epochs\": {},\n\
+         \x20 \"skewed_from_epoch\": {},\n\
+         \x20 \"detected_epoch\": {detected_epoch},\n\
+         \x20 \"latency_epochs\": {latency},\n\
+         \x20 \"detected_at_us\": {detected_at_us},\n\
+         \x20 \"residual_at_detection_x1000\": {}\n\
+         }},\n\
+         \"reprofile\": {{\n\
+         \x20 \"rebuilds\": {},\n\
+         \x20 \"slices_refreshed\": {slices},\n\
+         \x20 \"points_reprofiled\": {},\n\
+         \x20 \"residual_final_x1000\": {}\n\
+         }},\n\
+         \"recovery\": {{\n\
+         \x20 \"avg_transmit_ms_stale\": {:.3},\n\
+         \x20 \"avg_transmit_ms_refined\": {:.3},\n\
+         \x20 \"speedup\": {speedup:.4}\n\
+         }},\n\
+         \"timing\": {{\n\
+         \x20 \"wall_secs\": {wall:.4}\n\
+         }}\n\
+         }}\n",
+        opts.epochs,
+        opts.from_epoch,
+        x1000(report.residual_at_detection),
+        report.rebuilds,
+        report.points_reprofiled,
+        x1000(report.residual_final),
+        drifted * 1000.0,
+        recovered * 1000.0,
+    );
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -33,7 +33,11 @@
 //!   optimization, preference fallback, validity regions);
 //! - [`steering`]: the steering agent (switches only at task boundaries /
 //!   transition points, guard-based negotiation);
-//! - [`runtime`]: the integrated [`AdaptiveRuntime`] applications embed.
+//! - [`runtime`]: the integrated [`AdaptiveRuntime`] applications embed;
+//! - [`refine`]: online model refinement — per-slice residual tracking
+//!   against live measurements, sustained-drift alarms, and targeted
+//!   re-profiling that hot-swaps stale database slices (§7.1's
+//!   "representative data ... may become inaccurate over time").
 //!
 //! Cross-cutting:
 //! - [`error`]: the unified [`enum@Error`] type and [`Result`] alias every
@@ -48,6 +52,7 @@ pub mod param;
 pub mod perfdb;
 pub mod profiler;
 pub mod qos;
+pub mod refine;
 pub mod runtime;
 pub mod scheduler;
 pub mod spec;
@@ -63,6 +68,7 @@ pub use profiler::{ProfileRunner, Profiler, ResourceGrid, SensitivityOpts};
 pub use qos::{
     Constraint, Objective, Preference, PreferenceList, PrefsKnob, QosMetricDef, QosReport, Sense,
 };
+pub use refine::{DriftAlarm, RefineEngine, SwapReport};
 pub use runtime::{AdaptationEvent, AdaptiveRuntime};
 pub use scheduler::{Decision, ResourceScheduler};
 pub use spec::{PerfDbTemplate, TunableSpec};
@@ -80,6 +86,7 @@ pub mod prelude {
     pub use crate::perfdb::{PerfDb, PerfRecord, PredictMode};
     pub use crate::profiler::{Profiler, ResourceGrid};
     pub use crate::qos::{Constraint, Objective, Preference, PreferenceList, PrefsKnob, QosReport};
+    pub use crate::refine::{DriftAlarm, RefineEngine, SwapReport};
     pub use crate::runtime::{AdaptationEvent, AdaptiveRuntime};
     pub use crate::scheduler::{Decision, ResourceScheduler};
     pub use crate::spec::TunableSpec;

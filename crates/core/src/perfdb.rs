@@ -166,6 +166,42 @@ impl PerfDb {
         self.invalidate();
     }
 
+    /// Replace every record of the `(config, input)` slice with `recs` —
+    /// the hot-swap primitive behind targeted re-profiling (see
+    /// `crate::refine`). Records of other slices keep their relative
+    /// order; the replacement slice is appended, and the index is only
+    /// marked dirty, so queries rebuild it lazily exactly as after
+    /// [`add`](PerfDb::add). Returns `(removed, added)` record counts.
+    ///
+    /// Replacement records whose `config`/`input` disagree with the slice
+    /// being swapped would silently grow *other* slices, so they are
+    /// rejected with a panic — re-profiling always resamples the slice it
+    /// was asked to refresh.
+    pub fn swap_slice(
+        &mut self,
+        config: &Configuration,
+        input: &str,
+        recs: Vec<PerfRecord>,
+    ) -> (usize, usize) {
+        for r in &recs {
+            assert!(
+                r.config == *config && r.input == input,
+                "swap_slice: replacement record for ({}, {}) handed to slice ({}, {})",
+                r.config.key(),
+                r.input,
+                config.key(),
+                input
+            );
+        }
+        let before = self.records.len();
+        self.records.retain(|r| !(r.input == input && r.config == *config));
+        let removed = before - self.records.len();
+        let added = recs.len();
+        self.records.extend(recs);
+        self.invalidate();
+        (removed, added)
+    }
+
     fn invalidate(&mut self) {
         *self.index.get_mut().expect("index lock poisoned") = None;
     }

@@ -34,12 +34,15 @@ pub enum AdaptationEvent {
     /// preference-list version the decision was computed under (0 = the
     /// preferences were never mutated); it correlates decisions with the
     /// control plane's `config_set` audit events after a mid-run flip.
+    /// `db_version` is likewise the performance-database refine version
+    /// (0 = never hot-swapped; see `crate::refine`).
     Decided {
         at: SimTime,
         config: Configuration,
         predicted: QosReport,
         rank: usize,
         pref_version: u64,
+        db_version: u64,
     },
     /// The scheduler found no satisfying configuration.
     NoCandidate { at: SimTime },
@@ -70,17 +73,29 @@ impl AdaptationEvent {
                 obs::Event::new(at.as_us(), Source::Monitor, "trigger")
                     .with("estimate", estimate.to_string())
             }
-            AdaptationEvent::Decided { at, config, rank, pref_version, .. } => {
-                let ev = obs::Event::new(at.as_us(), Source::Scheduler, "decide")
+            AdaptationEvent::Decided { at, config, predicted, rank, pref_version, db_version } => {
+                let mut ev = obs::Event::new(at.as_us(), Source::Scheduler, "decide")
                     .with("config", config.key())
                     .with("rank", *rank);
-                // Only annotate decisions made after a live preference
-                // flip: never-mutated runs keep byte-identical streams.
-                if *pref_version > 0 {
-                    ev.with("pref_version", *pref_version)
-                } else {
-                    ev
+                // The database's predicted QoS for the chosen config: the
+                // baseline the refine engine holds each live measurement
+                // against when tracking model drift.
+                if let Some(t) = predicted.get("transmit_time") {
+                    ev = ev.with("predicted_transmit", t);
                 }
+                if let Some(r) = predicted.get("response_time") {
+                    ev = ev.with("predicted_response", r);
+                }
+                // Only annotate decisions made after a live preference
+                // flip or a refine hot-swap: never-mutated runs keep
+                // byte-identical streams.
+                if *pref_version > 0 {
+                    ev = ev.with("pref_version", *pref_version);
+                }
+                if *db_version > 0 {
+                    ev = ev.with("db_version", *db_version);
+                }
+                ev
             }
             AdaptationEvent::NoCandidate { at } => {
                 obs::Event::new(at.as_us(), Source::Scheduler, "no_candidate")
@@ -177,6 +192,7 @@ impl AdaptiveRuntime {
             predicted: decision.predicted,
             rank: decision.preference_rank,
             pref_version: decision.pref_version,
+            db_version: decision.db_version,
         });
         Ok(rt)
     }
@@ -348,6 +364,7 @@ impl AdaptiveRuntime {
             predicted: d.predicted,
             rank: d.preference_rank,
             pref_version: d.pref_version,
+            db_version: d.db_version,
         });
         if same {
             // Same choice under the new conditions: refresh the validity
@@ -401,6 +418,7 @@ impl AdaptiveRuntime {
                                 predicted: d.predicted,
                                 rank: d.preference_rank,
                                 pref_version: d.pref_version,
+                                db_version: d.db_version,
                             });
                             self.steering.request(ReconfigureRequest {
                                 config: d.config,

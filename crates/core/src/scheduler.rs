@@ -57,6 +57,11 @@ pub struct Decision {
     /// correlate a decision with the `config_set` event that re-ranked the
     /// preferences mid-run.
     pub pref_version: u64,
+    /// Version of the performance database this decision priced against
+    /// (0 = the profiled database was never refined). Bumped by each
+    /// refine hot-swap (see `crate::refine`), so audit tooling can tell
+    /// which decisions ran on stale predictions.
+    pub db_version: u64,
 }
 
 /// The resource scheduler.
@@ -70,7 +75,17 @@ pub struct Decision {
 /// schedulers the same database.
 #[derive(Debug)]
 pub struct ResourceScheduler {
-    pub db: Arc<PerfDb>,
+    /// The performance database behind a live-tunable handle. Every
+    /// decision snapshots it once (a single atomic load), so a refine
+    /// hot-swap ([`db_handle`](Self::db_handle) + `Adaptive::set`) takes
+    /// effect atomically at the next decision: a racing swap yields a
+    /// decision priced wholly against the old or wholly against the new
+    /// database, never a mix of slices.
+    db: Adaptive<Arc<PerfDb>>,
+    /// `db`'s version when this scheduler last (re)published the database
+    /// itself (obs attachment). Swaps past this baseline are refine
+    /// hot-swaps; [`db_version`](Self::db_version) reports their count.
+    db_base_version: u64,
     /// User preferences behind a live-tunable handle: register it (via
     /// [`prefs_handle`](Self::prefs_handle)) as the `scheduler.prefs`
     /// config knob and a `Command::Set` re-ranks preferences mid-run.
@@ -142,12 +157,32 @@ impl ResourceScheduler {
     /// owners, [`set_obs`](Self::set_obs) can no longer reach inside it.
     pub fn new_shared(db: Arc<PerfDb>, prefs: PreferenceList, input: &str) -> Self {
         ResourceScheduler {
-            db,
+            db: Adaptive::new(db),
+            db_base_version: 0,
             prefs: Adaptive::new(prefs),
             mode: PredictMode::Interpolate,
             input: input.into(),
             obs: None,
         }
+    }
+
+    /// Snapshot of the current performance database. The `Arc` stays
+    /// valid across a concurrent refine hot-swap (it just goes stale).
+    pub fn db(&self) -> Arc<PerfDb> {
+        Arc::clone(self.db.get())
+    }
+
+    /// The live-tunable database handle. The refine engine
+    /// (`crate::refine`) publishes re-profiled databases through this
+    /// handle; the next decision picks them up atomically.
+    pub fn db_handle(&self) -> Adaptive<Arc<PerfDb>> {
+        self.db.clone()
+    }
+
+    /// How many times the database has been hot-swapped since this
+    /// scheduler was built (0 = never refined).
+    pub fn db_version(&self) -> u64 {
+        self.db.version().saturating_sub(self.db_base_version)
     }
 
     /// Snapshot of the current preference list. The reference stays valid
@@ -201,7 +236,7 @@ impl ResourceScheduler {
     /// `config` field. A decision naming any other key is a bug, whatever
     /// the resource estimate said.
     pub fn config_keys(&self) -> std::collections::BTreeSet<String> {
-        self.db.configs(&self.input).iter().map(|c| c.key()).collect()
+        self.db.get().configs(&self.input).iter().map(|c| c.key()).collect()
     }
 
     /// Oracle accessor: how many preference levels this scheduler ranks
@@ -223,8 +258,15 @@ impl ResourceScheduler {
     /// owners), attach the hook via [`PerfDb::set_obs`] before sharing and
     /// this call only wires the decision span.
     pub fn set_obs(&mut self, obs: &obs::Obs) {
-        if let Some(db) = Arc::get_mut(&mut self.db) {
+        let cur = self.db.get();
+        if Arc::strong_count(cur) == 1 {
+            // Sole owner: republish a re-hooked copy through the live
+            // handle. The republication is bookkeeping, not a refine
+            // swap, so the version baseline moves with it and
+            // `db_version()` stays 0.
+            let mut db = (**cur).clone();
             db.set_obs(obs);
+            self.db_base_version = self.db.set(Arc::new(db));
         }
         self.obs =
             Some(SchedObs { obs: obs.clone(), choose_span: obs.histogram("scheduler.choose") });
@@ -251,10 +293,15 @@ impl ResourceScheduler {
         let _span = self.obs.as_ref().map(|h| h.obs.span(h.choose_span));
         // Snapshot version before the list: if a concurrent flip lands in
         // between, we report the older version with the older list rather
-        // than a new version number against stale preferences.
+        // than a new version number against stale preferences. The same
+        // discipline applies to the database: one snapshot per decision,
+        // so a racing refine hot-swap never mixes old and new slices
+        // within one choice.
         let pref_version = self.prefs.version();
         let prefs = self.prefs.get();
-        let configs = self.db.configs(&self.input);
+        let db_version = self.db_version();
+        let db = self.db();
+        let configs = db.configs(&self.input);
         let eligible: Vec<bool> = configs.iter().map(|c| !excluded.contains(c)).collect();
         if !eligible.contains(&true) {
             return None;
@@ -262,7 +309,7 @@ impl ResourceScheduler {
         let mut ctx = DecisionCtx { configs, eligible, memo: HashMap::new() };
         for (rank, pref) in prefs.prefs.iter().enumerate() {
             let preds =
-                memoized(&mut ctx.memo, &ctx.configs, &self.db, &self.input, self.mode, resources);
+                memoized(&mut ctx.memo, &ctx.configs, &db, &self.input, self.mode, resources);
             let mut best: Option<usize> = None;
             for (i, pred) in preds.iter().enumerate() {
                 if !ctx.eligible[i] {
@@ -282,7 +329,7 @@ impl ResourceScheduler {
             }
             if let Some(bi) = best {
                 let Some(predicted) = preds[bi].clone() else { continue };
-                let validity = self.validity_region_ctx(&mut ctx, bi, pref, resources);
+                let validity = self.validity_region_ctx(&db, &mut ctx, bi, pref, resources);
                 return Some(Decision {
                     config: ctx.configs.swap_remove(bi),
                     predicted,
@@ -290,6 +337,7 @@ impl ResourceScheduler {
                     validity,
                     best_effort: false,
                     pref_version,
+                    db_version,
                 });
             }
         }
@@ -323,13 +371,15 @@ impl ResourceScheduler {
         let pref_version = self.prefs.version();
         let prefs = self.prefs.get();
         let pref = prefs.prefs.last()?;
-        let configs = self.db.configs(&self.input);
+        let db_version = self.db_version();
+        let db = self.db();
+        let configs = db.configs(&self.input);
         let mut best: Option<(usize, f64, QosReport)> = None;
         for (i, c) in configs.iter().enumerate() {
             if excluded.contains(c) {
                 continue;
             }
-            let Some(pred) = self.db.predict(c, &self.input, resources, self.mode) else {
+            let Some(pred) = db.predict(c, &self.input, resources, self.mode) else {
                 continue;
             };
             let score = pref.violation_score(&pred);
@@ -352,6 +402,7 @@ impl ResourceScheduler {
             validity: ValidityRegion::unbounded(),
             best_effort: true,
             pref_version,
+            db_version,
         })
     }
 
@@ -359,12 +410,13 @@ impl ResourceScheduler {
     /// best (objective-optimal) satisfying candidate at `probe`.
     fn is_choice_at_ctx(
         &self,
+        db: &PerfDb,
         ctx: &mut DecisionCtx,
         chosen: usize,
         pref: &Preference,
         probe: &ResourceVector,
     ) -> bool {
-        let preds = memoized(&mut ctx.memo, &ctx.configs, &self.db, &self.input, self.mode, probe);
+        let preds = memoized(&mut ctx.memo, &ctx.configs, db, &self.input, self.mode, probe);
         let Some(mine) = preds[chosen].as_ref() else {
             return false;
         };
@@ -395,7 +447,8 @@ impl ResourceScheduler {
         pref: &Preference,
         around: &ResourceVector,
     ) -> ValidityRegion {
-        let configs = self.db.configs(&self.input);
+        let db = self.db();
+        let configs = db.configs(&self.input);
         let eligible = vec![true; configs.len()];
         let mut ctx = DecisionCtx { configs, eligible, memo: HashMap::new() };
         // The config under test is usually one of the candidates; when it
@@ -409,21 +462,22 @@ impl ResourceScheduler {
                 ctx.configs.len() - 1
             }
         };
-        self.validity_region_ctx(&mut ctx, chosen, pref, around)
+        self.validity_region_ctx(&db, &mut ctx, chosen, pref, around)
     }
 
     fn validity_region_ctx(
         &self,
+        db: &PerfDb,
         ctx: &mut DecisionCtx,
         chosen: usize,
         pref: &Preference,
         around: &ResourceVector,
     ) -> ValidityRegion {
         let mut region = ValidityRegion::new();
-        let axes = self.db.axes(&ctx.configs[chosen], &self.input);
+        let axes = db.axes(&ctx.configs[chosen], &self.input);
         for axis in axes {
             let Some(center) = around.get(&axis) else { continue };
-            let samples = self.db.axis_values(&ctx.configs[chosen], &self.input, &axis);
+            let samples = db.axis_values(&ctx.configs[chosen], &self.input, &axis);
             if samples.is_empty() {
                 continue;
             }
@@ -434,7 +488,7 @@ impl ResourceScheduler {
             let mut lo = center;
             for &v in samples.iter().rev().filter(|&&v| v <= center) {
                 probe.set(axis.clone(), v);
-                if self.is_choice_at_ctx(ctx, chosen, pref, &probe) {
+                if self.is_choice_at_ctx(db, ctx, chosen, pref, &probe) {
                     lo = v;
                 } else {
                     break;
@@ -444,7 +498,7 @@ impl ResourceScheduler {
             let mut hi = center;
             for &v in samples.iter().filter(|&&v| v >= center) {
                 probe.set(axis.clone(), v);
-                if self.is_choice_at_ctx(ctx, chosen, pref, &probe) {
+                if self.is_choice_at_ctx(db, ctx, chosen, pref, &probe) {
                     hi = v;
                 } else {
                     break;

@@ -407,6 +407,126 @@ mod index_props {
                 }
             }
         }
+
+        /// The refine engine's hot-swap primitive preserves the indexed ==
+        /// scan contract under *arbitrary* swap sequences: after every
+        /// `swap_slice` (replacing one `(config, input)` slice with an
+        /// arbitrary replacement slice, including an empty one), the
+        /// lattice-indexed `predict` still agrees with the reference scan
+        /// at every query, and the mutated database matches a from-scratch
+        /// rebuild of the same records — no stale index ever answers.
+        #[test]
+        fn indexed_matches_scan_after_arbitrary_swap_sequences(
+            records in proptest::collection::vec(arb_record(), 1..25),
+            swaps in proptest::collection::vec(
+                (0i64..3, proptest::bool::ANY,
+                 proptest::collection::vec(arb_record(), 0..6)), 1..5),
+            queries in proptest::collection::vec(arb_query(), 1..4),
+            nearest in proptest::bool::ANY,
+        ) {
+            let mode = if nearest { PredictMode::Nearest } else { PredictMode::Interpolate };
+            let mut db = PerfDb::new();
+            for r in records {
+                db.add(r);
+            }
+            for (c, which_input, repl) in swaps {
+                let cfg = Configuration::new(&[("x", c)]);
+                let input = if which_input { "a" } else { "b" };
+                // Query first so the index is built (and would be stale if
+                // the swap failed to invalidate it).
+                for q in &queries {
+                    let _ = db.predict(&cfg, input, q, mode);
+                }
+                // Retarget the replacement records at the swapped slice.
+                let repl: Vec<PerfRecord> = repl
+                    .into_iter()
+                    .map(|r| PerfRecord { config: cfg.clone(), input: input.into(), ..r })
+                    .collect();
+                let n_repl = repl.len();
+                let (_, added) = db.swap_slice(&cfg, input, repl);
+                prop_assert_eq!(added, n_repl);
+                for q in &queries {
+                    for cq in 0..3i64 {
+                        for iq in ["a", "b"] {
+                            let cfgq = Configuration::new(&[("x", cq)]);
+                            let a = db.predict(&cfgq, iq, q, mode);
+                            let b = db.predict_scan(&cfgq, iq, q, mode);
+                            check_equivalent(&a, &b, &format!("x={cq} {iq} after swap"))?;
+                        }
+                    }
+                }
+                let mut fresh = PerfDb::new();
+                for r in db.records() {
+                    fresh.add(r.clone());
+                }
+                for q in &queries {
+                    for cq in 0..3i64 {
+                        let cfgq = Configuration::new(&[("x", cq)]);
+                        let a = db.predict(&cfgq, input, q, mode);
+                        let b = fresh.predict(&cfgq, input, q, mode);
+                        check_equivalent(&a, &b, &format!("x={cq} vs fresh rebuild"))?;
+                    }
+                }
+            }
+        }
+
+        /// Refinement preserves the interpolation lattice's validity
+        /// contract: after hot-swapping a full-grid slice with re-profiled
+        /// metrics, every prediction for that slice stays within the
+        /// refreshed slice's sampled extremes (multilinear interpolation +
+        /// clamping never extrapolates), and grid points are exact.
+        #[test]
+        fn refined_predictions_stay_within_lattice_validity(
+            a0 in 1.0f64..50.0, b0 in 1e4f64..1e6,
+            a1 in 1.0f64..50.0, b1 in 1e4f64..1e6, c1 in 0.0f64..10.0,
+            queries in proptest::collection::vec(arb_query(), 1..6),
+            gi in 0usize..5, gj in 0usize..5,
+        ) {
+            let cfg = Configuration::new(&[("x", 1)]);
+            let val = |a: f64, b: f64, c: f64, cv: f64, nv: f64| a / cv + b / nv + c;
+            let grid_records = |a: f64, b: f64, c: f64| -> Vec<PerfRecord> {
+                let mut recs = Vec::new();
+                for &cv in &CPUS {
+                    for &nv in &NETS {
+                        recs.push(PerfRecord {
+                            config: cfg.clone(),
+                            resources: ResourceVector::new(&[(cpu(), cv), (net(), nv)]),
+                            input: "a".into(),
+                            metrics: QosReport::new(&[("t", val(a, b, c, cv, nv))]),
+                        });
+                    }
+                }
+                recs
+            };
+            let mut db = PerfDb::new();
+            for r in grid_records(a0, b0, 0.0) {
+                db.add(r);
+            }
+            // Build the index, then refine: same lattice, new metrics.
+            let _ = db.predict(&cfg, "a", &queries[0], PredictMode::Interpolate);
+            let (removed, added) = db.swap_slice(&cfg, "a", grid_records(a1, b1, c1));
+            prop_assert_eq!(removed, 25);
+            prop_assert_eq!(added, 25);
+            let lo = val(a1, b1, c1, 1.0, 1.6e6);
+            let hi = val(a1, b1, c1, 0.1, 1e5);
+            for q in &queries {
+                let p = db
+                    .predict(&cfg, "a", q, PredictMode::Interpolate)
+                    .expect("full-grid slice predicts everywhere")
+                    .get("t")
+                    .unwrap();
+                prop_assert!(
+                    p >= lo - 1e-9 && p <= hi + 1e-9,
+                    "refined prediction {} escapes the refreshed lattice [{}, {}]",
+                    p, lo, hi
+                );
+            }
+            // Exact at refreshed grid points — no trace of the old slice.
+            let gq = ResourceVector::new(&[(cpu(), CPUS[gi]), (net(), NETS[gj])]);
+            let p = db.predict(&cfg, "a", &gq, PredictMode::Interpolate).unwrap().get("t").unwrap();
+            let expect = val(a1, b1, c1, CPUS[gi], NETS[gj]);
+            prop_assert!((p - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
     }
 }
 

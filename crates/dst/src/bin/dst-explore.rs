@@ -39,12 +39,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-shrink" => opts.shrink = false,
             "--overload" => opts.space = adapt_dst::FaultSpace::overload(),
+            "--drift" => opts.space = adapt_dst::FaultSpace::drift(),
             "--out" => out = Some(PathBuf::from(val("--out")?)),
             "--expect-violation" => expect_violation = true,
             "--help" | "-h" => {
                 println!(
                     "usage: dst-explore [--trials N] [--seed S] [--no-shrink] [--overload] \
-                     [--cross-check N] [--max-failures N] [--out DIR] [--expect-violation]"
+                     [--drift] [--cross-check N] [--max-failures N] [--out DIR] \
+                     [--expect-violation]"
                 );
                 std::process::exit(0);
             }

@@ -53,16 +53,20 @@ pub struct Failure {
     pub plan: TrialPlan,
     /// The first violation the oracles reported.
     pub violation: Violation,
+    /// Behaviour digest of the failing trial as sampled.
+    pub digest: u64,
     /// Shrinking outcome (absent when `shrink` was off).
     pub shrunk: Option<ShrinkResult>,
 }
 
 impl Failure {
     /// The repro to commit: the shrunken plan when available, the
-    /// original otherwise.
+    /// original otherwise, with the matching run's behaviour digest
+    /// pinned so replays can assert bit-for-bit equality.
     pub fn repro(&self) -> Repro {
         let plan = self.shrunk.as_ref().map_or_else(|| self.plan.clone(), |s| s.plan.clone());
-        Repro::new(plan, self.violation.kind(), &self.violation.to_string())
+        let digest = self.shrunk.as_ref().and_then(|s| s.digest).unwrap_or(self.digest);
+        Repro::new(plan, self.violation.kind(), &self.violation.to_string()).with_digest(digest)
     }
 }
 
@@ -109,6 +113,7 @@ impl Explorer {
             let out = ctx.run(&plan);
             trials_run += 1;
             digest.write_u64(out.digest);
+            let trial_digest = out.digest;
             let mut violation = out.violations.into_iter().next();
             if violation.is_none() && o.cross_check_every != 0 && i % o.cross_check_every == 0 {
                 // Cross-drain oracle: the identity variant of this plan
@@ -136,7 +141,13 @@ impl Explorer {
             if let Some(violation) = violation {
                 let shrunk = (o.shrink && violation.kind() != "drain_divergence")
                     .then(|| shrink::shrink(ctx, &plan, violation.kind(), o.shrink_budget));
-                failures.push(Failure { trial_index: i, plan, violation, shrunk });
+                failures.push(Failure {
+                    trial_index: i,
+                    plan,
+                    violation,
+                    digest: trial_digest,
+                    shrunk,
+                });
                 if failures.len() >= o.max_failures {
                     break;
                 }

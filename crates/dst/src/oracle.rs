@@ -47,6 +47,12 @@ pub enum Violation {
     /// failed to increase, or a decision was stamped with a preference
     /// version no audited mutation ever produced.
     ConfigAuditIncomplete { at_us: u64, detail: String },
+    /// The refine engine raised a sustained-drift alarm: measured QoS
+    /// drifted past the threshold away from the performance database's
+    /// predictions for a configuration slice. On a correct build with an
+    /// honest profile this never happens; the `dst_drift` canary plants
+    /// the live latency spike that makes it fire.
+    ModelDrift { at_us: u64, config: String, residual_x1000: u64 },
 }
 
 impl Violation {
@@ -62,6 +68,7 @@ impl Violation {
             Violation::ShedOrder { .. } => "shed_order",
             Violation::EvictWithoutViolation { .. } => "evict_without_violation",
             Violation::ConfigAuditIncomplete { .. } => "config_audit_incomplete",
+            Violation::ModelDrift { .. } => "model_drift",
         }
     }
 }
@@ -99,6 +106,10 @@ impl fmt::Display for Violation {
             Violation::ConfigAuditIncomplete { at_us, detail } => {
                 write!(f, "config_audit_incomplete: {detail} at t={at_us}us")
             }
+            Violation::ModelDrift { at_us, config, residual_x1000 } => write!(
+                f,
+                "model_drift: config '{config}' residual {residual_x1000}/1000 at t={at_us}us"
+            ),
         }
     }
 }
@@ -318,6 +329,20 @@ pub fn config_audit_complete(obs: &Obs) -> Option<Violation> {
     None
 }
 
+/// The performance model tracks reality: the refine engine never raises
+/// a sustained-drift alarm. Trials arm the engine post-run (see
+/// [`crate::trial::TrialContext::run_with_drain`]), so its `refine.drift`
+/// audit events sit on the same bus this oracle scans. Trials that never
+/// armed refinement publish no refine events and pass vacuously.
+pub fn no_model_drift(obs: &Obs) -> Option<Violation> {
+    let filter = EventFilter::any().source(obs::Source::Refine).kind("drift");
+    obs.events_filtered(&filter).into_iter().next().map(|ev| Violation::ModelDrift {
+        at_us: ev.at_us,
+        config: ev.str_field("config").unwrap_or_default().to_string(),
+        residual_x1000: ev.u64_field("residual_x1000").unwrap_or(0),
+    })
+}
+
 /// Run the arbiter-storm oracles, collecting the first violation of each
 /// kind. Used by overload trials, whose event stream lives on
 /// `Source::Arbiter` rather than the single-app sources.
@@ -336,6 +361,7 @@ pub fn check_all(obs: &Obs, ctx: &DecisionContext) -> Vec<Violation> {
         degrade_recover_order(obs),
         decisions_valid(obs, ctx),
         config_audit_complete(obs),
+        no_model_drift(obs),
     ]
     .into_iter()
     .flatten()

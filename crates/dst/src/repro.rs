@@ -19,13 +19,29 @@ pub struct Repro {
     pub violation: String,
     /// Human-readable description of the original violation.
     pub detail: String,
+    /// Behaviour digest of the (shrunken) failing trial, pinned so a
+    /// replay can assert bit-for-bit equality, not just "same violation
+    /// kind". Zero means unrecorded (legacy files).
+    pub digest: u64,
     /// The (shrunken) plan to replay.
     pub plan: TrialPlan,
 }
 
 impl Repro {
     pub fn new(plan: TrialPlan, violation: &str, detail: &str) -> Self {
-        Repro { version: 1, violation: violation.to_string(), detail: detail.to_string(), plan }
+        Repro {
+            version: 1,
+            violation: violation.to_string(),
+            detail: detail.to_string(),
+            digest: 0,
+            plan,
+        }
+    }
+
+    /// Pin the failing trial's behaviour digest into the repro file.
+    pub fn with_digest(mut self, digest: u64) -> Self {
+        self.digest = digest;
+        self
     }
 
     /// Serialize to the committed file format.
@@ -51,10 +67,11 @@ impl Repro {
         };
         let _ = write!(
             s,
-            "{{\n  \"version\": {},\n  \"violation\": {},\n  \"detail\": {},\n  \"plan\": {{\n",
+            "{{\n  \"version\": {},\n  \"violation\": {},\n  \"detail\": {},\n  \"digest\": {},\n  \"plan\": {{\n",
             self.version,
             quote(&self.violation),
-            quote(&self.detail)
+            quote(&self.detail),
+            self.digest
         );
         let _ = writeln!(s, "    \"trial_seed\": {},", p.trial_seed);
         let _ = writeln!(s, "    \"schedule_seed\": {},", p.schedule_seed);
@@ -68,7 +85,8 @@ impl Repro {
         let _ = writeln!(s, "    \"timeout_ms\": {},", p.timeout_ms);
         let _ = writeln!(s, "    \"surges\": [{}],", triples(&p.surges));
         let _ = writeln!(s, "    \"dips\": [{}],", triples(&p.dips));
-        let _ = writeln!(s, "    \"knobs\": [{}]", triples(&p.knobs));
+        let _ = writeln!(s, "    \"knobs\": [{}],", triples(&p.knobs));
+        let _ = writeln!(s, "    \"drift_threshold_x1000\": {}", p.drift_threshold_x1000);
         s.push_str("  }\n}\n");
         s
     }
@@ -80,6 +98,8 @@ impl Repro {
         let mut version = None;
         let mut violation = None;
         let mut detail = String::new();
+        // Legacy files carry no digest; zero means "not pinned".
+        let mut digest = 0;
         let mut plan: Option<TrialPlan> = None;
         p.expect(b'{')?;
         loop {
@@ -89,6 +109,7 @@ impl Repro {
                 "version" => version = Some(p.u64()?),
                 "violation" => violation = Some(p.string()?),
                 "detail" => detail = p.string()?,
+                "digest" => digest = p.u64()?,
                 "plan" => plan = Some(p.plan()?),
                 other => return Err(format!("unknown key '{other}'")),
             }
@@ -105,6 +126,7 @@ impl Repro {
             version,
             violation: violation.ok_or("missing 'violation'")?,
             detail,
+            digest,
             plan: plan.ok_or("missing 'plan'")?,
         })
     }
@@ -280,11 +302,12 @@ impl<'a> Parser<'a> {
             restart_at_ms: 0,
             n_images: 2,
             timeout_ms: 250,
-            // Overload and knob axes default empty so older repro files
-            // (which lack the keys) keep parsing.
+            // Overload, knob, and drift axes default off so older repro
+            // files (which lack the keys) keep parsing.
             surges: Vec::new(),
             dips: Vec::new(),
             knobs: Vec::new(),
+            drift_threshold_x1000: 0,
         };
         loop {
             let key = self.string()?;
@@ -303,6 +326,7 @@ impl<'a> Parser<'a> {
                 "surges" => plan.surges = self.triple_array()?,
                 "dips" => plan.dips = self.triple_array()?,
                 "knobs" => plan.knobs = self.triple_array()?,
+                "drift_threshold_x1000" => plan.drift_threshold_x1000 = self.u64()?,
                 other => return Err(format!("unknown plan key '{other}'")),
             }
             if !self.comma_or(b'}')? {
@@ -368,6 +392,21 @@ mod tests {
                     \"restart_at_ms\": 0, \"n_images\": 2, \"timeout_ms\": 250}}";
         let r = Repro::from_json(text).expect("legacy format parses");
         assert!(r.plan.surges.is_empty() && r.plan.dips.is_empty() && r.plan.knobs.is_empty());
+        assert_eq!(r.plan.drift_threshold_x1000, 0, "drift axis defaults off");
+        assert_eq!(r.digest, 0, "legacy files carry no pinned digest");
+    }
+
+    #[test]
+    fn drift_plans_round_trip_with_digest() {
+        for seed in [4, 13, 0xD21F7] {
+            let plan = FaultSpace::drift().sample(seed);
+            assert!(plan.drift_threshold_x1000 > 0, "drift space arms the engine");
+            let repro = Repro::new(plan, "model_drift", "config 'c=1,dR=32,l=2' residual 900/1000")
+                .with_digest(0xABCD_EF01_2345_6789);
+            let parsed = Repro::from_json(&repro.to_json()).expect("parses");
+            assert_eq!(parsed, repro);
+            assert_eq!(parsed.digest, 0xABCD_EF01_2345_6789);
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct ShrinkResult {
     pub steps: u64,
     /// Candidate trials executed (bounded by the budget).
     pub trials_run: u64,
+    /// Behaviour digest of the minimal plan's failing run, when any
+    /// reduction was accepted (`None` means the original plan survived
+    /// unshrunk and the caller already holds its digest).
+    pub digest: Option<u64>,
 }
 
 /// Single-field reductions of `plan`, in preference order. Every
@@ -94,23 +98,26 @@ pub fn shrink(ctx: &TrialContext, plan: &TrialPlan, kind: &str, budget: u64) -> 
     let mut cur = plan.clone();
     let mut steps = 0;
     let mut trials_run = 0;
+    let mut digest = None;
     'outer: loop {
         for cand in reductions(&cur) {
             if trials_run >= budget {
                 break 'outer;
             }
             trials_run += 1;
-            let still_fails = ctx.run(&cand).violations.iter().any(|v| v.kind() == kind);
+            let out = ctx.run(&cand);
+            let still_fails = out.violations.iter().any(|v| v.kind() == kind);
             if still_fails {
                 cur = cand;
                 steps += 1;
+                digest = Some(out.digest);
                 // Restart the ladder from the smaller plan.
                 continue 'outer;
             }
         }
         break;
     }
-    ShrinkResult { plan: cur, steps, trials_run }
+    ShrinkResult { plan: cur, steps, trials_run, digest }
 }
 
 #[cfg(test)]

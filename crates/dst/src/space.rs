@@ -97,6 +97,15 @@ pub struct FaultSpace {
     /// Command magnitude, percent — each menu entry scales this into its
     /// knob's safe range.
     pub knob_mag_pct: Span,
+    /// Model-drift axis: sustained-drift threshold for the post-run
+    /// refine ingest, thousandths (500 = EWMA residual 0.5). Zero (the
+    /// default) disarms refinement entirely — the trial runs exactly as
+    /// it would have before the axis existed. Non-zero arms the
+    /// [`adapt_core::refine::RefineEngine`] fold over the trial bus and
+    /// the `model_drift` oracle over its alarms; on `--cfg dst_drift`
+    /// builds it additionally plants the live latency spike the engine
+    /// must catch ([`crate::trial::DRIFT_LATENCY_US`]).
+    pub drift_threshold_x1000: Span,
 }
 
 impl Default for FaultSpace {
@@ -133,6 +142,9 @@ impl Default for FaultSpace {
             knob_at_ms: Span::fixed(0),
             knob_kind: Span::fixed(0),
             knob_mag_pct: Span::fixed(0),
+            // The model-drift axis is off by default (and RNG-neutral
+            // when off): legacy plans stay byte-identical.
+            drift_threshold_x1000: Span::fixed(0),
         }
     }
 }
@@ -167,6 +179,7 @@ impl FaultSpace {
             knob_at_ms: Span::fixed(0),
             knob_kind: Span::fixed(0),
             knob_mag_pct: Span::fixed(0),
+            drift_threshold_x1000: Span::fixed(0),
         }
     }
 
@@ -203,6 +216,23 @@ impl FaultSpace {
             knob_kind: Span::new(0, 2 * crate::trial::KNOB_MENU_LEN - 1),
             knob_mag_pct: Span::new(0, 100),
             ..FaultSpace::default()
+        }
+    }
+
+    /// The model-drift space: schedule perturbation and workload-size
+    /// variation (so the shrinker has something to strip), no network
+    /// faults (a lossy link slows real responses and would trip the
+    /// drift oracle for honest reasons on a correct build), and the
+    /// refine engine armed at a sampled threshold. On `--cfg dst_drift`
+    /// builds every trial from this space plants the live latency spike;
+    /// on correct builds the same plans replay clean.
+    pub fn drift() -> Self {
+        FaultSpace {
+            perturb_schedule: true,
+            timer_skew_us: Span::new(0, 400),
+            n_images: Span::new(2, 4),
+            drift_threshold_x1000: Span::new(250, 600),
+            ..FaultSpace::quiet()
         }
     }
 
@@ -261,6 +291,9 @@ impl FaultSpace {
             let mag = self.knob_mag_pct.sample(&mut rng).min(100);
             knobs.push((at, kind, mag));
         }
+        // The drift draw comes last, after the knob axis, for the same
+        // reason: spaces without the axis consume no RNG state here.
+        let drift_threshold_x1000 = self.drift_threshold_x1000.sample(&mut rng);
         TrialPlan {
             trial_seed,
             schedule_seed,
@@ -275,6 +308,7 @@ impl FaultSpace {
             surges,
             dips,
             knobs,
+            drift_threshold_x1000,
         }
     }
 }
@@ -312,6 +346,10 @@ pub struct TrialPlan {
     /// Live control-plane commands `(at_ms, menu_kind, magnitude_pct)`,
     /// decoded by [`crate::trial::knob_commands`].
     pub knobs: Vec<(u64, u64, u64)>,
+    /// Refine-engine sustained-drift threshold in thousandths; 0 disarms
+    /// the post-run refine ingest (and, on `--cfg dst_drift` builds, the
+    /// planted link skew).
+    pub drift_threshold_x1000: u64,
 }
 
 impl TrialPlan {
@@ -448,6 +486,43 @@ mod tests {
             let knobbed = FaultSpace::knobs().sample(seed);
             let stripped = TrialPlan { knobs: Vec::new(), ..knobbed };
             assert_eq!(legacy, stripped, "knob draws must not perturb the fault prefix");
+        }
+    }
+
+    #[test]
+    fn drift_axis_is_rng_neutral_for_legacy_plans() {
+        // Like the knob axis: the drift draw comes last and a zero-width
+        // span consumes no RNG state, so disarming the axis reproduces
+        // the exact plans sampled before the axis existed.
+        for seed in 0..100 {
+            let armed = FaultSpace::drift().sample(seed);
+            let legacy =
+                FaultSpace { drift_threshold_x1000: Span::fixed(0), ..FaultSpace::drift() }
+                    .sample(seed);
+            let stripped = TrialPlan { drift_threshold_x1000: 0, ..armed };
+            assert_eq!(legacy, stripped, "drift draw must not perturb the fault prefix");
+        }
+    }
+
+    #[test]
+    fn drift_space_samples_respect_ranges() {
+        let space = FaultSpace::drift();
+        for seed in 0..200 {
+            let p = space.sample(seed);
+            assert!(
+                (250..=600).contains(&p.drift_threshold_x1000),
+                "drift space always arms the engine at a sane threshold"
+            );
+            assert!(p.fault_plan().is_none(), "drift space carries no network faults");
+            assert!(!p.has_overload());
+            assert!((2..=4).contains(&p.n_images));
+        }
+        for seed in 0..20 {
+            assert_eq!(
+                FaultSpace::default().sample(seed).drift_threshold_x1000,
+                0,
+                "legacy spaces never arm the drift axis"
+            );
         }
     }
 

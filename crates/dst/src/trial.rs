@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use adapt_core::{Constraint, Objective, PerfDb, Preference, PreferenceList};
+use adapt_core::{Constraint, Objective, PerfDb, Preference, PreferenceList, RefineEngine};
 use arbiter::{AppState, StormOpts};
 use sandbox::{LimitSchedule, Limits};
 use simnet::{DrainMode, ExplorePlan, SimTime};
@@ -29,6 +29,21 @@ pub const TRIAL_HORIZON_SECS: u64 = 60;
 
 /// Entries in the knob-mutation command menu ([`knob_commands`]).
 pub const KNOB_MENU_LEN: u64 = 7;
+
+/// One-way link latency planted on `--cfg dst_drift` builds for
+/// drift-armed plans (`drift_threshold_x1000 > 0`), microseconds: the
+/// live path silently balloons from the 100us the performance database
+/// was profiled at to 75ms. Latency is invisible to the resource vector
+/// (which carries CPU/net-rate/memory), so the scheduler keeps querying
+/// the database at the nominal operating point and predictions stay
+/// stale — a genuine *model* drift, which the refine engine must catch.
+/// On normal builds the same plans run unplanted and must replay clean.
+pub const DRIFT_LATENCY_US: u64 = 75_000;
+
+/// Consecutive over-threshold residual samples before a drift-armed
+/// trial's refine engine alarms. Fixed (not a plan axis) so detection
+/// latency is a property of the engine, not of the sample.
+pub const DRIFT_MIN_STREAK: u64 = 3;
 
 /// Decode a plan's knob triples `(at_ms, kind, magnitude_pct)` into the
 /// operator-command schedule the trial scenario dispatches. The menu
@@ -167,14 +182,24 @@ impl TrialContext {
 
     /// The concrete scenario a plan runs under a given drain mode.
     pub fn scenario(&self, plan: &TrialPlan, drain_mode: DrainMode) -> Scenario {
-        Scenario {
+        #[allow(unused_mut)]
+        let mut sc = Scenario {
             n_images: plan.n_images as usize,
             request_timeout_us: Some(plan.timeout_ms.max(1) * 1_000),
             fault_plan: plan.fault_plan(),
             drain_mode,
             commands: knob_commands(plan),
             ..self.base.clone()
+        };
+        // The planted environment change: only live runs see the latency
+        // spike — the profiled database (built in `new`) keeps modelling
+        // the nominal path, which is exactly the mismatch the refine
+        // engine exists to catch.
+        #[cfg(dst_drift)]
+        if plan.drift_threshold_x1000 > 0 {
+            sc.link_latency_us += DRIFT_LATENCY_US;
         }
+        sc
     }
 
     /// Run one trial under the plan's own explore drain mode.
@@ -212,6 +237,17 @@ impl TrialContext {
             SimTime::from_secs(TRIAL_HORIZON_SECS),
         );
         let digest = digest_outcome(&out);
+        // Drift-armed plans fold the run through the refine engine
+        // *before* the oracles so its `refine.drift` audit events land on
+        // the bus the `model_drift` oracle reads. Detection only: the
+        // trial never re-profiles, it just witnesses the alarm.
+        if plan.drift_threshold_x1000 > 0 {
+            let mut engine = RefineEngine::from_db(self.db.clone(), PROFILE_INPUT);
+            engine.set_threshold(plan.drift_threshold_x1000 as f64 / 1000.0);
+            engine.set_min_streak(DRIFT_MIN_STREAK);
+            engine.set_obs(&out.obs);
+            engine.ingest_run(&out.obs);
+        }
         let violations = oracle::check_all(&out.obs, &self.decisions);
         TrialOutcome {
             digest,

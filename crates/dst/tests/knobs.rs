@@ -18,6 +18,10 @@ fn knob_opts(master_seed: u64) -> ExplorerOpts {
     }
 }
 
+// Gated off the canary builds: a planted defect is *supposed* to trip
+// its oracle, and knob plans carry the network faults that expose the
+// dedup canary.
+#[cfg(not(any(dst_canary, dst_drift)))]
 #[test]
 fn knob_trials_hold_all_oracles() {
     let ctx = TrialContext::new();

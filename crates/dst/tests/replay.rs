@@ -2,10 +2,12 @@
 //!
 //! Every file under `repros/` is a shrunken failing trial some explorer
 //! run emitted. On a correct build they replay clean — the violation
-//! they describe was a bug that is fixed or (for the canary) compiled
-//! out. On the canary build (`--cfg dst_canary`) the committed canary
-//! repro must reproduce its recorded violation, proving the repro format
-//! carries everything needed to replay the failure.
+//! they describe was a bug that is fixed or (for the canaries) compiled
+//! out. On a canary build (`--cfg dst_canary` for the duplicate-apply
+//! bug, `--cfg dst_drift` for the planted model drift) the committed
+//! canary repros must reproduce their recorded violations — and, where
+//! a digest is pinned, bit-for-bit across every drain mode — proving the
+//! repro format carries everything needed to replay the failure.
 
 use std::fs;
 use std::path::PathBuf;
@@ -29,7 +31,7 @@ fn load(path: &PathBuf) -> Repro {
     Repro::from_json(&text).unwrap_or_else(|e| panic!("parse {path:?}: {e}"))
 }
 
-#[cfg(not(dst_canary))]
+#[cfg(not(any(dst_canary, dst_drift)))]
 #[test]
 fn committed_repros_replay_clean_on_a_correct_build() {
     let files = repro_files();
@@ -67,5 +69,42 @@ fn committed_canary_repro_reproduces_the_violation() {
             "committed repro no longer reproduces '{}' on the canary build",
             repro.violation
         );
+    }
+}
+
+/// On the drift build the committed model-drift repro must reproduce the
+/// alarm, and its pinned digest must match bit-for-bit — under the
+/// plan's own explore drain AND the heap, batched, and sharded drains
+/// (run under `SIMNET_THREADS=1` and `4` in CI).
+#[cfg(dst_drift)]
+#[test]
+fn committed_drift_repro_reproduces_and_replays_bit_for_bit() {
+    use simnet::DrainMode;
+
+    let files = repro_files();
+    let drifts: Vec<_> = files.iter().map(load).filter(|r| r.violation == "model_drift").collect();
+    assert!(
+        !drifts.is_empty(),
+        "no committed model_drift repro; run the drift explorer and commit its output"
+    );
+    let ctx = TrialContext::new();
+    for repro in drifts {
+        let out = ctx.run(&repro.plan);
+        assert!(
+            out.violations.iter().any(|v| v.kind() == repro.violation),
+            "committed repro no longer reproduces '{}' on the drift build",
+            repro.violation
+        );
+        assert_ne!(repro.digest, 0, "drift repros pin the failing run's digest");
+        assert_eq!(
+            out.digest, repro.digest,
+            "replay must be bit-for-bit identical to the captured incident"
+        );
+        for drain in
+            [DrainMode::Heap, DrainMode::Batched, DrainMode::Sharded { threads: 0, shards: 0 }]
+        {
+            let alt = ctx.run_with_drain(&repro.plan, drain);
+            assert_eq!(alt.digest, repro.digest, "{drain:?} replay must match the pinned digest");
+        }
     }
 }

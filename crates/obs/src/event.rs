@@ -22,6 +22,9 @@ pub enum Source {
     /// The live control plane (config mutations, pins, breaker resets —
     /// see [`crate::control`]).
     Control,
+    /// The online model-refinement engine (residual drift alarms, slice
+    /// re-profiles, database hot-swaps — see `adapt_core::refine`).
+    Refine,
 }
 
 impl Source {
@@ -36,6 +39,7 @@ impl Source {
             Source::Load => "load",
             Source::Arbiter => "arbiter",
             Source::Control => "control",
+            Source::Refine => "refine",
         }
     }
 }
@@ -240,6 +244,13 @@ impl EventFilter {
     /// working set of the `config_audit_complete` oracle in `adapt-dst`.
     pub fn control_audit() -> Self {
         Self::any().source(Source::Control)
+    }
+
+    /// Preset: the model-refinement audit trail — residual drift alarms
+    /// and database slice hot-swaps, in detection order. The working set
+    /// of the model-drift oracle in `adapt-dst`.
+    pub fn refine_audit() -> Self {
+        Self::any().source(Source::Refine)
     }
 
     /// Does `ev` pass this filter?

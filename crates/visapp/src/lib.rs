@@ -26,6 +26,7 @@
 
 pub mod client;
 pub mod costs;
+pub mod drift;
 pub mod load;
 pub mod protocol;
 pub mod resilience;
@@ -38,14 +39,15 @@ pub mod user_model;
 pub mod wire;
 
 pub use client::{AdaptSetup, Client, ClientOpts, ConfigError, VizConfig};
+pub use drift::{run_drift_storm, DriftStormOpts, DriftStormReport, EpochReport};
 pub use load::{
     model_db, run_load, ArrivalProcess, LoadGenOpts, LoadReport, QosProfile, SessionSummary,
 };
 pub use resilience::{BreakerOpts, BreakerState, CircuitBreaker, RetryPolicy};
 pub use scenario::{
     build_db, build_db_refined, client_cpu_key, client_mem_key, client_net_key, profile_point,
-    run_adaptive, run_adaptive_until, run_adaptive_wired, run_competing, run_static,
-    run_static_until, viz_spec, CommandAt, LoadSpec, RunOutcome, Scenario, CLIENT_HOST,
+    run_adaptive, run_adaptive_shared, run_adaptive_until, run_adaptive_wired, run_competing,
+    run_static, run_static_until, viz_spec, CommandAt, LoadSpec, RunOutcome, Scenario, CLIENT_HOST,
     PROFILE_INPUT, SERVER_HOST,
 };
 pub use server::{Reporter, Server};

@@ -447,6 +447,21 @@ pub fn run_adaptive(
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
 ) -> RunOutcome {
+    run_adaptive_inner(sc, store, Arc::new(db), prefs, initial_limits, schedule, None, None)
+}
+
+/// Like [`run_adaptive`] but over a shared database snapshot: no record
+/// clone, the scheduler prices against exactly the `Arc` handed in. The
+/// refine epoch loop (`crate::drift`) uses this so each epoch runs
+/// against the engine's current (possibly hot-swapped) database.
+pub fn run_adaptive_shared(
+    sc: &Scenario,
+    store: &Arc<ImageStore>,
+    db: Arc<PerfDb>,
+    prefs: PreferenceList,
+    initial_limits: Limits,
+    schedule: Option<LimitSchedule>,
+) -> RunOutcome {
     run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None, None)
 }
 
@@ -464,7 +479,7 @@ pub fn run_adaptive_wired(
     schedule: Option<LimitSchedule>,
     wire: simnet::WireHook,
 ) -> RunOutcome {
-    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, None, Some(wire))
+    run_adaptive_inner(sc, store, Arc::new(db), prefs, initial_limits, schedule, None, Some(wire))
 }
 
 /// Like [`run_adaptive`] but stops the simulation at `horizon` even when
@@ -480,14 +495,23 @@ pub fn run_adaptive_until(
     schedule: Option<LimitSchedule>,
     horizon: SimTime,
 ) -> RunOutcome {
-    run_adaptive_inner(sc, store, db, prefs, initial_limits, schedule, Some(horizon), None)
+    run_adaptive_inner(
+        sc,
+        store,
+        Arc::new(db),
+        prefs,
+        initial_limits,
+        schedule,
+        Some(horizon),
+        None,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_adaptive_inner(
     sc: &Scenario,
     store: &Arc<ImageStore>,
-    db: PerfDb,
+    db: Arc<PerfDb>,
     prefs: PreferenceList,
     initial_limits: Limits,
     schedule: Option<LimitSchedule>,
@@ -498,7 +522,7 @@ fn run_adaptive_inner(
     sc.validate().expect("invalid scenario");
     let obs = Obs::new();
     let spec = viz_spec(sc);
-    let scheduler = ResourceScheduler::new(db, prefs, PROFILE_INPUT);
+    let scheduler = ResourceScheduler::new_shared(db, prefs, PROFILE_INPUT);
     // Initial resource estimate from the starting limits (what admission
     // control / reservation would have granted).
     let l = initial_limits;

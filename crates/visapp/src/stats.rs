@@ -203,7 +203,11 @@ impl StatsHandle {
                 obs::Event::new(rec.finished.as_us(), obs::Source::App, "round")
                     .with("image", rec.image_id)
                     .with("round", rec.round)
-                    .with("wire_round", rec.wire_round),
+                    .with("wire_round", rec.wire_round)
+                    // Measured latency for the refine engine's residual
+                    // tracking (digest-neutral: digests fold only the
+                    // integer fields above).
+                    .with("response_secs", rec.response_secs()),
             );
         }
         self.stats.lock().unwrap().rounds.push(rec);

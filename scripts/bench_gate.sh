@@ -23,13 +23,40 @@ cargo build --release -q -p adapt-bench
 ./target/release/arbiter_bench "$fresh/BENCH_arbiter.json"
 ./target/release/control_bench "$fresh/BENCH_control.json"
 ./target/release/export_bench "$fresh/BENCH_export.json"
+./target/release/refine_bench "$fresh/BENCH_refine.json"
 
 echo "== bench gate: comparing against committed baselines =="
 status=0
 for name in BENCH_perfdb.json BENCH_obs.json BENCH_load.json BENCH_dst.json BENCH_arbiter.json \
-            BENCH_control.json BENCH_export.json; do
+            BENCH_control.json BENCH_export.json BENCH_refine.json; do
     python3 scripts/bench_compare.py "$name" "$fresh/$name" || status=1
 done
+
+# DST digest cross-check: bench_compare treats digest strings as
+# reported-only (toolchain updates may legitimately shift them), but a
+# *stale committed baseline* must still fail CI — when the fresh run on
+# this very tree disagrees with the committed BENCH_dst.json digests,
+# the baseline was not regenerated alongside a behaviour change.
+python3 - BENCH_dst.json "$fresh/BENCH_dst.json" <<'EOF' || status=1
+import json, sys
+with open(sys.argv[1]) as fh:
+    base = json.load(fh)
+with open(sys.argv[2]) as fh:
+    fresh = json.load(fh)
+stale = []
+for section in ("deterministic", "knob_axis", "drift_axis"):
+    b, f = base[section]["digest"], fresh[section]["digest"]
+    if b != f:
+        stale.append(f"{section}: committed {b} != fresh {f}")
+if stale:
+    print("BENCH_dst.json: committed explorer digests are stale — regenerate "
+          "the baseline with ./target/release/dst_bench and commit it:",
+          file=sys.stderr)
+    for line in stale:
+        print(f"  {line}", file=sys.stderr)
+    sys.exit(1)
+print("BENCH_dst.json: explorer digests match the committed baseline")
+EOF
 
 # Absolute zero-overhead gate on the *fresh* run (independent of the
 # committed baseline): with exporters disabled, the span hot path must

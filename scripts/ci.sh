@@ -96,6 +96,17 @@ if [ "${CI_DST_CANARY:-0}" = "1" ]; then
     done
 fi
 
+# Model-drift canary: the adapt-dst suite compiled with the planted
+# latency spike must make the refine engine alarm, the explorer must
+# capture and shrink the incident, and the committed model_drift repro
+# must replay bit-for-bit (digest-pinned) under every drain mode.
+if [ "${CI_DST_DRIFT:-0}" = "1" ]; then
+    stage "dst drift canary"
+    for t in 1 4; do
+        SIMNET_THREADS=$t RUSTFLAGS="--cfg dst_drift" cargo test -q --release -p adapt-dst
+    done
+fi
+
 # Coverage floor: opt-in, requires cargo-llvm-cov. The --workspace scope
 # picks up every crates/* member automatically, adapt-transport included.
 if [ "${CI_COV:-0}" = "1" ]; then
